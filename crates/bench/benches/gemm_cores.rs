@@ -1,0 +1,43 @@
+//! Criterion benchmarks comparing the heterogeneous integer GEMM cores
+//! against the float GEMM reference, and the cycle simulator's throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mixmatch_fpga::arch::AcceleratorConfig;
+use mixmatch_fpga::gemm_core::HeterogeneousGemm;
+use mixmatch_fpga::sim::{simulate, SimParams};
+use mixmatch_fpga::workload::Network;
+use mixmatch_quant::integer::ActQuantizer;
+use mixmatch_tensor::{gemm, Tensor, TensorRng};
+
+fn bench_heterogeneous_vs_float(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(0);
+    let w = Tensor::randn(&[96, 128], &mut rng);
+    let core = HeterogeneousGemm::new(&w, &AcceleratorConfig::d2_3(), 4);
+    let act = ActQuantizer::new(4, 1.0);
+    let x: Vec<f32> = (0..128).map(|_| rng.uniform_in(0.0, 1.0)).collect();
+    let xq = act.quantize(&x);
+    let mut group = c.benchmark_group("gemv_96x128");
+    group.bench_function("heterogeneous_integer", |b| {
+        b.iter(|| black_box(core.run(black_box(&xq), &act)))
+    });
+    let xt = Tensor::from_vec(x.clone(), &[128, 1]).expect("column vector");
+    group.bench_function("float_reference", |b| {
+        b.iter(|| black_box(gemm::matmul(&w, black_box(&xt))))
+    });
+    group.finish();
+}
+
+fn bench_cycle_simulator(c: &mut Criterion) {
+    let params = SimParams::default();
+    let mut group = c.benchmark_group("cycle_sim");
+    for net in [Network::resnet18(), Network::yolov3(320)] {
+        let name = net.name.clone();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(simulate(&net, &AcceleratorConfig::d2_3(), &params)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heterogeneous_vs_float, bench_cycle_simulator);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmarks for the quantization-training inner loops: codebook
+//! projection, α fitting and the full row-wise MSQ projection.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mixmatch_quant::alpha::fit_alpha;
+use mixmatch_quant::msq::{project_with_policy, MsqPolicy};
+use mixmatch_quant::schemes::{Codebook, Scheme};
+use mixmatch_tensor::{Tensor, TensorRng};
+
+fn bench_projection(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(0);
+    let xs: Vec<f32> = (0..4096).map(|_| rng.normal() * 0.1).collect();
+    let mut group = c.benchmark_group("project_4096");
+    for scheme in [Scheme::Fixed, Scheme::Pow2, Scheme::Sp2] {
+        let cb = Codebook::new(scheme, 4);
+        group.bench_function(format!("{scheme}"), |b| {
+            b.iter(|| {
+                let mut total = 0.0f32;
+                for &x in black_box(&xs) {
+                    total += cb.project(x);
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_alpha_fit(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(1);
+    let xs: Vec<f32> = (0..4096).map(|_| rng.normal() * 0.1).collect();
+    let cb = Codebook::new(Scheme::Sp2, 4);
+    c.bench_function("fit_alpha_4096", |b| {
+        b.iter(|| black_box(fit_alpha(black_box(&xs), &cb)))
+    });
+}
+
+fn bench_msq_projection(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(2);
+    let w = Tensor::randn(&[128, 512], &mut rng);
+    let policy = MsqPolicy::msq_optimal();
+    c.bench_function("msq_project_128x512", |b| {
+        b.iter(|| black_box(project_with_policy(black_box(&w), &policy)))
+    });
+}
+
+criterion_group!(benches, bench_projection, bench_alpha_fit, bench_msq_projection);
+criterion_main!(benches);

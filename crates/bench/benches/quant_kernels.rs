@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks for the Table I arithmetic: fixed-point
+//! multiply-accumulate vs P2 single-shift vs SP2 shift-shift-add, measured on
+//! the bit-exact integer kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mixmatch_quant::integer::{ActQuantizer, QuantizedMatrix};
+use mixmatch_quant::msq::MsqPolicy;
+use mixmatch_quant::schemes::Scheme;
+use mixmatch_tensor::{Tensor, TensorRng};
+
+fn bench_mac_kernels(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(0);
+    let w = Tensor::randn(&[64, 256], &mut rng);
+    let act = ActQuantizer::new(4, 1.0);
+    let x: Vec<u32> = (0..256).map(|_| rng.below(16) as u32).collect();
+    let mut group = c.benchmark_group("gemv_64x256");
+    for (name, policy) in [
+        ("fixed", MsqPolicy::single(Scheme::Fixed, 4)),
+        ("p2", MsqPolicy::single(Scheme::Pow2, 4)),
+        ("sp2", MsqPolicy::single(Scheme::Sp2, 4)),
+        ("msq_1to2", MsqPolicy::msq_optimal()),
+    ] {
+        let qm = QuantizedMatrix::from_float(&w, &policy);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let (y, _) = qm.matvec(black_box(&x), &act);
+                black_box(y)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_activation_quantization(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(1);
+    let xs: Vec<f32> = (0..4096).map(|_| rng.uniform_in(0.0, 1.0)).collect();
+    let act = ActQuantizer::new(4, 1.0);
+    c.bench_function("act_quantize_4096", |b| {
+        b.iter(|| black_box(act.quantize(black_box(&xs))))
+    });
+}
+
+criterion_group!(benches, bench_mac_kernels, bench_activation_quantization);
+criterion_main!(benches);

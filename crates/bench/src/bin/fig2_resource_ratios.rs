@@ -1,0 +1,23 @@
+//! Figure 2: LUT/FF/BRAM-per-DSP ratios of six Zynq devices.
+
+use mixmatch_fpga::device::FpgaDevice;
+use mixmatch_fpga::report::TextTable;
+
+fn main() {
+    println!("=== Figure 2: resource ratio of different FPGA devices ===\n");
+    let mut t = TextTable::new(vec!["device", "LUT/DSP", "FF/DSP", "BRAM(Kb)/DSP"]);
+    for dev in FpgaDevice::figure2_devices() {
+        t.row(vec![
+            dev.name.to_string(),
+            format!("{:.1}", dev.lut_per_dsp()),
+            format!("{:.1}", dev.ff_per_dsp()),
+            format!("{:.1}", dev.bram_kb_per_dsp()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper bars:   7Z045 242.9/485.8/21.8   7Z020 241.8/483.6/22.9");
+    println!("              ZU2CG 196.8/393.6/22.5   ZU3CG 196.0/392.0/21.6");
+    println!("              ZU4CG 120.7/241.3/6.3    ZU5CG  93.8/187.7/4.2");
+    println!("\nThe 7-series parts offer ~2.6x the LUT headroom per DSP of ZU5CG —");
+    println!("exactly the headroom the SP2 GEMM core converts into throughput.");
+}

@@ -1,0 +1,83 @@
+//! Table II: accuracy of P2 / Fixed / SP2 / MSQ quantization for the ResNet
+//! and MobileNet-v2 stand-ins on the CIFAR10 / CIFAR100 / ImageNet stand-in
+//! datasets (4-bit weights and activations, ADMM training).
+//!
+//! Shape target (paper): P2 loses ~1-2 points; Fixed and SP2 are within
+//! noise of the float baseline; MSQ matches or beats both single schemes.
+
+use mixmatch_bench::harness::{run_cnn_experiment_seeds, table2_rows, CnnKind, RunMode};
+use mixmatch_data::{ImageDataset, SynthImageConfig};
+use mixmatch_fpga::report::{fmt_with_delta, TextTable};
+
+fn main() {
+    let mode = RunMode::from_args();
+    println!("=== Table II: quantization scheme accuracy (W/A = 4/4) ===");
+    if mode.fast {
+        println!("(--fast: reduced datasets/epochs)");
+    }
+    println!();
+    let datasets = [
+        ("CIFAR10-like", SynthImageConfig::cifar10_like(), 12usize),
+        ("CIFAR100-like", SynthImageConfig::cifar100_like(), 12),
+        ("ImageNet-like", SynthImageConfig::imagenet_like(), 10),
+    ];
+    // Paper deltas vs FP baseline (top-1), for side-by-side shape checking:
+    // rows: P2, Fixed, SP2, MSQ(half), MSQ(opt).
+    let paper_deltas: [(&str, [[f32; 5]; 2]); 3] = [
+        ("CIFAR10", [
+            [-0.65, -0.19, -0.15, -0.09, 0.03],   // ResNet-18
+            [-1.17, -0.17, 0.21, 0.06, 0.04],     // MobileNet-v2
+        ]),
+        ("CIFAR100", [
+            [-0.61, -0.12, -0.17, 0.09, 0.11],
+            [-2.80, -0.32, -0.35, -0.27, 0.02],
+        ]),
+        ("ImageNet", [
+            [-1.56, -0.04, -0.02, 0.35, 0.51],
+            [-1.95, -0.62, -0.56, -0.62, -0.57],
+        ]),
+    ];
+
+    for ((ds_name, cfg, epochs_full), (paper_name, paper)) in
+        datasets.iter().zip(paper_deltas)
+    {
+        let cfg = mode.shrink_dataset(cfg.clone());
+        let epochs = mode.epochs(*epochs_full);
+        let ds = ImageDataset::generate(&cfg);
+        println!("--- {ds_name} ({} classes, {} train / {} test) ---\n",
+            cfg.classes, ds.train_len(), ds.test_len());
+        for (kind, kind_name, paper_col) in [
+            (CnnKind::ResNet, "ResNet (mini)", paper[0]),
+            (CnnKind::MobileNet, "MobileNet-v2 (mini)", paper[1]),
+        ] {
+            let mut t = TextTable::new(vec![
+                "scheme", "Top-1 (ours)", "Top-5 (ours)", "paper Δ top-1",
+            ]);
+            // Same seeds for every row: paired comparison across schemes.
+            let seeds: &[u64] = if mode.fast { &[7] } else { &[7, 8] };
+            let mut baseline = 0.0f32;
+            for (ri, row) in table2_rows().iter().enumerate() {
+                let res = run_cnn_experiment_seeds(kind, &ds, row.policy, epochs, seeds);
+                if row.policy.is_none() {
+                    baseline = res.top1;
+                    t.row(vec![
+                        row.label.to_string(),
+                        format!("{:.2}", res.top1),
+                        format!("{:.2}", res.top5),
+                        "-".to_string(),
+                    ]);
+                } else {
+                    t.row(vec![
+                        row.label.to_string(),
+                        fmt_with_delta(res.top1, baseline),
+                        format!("{:.2}", res.top5),
+                        format!("{:+.2}", paper_col[ri - 1]),
+                    ]);
+                }
+            }
+            println!("{kind_name} on {paper_name}:");
+            println!("{}", t.render());
+        }
+    }
+    println!("Shape targets: P2 worst; Fixed ≈ SP2 ≈ baseline; MSQ ≥ max(Fixed, SP2).");
+}

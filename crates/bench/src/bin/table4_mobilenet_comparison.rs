@@ -1,0 +1,56 @@
+//! Table IV: MSQ vs PACT/DSQ on the MobileNet-v2 stand-in (ImageNet
+//! stand-in) — the hard-to-quantize lightweight model.
+
+use mixmatch_bench::harness::{run_cnn_experiment_seeds, run_cnn_ste_baseline_seeds, CnnKind, RunMode};
+use mixmatch_data::{ImageDataset, SynthImageConfig};
+use mixmatch_fpga::report::TextTable;
+use mixmatch_quant::baselines::{table4_reference_rows, BaselineMethod};
+use mixmatch_quant::msq::MsqPolicy;
+
+fn main() {
+    let mode = RunMode::from_args();
+    println!("=== Table IV: comparison with existing works (MobileNet-v2, ImageNet stand-in) ===\n");
+    let cfg = mode.shrink_dataset(SynthImageConfig::imagenet_like());
+    let ds = ImageDataset::generate(&cfg);
+    let epochs = mode.epochs(12);
+
+    let seeds: &[u64] = if mode.fast { &[5] } else { &[5, 6, 7] };
+    let fp = run_cnn_experiment_seeds(CnnKind::MobileNet, &ds, None, epochs, seeds);
+    let pact =
+        run_cnn_ste_baseline_seeds(CnnKind::MobileNet, &ds, BaselineMethod::Pact, epochs, seeds);
+    let msq = run_cnn_experiment_seeds(
+        CnnKind::MobileNet,
+        &ds,
+        Some(MsqPolicy::msq_optimal()),
+        epochs,
+        seeds,
+    );
+
+    let mut t = TextTable::new(vec![
+        "method", "bits (W/A)", "Top-1 ours", "Top-5 ours", "Top-1 paper", "Top-5 paper",
+    ]);
+    let opt = |v: Option<f32>| v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "N/A".into());
+    for r in table4_reference_rows() {
+        let ours = match r.method {
+            "Baseline(FP)" => Some(fp),
+            "PACT" => Some(pact),
+            "MSQ" => Some(msq),
+            _ => None,
+        };
+        t.row(vec![
+            r.method.to_string(),
+            r.bits.to_string(),
+            ours.map(|e| format!("{:.2}", e.top1)).unwrap_or_else(|| "(ref only)".into()),
+            ours.map(|e| format!("{:.2}", e.top5)).unwrap_or_else(|| "(ref only)".into()),
+            opt(r.top1),
+            opt(r.top5),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Shape target: 4-bit quantization costs MobileNet-v2 visibly more than it");
+    println!("costs ResNet (paper: -6.2 vs +0.5). Note: at stand-in scale the PACT/");
+    println!("DoReFa baselines do not degrade the way they do at ImageNet capacity");
+    println!("(quantize-on-forward even regularises tiny models), so the paper's");
+    println!("method ordering on MobileNet is below this reproduction's noise floor;");
+    println!("the MobileNet-vs-ResNet sensitivity gap is the resolvable claim.");
+}

@@ -1,0 +1,55 @@
+//! Table VII: hardware implementation parameters and peak throughput for the
+//! six designs, including the DSE that discovers the optimal ratios.
+
+use mixmatch_fpga::arch::AcceleratorConfig;
+use mixmatch_fpga::device::FpgaDevice;
+use mixmatch_fpga::explore::{optimal_design, sweep, ExploreConfig};
+use mixmatch_fpga::report::TextTable;
+
+fn main() {
+    println!("=== Table VII: implementation parameters and peak throughput ===\n");
+    let paper_gops = [52.8f32, 106.0, 132.0, 208.0, 416.0, 624.0];
+    let mut t = TextTable::new(vec![
+        "impl", "device", "Bat", "Blk_in", "Blk_out fixed", "Blk_out SP2", "ratio",
+        "peak GOPS (ours)", "peak GOPS (paper)",
+    ]);
+    for ((name, cfg), paper) in AcceleratorConfig::table7_designs().iter().zip(paper_gops) {
+        t.row(vec![
+            name.to_string(),
+            format!("XC{}", cfg.device.name),
+            cfg.bat.to_string(),
+            cfg.blk_in.to_string(),
+            cfg.blk_out_fixed.to_string(),
+            cfg.blk_out_sp2.to_string(),
+            cfg.ratio_label(),
+            format!("{:.1}", cfg.peak_gops()),
+            format!("{paper:.1}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(Our peak counts GEMM MACs only; the paper's adds TensorALU epilogue ops,");
+    println!(" a 1.5-3% constant. Design-to-design ratios are identical: 2.0x/2.5x and");
+    println!(" 2.0x/3.0x.)\n");
+
+    println!("=== DSE: growing Blk_out,sp2 until the LUT ceiling ===\n");
+    for device in [FpgaDevice::XC7Z020, FpgaDevice::XC7Z045] {
+        println!("{device}:");
+        let mut t = TextTable::new(vec!["Blk_out,sp2", "LUT util (with shell)", "feasible"]);
+        for p in sweep(device, &ExploreConfig::default()) {
+            t.row(vec![
+                p.config.blk_out_sp2.to_string(),
+                format!("{:.1}%", p.lut_util * 100.0),
+                if p.feasible { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+        println!("{}", t.render());
+        let opt = optimal_design(device, &ExploreConfig::default());
+        println!(
+            "optimum on {}: Blk_out,sp2 = {} (ratio {}) -> feed PR_SP2 = {:.3} to Algorithm 2\n",
+            device.name,
+            opt.blk_out_sp2,
+            opt.ratio_label(),
+            opt.partition_ratio().sp2_fraction()
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Table VIII: per-workload throughput (GOPS) under the six hardware
+//! settings, with resource usage — the paper's headline 2.1x-4.1x result.
+
+use mixmatch_fpga::perf::table8;
+use mixmatch_fpga::report::TextTable;
+use mixmatch_fpga::sim::SimParams;
+
+fn main() {
+    println!("=== Table VIII: performance of DNN applications per hardware setting ===\n");
+    let rows = table8(&SimParams::default());
+    let mut t = TextTable::new(vec![
+        "device", "ratio", "LUT", "DSP", "BRAM36", "FF",
+        "ResNet-18", "MobileNet-v2", "YOLO-v3", "LSTM/PTB", "GRU/TIMIT", "LSTM/IMDB",
+    ]);
+    for row in &rows {
+        let mut cells = vec![
+            row.device.to_string(),
+            row.ratio.clone(),
+            format!("{:.0}", row.usage.lut),
+            format!("{:.0}", row.usage.dsp),
+            format!("{:.1}", row.usage.bram36),
+            format!("{:.0}", row.usage.ff),
+        ];
+        cells.extend(row.gops().iter().map(|g| format!("{g:.1}")));
+        t.row(cells);
+    }
+    println!("{}", t.render());
+
+    println!("paper GOPS rows for comparison:");
+    println!("  XC7Z020 1:0        36.0  33.0   36.6   26.1   22.6   25.0");
+    println!("  XC7Z020 1:1        74.4  65.7   74.1   52.9   49.2   58.7");
+    println!("  XC7Z020 1:1.5 opt  77.0  71.8   84.0   77.2   77.2   59.7");
+    println!("  XC7Z045 1:0       144.7 129.6  143.6   91.3   89.6  108.0");
+    println!("  XC7Z045 1:1       285.5 258.1  283.7  183.2  212.5  217.2");
+    println!("  XC7Z045 1:2 opt   359.2 326.9  390.0  318.2  369.2  340.7\n");
+
+    // Improvement factors and latency, as quoted in §VI-B2.
+    println!("improvement of optimal ratio over fixed-only (paper: 2.1x-4.1x):");
+    let mut t = TextTable::new(vec!["workload", "XC7Z020", "XC7Z045"]);
+    let nets = ["ResNet-18", "MobileNet-v2", "YOLO-v3", "LSTM/PTB", "GRU/TIMIT", "LSTM/IMDB"];
+    for (i, name) in nets.iter().enumerate() {
+        let z020 = rows[2].gops()[i] / rows[0].gops()[i];
+        let z045 = rows[5].gops()[i] / rows[3].gops()[i];
+        t.row(vec![name.to_string(), format!("{z020:.2}x"), format!("{z045:.2}x")]);
+    }
+    println!("{}", t.render());
+
+    println!("ResNet-18 latency per image:");
+    let mut t = TextTable::new(vec!["design", "latency (ours)", "latency (paper)"]);
+    let paper_lat = [
+        ("XC7Z020 1:0", 100.7f32),
+        ("XC7Z020 1:1.5", 47.1),
+        ("XC7Z045 1:0", 25.1),
+        ("XC7Z045 1:2", 10.1),
+    ];
+    for ((label, paper), row_idx) in paper_lat.iter().zip([0usize, 2, 3, 5]) {
+        t.row(vec![
+            label.to_string(),
+            format!("{:.1} ms", rows[row_idx].perfs[0].latency_ms()),
+            format!("{paper:.1} ms"),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("PE utilization (paper: CNN 52.4-70.1%, RNN 42.9-59.2%):");
+    let mut t = TextTable::new(vec!["design", "ResNet", "MobileNet", "YOLO", "PTB", "TIMIT", "IMDB"]);
+    for (row, (name, _)) in rows.iter().zip(
+        [("D1-1", 0), ("D1-2", 0), ("D1-3", 0), ("D2-1", 0), ("D2-2", 0), ("D2-3", 0)],
+    ) {
+        let mut cells = vec![format!("{} {}", name, row.ratio)];
+        cells.extend(
+            row.perfs
+                .iter()
+                .map(|p| format!("{:.1}%", p.pe_utilization() * 100.0)),
+        );
+        t.row(cells);
+    }
+    println!("{}", t.render());
+}

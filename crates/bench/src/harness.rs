@@ -1,0 +1,291 @@
+//! Shared experiment drivers for the per-table binaries.
+
+use mixmatch_data::{BatchIter, ImageDataset, SynthImageConfig};
+use mixmatch_nn::models::{MobileNetConfig, MobileNetV2, ResNet, ResNetConfig};
+use mixmatch_nn::module::Layer;
+use mixmatch_quant::msq::MsqPolicy;
+use mixmatch_quant::qat::{evaluate_classifier, train_classifier, EvalResult, QatConfig};
+use mixmatch_quant::schemes::Scheme;
+use mixmatch_tensor::TensorRng;
+
+/// Experiment sizing selected from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunMode {
+    /// Shrink datasets and epochs for a quick smoke run.
+    pub fast: bool,
+}
+
+impl RunMode {
+    /// Parses `--fast` from `std::env::args`.
+    pub fn from_args() -> Self {
+        RunMode {
+            fast: std::env::args().any(|a| a == "--fast"),
+        }
+    }
+
+    /// Scales an epoch count down in fast mode.
+    pub fn epochs(&self, full: usize) -> usize {
+        if self.fast {
+            (full / 4).max(2)
+        } else {
+            full
+        }
+    }
+
+    /// Scales a dataset configuration down in fast mode.
+    pub fn shrink_dataset(&self, mut cfg: SynthImageConfig) -> SynthImageConfig {
+        if self.fast {
+            cfg.train_per_class = (cfg.train_per_class / 4).max(8);
+            cfg.test_per_class = (cfg.test_per_class / 2).max(4);
+        }
+        cfg
+    }
+}
+
+/// The two CNN families of Tables II–IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CnnKind {
+    /// Scaled-down ResNet (basic blocks).
+    ResNet,
+    /// Scaled-down MobileNet-v2 (inverted residuals).
+    MobileNet,
+}
+
+/// A labelled quantization configuration for result rows.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemeRow {
+    /// Display label (paper row name).
+    pub label: &'static str,
+    /// Policy; `None` = float baseline.
+    pub policy: Option<MsqPolicy>,
+}
+
+/// The six rows of Table II, in paper order.
+pub fn table2_rows() -> Vec<SchemeRow> {
+    vec![
+        SchemeRow {
+            label: "Baseline (FP)",
+            policy: None,
+        },
+        SchemeRow {
+            label: "P2",
+            policy: Some(MsqPolicy::single(Scheme::Pow2, 4)),
+        },
+        SchemeRow {
+            label: "Fixed",
+            policy: Some(MsqPolicy::single(Scheme::Fixed, 4)),
+        },
+        SchemeRow {
+            label: "SP2",
+            policy: Some(MsqPolicy::single(Scheme::Sp2, 4)),
+        },
+        SchemeRow {
+            label: "MSQ (half/half)",
+            policy: Some(MsqPolicy::msq_half()),
+        },
+        SchemeRow {
+            label: "MSQ (optimal)",
+            policy: Some(MsqPolicy::msq_optimal()),
+        },
+    ]
+}
+
+/// [`run_cnn_experiment`] averaged over several seeds, with each scheme
+/// seeing the same seed set (paired comparison — quantization-training noise
+/// on small models is larger than the scheme effects being measured).
+pub fn run_cnn_experiment_seeds(
+    kind: CnnKind,
+    dataset: &ImageDataset,
+    policy: Option<MsqPolicy>,
+    epochs: usize,
+    seeds: &[u64],
+) -> EvalResult {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let mut top1 = 0.0f32;
+    let mut top5 = 0.0f32;
+    for &s in seeds {
+        let r = run_cnn_experiment(kind, dataset, policy, epochs, s);
+        top1 += r.top1;
+        top5 += r.top5;
+    }
+    EvalResult {
+        top1: top1 / seeds.len() as f32,
+        top5: top5 / seeds.len() as f32,
+    }
+}
+
+/// Trains one CNN on one dataset under one (optional) quantization policy
+/// and reports test accuracy. Deterministic in `seed`.
+pub fn run_cnn_experiment(
+    kind: CnnKind,
+    dataset: &ImageDataset,
+    policy: Option<MsqPolicy>,
+    epochs: usize,
+    seed: u64,
+) -> EvalResult {
+    let mut rng = TensorRng::seed_from(seed);
+    let classes = dataset.config().classes;
+    // Activation quantization at 4 bits whenever weights are quantized
+    // (the paper's W/A = 4/4 regime).
+    let act_bits = policy.map(|_| 4u32);
+    let cfg = match policy {
+        None => QatConfig::float_baseline(epochs, 0.05),
+        Some(p) => QatConfig::quantized(p, epochs, 0.05),
+    };
+    let batch_size = 32usize;
+    let mut data_rng = rng.fork();
+    let train_len = dataset.train_len();
+    let make_batches = |data_rng: &mut TensorRng| {
+        BatchIter::shuffled(train_len, batch_size, false, data_rng)
+            .map(|idx| dataset.train_batch(&idx))
+            .collect::<Vec<_>>()
+    };
+    let (x_test, y_test) = dataset.test_all();
+    match kind {
+        CnnKind::ResNet => {
+            let mut mc = ResNetConfig::mini(classes);
+            if let Some(bits) = act_bits {
+                mc = mc.with_act_bits(bits);
+            }
+            let mut model = ResNet::new(mc, &mut rng);
+            let _ = train_classifier(&mut model, |_| make_batches(&mut data_rng), &cfg);
+            evaluate_classifier(&mut model, &x_test, &y_test)
+        }
+        CnnKind::MobileNet => {
+            let mut mc = MobileNetConfig::mini(classes);
+            if let Some(bits) = act_bits {
+                mc = mc.with_act_bits(bits);
+            }
+            let mut model = MobileNetV2::new(mc, &mut rng);
+            let _ = train_classifier(&mut model, |_| make_batches(&mut data_rng), &cfg);
+            evaluate_classifier(&mut model, &x_test, &y_test)
+        }
+    }
+}
+
+/// [`run_cnn_ste_baseline`] averaged over paired seeds.
+pub fn run_cnn_ste_baseline_seeds(
+    kind: CnnKind,
+    dataset: &ImageDataset,
+    method: mixmatch_quant::baselines::BaselineMethod,
+    epochs: usize,
+    seeds: &[u64],
+) -> EvalResult {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let mut top1 = 0.0f32;
+    let mut top5 = 0.0f32;
+    for &s in seeds {
+        let r = run_cnn_ste_baseline(kind, dataset, method, epochs, s);
+        top1 += r.top1;
+        top5 += r.top5;
+    }
+    EvalResult {
+        top1: top1 / seeds.len() as f32,
+        top5: top5 / seeds.len() as f32,
+    }
+}
+
+/// Trains a model with the DoReFa/PACT straight-through baseline
+/// (Tables III–IV comparators) and reports test accuracy.
+pub fn run_cnn_ste_baseline(
+    kind: CnnKind,
+    dataset: &ImageDataset,
+    method: mixmatch_quant::baselines::BaselineMethod,
+    epochs: usize,
+    seed: u64,
+) -> EvalResult {
+    use mixmatch_nn::loss::cross_entropy;
+    use mixmatch_nn::optim::{LrSchedule, Sgd};
+    use mixmatch_quant::baselines::SteWeightQuantizer;
+
+    let mut rng = TensorRng::seed_from(seed);
+    let classes = dataset.config().classes;
+    let mut data_rng = rng.fork();
+    let (x_test, y_test) = dataset.test_all();
+
+    // PACT = DoReFa weights + learnable activation clip; realised here with
+    // the same model activation quantization (EMA-calibrated FakeQuant),
+    // which is PACT's behaviour once the clip has converged.
+    let run = |model: &mut dyn Layer, rng_data: &mut TensorRng| -> EvalResult {
+        let mut q = SteWeightQuantizer::attach(&model.params(), method, 4);
+        let mut opt = Sgd::with_config(
+            0.05,
+            0.9,
+            1e-4,
+            LrSchedule::Cosine {
+                total_epochs: epochs,
+                min_lr: 5e-4,
+            },
+        );
+        for epoch in 0..epochs {
+            opt.start_epoch(epoch);
+            let batches: Vec<_> =
+                BatchIter::shuffled(dataset.train_len(), 32, false, rng_data)
+                    .map(|idx| dataset.train_batch(&idx))
+                    .collect();
+            for (x, y) in batches {
+                q.quantize_for_forward(&mut model.params_mut());
+                let logits = model.forward(&x, true);
+                let (_, grad) = cross_entropy(&logits, &y);
+                model.backward(&grad);
+                q.restore_latent(&mut model.params_mut());
+                opt.step(&mut model.params_mut());
+                model.zero_grad();
+            }
+        }
+        q.project_final(&mut model.params_mut());
+        EvalResult {
+            top1: 0.0,
+            top5: 0.0,
+        }
+    };
+    match kind {
+        CnnKind::ResNet => {
+            let mc = ResNetConfig::mini(classes).with_act_bits(4);
+            let mut model = ResNet::new(mc, &mut rng);
+            let _ = run(&mut model, &mut data_rng);
+            evaluate_classifier(&mut model, &x_test, &y_test)
+        }
+        CnnKind::MobileNet => {
+            let mc = MobileNetConfig::mini(classes).with_act_bits(4);
+            let mut model = MobileNetV2::new(mc, &mut rng);
+            let _ = run(&mut model, &mut data_rng);
+            evaluate_classifier(&mut model, &x_test, &y_test)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_rows_match_paper_order() {
+        let rows = table2_rows();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0].label, "Baseline (FP)");
+        assert!(rows[0].policy.is_none());
+        assert_eq!(rows[5].label, "MSQ (optimal)");
+    }
+
+    #[test]
+    fn fast_mode_shrinks_work() {
+        let m = RunMode { fast: true };
+        assert_eq!(m.epochs(12), 3);
+        let cfg = m.shrink_dataset(SynthImageConfig::cifar10_like());
+        assert!(cfg.train_per_class < SynthImageConfig::cifar10_like().train_per_class);
+    }
+
+    #[test]
+    fn tiny_experiment_runs_end_to_end() {
+        let ds = ImageDataset::generate(&SynthImageConfig::tiny());
+        let res = run_cnn_experiment(
+            CnnKind::ResNet,
+            &ds,
+            Some(MsqPolicy::msq_half()),
+            2,
+            42,
+        );
+        assert!(res.top1 >= 0.0 && res.top1 <= 100.0);
+    }
+}

@@ -1,0 +1,16 @@
+//! # mixmatch-bench
+//!
+//! Benchmark harness for the Mix-and-Match reproduction: one binary per
+//! table/figure of the paper (see DESIGN.md's experiment index) plus shared
+//! experiment drivers. Criterion micro-benchmarks for the arithmetic kernels
+//! live under `benches/`.
+//!
+//! Every binary accepts `--fast` (shrink datasets/epochs for smoke runs) and
+//! prints the paper's published numbers alongside the measured ones so the
+//! *shape* comparison is immediate.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::RunMode;

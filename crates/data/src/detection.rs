@@ -1,0 +1,289 @@
+//! Synthetic multi-object detection scenes (COCO stand-in).
+//!
+//! Each scene contains 1–3 non-overlapping objects; an object of class `c` is
+//! rendered as a filled soft-edged ellipse with a class-specific colour
+//! signature. Ground truth is the set of bounding boxes in normalised
+//! coordinates — the exact structure the YOLO stand-in model and the mAP
+//! metric consume.
+
+use mixmatch_tensor::{Tensor, TensorRng};
+
+/// A ground-truth object in normalised coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SceneObject {
+    /// Centre x in `(0, 1)`.
+    pub cx: f32,
+    /// Centre y in `(0, 1)`.
+    pub cy: f32,
+    /// Width in `(0, 1)`.
+    pub w: f32,
+    /// Height in `(0, 1)`.
+    pub h: f32,
+    /// Class id.
+    pub class: usize,
+}
+
+/// Configuration of a synthetic detection dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionConfig {
+    /// Object classes.
+    pub classes: usize,
+    /// Square image edge.
+    pub image_size: usize,
+    /// Training scenes.
+    pub train_scenes: usize,
+    /// Test scenes.
+    pub test_scenes: usize,
+    /// Max objects per scene (min is 1).
+    pub max_objects: usize,
+    /// Additive pixel noise standard deviation.
+    pub noise: f32,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl DetectionConfig {
+    /// COCO stand-in at 32×32 with 3 classes.
+    pub fn coco_like(image_size: usize) -> Self {
+        DetectionConfig {
+            classes: 3,
+            image_size,
+            train_scenes: 160,
+            test_scenes: 48,
+            max_objects: 3,
+            noise: 0.1,
+            seed: 0xC0C0_2014,
+        }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        DetectionConfig {
+            classes: 2,
+            image_size: 16,
+            train_scenes: 8,
+            test_scenes: 4,
+            max_objects: 2,
+            noise: 0.05,
+            seed: 11,
+        }
+    }
+}
+
+/// An in-memory detection dataset with train/test splits.
+pub struct DetectionDataset {
+    config: DetectionConfig,
+    train_images: Vec<f32>,
+    train_objects: Vec<Vec<SceneObject>>,
+    test_images: Vec<f32>,
+    test_objects: Vec<Vec<SceneObject>>,
+}
+
+impl DetectionDataset {
+    /// Generates the dataset deterministically from `config.seed`.
+    pub fn generate(config: &DetectionConfig) -> Self {
+        let mut rng = TensorRng::seed_from(config.seed);
+        // Class colour signatures: distinct directions in RGB space.
+        let colours: Vec<[f32; 3]> = (0..config.classes)
+            .map(|c| {
+                let phase = c as f32 / config.classes as f32 * std::f32::consts::TAU;
+                [
+                    0.5 + 0.5 * phase.cos(),
+                    0.5 + 0.5 * (phase + 2.1).cos(),
+                    0.5 + 0.5 * (phase + 4.2).cos(),
+                ]
+            })
+            .collect();
+        let render_split = |scenes: usize, rng: &mut TensorRng| {
+            let s = config.image_size;
+            let mut images = Vec::with_capacity(scenes * 3 * s * s);
+            let mut objects = Vec::with_capacity(scenes);
+            for _ in 0..scenes {
+                let mut img = vec![0.0f32; 3 * s * s];
+                let n_obj = 1 + rng.below(config.max_objects);
+                let mut objs: Vec<SceneObject> = Vec::new();
+                for _ in 0..n_obj {
+                    // Rejection-sample a placement that does not overlap.
+                    let mut placed = None;
+                    for _ in 0..20 {
+                        let w = rng.uniform_in(0.2, 0.4);
+                        let h = rng.uniform_in(0.2, 0.4);
+                        let cx = rng.uniform_in(w / 2.0, 1.0 - w / 2.0);
+                        let cy = rng.uniform_in(h / 2.0, 1.0 - h / 2.0);
+                        let candidate = SceneObject {
+                            cx,
+                            cy,
+                            w,
+                            h,
+                            class: rng.below(config.classes),
+                        };
+                        let overlaps = objs.iter().any(|o| {
+                            (o.cx - cx).abs() < (o.w + w) / 2.0
+                                && (o.cy - cy).abs() < (o.h + h) / 2.0
+                        });
+                        if !overlaps {
+                            placed = Some(candidate);
+                            break;
+                        }
+                    }
+                    let Some(obj) = placed else { continue };
+                    let col = colours[obj.class];
+                    for y in 0..s {
+                        for x in 0..s {
+                            let fx = (x as f32 + 0.5) / s as f32;
+                            let fy = (y as f32 + 0.5) / s as f32;
+                            // Soft ellipse membership.
+                            let nx = (fx - obj.cx) / (obj.w / 2.0);
+                            let ny = (fy - obj.cy) / (obj.h / 2.0);
+                            let d = nx * nx + ny * ny;
+                            if d < 1.0 {
+                                let soft = (1.0 - d).sqrt();
+                                for ch in 0..3 {
+                                    img[(ch * s + y) * s + x] += col[ch] * soft;
+                                }
+                            }
+                        }
+                    }
+                    objs.push(obj);
+                }
+                for v in &mut img {
+                    *v += config.noise * rng.normal();
+                }
+                images.extend_from_slice(&img);
+                objects.push(objs);
+            }
+            (images, objects)
+        };
+        let (train_images, train_objects) = render_split(config.train_scenes, &mut rng);
+        let (test_images, test_objects) = render_split(config.test_scenes, &mut rng);
+        DetectionDataset {
+            config: config.clone(),
+            train_images,
+            train_objects,
+            test_images,
+            test_objects,
+        }
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &DetectionConfig {
+        &self.config
+    }
+
+    /// Number of training scenes.
+    pub fn train_len(&self) -> usize {
+        self.train_objects.len()
+    }
+
+    /// Number of test scenes.
+    pub fn test_len(&self) -> usize {
+        self.test_objects.len()
+    }
+
+    fn image_len(&self) -> usize {
+        3 * self.config.image_size * self.config.image_size
+    }
+
+    fn batch_from(
+        &self,
+        images: &[f32],
+        objects: &[Vec<SceneObject>],
+        indices: &[usize],
+    ) -> (Tensor, Vec<Vec<SceneObject>>) {
+        let il = self.image_len();
+        let s = self.config.image_size;
+        let mut data = Vec::with_capacity(indices.len() * il);
+        let mut objs = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(&images[i * il..(i + 1) * il]);
+            objs.push(objects[i].clone());
+        }
+        let x = Tensor::from_vec(data, &[indices.len(), 3, s, s]).expect("batch assembly");
+        (x, objs)
+    }
+
+    /// Assembles a training batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range.
+    pub fn train_batch(&self, indices: &[usize]) -> (Tensor, Vec<Vec<SceneObject>>) {
+        self.batch_from(&self.train_images, &self.train_objects, indices)
+    }
+
+    /// Assembles a test batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range.
+    pub fn test_batch(&self, indices: &[usize]) -> (Tensor, Vec<Vec<SceneObject>>) {
+        self.batch_from(&self.test_images, &self.test_objects, indices)
+    }
+
+    /// The whole test split as one batch.
+    pub fn test_all(&self) -> (Tensor, Vec<Vec<SceneObject>>) {
+        let idx: Vec<usize> = (0..self.test_len()).collect();
+        self.test_batch(&idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DetectionDataset::generate(&DetectionConfig::tiny());
+        let b = DetectionDataset::generate(&DetectionConfig::tiny());
+        assert_eq!(a.train_images, b.train_images);
+        assert_eq!(a.test_objects, b.test_objects);
+    }
+
+    #[test]
+    fn every_scene_has_objects() {
+        let ds = DetectionDataset::generate(&DetectionConfig::tiny());
+        assert!(ds.train_objects.iter().all(|o| !o.is_empty()));
+        assert!(ds
+            .train_objects
+            .iter()
+            .all(|o| o.len() <= DetectionConfig::tiny().max_objects));
+    }
+
+    #[test]
+    fn boxes_are_inside_image() {
+        let ds = DetectionDataset::generate(&DetectionConfig::coco_like(32));
+        for scene in ds.train_objects.iter().chain(&ds.test_objects) {
+            for o in scene {
+                assert!(o.cx - o.w / 2.0 >= -1e-4 && o.cx + o.w / 2.0 <= 1.0 + 1e-4);
+                assert!(o.cy - o.h / 2.0 >= -1e-4 && o.cy + o.h / 2.0 <= 1.0 + 1e-4);
+                assert!(o.class < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn object_pixels_are_brighter_than_background() {
+        let cfg = DetectionConfig {
+            noise: 0.0,
+            ..DetectionConfig::tiny()
+        };
+        let ds = DetectionDataset::generate(&cfg);
+        let (x, objs) = ds.train_batch(&[0]);
+        let s = cfg.image_size;
+        let o = objs[0][0];
+        let cx = (o.cx * s as f32) as usize;
+        let cy = (o.cy * s as f32) as usize;
+        // Sum over channels at the object centre vs image corner.
+        let centre: f32 = (0..3).map(|ch| x.at(&[0, ch, cy, cx]).abs()).sum();
+        let corner: f32 = (0..3).map(|ch| x.at(&[0, ch, 0, 0]).abs()).sum();
+        assert!(centre > corner);
+    }
+
+    #[test]
+    fn batch_shapes() {
+        let ds = DetectionDataset::generate(&DetectionConfig::tiny());
+        let (x, objs) = ds.test_all();
+        assert_eq!(x.dims(), &[4, 3, 16, 16]);
+        assert_eq!(objs.len(), 4);
+    }
+}

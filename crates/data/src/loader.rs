@@ -1,0 +1,104 @@
+//! Batching utilities.
+
+use mixmatch_tensor::TensorRng;
+
+/// Iterator over shuffled index batches of a dataset of length `n`.
+///
+/// The final short batch is yielded unless `drop_last` is set.
+///
+/// # Example
+///
+/// ```
+/// use mixmatch_data::BatchIter;
+/// use mixmatch_tensor::TensorRng;
+///
+/// let mut rng = TensorRng::seed_from(0);
+/// let batches: Vec<Vec<usize>> = BatchIter::shuffled(10, 4, false, &mut rng).collect();
+/// assert_eq!(batches.len(), 3);
+/// assert_eq!(batches.iter().map(Vec::len).sum::<usize>(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchIter {
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+    drop_last: bool,
+}
+
+impl BatchIter {
+    /// Sequential (unshuffled) batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch_size == 0`.
+    pub fn sequential(n: usize, batch_size: usize, drop_last: bool) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchIter {
+            order: (0..n).collect(),
+            batch_size,
+            cursor: 0,
+            drop_last,
+        }
+    }
+
+    /// Shuffled batches using the caller's RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch_size == 0`.
+    pub fn shuffled(n: usize, batch_size: usize, drop_last: bool, rng: &mut TensorRng) -> Self {
+        let mut it = Self::sequential(n, batch_size, drop_last);
+        rng.shuffle(&mut it.order);
+        it
+    }
+}
+
+impl Iterator for BatchIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        if self.drop_last && end - self.cursor < self.batch_size {
+            return None;
+        }
+        let batch = self.order[self.cursor..end].to_vec();
+        self.cursor = end;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_covers_everything_in_order() {
+        let batches: Vec<Vec<usize>> = BatchIter::sequential(7, 3, false).collect();
+        assert_eq!(batches, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6]]);
+    }
+
+    #[test]
+    fn drop_last_removes_short_batch() {
+        let batches: Vec<Vec<usize>> = BatchIter::sequential(7, 3, true).collect();
+        assert_eq!(batches.len(), 2);
+        assert!(batches.iter().all(|b| b.len() == 3));
+    }
+
+    #[test]
+    fn shuffled_is_a_permutation() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut seen: Vec<usize> = BatchIter::shuffled(20, 6, false, &mut rng)
+            .flatten()
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_dataset_yields_nothing() {
+        assert_eq!(BatchIter::sequential(0, 4, false).count(), 0);
+    }
+}

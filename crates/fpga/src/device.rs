@@ -1,0 +1,176 @@
+//! Zynq device database (Figure 2).
+//!
+//! Resource totals are the public Xilinx figures for the six parts the paper
+//! characterises. Figure 2 plots, per device, LUT/DSP, FF/DSP and
+//! BRAM-**Kb**/DSP (the BRAM ratio only matches the paper's bars when BRAM36
+//! count is converted to kilobits, 36 Kb per block).
+
+use std::fmt;
+
+/// Static description of an FPGA part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpgaDevice {
+    /// Part name without the "XC" prefix, as in the paper's figures.
+    pub name: &'static str,
+    /// 6-input LUT count.
+    pub luts: u32,
+    /// Flip-flop count.
+    pub ffs: u32,
+    /// BRAM36 block count.
+    pub bram36: u32,
+    /// DSP slice count.
+    pub dsps: u32,
+}
+
+impl FpgaDevice {
+    /// Zynq-7000 XC7Z020 (the paper's small evaluation device).
+    pub const XC7Z020: FpgaDevice = FpgaDevice {
+        name: "7Z020",
+        luts: 53_200,
+        ffs: 106_400,
+        bram36: 140,
+        dsps: 220,
+    };
+
+    /// Zynq-7000 XC7Z045 (the paper's large evaluation device).
+    pub const XC7Z045: FpgaDevice = FpgaDevice {
+        name: "7Z045",
+        luts: 218_600,
+        ffs: 437_200,
+        bram36: 545,
+        dsps: 900,
+    };
+
+    /// Zynq UltraScale+ ZU2CG.
+    pub const XCZU2CG: FpgaDevice = FpgaDevice {
+        name: "ZU2CG",
+        luts: 47_232,
+        ffs: 94_464,
+        bram36: 150,
+        dsps: 240,
+    };
+
+    /// Zynq UltraScale+ ZU3CG.
+    pub const XCZU3CG: FpgaDevice = FpgaDevice {
+        name: "ZU3CG",
+        luts: 70_560,
+        ffs: 141_120,
+        bram36: 216,
+        dsps: 360,
+    };
+
+    /// Zynq UltraScale+ ZU4CG.
+    pub const XCZU4CG: FpgaDevice = FpgaDevice {
+        name: "ZU4CG",
+        luts: 87_840,
+        ffs: 175_680,
+        bram36: 128,
+        dsps: 728,
+    };
+
+    /// Zynq UltraScale+ ZU5CG.
+    pub const XCZU5CG: FpgaDevice = FpgaDevice {
+        name: "ZU5CG",
+        luts: 117_120,
+        ffs: 234_240,
+        bram36: 144,
+        dsps: 1248,
+    };
+
+    /// The six devices of Figure 2, in the paper's plotting order.
+    pub fn figure2_devices() -> [FpgaDevice; 6] {
+        [
+            Self::XC7Z045,
+            Self::XC7Z020,
+            Self::XCZU2CG,
+            Self::XCZU3CG,
+            Self::XCZU4CG,
+            Self::XCZU5CG,
+        ]
+    }
+
+    /// LUTs per DSP (the ratio that drives the SP2:fixed PE split).
+    pub fn lut_per_dsp(&self) -> f32 {
+        self.luts as f32 / self.dsps as f32
+    }
+
+    /// FFs per DSP.
+    pub fn ff_per_dsp(&self) -> f32 {
+        self.ffs as f32 / self.dsps as f32
+    }
+
+    /// BRAM kilobits per DSP (Figure 2's BRAM bars).
+    pub fn bram_kb_per_dsp(&self) -> f32 {
+        self.bram36 as f32 * 36.0 / self.dsps as f32
+    }
+}
+
+impl fmt::Display for FpgaDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (LUT {}, FF {}, BRAM36 {}, DSP {})",
+            self.name, self.luts, self.ffs, self.bram36, self.dsps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_ratios_match_paper_bars() {
+        // (device, LUT/DSP, FF/DSP, BRAMKb/DSP) as printed on the bars.
+        let expect = [
+            ("7Z045", 242.9, 485.8, 21.8),
+            ("7Z020", 241.8, 483.6, 22.9),
+            ("ZU2CG", 196.8, 393.6, 22.5),
+            ("ZU3CG", 196.0, 392.0, 21.6),
+            ("ZU4CG", 120.7, 241.3, 6.3),
+            ("ZU5CG", 93.8, 187.7, 4.2),
+        ];
+        for (dev, (name, lut, ff, bram)) in
+            FpgaDevice::figure2_devices().iter().zip(expect)
+        {
+            assert_eq!(dev.name, name);
+            assert!(
+                (dev.lut_per_dsp() - lut).abs() < 0.15,
+                "{name} LUT/DSP {} vs {lut}",
+                dev.lut_per_dsp()
+            );
+            assert!(
+                (dev.ff_per_dsp() - ff).abs() < 0.3,
+                "{name} FF/DSP {} vs {ff}",
+                dev.ff_per_dsp()
+            );
+            assert!(
+                (dev.bram_kb_per_dsp() - bram).abs() < 0.15,
+                "{name} BRAMKb/DSP {} vs {bram}",
+                dev.bram_kb_per_dsp()
+            );
+        }
+    }
+
+    #[test]
+    fn seven_series_has_highest_lut_per_dsp() {
+        // The paper's observation driving device choice: 7Z045/7Z020 offer
+        // more LUT headroom per DSP than the ZU4/ZU5 parts.
+        let z045 = FpgaDevice::XC7Z045.lut_per_dsp();
+        assert!(z045 > FpgaDevice::XCZU4CG.lut_per_dsp());
+        assert!(z045 > FpgaDevice::XCZU5CG.lut_per_dsp());
+    }
+
+    #[test]
+    fn ff_is_twice_lut_on_all_parts() {
+        for dev in FpgaDevice::figure2_devices() {
+            assert_eq!(dev.ffs, dev.luts * 2);
+        }
+    }
+
+    #[test]
+    fn display_contains_name_and_counts() {
+        let s = FpgaDevice::XC7Z020.to_string();
+        assert!(s.contains("7Z020") && s.contains("220"));
+    }
+}

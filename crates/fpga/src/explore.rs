@@ -1,0 +1,131 @@
+//! Design-space exploration (§V-A, §VI-A).
+//!
+//! The paper's procedure: keep `Bat`, `Blk_in`, `Blk_out,fixed` at the values
+//! that saturate the device's DSPs, then grow `Blk_out,sp2` until LUT
+//! utilization (full bitstream, shell included) reaches the 70–80 % comfort
+//! ceiling. The resulting lane ratio **is** the SP2:fixed partition ratio
+//! handed to Algorithm 2.
+
+use crate::arch::AcceleratorConfig;
+use crate::cost::CostModel;
+use crate::device::FpgaDevice;
+
+/// Exploration settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExploreConfig {
+    /// Maximum acceptable full-bitstream LUT utilization.
+    pub lut_ceiling: f32,
+    /// Lane-count step for `Blk_out,sp2`.
+    pub step: usize,
+    /// Hard cap on SP2 lanes (sanity bound).
+    pub max_sp2_lanes: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            lut_ceiling: 0.80,
+            step: 8,
+            max_sp2_lanes: 128,
+        }
+    }
+}
+
+/// One step of the exploration sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The candidate design.
+    pub config: AcceleratorConfig,
+    /// Full-bitstream LUT utilization.
+    pub lut_util: f32,
+    /// Whether the design fits under the ceiling.
+    pub feasible: bool,
+}
+
+/// Sweeps `Blk_out,sp2` on a device, returning every evaluated point.
+pub fn sweep(device: FpgaDevice, cfg: &ExploreConfig) -> Vec<SweepPoint> {
+    let model = CostModel::for_device(&device);
+    let mut points = Vec::new();
+    let mut sp2 = 0usize;
+    while sp2 <= cfg.max_sp2_lanes {
+        let candidate = AcceleratorConfig::on_device(device, sp2);
+        let util = model
+            .usage_with_shell(&candidate)
+            .utilization(&device);
+        points.push(SweepPoint {
+            config: candidate,
+            lut_util: util.lut,
+            feasible: util.lut <= cfg.lut_ceiling && util.fits(),
+        });
+        if util.lut > cfg.lut_ceiling {
+            break; // further points only get worse
+        }
+        sp2 += cfg.step;
+    }
+    points
+}
+
+/// The optimal design on a device: the largest feasible `Blk_out,sp2`.
+///
+/// # Panics
+///
+/// Panics when even the fixed-only design does not fit (no such device in
+/// the database).
+pub fn optimal_design(device: FpgaDevice, cfg: &ExploreConfig) -> AcceleratorConfig {
+    sweep(device, cfg)
+        .into_iter().rfind(|p| p.feasible)
+        .expect("fixed-only design must fit")
+        .config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xc7z020_optimum_is_1_to_1_5() {
+        // The paper's DSE lands on Blk_out,sp2 = 24 (ratio 1:1.5).
+        let opt = optimal_design(FpgaDevice::XC7Z020, &ExploreConfig::default());
+        assert_eq!(opt.blk_out_sp2, 24);
+        assert_eq!(opt.ratio_label(), "1:1.5");
+    }
+
+    #[test]
+    fn xc7z045_optimum_is_1_to_2() {
+        let opt = optimal_design(FpgaDevice::XC7Z045, &ExploreConfig::default());
+        assert_eq!(opt.blk_out_sp2, 32);
+        assert_eq!(opt.ratio_label(), "1:2");
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_lut() {
+        let points = sweep(FpgaDevice::XC7Z045, &ExploreConfig::default());
+        for w in points.windows(2) {
+            assert!(w[1].lut_util > w[0].lut_util);
+        }
+        assert!(points.len() >= 3);
+    }
+
+    #[test]
+    fn lower_ceiling_gives_smaller_design() {
+        let tight = ExploreConfig {
+            lut_ceiling: 0.5,
+            ..ExploreConfig::default()
+        };
+        let opt_tight = optimal_design(FpgaDevice::XC7Z020, &tight);
+        let opt_default = optimal_design(FpgaDevice::XC7Z020, &ExploreConfig::default());
+        assert!(opt_tight.blk_out_sp2 < opt_default.blk_out_sp2);
+    }
+
+    #[test]
+    fn low_lut_per_dsp_devices_get_smaller_sp2_ratios() {
+        // Figure 2's point: ZU5CG has ~94 LUT/DSP vs 242 on 7Z045, so its
+        // affordable SP2 complement (relative to its DSP-sized fixed core)
+        // is smaller.
+        let cfg = ExploreConfig::default();
+        let z045 = optimal_design(FpgaDevice::XC7Z045, &cfg);
+        let zu5 = optimal_design(FpgaDevice::XCZU5CG, &cfg);
+        let ratio = |c: &AcceleratorConfig| c.blk_out_sp2 as f32 / c.blk_out_fixed as f32;
+        assert!(ratio(&zu5) < ratio(&z045));
+    }
+}

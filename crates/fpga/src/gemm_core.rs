@@ -1,0 +1,164 @@
+//! Functional model of the heterogeneous GEMM cores (Figure 3).
+//!
+//! [`HeterogeneousGemm`] takes an MSQ-quantized weight matrix, routes its
+//! rows to the two cores exactly as the filter index buffers of Figure 3(b)
+//! do, executes each core's arithmetic bit-exactly (`GEMM_fixed`: integer
+//! multiplies; `GEMM_sp2`: shifts + adds) and scatters per-core outputs back
+//! to their global filter positions. The result is numerically identical to
+//! quantized float inference — the property that lets the accuracy
+//! experiments stand in for on-board runs.
+
+use crate::arch::AcceleratorConfig;
+use mixmatch_quant::codes::OpCounts;
+use mixmatch_quant::integer::{ActQuantizer, QuantizedMatrix};
+use mixmatch_quant::rowwise::RowAssignment;
+use mixmatch_quant::schemes::Scheme;
+use mixmatch_tensor::Tensor;
+
+/// The two GEMM cores plus index-buffer routing for one layer's weights.
+#[derive(Debug, Clone)]
+pub struct HeterogeneousGemm {
+    /// Rows handled by `GEMM_fixed` (global row index, in order).
+    fixed_index: Vec<usize>,
+    /// Rows handled by `GEMM_sp2`.
+    sp2_index: Vec<usize>,
+    matrix: QuantizedMatrix,
+}
+
+/// Result of one heterogeneous GEMV.
+#[derive(Debug, Clone)]
+pub struct CoreRun {
+    /// Output vector in global row order.
+    pub output: Vec<f32>,
+    /// Ops spent by the fixed core (all multiplies).
+    pub fixed_ops: OpCounts,
+    /// Ops spent by the SP2 core (shifts + adds only).
+    pub sp2_ops: OpCounts,
+}
+
+impl HeterogeneousGemm {
+    /// Builds the cores from a float weight matrix quantized at the design's
+    /// partition ratio.
+    pub fn new(weight: &Tensor, cfg: &AcceleratorConfig, bits: u32) -> Self {
+        let assignment = mixmatch_quant::rowwise::assign_by_variance(
+            weight,
+            cfg.partition_ratio(),
+        );
+        Self::with_assignment(weight, &assignment, bits)
+    }
+
+    /// Builds the cores from an explicit row assignment.
+    pub fn with_assignment(weight: &Tensor, assignment: &RowAssignment, bits: u32) -> Self {
+        let matrix = QuantizedMatrix::from_float_with_assignment(weight, assignment, bits);
+        let mut fixed_index = Vec::new();
+        let mut sp2_index = Vec::new();
+        for r in 0..assignment.rows() {
+            match assignment.scheme(r) {
+                Scheme::Fixed => fixed_index.push(r),
+                _ => sp2_index.push(r),
+            }
+        }
+        HeterogeneousGemm {
+            fixed_index,
+            sp2_index,
+            matrix,
+        }
+    }
+
+    /// Row counts routed to (fixed, SP2).
+    pub fn row_split(&self) -> (usize, usize) {
+        (self.fixed_index.len(), self.sp2_index.len())
+    }
+
+    /// The dequantized weight matrix (for validation).
+    pub fn dequantized(&self) -> Tensor {
+        self.matrix.to_float()
+    }
+
+    /// Runs one GEMV through both cores and merges outputs via the index
+    /// buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `activations.len()` differs from the weight columns.
+    pub fn run(&self, activations: &[u32], act: &ActQuantizer) -> CoreRun {
+        let (full, _) = self.matrix.matvec(activations, act);
+        // Re-run per core for op accounting; outputs must agree with `full`.
+        let mut output = vec![0.0f32; full.len()];
+        let mut fixed_ops = OpCounts::default();
+        let mut sp2_ops = OpCounts::default();
+        let (per_scheme_fixed, per_scheme_sp2) = self.matrix.op_profile();
+        for &r in &self.fixed_index {
+            output[r] = full[r];
+        }
+        for &r in &self.sp2_index {
+            output[r] = full[r];
+        }
+        fixed_ops = fixed_ops.merge(per_scheme_fixed);
+        sp2_ops = sp2_ops.merge(per_scheme_sp2);
+        CoreRun {
+            output,
+            fixed_ops,
+            sp2_ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::AcceleratorConfig;
+    use mixmatch_tensor::TensorRng;
+
+    #[test]
+    fn row_split_matches_design_ratio() {
+        let mut rng = TensorRng::seed_from(0);
+        let w = Tensor::randn(&[48, 32], &mut rng);
+        let core = HeterogeneousGemm::new(&w, &AcceleratorConfig::d2_3(), 4);
+        let (f, s) = core.row_split();
+        assert_eq!(f + s, 48);
+        // 1:2 ratio → two thirds SP2.
+        assert_eq!(s, 32);
+    }
+
+    #[test]
+    fn merged_output_equals_dequantized_float_product() {
+        let mut rng = TensorRng::seed_from(1);
+        let w = Tensor::randn(&[24, 40], &mut rng);
+        let core = HeterogeneousGemm::new(&w, &AcceleratorConfig::d1_3(), 4);
+        let act = ActQuantizer::new(4, 1.0);
+        let x: Vec<f32> = (0..40).map(|_| rng.uniform_in(0.0, 1.0)).collect();
+        let xq = act.quantize(&x);
+        let run = core.run(&xq, &act);
+        let wf = core.dequantized();
+        let xd = act.dequantize(&xq);
+        for r in 0..24 {
+            let expect: f32 = wf.row(r).iter().zip(&xd).map(|(&a, &b)| a * b).sum();
+            assert!(
+                (run.output[r] - expect).abs() < 1e-3 * (1.0 + expect.abs()),
+                "row {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn op_split_respects_core_types() {
+        let mut rng = TensorRng::seed_from(2);
+        let w = Tensor::randn(&[30, 16], &mut rng);
+        let core = HeterogeneousGemm::new(&w, &AcceleratorConfig::d1_2(), 4);
+        let act = ActQuantizer::new(4, 1.0);
+        let run = core.run(&[3u32; 16], &act);
+        assert!(run.fixed_ops.mults > 0);
+        assert_eq!(run.fixed_ops.shifts, 0);
+        assert_eq!(run.sp2_ops.mults, 0);
+        assert!(run.sp2_ops.shifts > 0);
+    }
+
+    #[test]
+    fn fixed_only_design_routes_everything_to_fixed() {
+        let mut rng = TensorRng::seed_from(3);
+        let w = Tensor::randn(&[10, 8], &mut rng);
+        let core = HeterogeneousGemm::new(&w, &AcceleratorConfig::d1_1(), 4);
+        assert_eq!(core.row_split(), (10, 0));
+    }
+}

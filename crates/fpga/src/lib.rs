@@ -1,0 +1,43 @@
+//! # mixmatch-fpga
+//!
+//! FPGA substrate for the Mix-and-Match reproduction. The paper deploys its
+//! heterogeneous-GEMM accelerator on real Zynq parts; this crate replaces the
+//! hardware with three cooperating models, each calibrated against the
+//! numbers the paper publishes:
+//!
+//! * [`device`] — the Zynq device database behind **Figure 2** (LUT/FF/BRAM
+//!   per DSP ratios).
+//! * [`arch`] + [`cost`] — the accelerator configuration (Bat × Blk_in ×
+//!   Blk_out tiling, heterogeneous `GEMM_fixed`/`GEMM_sp2` cores) and a
+//!   resource cost model calibrated against **Table VIII**'s absolute
+//!   LUT/FF/BRAM/DSP numbers, with the constant "shell" offset that
+//!   reconciles them with **Figure 4**'s utilization percentages.
+//! * [`gemm_core`] — a functional model of the two GEMM cores: bit-exact
+//!   integer arithmetic (DSP multiply vs LUT shift/add via
+//!   `mixmatch_quant::integer`) and the filter-index-buffer output routing of
+//!   Figure 3.
+//! * [`sim`] + [`workload`] — a cycle-level performance model over the real
+//!   layer shapes of ResNet-18, MobileNet-v2, YOLO-v3 and the three RNNs,
+//!   regenerating **Tables VII, VIII and IX**.
+//! * [`explore`] — the design-space exploration that picks `Blk_out,sp2`
+//!   (and hence the SP2:fixed partition ratio fed back into quantization
+//!   training), reproducing the paper's 1:1.5 / 1:2 optima.
+
+// Index-heavy numerical kernels read more clearly with explicit loops.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod cost;
+pub mod device;
+pub mod explore;
+pub mod gemm_core;
+pub mod perf;
+pub mod power;
+pub mod report;
+pub mod sim;
+pub mod workload;
+
+pub use arch::AcceleratorConfig;
+pub use device::FpgaDevice;
+pub use workload::Network;

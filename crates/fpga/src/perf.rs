@@ -1,0 +1,260 @@
+//! Table VIII / Table IX row generation.
+
+use crate::arch::AcceleratorConfig;
+use crate::cost::{CostModel, ResourceUsage};
+use crate::sim::{simulate, NetworkPerf, SimParams};
+use crate::workload::Network;
+
+/// One row of Table VIII: a (device, ratio) design evaluated on all six
+/// workloads.
+#[derive(Debug, Clone)]
+pub struct Table8Row {
+    /// Design label (device + ratio).
+    pub device: &'static str,
+    /// Ratio label (`1:0`, `1:1`, `1:1.5 (opt.)`, …).
+    pub ratio: String,
+    /// GEMM-level resource usage.
+    pub usage: ResourceUsage,
+    /// Per-network performance in Table VIII column order.
+    pub perfs: Vec<NetworkPerf>,
+}
+
+impl Table8Row {
+    /// Throughputs (GOPS) in column order.
+    pub fn gops(&self) -> Vec<f32> {
+        self.perfs.iter().map(NetworkPerf::gops).collect()
+    }
+}
+
+/// Generates all six Table VIII rows.
+pub fn table8(params: &SimParams) -> Vec<Table8Row> {
+    let nets = Network::table8_networks();
+    let designs: [(&'static str, AcceleratorConfig, bool); 6] = [
+        ("XC7Z020", AcceleratorConfig::d1_1(), false),
+        ("XC7Z020", AcceleratorConfig::d1_2(), false),
+        ("XC7Z020", AcceleratorConfig::d1_3(), true),
+        ("XC7Z045", AcceleratorConfig::d2_1(), false),
+        ("XC7Z045", AcceleratorConfig::d2_2(), false),
+        ("XC7Z045", AcceleratorConfig::d2_3(), true),
+    ];
+    designs
+        .iter()
+        .map(|(device, cfg, opt)| {
+            let model = CostModel::for_device(&cfg.device);
+            let ratio = if *opt {
+                format!("{} (opt.)", cfg.ratio_label())
+            } else {
+                cfg.ratio_label()
+            };
+            Table8Row {
+                device,
+                ratio,
+                usage: model.usage(cfg),
+                perfs: nets.iter().map(|n| simulate(n, cfg, params)).collect(),
+            }
+        })
+        .collect()
+}
+
+/// A Table IX column: either a published prior design or one of ours.
+#[derive(Debug, Clone)]
+pub struct Table9Column {
+    /// Implementation label.
+    pub implementation: String,
+    /// Network evaluated.
+    pub network: String,
+    /// Device name.
+    pub device: String,
+    /// Bit-widths (W/A) as printed.
+    pub bits: &'static str,
+    /// Top-1 accuracy (%), when reported.
+    pub top1: Option<f32>,
+    /// Clock (MHz).
+    pub freq_mhz: f32,
+    /// LUTs used.
+    pub lut: f32,
+    /// DSPs used.
+    pub dsp: f32,
+    /// BRAM36 used.
+    pub bram36: f32,
+    /// Throughput (GOPS).
+    pub gops: f32,
+    /// Frame rate (FPS).
+    pub fps: f32,
+}
+
+impl Table9Column {
+    /// GOPS per DSP — the paper's DSP-efficiency metric.
+    pub fn gops_per_dsp(&self) -> f32 {
+        self.gops / self.dsp
+    }
+
+    /// GOPS per kLUT.
+    pub fn gops_per_klut(&self) -> f32 {
+        self.gops / (self.lut / 1000.0)
+    }
+}
+
+/// Published prior-work columns of Table IX: VGG (ref. \[68\]), AlexNet ×2
+/// (ref. \[70\]), DiracDeltaNet (ref. \[69\]).
+pub fn table9_reference_columns() -> Vec<Table9Column> {
+    vec![
+        Table9Column {
+            implementation: "VGG [68]".into(),
+            network: "VGG".into(),
+            device: "XC7Z045".into(),
+            bits: "16/16",
+            top1: Some(67.84),
+            freq_mhz: 150.0,
+            lut: 182_616.0,
+            dsp: 780.0,
+            bram36: 486.0,
+            gops: 187.8,
+            fps: 6.06,
+        },
+        Table9Column {
+            implementation: "VGG-8b [68]".into(),
+            network: "VGG".into(),
+            device: "XC7Z045".into(),
+            bits: "8/8",
+            top1: Some(67.72),
+            freq_mhz: 150.0,
+            lut: 139_385.0,
+            dsp: 900.0,
+            bram36: 390.5,
+            gops: 292.0,
+            fps: 9.42,
+        },
+        Table9Column {
+            implementation: "VGG-8b small [68]".into(),
+            network: "VGG".into(),
+            device: "XC7Z020".into(),
+            bits: "8/8",
+            top1: Some(67.62),
+            freq_mhz: 214.0,
+            lut: 29_867.0,
+            dsp: 190.0,
+            bram36: 85.5,
+            gops: 84.3,
+            fps: 2.72,
+        },
+        Table9Column {
+            implementation: "AlexNet [70]".into(),
+            network: "AlexNet".into(),
+            device: "XC7Z045".into(),
+            bits: "8/8",
+            top1: Some(54.6),
+            freq_mhz: 200.0,
+            lut: 86_262.0,
+            dsp: 808.0,
+            bram36: 303.0,
+            gops: 493.0,
+            fps: 340.0,
+        },
+        Table9Column {
+            implementation: "DiracDeltaNet [69]".into(),
+            network: "DiracDeltaNet".into(),
+            device: "XCZU3EG".into(),
+            bits: "1/4",
+            top1: Some(68.5),
+            freq_mhz: 250.0,
+            lut: 24_130.0,
+            dsp: 37.0,
+            bram36: 170.0,
+            gops: 47.09,
+            fps: 96.5,
+        },
+    ]
+}
+
+/// Our four Table IX columns (ResNet-18 and MobileNet-v2 on both devices at
+/// their optimal ratios), simulated. `top1` values come from the paper's
+/// quantization results (70.27 / 65.64).
+pub fn table9_our_columns(params: &SimParams) -> Vec<Table9Column> {
+    let mut out = Vec::new();
+    for (net, top1) in [
+        (Network::resnet18(), 70.27f32),
+        (Network::mobilenet_v2(), 65.64),
+    ] {
+        for cfg in [AcceleratorConfig::d1_3(), AcceleratorConfig::d2_3()] {
+            let model = CostModel::for_device(&cfg.device);
+            let usage = model.usage(&cfg);
+            let perf = simulate(&net, &cfg, params);
+            out.push(Table9Column {
+                implementation: format!("{} (ours, {})", net.name, cfg.device.name),
+                network: net.name.clone(),
+                device: format!("XC{}", cfg.device.name),
+                bits: "4/4",
+                top1: Some(top1),
+                freq_mhz: cfg.freq_mhz,
+                lut: usage.lut,
+                dsp: usage.dsp,
+                bram36: usage.bram36,
+                gops: perf.gops(),
+                fps: perf.fps(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table8_has_six_rows_of_six_networks() {
+        let rows = table8(&SimParams::default());
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|r| r.perfs.len() == 6));
+    }
+
+    #[test]
+    fn optimal_rows_beat_fixed_only_rows_everywhere() {
+        let rows = table8(&SimParams::default());
+        // Row 2 (D1-3) vs row 0 (D1-1); row 5 (D2-3) vs row 3 (D2-1).
+        for (base, opt) in [(0usize, 2usize), (3, 5)] {
+            for (g0, g1) in rows[base].gops().iter().zip(rows[opt].gops()) {
+                assert!(g1 > *g0 * 1.8, "improvement too small: {g0} -> {g1}");
+            }
+        }
+    }
+
+    #[test]
+    fn our_table9_columns_have_competitive_efficiency() {
+        let ours = table9_our_columns(&SimParams::default());
+        assert_eq!(ours.len(), 4);
+        for col in &ours {
+            // The paper's comparable range: ~0.3–0.4 GOPS/DSP, 2.2–2.8
+            // GOPS/kLUT. Ours should land in the same decade.
+            assert!(col.gops_per_dsp() > 0.1, "{}", col.implementation);
+            assert!(col.gops_per_klut() > 1.0, "{}", col.implementation);
+        }
+    }
+
+    #[test]
+    fn reference_columns_reproduce_paper_ratios() {
+        // Spot-check the paper's derived metrics on [68]'s first column:
+        // 187.8 GOPS / 780 DSP = 0.241; / 182.6 kLUT = 1.029.
+        let refs = table9_reference_columns();
+        let vgg = &refs[0];
+        assert!((vgg.gops_per_dsp() - 0.241).abs() < 0.001);
+        assert!((vgg.gops_per_klut() - 1.029).abs() < 0.01);
+    }
+
+    #[test]
+    fn mobilenet_fps_exceeds_resnet_fps() {
+        // Fewer ops per frame → higher FPS despite lower GOPS (Table IX:
+        // 549.3 vs 99.1 on XC7Z045).
+        let ours = table9_our_columns(&SimParams::default());
+        let resnet_z045 = ours
+            .iter()
+            .find(|c| c.network == "ResNet-18" && c.device.contains("7Z045"))
+            .expect("resnet column");
+        let mobilenet_z045 = ours
+            .iter()
+            .find(|c| c.network == "MobileNet-v2" && c.device.contains("7Z045"))
+            .expect("mobilenet column");
+        assert!(mobilenet_z045.fps > resnet_z045.fps * 2.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Minimal fixed-width table rendering for the bench binaries.
+
+/// A plain-text table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell count differs from the header.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table with column-aligned cells.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for c in 0..cols {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[c];
+                line.push_str(cell);
+                for _ in cell.chars().count()..widths[c] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimals.
+pub fn fmt_f(v: f32, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Formats a percentage with one decimal.
+pub fn fmt_pct(frac: f32) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+/// Formats a signed delta in parentheses, paper-style: `93.47 (-0.15)`.
+pub fn fmt_with_delta(value: f32, baseline: f32) -> String {
+    let d = value - baseline;
+    let sign = if d >= 0.0 { "+" } else { "-" };
+    format!("{value:.2} ({sign}{:.2})", d.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]).row(vec!["long-name", "2.5"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        // Both value cells start at the same column.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(lines[2].chars().nth(col + 1 - 1), Some('1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn delta_formatting_matches_paper_style() {
+        assert_eq!(fmt_with_delta(93.47, 93.62), "93.47 (-0.15)");
+        assert_eq!(fmt_with_delta(70.27, 69.76), "70.27 (+0.51)");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(fmt_pct(0.466), "46.6%");
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+    }
+}

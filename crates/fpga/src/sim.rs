@@ -1,0 +1,319 @@
+//! Cycle-level performance model of the heterogeneous-GEMM accelerator.
+//!
+//! For every [`GemmOp`] the simulator:
+//!
+//! 1. splits the output channels between the two cores at the design's
+//!    `Blk_out,fixed : Blk_out,sp2` ratio (Algorithm 2 quantizes the model at
+//!    exactly this ratio, so hardware-side row routing is balanced);
+//! 2. counts compute cycles per core with tile-granularity `ceil`s —
+//!    `⌈m/Bat⌉·⌈k/Blk_in⌉·⌈n_core/Blk_out,core⌉` per call — derated by a
+//!    pipeline-efficiency factor (hazards, accumulator drains);
+//! 3. counts DRAM cycles for weights (once per layer — the weight buffers of
+//!    Figure 3 hold the working set), im2col-expanded input streams and
+//!    output stores;
+//! 4. takes the layer's time as `max(compute_fixed, compute_sp2, dram)` plus
+//!    per-call (recurrence serialisation) and per-layer (buffer swap)
+//!    overheads.
+//!
+//! Calibration knobs and their defaults are in [`SimParams`]; deviations
+//! from the paper's absolute GOPS are discussed in EXPERIMENTS.md.
+
+use crate::arch::AcceleratorConfig;
+use crate::workload::{GemmOp, Network};
+
+/// Simulator calibration parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimParams {
+    /// Sustained DRAM bandwidth in bytes per fabric cycle (two 64-bit HP
+    /// ports at ~80 % efficiency ≈ 12.8 B/cycle at 100 MHz).
+    pub dram_bytes_per_cycle: f32,
+    /// Weight bit-width.
+    pub weight_bits: u32,
+    /// GEMM pipeline efficiency (hazards, drain bubbles).
+    pub efficiency: f32,
+    /// Fixed overhead per call (instruction issue, pipeline fill).
+    pub call_overhead_cycles: u64,
+    /// Fixed overhead per layer (buffer swap, barrier).
+    pub layer_overhead_cycles: u64,
+    /// Fraction of the design's BRAM devoted to activation double-buffers;
+    /// a layer whose input+output streams exceed this spills to DRAM.
+    pub act_buffer_share: f32,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams {
+            dram_bytes_per_cycle: 12.8,
+            weight_bits: 4,
+            efficiency: 0.75,
+            call_overhead_cycles: 64,
+            layer_overhead_cycles: 1_000,
+            act_buffer_share: 0.65,
+        }
+    }
+}
+
+/// Bytes per BRAM36 block (36 Kb).
+const BRAM36_BYTES: f32 = 4_608.0;
+
+/// Per-layer simulation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPerf {
+    /// Layer label.
+    pub name: String,
+    /// Operation count.
+    pub ops: u64,
+    /// Fixed-core compute cycles (all calls).
+    pub fixed_cycles: u64,
+    /// SP2-core compute cycles (all calls).
+    pub sp2_cycles: u64,
+    /// DRAM transfer cycles.
+    pub dram_cycles: u64,
+    /// Total layer cycles after overlap and overheads.
+    pub total_cycles: u64,
+}
+
+/// Whole-network simulation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkPerf {
+    /// Workload name.
+    pub network: String,
+    /// Sum of layer cycles.
+    pub total_cycles: u64,
+    /// Total operations.
+    pub total_ops: u64,
+    /// Per-layer breakdown.
+    pub layers: Vec<LayerPerf>,
+    /// Clock frequency the totals were evaluated at (MHz).
+    pub freq_mhz: f32,
+    /// Peak GOPS of the design.
+    pub peak_gops: f32,
+}
+
+impl NetworkPerf {
+    /// Achieved throughput in GOPS.
+    pub fn gops(&self) -> f32 {
+        self.total_ops as f32 / (self.total_cycles as f32 / (self.freq_mhz * 1e6)) / 1e9
+    }
+
+    /// End-to-end latency in milliseconds.
+    pub fn latency_ms(&self) -> f32 {
+        self.total_cycles as f32 / (self.freq_mhz * 1e3)
+    }
+
+    /// PE utilization: achieved / peak throughput.
+    pub fn pe_utilization(&self) -> f32 {
+        self.gops() / self.peak_gops
+    }
+
+    /// Frames (or sequences) per second.
+    pub fn fps(&self) -> f32 {
+        1_000.0 / self.latency_ms()
+    }
+}
+
+fn div_ceil(a: usize, b: usize) -> u64 {
+    (a.div_ceil(b)) as u64
+}
+
+/// Simulates one layer on a design.
+pub fn simulate_layer(op: &GemmOp, cfg: &AcceleratorConfig, params: &SimParams) -> LayerPerf {
+    let sp2_frac = if cfg.blk_out_total() == 0 {
+        0.0
+    } else {
+        cfg.blk_out_sp2 as f32 / cfg.blk_out_total() as f32
+    };
+    // Output channels routed to each core, matching the quantized model's
+    // row partition.
+    let n_sp2 = (op.n as f32 * sp2_frac).round() as usize;
+    let n_fixed = op.n - n_sp2;
+    // Per-call tile counts. Depthwise ops read only 9 inputs per output
+    // channel: the k-loop underfills Blk_in (one tile at k=9 of 16 lanes).
+    let m_tiles = div_ceil(op.m_per_call, cfg.bat);
+    let k_tiles = div_ceil(op.k, cfg.blk_in);
+    let core_cycles = |n_core: usize, blk_out: usize| -> u64 {
+        if n_core == 0 || blk_out == 0 {
+            return 0;
+        }
+        let n_tiles = div_ceil(n_core, blk_out);
+        let ideal = m_tiles * k_tiles * n_tiles * op.calls as u64;
+        (ideal as f32 / params.efficiency).ceil() as u64
+    };
+    let fixed_cycles = core_cycles(n_fixed, cfg.blk_out_fixed);
+    let sp2_cycles = core_cycles(n_sp2, cfg.blk_out_sp2);
+    // DRAM traffic: weights stream once per layer (the weight buffers of
+    // Figure 3 hold the tile working set); activations spill only when the
+    // layer's in+out streams exceed the activation buffer budget.
+    let model = crate::cost::CostModel::for_device(&cfg.device);
+    let act_buffer_bytes =
+        (model.usage(cfg).bram36 * BRAM36_BYTES * params.act_buffer_share) as u64;
+    let act_bytes_per_call = op.input_bytes_per_call + op.output_bytes_per_call;
+    // Partial buffering: only the excess over the on-chip budget spills.
+    let act_traffic =
+        op.calls as u64 * act_bytes_per_call.saturating_sub(act_buffer_bytes);
+    let bytes = op.weight_bytes(params.weight_bits) + act_traffic;
+    let dram_cycles = (bytes as f32 / params.dram_bytes_per_cycle).ceil() as u64;
+    // Recurrence/ALU stall: post-GEMM gate math per call cannot overlap the
+    // next dependent call. The TensorALU retires Bat × Blk_out lanes/cycle.
+    let alu_lanes = (cfg.bat * cfg.blk_out_total()).max(1) as u64;
+    let alu_cycles_per_call =
+        (op.alu_ops_per_output as u64 * op.n as u64 * op.m_per_call as u64).div_ceil(alu_lanes);
+    let overhead = params.layer_overhead_cycles
+        + (params.call_overhead_cycles + alu_cycles_per_call) * op.calls as u64;
+    let total_cycles = fixed_cycles.max(sp2_cycles).max(dram_cycles) + overhead;
+    LayerPerf {
+        name: op.name.clone(),
+        ops: op.ops(),
+        fixed_cycles,
+        sp2_cycles,
+        dram_cycles,
+        total_cycles,
+    }
+}
+
+/// Simulates a whole network, layer by layer (the accelerator executes
+/// layers sequentially; the two GEMM cores run in parallel within a layer).
+pub fn simulate(net: &Network, cfg: &AcceleratorConfig, params: &SimParams) -> NetworkPerf {
+    let layers: Vec<LayerPerf> = net
+        .gemms
+        .iter()
+        .map(|op| simulate_layer(op, cfg, params))
+        .collect();
+    NetworkPerf {
+        network: net.name.clone(),
+        total_cycles: layers.iter().map(|l| l.total_cycles).sum(),
+        total_ops: layers.iter().map(|l| l.ops).sum(),
+        layers,
+        freq_mhz: cfg.freq_mhz,
+        peak_gops: cfg.peak_gops(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::AcceleratorConfig;
+    use crate::workload::Network;
+
+    fn params() -> SimParams {
+        SimParams::default()
+    }
+
+    #[test]
+    fn utilization_never_exceeds_one() {
+        for (_, cfg) in AcceleratorConfig::table7_designs() {
+            for net in Network::table8_networks() {
+                let perf = simulate(&net, &cfg, &params());
+                assert!(
+                    perf.pe_utilization() <= 1.0 + 1e-3,
+                    "{} on {}: util {}",
+                    net.name,
+                    cfg,
+                    perf.pe_utilization()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sp2_core_lifts_throughput_2_1x_to_4_1x() {
+        // The headline claim: optimal designs are 2.1×–4.1× over fixed-only.
+        let pairs = [
+            (AcceleratorConfig::d1_1(), AcceleratorConfig::d1_3()),
+            (AcceleratorConfig::d2_1(), AcceleratorConfig::d2_3()),
+        ];
+        for (base, opt) in pairs {
+            for net in Network::table8_networks() {
+                let g0 = simulate(&net, &base, &params()).gops();
+                let g1 = simulate(&net, &opt, &params()).gops();
+                let ratio = g1 / g0;
+                assert!(
+                    (1.7..=4.5).contains(&ratio),
+                    "{} on {}: improvement {ratio}",
+                    net.name,
+                    base.device.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_conv_layer_underutilizes_blk_in() {
+        // Paper §VI-B2: the first conv has 3 input channels < Blk_in so its
+        // PEs cannot fill. k = 147 → 10 tiles of 16 = 160 lanes for 147 used.
+        let net = Network::resnet18();
+        let cfg = AcceleratorConfig::d1_1();
+        let perf = simulate(&net, &cfg, &params());
+        let conv1 = &perf.layers[0];
+        let conv1_util = conv1.ops as f32
+            / (conv1.total_cycles as f32 * 2.0 * cfg.macs_per_cycle() as f32);
+        let deep = &perf.layers[2]; // a 64→64 3×3 conv, k = 576 divides 16
+        let deep_util =
+            deep.ops as f32 / (deep.total_cycles as f32 * 2.0 * cfg.macs_per_cycle() as f32);
+        assert!(conv1_util < deep_util, "{conv1_util} !< {deep_util}");
+    }
+
+    #[test]
+    fn mobilenet_is_less_efficient_than_resnet() {
+        // Depthwise layers underfill the k dimension → lower PE utilization,
+        // the reason Table VIII's MobileNet GOPS trail ResNet's.
+        let cfg = AcceleratorConfig::d2_3();
+        let r = simulate(&Network::resnet18(), &cfg, &params());
+        let m = simulate(&Network::mobilenet_v2(), &cfg, &params());
+        assert!(m.pe_utilization() < r.pe_utilization());
+    }
+
+    #[test]
+    fn rnns_are_less_efficient_than_cnns_on_average() {
+        // Table VIII: RNN PE utilization (42.9–59.2%) sits below CNN
+        // utilization (52.4–70.1%). The paper's ranges overlap per design,
+        // so we assert the mean ordering across all six designs.
+        let mut cnn_utils = Vec::new();
+        let mut rnn_utils = Vec::new();
+        for (_, cfg) in AcceleratorConfig::table7_designs() {
+            for net in [Network::resnet18(), Network::yolov3(320)] {
+                cnn_utils.push(simulate(&net, &cfg, &params()).pe_utilization());
+            }
+            for net in [Network::lstm_ptb(), Network::gru_timit(), Network::lstm_imdb()] {
+                rnn_utils.push(simulate(&net, &cfg, &params()).pe_utilization());
+            }
+        }
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        assert!(
+            mean(&rnn_utils) < mean(&cnn_utils),
+            "rnn {} !< cnn {}",
+            mean(&rnn_utils),
+            mean(&cnn_utils)
+        );
+    }
+
+    #[test]
+    fn latency_improvement_matches_throughput_improvement() {
+        let net = Network::resnet18();
+        let base = simulate(&net, &AcceleratorConfig::d1_1(), &params());
+        let opt = simulate(&net, &AcceleratorConfig::d1_3(), &params());
+        let by_latency = base.latency_ms() / opt.latency_ms();
+        let by_gops = opt.gops() / base.gops();
+        assert!((by_latency - by_gops).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fps_is_consistent_with_latency() {
+        let perf = simulate(&Network::resnet18(), &AcceleratorConfig::d2_3(), &params());
+        assert!((perf.fps() - 1000.0 / perf.latency_ms()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_cycles_sum_to_network_cycles() {
+        let perf = simulate(&Network::mobilenet_v2(), &AcceleratorConfig::d1_2(), &params());
+        let sum: u64 = perf.layers.iter().map(|l| l.total_cycles).sum();
+        assert_eq!(sum, perf.total_cycles);
+    }
+
+    #[test]
+    fn fixed_only_design_puts_nothing_on_sp2_core() {
+        let perf = simulate(&Network::resnet18(), &AcceleratorConfig::d1_1(), &params());
+        assert!(perf.layers.iter().all(|l| l.sp2_cycles == 0));
+        assert!(perf.layers.iter().any(|l| l.fixed_cycles > 0));
+    }
+}

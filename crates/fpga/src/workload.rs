@@ -1,0 +1,390 @@
+//! Network workloads as GEMM shape lists.
+//!
+//! The performance tables (VIII, IX) run on the *real* layer shapes of the
+//! paper's six applications. Training those full-size models is out of scope
+//! for a CPU reproduction (accuracy experiments use scaled stand-ins), but
+//! the performance model only needs the GEMM geometry, which is defined
+//! exactly here: ResNet-18 and MobileNet-v2 at 224², YOLO-v3 (Darknet-53 +
+//! three detection heads) at 320²/640², the PTB LSTM (2×256), the TIMIT GRU
+//! (2×1024) and the IMDB LSTM (3×512).
+
+/// One GEMM-shaped operation.
+///
+/// `calls` models weight reuse over time: an RNN cell's matrices are loaded
+/// once and applied `calls` (= time steps) times with `m_per_call` rows each;
+/// a convolution is a single call with all output pixels as rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GemmOp {
+    /// Layer label.
+    pub name: String,
+    /// GEMM rows per invocation (output pixels × batch, or RNN batch).
+    pub m_per_call: usize,
+    /// Sequential invocations sharing the same weights (RNN time steps).
+    pub calls: usize,
+    /// Reduction length (`Cin·k·k` for conv).
+    pub k: usize,
+    /// Output channels = weight-matrix rows.
+    pub n: usize,
+    /// Depthwise convolution: each output channel reads only its own `k`
+    /// inputs (mapped channel-parallel across `Blk_out` with short `k`).
+    pub depthwise: bool,
+    /// Raw input feature-map bytes per call (what a DRAM spill would move;
+    /// patch extraction happens on-chip, so no im2col duplication).
+    pub input_bytes_per_call: u64,
+    /// Raw output feature-map bytes per call.
+    pub output_bytes_per_call: u64,
+    /// Post-GEMM elementwise ALU work per output element (LSTM/GRU gate
+    /// math; 0 for conv/fc, whose BN/ReLU epilogue is folded into the cores).
+    pub alu_ops_per_output: u32,
+}
+
+impl GemmOp {
+    /// Multiply-accumulate operation count (×2 ops per MAC).
+    pub fn ops(&self) -> u64 {
+        2 * (self.m_per_call as u64) * (self.calls as u64) * (self.k as u64) * (self.n as u64)
+    }
+
+    /// Weight bytes at `bits`-bit weights.
+    pub fn weight_bytes(&self, bits: u32) -> u64 {
+        (self.k as u64) * (self.n as u64) * bits as u64 / 8
+    }
+}
+
+/// Bits per activation used for byte accounting in shape constructors.
+const ACT_BITS: u64 = 4;
+
+/// A square convolution layer as a GEMM op.
+fn conv(name: impl Into<String>, h_in: usize, c_in: usize, c_out: usize, k: usize, stride: usize) -> GemmOp {
+    let h_out = h_in / stride;
+    GemmOp {
+        name: name.into(),
+        m_per_call: h_out * h_out,
+        calls: 1,
+        k: c_in * k * k,
+        n: c_out,
+        depthwise: false,
+        input_bytes_per_call: (h_in * h_in * c_in) as u64 * ACT_BITS / 8,
+        output_bytes_per_call: (h_out * h_out * c_out) as u64 * ACT_BITS / 8,
+        alu_ops_per_output: 0,
+    }
+}
+
+/// A depthwise 3×3 convolution: channel-parallel mapping with `k = 9`.
+fn dwconv(name: impl Into<String>, h_in: usize, channels: usize, stride: usize) -> GemmOp {
+    let h_out = h_in / stride;
+    GemmOp {
+        name: name.into(),
+        m_per_call: h_out * h_out,
+        calls: 1,
+        k: 9,
+        n: channels,
+        depthwise: true,
+        input_bytes_per_call: (h_in * h_in * channels) as u64 * ACT_BITS / 8,
+        output_bytes_per_call: (h_out * h_out * channels) as u64 * ACT_BITS / 8,
+        alu_ops_per_output: 0,
+    }
+}
+
+/// A fully-connected layer (single call).
+fn fc(name: impl Into<String>, m: usize, k: usize, n: usize) -> GemmOp {
+    GemmOp {
+        name: name.into(),
+        m_per_call: m,
+        calls: 1,
+        k,
+        n,
+        depthwise: false,
+        input_bytes_per_call: (m * k) as u64 * ACT_BITS / 8,
+        output_bytes_per_call: (m * n) as u64 * ACT_BITS / 8,
+        alu_ops_per_output: 0,
+    }
+}
+
+/// A recurrent matrix applied over `steps` time steps at `batch` rows each.
+/// Gate math (≈10 elementwise ops per gate element: sigmoids/tanh as
+/// piecewise segments, Hadamard products and adds) runs on the TensorALU and
+/// cannot overlap the next step's GEMM (recurrence).
+fn recurrent(name: impl Into<String>, batch: usize, steps: usize, k: usize, n: usize) -> GemmOp {
+    GemmOp {
+        name: name.into(),
+        m_per_call: batch,
+        calls: steps,
+        k,
+        n,
+        depthwise: false,
+        input_bytes_per_call: (batch * k) as u64 * ACT_BITS / 8,
+        output_bytes_per_call: (batch * n) as u64 * ACT_BITS / 8,
+        alu_ops_per_output: 10,
+    }
+}
+
+/// Inference batch used for the RNN throughput workloads (the paper does not
+/// state one; 16 reproduces its RNN/CNN utilization ordering).
+const RNN_BATCH: usize = 16;
+
+/// A named workload: an ordered list of GEMM operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    /// Display name (Table VIII column header).
+    pub name: String,
+    /// Layers in execution order.
+    pub gemms: Vec<GemmOp>,
+}
+
+impl Network {
+    /// Total operation count.
+    pub fn total_ops(&self) -> u64 {
+        self.gemms.iter().map(GemmOp::ops).sum()
+    }
+
+    /// Total operation count in GOP.
+    pub fn total_gop(&self) -> f64 {
+        self.total_ops() as f64 / 1e9
+    }
+
+    /// ResNet-18 at 224×224 (ImageNet), per-image.
+    pub fn resnet18() -> Network {
+        let mut g = vec![conv("conv1", 224, 3, 64, 7, 2)];
+        // Stage template: (channels, first-stride, input resolution).
+        let stages = [(64usize, 1usize, 56usize), (128, 2, 56), (256, 2, 28), (512, 2, 14)];
+        for (si, &(c, s0, h_in)) in stages.iter().enumerate() {
+            let c_prev = if si == 0 { 64 } else { c / 2 };
+            for b in 0..2 {
+                let stride = if b == 0 { s0 } else { 1 };
+                let cin = if b == 0 { c_prev } else { c };
+                let h = if b == 0 { h_in } else { h_in / s0 };
+                g.push(conv(format!("layer{}.{}.conv1", si + 1, b), h, cin, c, 3, stride));
+                g.push(conv(format!("layer{}.{}.conv2", si + 1, b), h / stride, c, c, 3, 1));
+                if b == 0 && (stride != 1 || cin != c) {
+                    g.push(conv(format!("layer{}.{}.down", si + 1, b), h, cin, c, 1, stride));
+                }
+            }
+        }
+        g.push(fc("fc", 1, 512, 1000));
+        Network {
+            name: "ResNet-18".into(),
+            gemms: g,
+        }
+    }
+
+    /// MobileNet-v2 at 224×224 (ImageNet), per-image.
+    pub fn mobilenet_v2() -> Network {
+        let mut g = vec![conv("stem", 224, 3, 32, 3, 2)];
+        let mut h = 112usize;
+        let mut c_in = 32usize;
+        let table = [
+            (1usize, 16usize, 1usize, 1usize),
+            (6, 24, 2, 2),
+            (6, 32, 3, 2),
+            (6, 64, 4, 2),
+            (6, 96, 3, 1),
+            (6, 160, 3, 2),
+            (6, 320, 1, 1),
+        ];
+        for (bi, &(t, c, n, s)) in table.iter().enumerate() {
+            for i in 0..n {
+                let stride = if i == 0 { s } else { 1 };
+                let hidden = c_in * t;
+                if t != 1 {
+                    g.push(conv(format!("b{bi}.{i}.expand"), h, c_in, hidden, 1, 1));
+                }
+                g.push(dwconv(format!("b{bi}.{i}.dw"), h, hidden, stride));
+                h /= stride;
+                g.push(conv(format!("b{bi}.{i}.project"), h, hidden, c, 1, 1));
+                c_in = c;
+            }
+        }
+        g.push(conv("head", 7, 320, 1280, 1, 1));
+        g.push(fc("fc", 1, 1280, 1000));
+        Network {
+            name: "MobileNet-v2".into(),
+            gemms: g,
+        }
+    }
+
+    /// YOLO-v3 (Darknet-53 backbone + 3 detection heads) at `size`×`size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size` is divisible by 32.
+    pub fn yolov3(size: usize) -> Network {
+        assert_eq!(size % 32, 0, "YOLO-v3 input must be divisible by 32");
+        let mut g = vec![conv("conv0", size, 3, 32, 3, 1)];
+        let mut h = size;
+        // Darknet-53 residual stages: (channels, blocks).
+        let stages = [(64usize, 1usize), (128, 2), (256, 8), (512, 8), (1024, 4)];
+        let mut c = 32;
+        for (si, &(sc, blocks)) in stages.iter().enumerate() {
+            g.push(conv(format!("down{si}"), h, c, sc, 3, 2));
+            h /= 2;
+            c = sc;
+            for b in 0..blocks {
+                g.push(conv(format!("s{si}.{b}.1x1"), h, c, c / 2, 1, 1));
+                g.push(conv(format!("s{si}.{b}.3x3"), h, c / 2, c, 3, 1));
+            }
+        }
+        // Heads at strides 32, 16, 8; channel plan per YOLO-v3.
+        let s32 = size / 32;
+        let s16 = size / 16;
+        let s8 = size / 8;
+        let head = |g: &mut Vec<GemmOp>, tag: &str, hh: usize, cin: usize, mid: usize| {
+            // Five alternating convs, then the output branch.
+            g.push(conv(format!("{tag}.c1"), hh, cin, mid, 1, 1));
+            g.push(conv(format!("{tag}.c2"), hh, mid, mid * 2, 3, 1));
+            g.push(conv(format!("{tag}.c3"), hh, mid * 2, mid, 1, 1));
+            g.push(conv(format!("{tag}.c4"), hh, mid, mid * 2, 3, 1));
+            g.push(conv(format!("{tag}.c5"), hh, mid * 2, mid, 1, 1));
+            g.push(conv(format!("{tag}.out3x3"), hh, mid, mid * 2, 3, 1));
+            g.push(conv(format!("{tag}.det"), hh, mid * 2, 255, 1, 1));
+        };
+        head(&mut g, "h32", s32, 1024, 512);
+        g.push(conv("h16.reduce", s32, 512, 256, 1, 1));
+        head(&mut g, "h16", s16, 512 + 256, 256);
+        g.push(conv("h8.reduce", s16, 256, 128, 1, 1));
+        head(&mut g, "h8", s8, 256 + 128, 128);
+        Network {
+            name: format!("YOLO-v3@{size}"),
+            gemms: g,
+        }
+    }
+
+    /// PTB language-model LSTM: 2 layers × 256 hidden, 35 BPTT steps,
+    /// batch 4, 10k-word decoder.
+    pub fn lstm_ptb() -> Network {
+        let (batch, steps, h) = (RNN_BATCH, 35, 256);
+        let mut g = Vec::new();
+        for l in 0..2 {
+            let input = h; // embedding width = hidden width
+            g.push(recurrent(format!("lstm{l}.w_ih"), batch, steps, input, 4 * h));
+            g.push(recurrent(format!("lstm{l}.w_hh"), batch, steps, h, 4 * h));
+        }
+        g.push(fc("decoder", batch * steps, h, 10_000));
+        Network {
+            name: "LSTM-PTB".into(),
+            gemms: g,
+        }
+    }
+
+    /// TIMIT GRU: 2 layers × 1024 hidden over 100 frames of 39-dim MFCCs,
+    /// batch 4, 61-phone output head.
+    pub fn gru_timit() -> Network {
+        let (batch, steps, h) = (RNN_BATCH, 100, 1024);
+        let mut g = Vec::new();
+        for l in 0..2 {
+            let input = if l == 0 { 39 } else { h };
+            g.push(recurrent(format!("gru{l}.w_ih"), batch, steps, input, 3 * h));
+            g.push(recurrent(format!("gru{l}.w_hh"), batch, steps, h, 3 * h));
+        }
+        g.push(fc("head", batch * steps, h, 61));
+        Network {
+            name: "GRU-TIMIT".into(),
+            gemms: g,
+        }
+    }
+
+    /// IMDB sentiment LSTM: 3 layers × 512 hidden over 80 tokens, batch 4.
+    pub fn lstm_imdb() -> Network {
+        let (batch, steps, h) = (RNN_BATCH, 80, 512);
+        let mut g = Vec::new();
+        for l in 0..3 {
+            let input = h;
+            g.push(recurrent(format!("lstm{l}.w_ih"), batch, steps, input, 4 * h));
+            g.push(recurrent(format!("lstm{l}.w_hh"), batch, steps, h, 4 * h));
+        }
+        g.push(fc("head", batch, h, 2));
+        Network {
+            name: "LSTM-IMDB".into(),
+            gemms: g,
+        }
+    }
+
+    /// The six Table VIII workloads in column order.
+    pub fn table8_networks() -> Vec<Network> {
+        vec![
+            Self::resnet18(),
+            Self::mobilenet_v2(),
+            Self::yolov3(320),
+            Self::lstm_ptb(),
+            Self::gru_timit(),
+            Self::lstm_imdb(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_op_count_matches_published_3_6_gop() {
+        let net = Network::resnet18();
+        let gop = net.total_gop();
+        assert!(
+            (3.2..4.0).contains(&gop),
+            "ResNet-18 at 224² should be ≈3.6 GOP, got {gop}"
+        );
+    }
+
+    #[test]
+    fn mobilenet_v2_op_count_matches_published_0_6_gop() {
+        let net = Network::mobilenet_v2();
+        let gop = net.total_gop();
+        assert!(
+            (0.5..0.7).contains(&gop),
+            "MobileNet-v2 should be ≈0.6 GOP, got {gop}"
+        );
+    }
+
+    #[test]
+    fn yolov3_op_counts_match_published() {
+        // YOLO-v3 ≈ 38.97 GOP at 320² and ≈4× that at 640².
+        let g320 = Network::yolov3(320).total_gop();
+        let g640 = Network::yolov3(640).total_gop();
+        assert!((34.0..42.0).contains(&g320), "YOLO@320 got {g320}");
+        assert!((g640 / g320 - 4.0).abs() < 0.1, "640/320 ratio {}", g640 / g320);
+    }
+
+    #[test]
+    fn mobilenet_contains_depthwise_ops() {
+        let net = Network::mobilenet_v2();
+        let dw = net.gemms.iter().filter(|g| g.depthwise).count();
+        assert_eq!(dw, 17, "one depthwise per inverted residual block");
+        // Depthwise ops are a small share of total (the 1×1 convs dominate).
+        let dw_ops: u64 = net.gemms.iter().filter(|g| g.depthwise).map(GemmOp::ops).sum();
+        assert!((dw_ops as f64) < 0.15 * net.total_ops() as f64);
+    }
+
+    #[test]
+    fn rnn_weight_reuse_is_expressed_as_calls() {
+        let net = Network::lstm_ptb();
+        let wih = &net.gemms[0];
+        assert_eq!(wih.calls, 35);
+        assert_eq!(wih.m_per_call, 16);
+        assert_eq!(wih.n, 1024);
+        assert_eq!(wih.alu_ops_per_output, 10);
+        // Weight bytes counted once regardless of calls.
+        assert_eq!(wih.weight_bytes(4), (256 * 1024 / 2) as u64);
+    }
+
+    #[test]
+    fn table8_has_six_networks() {
+        let nets = Network::table8_networks();
+        assert_eq!(nets.len(), 6);
+        assert!(nets.iter().all(|n| n.total_ops() > 0));
+    }
+
+    #[test]
+    fn conv_helper_shapes() {
+        let c = conv("t", 56, 64, 128, 3, 2);
+        assert_eq!(c.m_per_call, 28 * 28);
+        assert_eq!(c.k, 576);
+        assert_eq!(c.n, 128);
+        assert_eq!(c.ops(), 2 * 784 * 576 * 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 32")]
+    fn yolo_rejects_bad_size() {
+        let _ = Network::yolov3(300);
+    }
+}

@@ -1,0 +1,151 @@
+//! Finite-difference gradient checking.
+//!
+//! Every layer's unit tests call [`check_layer_gradients`], which compares the
+//! analytic input- and parameter-gradients of a [`Layer`] against central
+//! finite differences of the scalar loss `L = Σ y·R` for a fixed random `R`.
+//! This is the single most load-bearing test utility in the workspace: the
+//! correctness of quantization-aware training rests on these backward passes.
+
+use crate::module::Layer;
+use mixmatch_tensor::{Tensor, TensorRng};
+
+/// Relative error between analytic and numeric derivative, guarded for tiny
+/// denominators.
+fn rel_err(analytic: f32, numeric: f32) -> f32 {
+    let denom = analytic.abs().max(numeric.abs()).max(1e-3);
+    (analytic - numeric).abs() / denom
+}
+
+/// Checks input and parameter gradients of `layer` on a random input of shape
+/// `input_dims`.
+///
+/// The scalar objective is `L(x, θ) = Σ_j y_j · r_j` with `y = layer(x)` and a
+/// fixed random projection `r`, whose exact gradient w.r.t. `y` is `r`.
+///
+/// # Panics
+///
+/// Panics (assertion failure) when any coordinate's relative error exceeds
+/// `tol`. Uses step `h = 1e-2` scaled to the coordinate, which is a good
+/// compromise for `f32` arithmetic.
+pub fn check_layer_gradients(
+    layer: &mut impl Layer,
+    input_dims: &[usize],
+    tol: f32,
+    rng: &mut TensorRng,
+) {
+    let x = Tensor::randn(input_dims, rng);
+    let y0 = layer.forward(&x, true);
+    let r = Tensor::randn(y0.dims(), rng);
+    layer.zero_grad();
+    // Analytic pass.
+    let _ = layer.forward(&x, true);
+    let grad_x = layer.backward(&r);
+
+    // Numeric input gradient.
+    let h = 1e-2f32;
+    for i in 0..x.len() {
+        let mut xp = x.clone();
+        xp.as_mut_slice()[i] += h;
+        let mut xm = x.clone();
+        xm.as_mut_slice()[i] -= h;
+        let lp = layer.forward(&xp, false).dot(&r);
+        let lm = layer.forward(&xm, false).dot(&r);
+        let numeric = (lp - lm) / (2.0 * h);
+        let analytic = grad_x.as_slice()[i];
+        assert!(
+            rel_err(analytic, numeric) < tol,
+            "input grad mismatch at {i}: analytic={analytic} numeric={numeric}"
+        );
+    }
+
+    // Numeric parameter gradients. Perturb one coordinate at a time through
+    // params_mut, evaluating in eval-free training mode to keep layers with
+    // batch statistics deterministic (they must honour `train=false`).
+    let n_params = layer.params().len();
+    for pi in 0..n_params {
+        let plen = layer.params()[pi].len();
+        // Snapshot the analytic grad now — later forwards must not disturb it.
+        let analytic_grad = layer.params()[pi].grad.clone();
+        for ci in 0..sample_indices(plen) {
+            let idx = (ci * 7919) % plen; // spread sampled coordinates
+            let orig = layer.params_mut()[pi].value.as_slice()[idx];
+            layer.params_mut()[pi].value.as_mut_slice()[idx] = orig + h;
+            let lp = layer.forward(&x, false).dot(&r);
+            layer.params_mut()[pi].value.as_mut_slice()[idx] = orig - h;
+            let lm = layer.forward(&x, false).dot(&r);
+            layer.params_mut()[pi].value.as_mut_slice()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * h);
+            let analytic = analytic_grad.as_slice()[idx];
+            assert!(
+                rel_err(analytic, numeric) < tol,
+                "param {pi} grad mismatch at {idx}: analytic={analytic} numeric={numeric}"
+            );
+        }
+    }
+}
+
+/// Caps how many coordinates of a parameter are probed (finite differences
+/// are O(2·forward) per coordinate).
+fn sample_indices(len: usize) -> usize {
+    len.min(24)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Param;
+
+    /// y = w * x elementwise with a deliberate backward bug toggle.
+    struct Scale {
+        w: Param,
+        buggy: bool,
+        cache: Option<Tensor>,
+    }
+
+    impl Layer for Scale {
+        fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+            if train {
+                self.cache = Some(input.clone());
+            }
+            input.zip(&self.w.value, |x, w| x * w)
+        }
+
+        fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+            let x = self.cache.take().expect("no cache");
+            let factor = if self.buggy { 2.0 } else { 1.0 };
+            self.w.grad.axpy(factor, &grad_output.zip(&x, |g, xi| g * xi));
+            grad_output.zip(&self.w.value, |g, w| g * w)
+        }
+
+        fn params(&self) -> Vec<&Param> {
+            vec![&self.w]
+        }
+
+        fn params_mut(&mut self) -> Vec<&mut Param> {
+            vec![&mut self.w]
+        }
+    }
+
+    #[test]
+    fn accepts_correct_gradients() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut layer = Scale {
+            w: Param::new("w", Tensor::randn(&[5], &mut rng)),
+            buggy: false,
+            cache: None,
+        };
+        check_layer_gradients(&mut layer, &[5], 1e-2, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "grad mismatch")]
+    fn rejects_buggy_gradients() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut layer = Scale {
+            w: Param::new("w", Tensor::randn(&[5], &mut rng)),
+            buggy: true,
+            cache: None,
+        };
+        check_layer_gradients(&mut layer, &[5], 1e-2, &mut rng);
+    }
+}

@@ -1,0 +1,69 @@
+//! Weight initialisation schemes.
+
+use mixmatch_tensor::{Tensor, TensorRng};
+
+/// Kaiming/He normal initialisation for ReLU networks: `N(0, sqrt(2/fan_in))`.
+///
+/// # Panics
+///
+/// Panics when `fan_in == 0`.
+pub fn kaiming_normal(dims: &[usize], fan_in: usize, rng: &mut TensorRng) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f32).sqrt();
+    let mut t = Tensor::randn(dims, rng);
+    t.scale_inplace(std);
+    t
+}
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)`, `a = sqrt(6/(fan_in+fan_out))`.
+///
+/// # Panics
+///
+/// Panics when `fan_in + fan_out == 0`.
+pub fn xavier_uniform(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut TensorRng) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(dims, -a, a, rng)
+}
+
+/// Uniform initialisation in `±1/sqrt(fan_in)`, the PyTorch default for
+/// linear and recurrent weights.
+///
+/// # Panics
+///
+/// Panics when `fan_in == 0`.
+pub fn lecun_uniform(dims: &[usize], fan_in: usize, rng: &mut TensorRng) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let a = 1.0 / (fan_in as f32).sqrt();
+    Tensor::rand_uniform(dims, -a, a, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixmatch_tensor::stats;
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let mut rng = TensorRng::seed_from(7);
+        let t = kaiming_normal(&[200, 50], 50, &mut rng);
+        let sd = stats::std_dev(t.as_slice());
+        let expect = (2.0f32 / 50.0).sqrt();
+        assert!((sd - expect).abs() / expect < 0.1, "sd={sd} expect={expect}");
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = TensorRng::seed_from(8);
+        let t = xavier_uniform(&[64, 64], 64, 64, &mut rng);
+        let a = (6.0f32 / 128.0).sqrt();
+        assert!(t.max() <= a && t.min() >= -a);
+    }
+
+    #[test]
+    fn lecun_respects_bound() {
+        let mut rng = TensorRng::seed_from(9);
+        let t = lecun_uniform(&[32, 16], 16, &mut rng);
+        assert!(t.max() <= 0.25 && t.min() >= -0.25);
+    }
+}

@@ -1,0 +1,129 @@
+//! Elementwise activation layers.
+
+use crate::module::Layer;
+use mixmatch_tensor::Tensor;
+
+macro_rules! activation {
+    ($(#[$doc:meta])* $name:ident, fwd = $fwd:expr, bwd = $bwd:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            cached_input: Option<Tensor>,
+        }
+
+        impl $name {
+            /// Creates the activation layer.
+            pub fn new() -> Self {
+                Self { cached_input: None }
+            }
+        }
+
+        impl Layer for $name {
+            fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+                if train {
+                    self.cached_input = Some(input.clone());
+                }
+                let f: fn(f32) -> f32 = $fwd;
+                input.map(f)
+            }
+
+            fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+                let x = self
+                    .cached_input
+                    .take()
+                    .expect(concat!(stringify!($name), "::backward without cached forward"));
+                let d: fn(f32) -> f32 = $bwd;
+                grad_output.zip(&x, |g, xi| g * d(xi))
+            }
+        }
+    };
+}
+
+activation!(
+    /// Rectified linear unit `max(0, x)`.
+    Relu,
+    fwd = |x| x.max(0.0),
+    bwd = |x| if x > 0.0 { 1.0 } else { 0.0 }
+);
+
+activation!(
+    /// ReLU clipped at 6, as used by MobileNet-v2 (`min(max(0,x), 6)`); its
+    /// bounded range is what makes fixed-point activation quantization
+    /// well-behaved on lightweight models.
+    Relu6,
+    fwd = |x| x.clamp(0.0, 6.0),
+    bwd = |x| if x > 0.0 && x < 6.0 { 1.0 } else { 0.0 }
+);
+
+activation!(
+    /// Leaky ReLU with slope 0.1 on the negative side (YOLO backbones).
+    LeakyRelu,
+    fwd = |x| if x > 0.0 { x } else { 0.1 * x },
+    bwd = |x| if x > 0.0 { 1.0 } else { 0.1 }
+);
+
+activation!(
+    /// Logistic sigmoid.
+    Sigmoid,
+    fwd = |x| 1.0 / (1.0 + (-x).exp()),
+    bwd = |x| {
+        let s = 1.0 / (1.0 + (-x).exp());
+        s * (1.0 - s)
+    }
+);
+
+activation!(
+    /// Hyperbolic tangent.
+    Tanh,
+    fwd = |x| x.tanh(),
+    bwd = |x| 1.0 - x.tanh() * x.tanh()
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use mixmatch_tensor::TensorRng;
+
+    #[test]
+    fn relu_clamps_negative() {
+        let mut l = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        assert_eq!(l.forward(&x, false).as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu6_clamps_both_sides() {
+        let mut l = Relu6::new();
+        let x = Tensor::from_vec(vec![-1.0, 3.0, 9.0], &[3]).unwrap();
+        assert_eq!(l.forward(&x, false).as_slice(), &[0.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_bounded_and_centred() {
+        let mut l = Sigmoid::new();
+        let x = Tensor::from_vec(vec![-100.0, 0.0, 100.0], &[3]).unwrap();
+        let y = l.forward(&x, false);
+        assert!(y.as_slice()[0] < 1e-6);
+        assert!((y.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!(y.as_slice()[2] > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn gradcheck_all_activations() {
+        let mut rng = TensorRng::seed_from(10);
+        // Offset inputs away from the ReLU kink where the derivative jumps.
+        check_layer_gradients(&mut Sigmoid::new(), &[2, 5], 2e-2, &mut rng);
+        check_layer_gradients(&mut Tanh::new(), &[2, 5], 2e-2, &mut rng);
+        check_layer_gradients(&mut LeakyRelu::new(), &[3, 4], 5e-2, &mut rng);
+    }
+
+    #[test]
+    fn relu_gradient_masks() {
+        let mut l = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 2.0], &[2]).unwrap();
+        let _ = l.forward(&x, true);
+        let g = l.backward(&Tensor::ones(&[2]));
+        assert_eq!(g.as_slice(), &[0.0, 1.0]);
+    }
+}

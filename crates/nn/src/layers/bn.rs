@@ -1,0 +1,280 @@
+//! Batch normalization for `[B, C, H, W]` feature maps.
+
+use crate::module::{Layer, Param};
+use mixmatch_tensor::Tensor;
+
+/// Per-channel batch normalization with affine transform and running
+/// statistics.
+///
+/// In training mode batch statistics are used and running estimates updated
+/// with momentum; in eval mode the running estimates are used. The paper's
+/// accelerator folds BN into the GEMM epilogue ("processing operations after
+/// the convolution ... incur negligible latency"), which the FPGA cycle model
+/// mirrors by assigning BN zero marginal cycles.
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Tensor,
+    running_var: Tensor,
+    momentum: f32,
+    eps: f32,
+    channels: usize,
+    cache: Option<BnCache>,
+}
+
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    dims: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer with unit gain, zero shift, momentum 0.1.
+    pub fn new(channels: usize) -> Self {
+        Self::with_name("bn", channels)
+    }
+
+    /// Creates a batch-norm layer with named parameters.
+    pub fn with_name(name: &str, channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(format!("{name}.gamma"), Tensor::ones(&[channels])),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[channels])),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            momentum: 0.1,
+            eps: 1e-5,
+            channels,
+            cache: None,
+        }
+    }
+
+    /// Running mean estimate (for inspection / folding).
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// Running variance estimate (for inspection / folding).
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+
+    /// `(scale, shift)` per channel for folding BN into a preceding conv at
+    /// inference time: `y = scale·x + shift`.
+    pub fn fold_factors(&self) -> (Vec<f32>, Vec<f32>) {
+        let mut scale = Vec::with_capacity(self.channels);
+        let mut shift = Vec::with_capacity(self.channels);
+        for c in 0..self.channels {
+            let g = self.gamma.value.as_slice()[c];
+            let b = self.beta.value.as_slice()[c];
+            let m = self.running_mean.as_slice()[c];
+            let v = self.running_var.as_slice()[c];
+            let s = g / (v + self.eps).sqrt();
+            scale.push(s);
+            shift.push(b - s * m);
+        }
+        (scale, shift)
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.shape().rank(), 4, "BatchNorm2d expects [B,C,H,W]");
+        let (b, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        assert_eq!(c, self.channels, "BatchNorm2d channel mismatch");
+        let plane = h * w;
+        let count = (b * plane) as f32;
+        let src = input.as_slice();
+        let mut out = Tensor::zeros(input.dims());
+        let mut x_hat = Tensor::zeros(input.dims());
+        let mut inv_stds = vec![0.0f32; c];
+        for ch in 0..c {
+            let (mean, var) = if train {
+                let mut sum = 0.0f32;
+                let mut sq = 0.0f32;
+                for bi in 0..b {
+                    let base = (bi * c + ch) * plane;
+                    for &v in &src[base..base + plane] {
+                        sum += v;
+                        sq += v * v;
+                    }
+                }
+                let mean = sum / count;
+                let var = (sq / count - mean * mean).max(0.0);
+                // Update running stats.
+                let rm = &mut self.running_mean.as_mut_slice()[ch];
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * mean;
+                let rv = &mut self.running_var.as_mut_slice()[ch];
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * var;
+                (mean, var)
+            } else {
+                (
+                    self.running_mean.as_slice()[ch],
+                    self.running_var.as_slice()[ch],
+                )
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds[ch] = inv_std;
+            let g = self.gamma.value.as_slice()[ch];
+            let beta = self.beta.value.as_slice()[ch];
+            for bi in 0..b {
+                let base = (bi * c + ch) * plane;
+                for i in base..base + plane {
+                    let xh = (src[i] - mean) * inv_std;
+                    x_hat.as_mut_slice()[i] = xh;
+                    out.as_mut_slice()[i] = g * xh + beta;
+                }
+            }
+        }
+        if train {
+            self.cache = Some(BnCache {
+                x_hat,
+                inv_std: inv_stds,
+                dims: input.dims().to_vec(),
+            });
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("BatchNorm2d::backward called without cached forward");
+        assert_eq!(grad_output.dims(), &cache.dims[..]);
+        let (b, c, h, w) = (cache.dims[0], cache.dims[1], cache.dims[2], cache.dims[3]);
+        let plane = h * w;
+        let count = (b * plane) as f32;
+        let go = grad_output.as_slice();
+        let xh = cache.x_hat.as_slice();
+        let mut grad_in = Tensor::zeros(&cache.dims);
+        for ch in 0..c {
+            // Accumulate dgamma, dbeta and the two reduction terms the input
+            // gradient needs.
+            let mut dg = 0.0f32;
+            let mut db = 0.0f32;
+            for bi in 0..b {
+                let base = (bi * c + ch) * plane;
+                for i in base..base + plane {
+                    dg += go[i] * xh[i];
+                    db += go[i];
+                }
+            }
+            self.gamma.grad.as_mut_slice()[ch] += dg;
+            self.beta.grad.as_mut_slice()[ch] += db;
+            let g = self.gamma.value.as_slice()[ch];
+            let inv_std = cache.inv_std[ch];
+            for bi in 0..b {
+                let base = (bi * c + ch) * plane;
+                for i in base..base + plane {
+                    // Standard batch-norm input gradient.
+                    grad_in.as_mut_slice()[i] =
+                        g * inv_std / count * (count * go[i] - db - xh[i] * dg);
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixmatch_tensor::{stats, TensorRng};
+
+    #[test]
+    fn training_output_is_normalised() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut bn = BatchNorm2d::new(3);
+        let x = Tensor::randn(&[4, 3, 5, 5], &mut rng);
+        let y = bn.forward(&x, true);
+        // Per channel: mean ≈ 0, var ≈ 1.
+        for ch in 0..3 {
+            let mut vals = Vec::new();
+            for b in 0..4 {
+                let base = (b * 3 + ch) * 25;
+                vals.extend_from_slice(&y.as_slice()[base..base + 25]);
+            }
+            assert!(stats::mean(&vals).abs() < 1e-4);
+            assert!((stats::variance(&vals) - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut bn = BatchNorm2d::new(2);
+        // Drive running stats towards the batch statistics.
+        let x = Tensor::randn(&[8, 2, 4, 4], &mut rng);
+        for _ in 0..200 {
+            let _ = bn.forward(&x, true);
+        }
+        let y_eval = bn.forward(&x, false);
+        let y_train = bn.forward(&x, true);
+        assert!(y_eval.max_abs_diff(&y_train) < 0.05);
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_difference() {
+        // Manual FD check: gradcheck utility uses eval-mode forward for the
+        // numeric side, but BN's train/eval paths differ, so probe in train
+        // mode with frozen running-stat updates (momentum 0).
+        let mut rng = TensorRng::seed_from(2);
+        let mut bn = BatchNorm2d::new(2);
+        bn.momentum = 0.0;
+        let x = Tensor::randn(&[2, 2, 3, 3], &mut rng);
+        let r = Tensor::randn(&[2, 2, 3, 3], &mut rng);
+        let _ = bn.forward(&x, true);
+        let gx = bn.backward(&r);
+        let h = 1e-2f32;
+        for i in (0..x.len()).step_by(5) {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += h;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= h;
+            let lp = bn.forward(&xp, true).dot(&r);
+            let lm = bn.forward(&xm, true).dot(&r);
+            let numeric = (lp - lm) / (2.0 * h);
+            let analytic = gx.as_slice()[i];
+            let denom = analytic.abs().max(numeric.abs()).max(1e-2);
+            assert!(
+                (analytic - numeric).abs() / denom < 5e-2,
+                "BN input grad mismatch at {i}: {analytic} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_factors_reproduce_eval_forward() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::randn(&[4, 2, 3, 3], &mut rng);
+        for _ in 0..50 {
+            let _ = bn.forward(&x, true);
+        }
+        let y = bn.forward(&x, false);
+        let (scale, shift) = bn.fold_factors();
+        let mut manual = Tensor::zeros(x.dims());
+        for b in 0..4 {
+            for c in 0..2 {
+                let base = (b * 2 + c) * 9;
+                for i in 0..9 {
+                    manual.as_mut_slice()[base + i] = scale[c] * x.as_slice()[base + i] + shift[c];
+                }
+            }
+        }
+        assert!(y.max_abs_diff(&manual) < 1e-4);
+    }
+}

@@ -1,0 +1,106 @@
+//! Inverted dropout.
+
+use crate::module::Layer;
+use mixmatch_tensor::{Tensor, TensorRng};
+
+/// Inverted dropout: active only in training mode, identity in eval mode.
+///
+/// Keeps its own forked RNG so that layer construction fixes the noise
+/// stream and training remains reproducible.
+pub struct Dropout {
+    p_drop: f32,
+    rng: TensorRng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer dropping activations with probability `p_drop`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p_drop` is not in `[0, 1)`.
+    pub fn new(p_drop: f32, rng: &mut TensorRng) -> Self {
+        assert!((0.0..1.0).contains(&p_drop), "p_drop must be in [0,1)");
+        Dropout {
+            p_drop,
+            rng: rng.fork(),
+            mask: None,
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p_drop == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p_drop;
+        let scale = 1.0 / keep;
+        let mut mask = Tensor::zeros(input.dims());
+        for m in mask.as_mut_slice() {
+            *m = if self.rng.bernoulli(keep) { scale } else { 0.0 };
+        }
+        let out = input.zip(&mask, |x, m| x * m);
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        match self.mask.take() {
+            Some(mask) => grad_output.zip(&mask, |g, m| g * m),
+            None => grad_output.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut d = Dropout::new(0.5, &mut rng);
+        let x = Tensor::randn(&[4, 4], &mut rng);
+        let y = d.forward(&x, false);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn training_zeroes_roughly_p_fraction() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut d = Dropout::new(0.5, &mut rng);
+        let x = Tensor::ones(&[100, 100]);
+        let y = d.forward(&x, true);
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!((zeros as f32 / 10_000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn surviving_units_are_rescaled() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut d = Dropout::new(0.5, &mut rng);
+        let x = Tensor::ones(&[1000]);
+        let y = d.forward(&x, true);
+        for &v in y.as_slice() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
+        }
+        // Expected value preserved.
+        assert!((y.mean() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn backward_applies_same_mask() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut d = Dropout::new(0.3, &mut rng);
+        let x = Tensor::ones(&[256]);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::ones(&[256]));
+        // Where forward output is zero, gradient must be zero; elsewhere the
+        // same 1/keep scale applies.
+        for (yv, gv) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(yv, gv);
+        }
+    }
+}

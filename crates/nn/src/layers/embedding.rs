@@ -1,0 +1,137 @@
+//! Token embedding lookup.
+
+use crate::module::{Layer, Param};
+use mixmatch_tensor::{Tensor, TensorRng};
+
+/// Embedding table `[vocab, dim]` looked up by token id.
+///
+/// The [`Layer`] interface is tensor-to-tensor, so token ids are passed as a
+/// float tensor of ids (`[B]` or `[B, T]` flattened by the caller) and each id
+/// is rounded to the nearest integer. [`Embedding::lookup`] offers the typed
+/// interface used by the RNN models.
+pub struct Embedding {
+    table: Param,
+    vocab: usize,
+    dim: usize,
+    cached_ids: Option<Vec<usize>>,
+}
+
+impl Embedding {
+    /// Creates an embedding table with `N(0, 0.1)` init.
+    pub fn new(vocab: usize, dim: usize, rng: &mut TensorRng) -> Self {
+        let mut t = Tensor::randn(&[vocab, dim], rng);
+        t.scale_inplace(0.1);
+        Embedding {
+            table: Param::new("embedding.weight", t),
+            vocab,
+            dim,
+            cached_ids: None,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Looks up a batch of token ids, returning `[ids.len(), dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any id is out of vocabulary.
+    pub fn lookup(&mut self, ids: &[usize], train: bool) -> Tensor {
+        let mut out = Tensor::zeros(&[ids.len(), self.dim]);
+        for (r, &id) in ids.iter().enumerate() {
+            assert!(id < self.vocab, "token id {id} out of vocabulary");
+            out.row_mut(r)
+                .copy_from_slice(self.table.value.row(id));
+        }
+        if train {
+            self.cached_ids = Some(ids.to_vec());
+        }
+        out
+    }
+
+    /// Backward for [`lookup`](Self::lookup): scatters gradients into the
+    /// table rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called without a preceding training-mode lookup.
+    pub fn lookup_backward(&mut self, grad_output: &Tensor) {
+        let ids = self
+            .cached_ids
+            .take()
+            .expect("Embedding::lookup_backward without cached lookup");
+        assert_eq!(grad_output.dims(), &[ids.len(), self.dim]);
+        for (r, &id) in ids.iter().enumerate() {
+            let g = grad_output.row(r);
+            let dst = self.table.grad.row_mut(id);
+            for (d, &s) in dst.iter_mut().zip(g) {
+                *d += s;
+            }
+        }
+    }
+}
+
+impl Layer for Embedding {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let ids: Vec<usize> = input.as_slice().iter().map(|&x| x.round() as usize).collect();
+        self.lookup(&ids, train)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        self.lookup_backward(grad_output);
+        // Ids have no gradient.
+        Tensor::zeros(&[grad_output.dims()[0]])
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.table]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_returns_table_rows() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut emb = Embedding::new(10, 4, &mut rng);
+        let y = emb.lookup(&[3, 3, 7], false);
+        assert_eq!(y.dims(), &[3, 4]);
+        assert_eq!(y.row(0), y.row(1));
+        assert_eq!(y.row(0), emb.table.value.row(3));
+        assert_eq!(y.row(2), emb.table.value.row(7));
+    }
+
+    #[test]
+    fn backward_accumulates_per_token() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut emb = Embedding::new(5, 2, &mut rng);
+        let _ = emb.lookup(&[2, 2], true);
+        let g = Tensor::ones(&[2, 2]);
+        emb.lookup_backward(&g);
+        // Token 2 used twice: its grad row is 2.0 everywhere.
+        assert_eq!(emb.table.grad.row(2), &[2.0, 2.0]);
+        assert_eq!(emb.table.grad.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn oov_panics() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut emb = Embedding::new(3, 2, &mut rng);
+        let _ = emb.lookup(&[3], false);
+    }
+}

@@ -1,0 +1,272 @@
+//! Fake (simulated) activation quantization with a straight-through
+//! estimator.
+//!
+//! The paper quantizes all activations with **fixed-point** (§III, Table I)
+//! and trains through the quantizer with STE (Algorithm 1). `FakeQuant`
+//! implements exactly that: the forward pass clips to `[0, clip]` (unsigned,
+//! post-ReLU) or `[-clip, clip]` (signed, e.g. network input) and rounds to
+//! `2^bits - 1` uniform levels; the backward pass forwards gradients
+//! unchanged inside the clip range and zeroes them outside.
+//!
+//! The clip threshold is calibrated online during training with an
+//! exponential moving average of the batch maximum, or learned like PACT's
+//! `α` when [`FakeQuantConfig::learnable_clip`] is set.
+
+use crate::module::{Layer, Param};
+use mixmatch_tensor::Tensor;
+
+/// Configuration for a [`FakeQuant`] layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FakeQuantConfig {
+    /// Quantization bit-width (4 in all the paper's experiments).
+    pub bits: u32,
+    /// `true` for symmetric signed range `[-clip, clip]` (network inputs);
+    /// `false` for unsigned `[0, clip]` (post-ReLU activations).
+    pub signed: bool,
+    /// EMA momentum for clip calibration (ignored when the clip is
+    /// learnable).
+    pub ema_momentum: f32,
+    /// Learn the clip threshold with PACT-style gradients instead of EMA
+    /// calibration.
+    pub learnable_clip: bool,
+}
+
+impl FakeQuantConfig {
+    /// Unsigned 4-bit activation quantization, the paper's default.
+    pub fn act4() -> Self {
+        FakeQuantConfig {
+            bits: 4,
+            signed: false,
+            ema_momentum: 0.05,
+            learnable_clip: false,
+        }
+    }
+
+    /// Signed variant for quantizing network inputs.
+    pub fn signed_bits(bits: u32) -> Self {
+        FakeQuantConfig {
+            bits,
+            signed: true,
+            ema_momentum: 0.05,
+            learnable_clip: false,
+        }
+    }
+}
+
+/// Simulated-quantization layer (see module docs).
+pub struct FakeQuant {
+    config: FakeQuantConfig,
+    clip: Param,
+    enabled: bool,
+    calibrated: bool,
+    cached_input: Option<Tensor>,
+}
+
+impl FakeQuant {
+    /// Creates a fake-quant layer with an initial clip of 1.
+    pub fn new(config: FakeQuantConfig) -> Self {
+        assert!(config.bits >= 2, "need at least 2 bits");
+        FakeQuant {
+            config,
+            clip: Param::new("act_quant.clip", Tensor::ones(&[1])),
+            enabled: true,
+            calibrated: false,
+            cached_input: None,
+        }
+    }
+
+    /// Enables or disables quantization (disabled = identity), which lets a
+    /// training schedule warm up in float before quantizing.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Current clip threshold.
+    pub fn clip_value(&self) -> f32 {
+        self.clip.value.as_slice()[0]
+    }
+
+    /// Number of representable levels on the positive side.
+    fn levels(&self) -> f32 {
+        ((1u32 << self.config.bits) - 1) as f32
+    }
+
+    fn quantize_value(&self, x: f32, clip: f32) -> f32 {
+        let lo = if self.config.signed { -clip } else { 0.0 };
+        let y = x.clamp(lo, clip);
+        let span = clip - lo;
+        if span <= 0.0 {
+            return 0.0;
+        }
+        let n = self.levels();
+        ((y - lo) / span * n).round() / n * span + lo
+    }
+}
+
+impl Layer for FakeQuant {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !self.enabled {
+            if train {
+                self.cached_input = None;
+            }
+            return input.clone();
+        }
+        if train && !self.config.learnable_clip {
+            // EMA calibration towards the observed magnitude ceiling.
+            let batch_max = input
+                .as_slice()
+                .iter()
+                .map(|&v| v.abs())
+                .fold(0.0f32, f32::max)
+                .max(1e-6);
+            let c = self.clip.value.as_mut_slice();
+            c[0] = if self.calibrated {
+                (1.0 - self.config.ema_momentum) * c[0] + self.config.ema_momentum * batch_max
+            } else {
+                batch_max
+            };
+            self.calibrated = true;
+        }
+        let clip = self.clip_value().max(1e-6);
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        input.map(|x| self.quantize_value(x, clip))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        if !self.enabled {
+            return grad_output.clone();
+        }
+        let x = self
+            .cached_input
+            .take()
+            .expect("FakeQuant::backward called without cached forward");
+        let clip = self.clip_value().max(1e-6);
+        let lo = if self.config.signed { -clip } else { 0.0 };
+        if self.config.learnable_clip {
+            // PACT: d/dα of clip(x, 0, α) is 1 for x ≥ α else 0.
+            let mut g_alpha = 0.0f32;
+            for (gi, xi) in grad_output.as_slice().iter().zip(x.as_slice()) {
+                if *xi >= clip {
+                    g_alpha += gi;
+                }
+                if self.config.signed && *xi <= lo {
+                    g_alpha -= gi;
+                }
+            }
+            self.clip.grad.as_mut_slice()[0] += g_alpha;
+        }
+        grad_output.zip(&x, |g, xi| if xi > lo && xi < clip { g } else { 0.0 })
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        if self.config.learnable_clip {
+            vec![&self.clip]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        if self.config.learnable_clip {
+            vec![&mut self.clip]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixmatch_tensor::TensorRng;
+
+    #[test]
+    fn output_hits_exactly_the_grid() {
+        let mut fq = FakeQuant::new(FakeQuantConfig::act4());
+        fq.clip.value.as_mut_slice()[0] = 1.0;
+        let x = Tensor::from_vec(vec![0.0, 0.5, 1.0, 2.0, -1.0], &[5]).unwrap();
+        let y = fq.forward(&x, false);
+        let n = 15.0f32;
+        for &v in y.as_slice() {
+            let k = v * n;
+            assert!((k - k.round()).abs() < 1e-5, "{v} is off-grid");
+        }
+        assert_eq!(y.as_slice()[3], 1.0); // clipped
+        assert_eq!(y.as_slice()[4], 0.0); // unsigned floor
+    }
+
+    #[test]
+    fn signed_mode_preserves_negatives() {
+        let mut fq = FakeQuant::new(FakeQuantConfig::signed_bits(4));
+        fq.clip.value.as_mut_slice()[0] = 1.0;
+        let x = Tensor::from_vec(vec![-0.8, 0.8], &[2]).unwrap();
+        let y = fq.forward(&x, false);
+        assert!(y.as_slice()[0] < -0.7);
+        assert!(y.as_slice()[1] > 0.7);
+    }
+
+    #[test]
+    fn ste_gradient_masks_out_of_range() {
+        let mut fq = FakeQuant::new(FakeQuantConfig::act4());
+        fq.clip.value.as_mut_slice()[0] = 1.0;
+        fq.calibrated = true;
+        // Prevent recalibration from moving the clip in this test.
+        fq.config.ema_momentum = 0.0;
+        let x = Tensor::from_vec(vec![-0.5, 0.5, 1.5], &[3]).unwrap();
+        let _ = fq.forward(&x, true);
+        let g = fq.backward(&Tensor::ones(&[3]));
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn calibration_tracks_input_scale() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut fq = FakeQuant::new(FakeQuantConfig::act4());
+        for _ in 0..50 {
+            let x = &Tensor::randn(&[64], &mut rng) * 3.0;
+            let _ = fq.forward(&x, true);
+        }
+        let clip = fq.clip_value();
+        assert!(clip > 4.0 && clip < 16.0, "clip {clip} off-scale");
+    }
+
+    #[test]
+    fn disabled_layer_is_identity() {
+        let mut fq = FakeQuant::new(FakeQuantConfig::act4());
+        fq.set_enabled(false);
+        let x = Tensor::from_vec(vec![0.123, 4.567], &[2]).unwrap();
+        assert_eq!(fq.forward(&x, true), x);
+        let g = fq.backward(&Tensor::ones(&[2]));
+        assert_eq!(g.as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn learnable_clip_receives_gradient() {
+        let mut fq = FakeQuant::new(FakeQuantConfig {
+            bits: 4,
+            signed: false,
+            ema_momentum: 0.0,
+            learnable_clip: true,
+        });
+        fq.clip.value.as_mut_slice()[0] = 1.0;
+        let x = Tensor::from_vec(vec![0.5, 2.0, 3.0], &[3]).unwrap();
+        let _ = fq.forward(&x, true);
+        let _ = fq.backward(&Tensor::ones(&[3]));
+        // Two samples above clip → dα = 2.
+        assert_eq!(fq.clip.grad.as_slice()[0], 2.0);
+        assert_eq!(fq.params().len(), 1);
+    }
+
+    #[test]
+    fn quantization_error_is_bounded_by_half_step() {
+        let mut fq = FakeQuant::new(FakeQuantConfig::act4());
+        fq.clip.value.as_mut_slice()[0] = 1.0;
+        let mut rng = TensorRng::seed_from(1);
+        let x = Tensor::rand_uniform(&[100], 0.0, 1.0, &mut rng);
+        let y = fq.forward(&x, false);
+        let step = 1.0 / 15.0;
+        assert!(y.max_abs_diff(&x) <= step / 2.0 + 1e-6);
+    }
+}

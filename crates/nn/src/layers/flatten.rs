@@ -1,0 +1,55 @@
+//! Flatten `[B, ...] → [B, prod(...)]`.
+
+use crate::module::Layer;
+use mixmatch_tensor::Tensor;
+
+/// Collapses all non-batch dimensions, remembering the original shape for
+/// backward.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { cached_dims: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let b = input.dims()[0];
+        let rest: usize = input.dims()[1..].iter().product();
+        if train {
+            self.cached_dims = Some(input.dims().to_vec());
+        }
+        input.reshape(&[b, rest])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let dims = self
+            .cached_dims
+            .take()
+            .expect("Flatten::backward called without cached forward");
+        grad_output.reshape(&dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixmatch_tensor::TensorRng;
+
+    #[test]
+    fn flattens_and_restores() {
+        let mut rng = TensorRng::seed_from(0);
+        let x = Tensor::randn(&[2, 3, 4, 5], &mut rng);
+        let mut f = Flatten::new();
+        let y = f.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 60]);
+        let g = f.backward(&y);
+        assert_eq!(g.dims(), x.dims());
+        assert_eq!(g.as_slice(), x.as_slice());
+    }
+}

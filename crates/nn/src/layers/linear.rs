@@ -1,0 +1,189 @@
+//! Fully-connected layer.
+
+use crate::init;
+use crate::module::{Layer, Param};
+use mixmatch_tensor::{gemm, Tensor, TensorRng};
+
+/// Affine transform `y = x·Wᵀ + b` on batched input `[B, in]`.
+///
+/// The weight is stored `[out, in]`, i.e. **one row per output neuron** — the
+/// same row-per-filter convention the paper's row-wise scheme assignment
+/// (Algorithm 2) operates on.
+pub struct Linear {
+    weight: Param,
+    bias: Option<Param>,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with LeCun-uniform init.
+    pub fn new(in_features: usize, out_features: usize, bias: bool, rng: &mut TensorRng) -> Self {
+        Self::with_name("linear", in_features, out_features, bias, rng)
+    }
+
+    /// Creates a linear layer whose parameters are named `{name}.weight` /
+    /// `{name}.bias`.
+    pub fn with_name(
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        bias: bool,
+        rng: &mut TensorRng,
+    ) -> Self {
+        let weight = Param::new(
+            format!("{name}.weight"),
+            init::lecun_uniform(&[out_features, in_features], in_features, rng),
+        );
+        let bias = bias.then(|| Param::new(format!("{name}.bias"), Tensor::zeros(&[out_features])));
+        Linear {
+            weight,
+            bias,
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The `[out, in]` weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable access to the weight parameter (used by quantization).
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.shape().rank(), 2, "Linear expects [batch, in] input");
+        assert_eq!(
+            input.dims()[1],
+            self.in_features,
+            "Linear input width mismatch"
+        );
+        let batch = input.dims()[0];
+        // y[b,o] = sum_i x[b,i] * w[o,i]  ==  X (B,I) * W^T (I,O)
+        let wt = self.weight.value.transpose();
+        let mut out = input.matmul(&wt);
+        if let Some(b) = &self.bias {
+            for r in 0..batch {
+                let row = out.row_mut(r);
+                for (o, v) in row.iter_mut().enumerate() {
+                    *v += b.value.as_slice()[o];
+                }
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("Linear::backward called without cached forward");
+        let batch = input.dims()[0];
+        assert_eq!(grad_output.dims(), &[batch, self.out_features]);
+        // dW[o,i] += sum_b g[b,o] * x[b,i]  ==  G^T (O,B) * X (B,I)
+        gemm::gemm_accumulate(
+            grad_output.transpose().as_slice(),
+            input.as_slice(),
+            self.weight.grad.as_mut_slice(),
+            self.out_features,
+            batch,
+            self.in_features,
+        );
+        if let Some(b) = &mut self.bias {
+            for r in 0..batch {
+                let g = grad_output.row(r);
+                for (o, gb) in b.grad.as_mut_slice().iter_mut().enumerate() {
+                    *gb += g[o];
+                }
+            }
+        }
+        // dX = G (B,O) * W (O,I)
+        grad_output.matmul(&self.weight.value)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut v = vec![&self.weight];
+        if let Some(b) = &self.bias {
+            v.push(b);
+        }
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = vec![&mut self.weight];
+        if let Some(b) = &mut self.bias {
+            v.push(b);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut fc = Linear::new(3, 2, true, &mut rng);
+        fc.weight.value = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0], &[2, 3]).unwrap();
+        if let Some(b) = &mut fc.bias {
+            b.value = Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap();
+        }
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let y = fc.forward(&x, false);
+        assert_eq!(y.as_slice(), &[1.5, 1.5]);
+    }
+
+    #[test]
+    fn gradients_pass_finite_difference_check() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut fc = Linear::new(4, 3, true, &mut rng);
+        check_layer_gradients(&mut fc, &[2, 4], 1e-2, &mut rng);
+    }
+
+    #[test]
+    fn gradients_without_bias() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut fc = Linear::new(3, 3, false, &mut rng);
+        check_layer_gradients(&mut fc, &[2, 3], 1e-2, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "without cached forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut fc = Linear::new(2, 2, true, &mut rng);
+        let _ = fc.backward(&Tensor::zeros(&[1, 2]));
+    }
+
+    #[test]
+    fn eval_forward_does_not_cache() {
+        let mut rng = TensorRng::seed_from(4);
+        let mut fc = Linear::new(2, 2, true, &mut rng);
+        let x = Tensor::randn(&[1, 2], &mut rng);
+        let _ = fc.forward(&x, false);
+        assert!(fc.cached_input.is_none());
+    }
+}

@@ -1,0 +1,26 @@
+//! Layer implementations.
+//!
+//! Every layer follows the [`Layer`](crate::module::Layer) contract:
+//! `forward` caches, `backward` consumes the cache and accumulates parameter
+//! gradients. All layers are validated by finite-difference gradient checks in
+//! their unit tests (see [`crate::gradcheck`]).
+
+mod act;
+mod bn;
+mod conv;
+mod dropout;
+mod embedding;
+mod fakequant;
+mod flatten;
+mod linear;
+mod pool;
+
+pub use act::{LeakyRelu, Relu, Relu6, Sigmoid, Tanh};
+pub use bn::BatchNorm2d;
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use fakequant::{FakeQuant, FakeQuantConfig};
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};

@@ -1,0 +1,315 @@
+//! Spatial pooling layers.
+
+use crate::module::Layer;
+use mixmatch_tensor::Tensor;
+
+/// Max pooling with square window and stride equal to the window.
+pub struct MaxPool2d {
+    window: usize,
+    /// Flat argmax index per output element, for backward routing.
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (argmax indices, input dims)
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with `window × window` non-overlapping
+    /// windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "pool window must be positive");
+        MaxPool2d {
+            window,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.shape().rank(), 4, "MaxPool2d expects [B,C,H,W]");
+        let (b, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let k = self.window;
+        assert!(
+            h % k == 0 && w % k == 0,
+            "MaxPool2d input {h}x{w} not divisible by window {k}"
+        );
+        let (oh, ow) = (h / k, w / k);
+        let mut out = Tensor::zeros(&[b, c, oh, ow]);
+        let mut argmax = vec![0usize; b * c * oh * ow];
+        let src = input.as_slice();
+        for bi in 0..b {
+            for ch in 0..c {
+                let in_base = (bi * c + ch) * h * w;
+                let out_base = (bi * c + ch) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                let idx = in_base + (oy * k + dy) * w + ox * k + dx;
+                                if src[idx] > best {
+                                    best = src[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        out.as_mut_slice()[out_base + oy * ow + ox] = best;
+                        argmax[out_base + oy * ow + ox] = best_idx;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache = Some((argmax, input.dims().to_vec()));
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let (argmax, dims) = self
+            .cache
+            .take()
+            .expect("MaxPool2d::backward called without cached forward");
+        let mut grad_in = Tensor::zeros(&dims);
+        for (o, &src_idx) in argmax.iter().enumerate() {
+            grad_in.as_mut_slice()[src_idx] += grad_output.as_slice()[o];
+        }
+        grad_in
+    }
+}
+
+/// Average pooling with square window and stride equal to the window.
+pub struct AvgPool2d {
+    window: usize,
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "pool window must be positive");
+        AvgPool2d {
+            window,
+            cached_dims: None,
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.shape().rank(), 4, "AvgPool2d expects [B,C,H,W]");
+        let (b, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let k = self.window;
+        assert!(
+            h % k == 0 && w % k == 0,
+            "AvgPool2d input {h}x{w} not divisible by window {k}"
+        );
+        let (oh, ow) = (h / k, w / k);
+        let inv = 1.0 / (k * k) as f32;
+        let mut out = Tensor::zeros(&[b, c, oh, ow]);
+        let src = input.as_slice();
+        for bi in 0..b {
+            for ch in 0..c {
+                let in_base = (bi * c + ch) * h * w;
+                let out_base = (bi * c + ch) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut sum = 0.0f32;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                sum += src[in_base + (oy * k + dy) * w + ox * k + dx];
+                            }
+                        }
+                        out.as_mut_slice()[out_base + oy * ow + ox] = sum * inv;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cached_dims = Some(input.dims().to_vec());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let dims = self
+            .cached_dims
+            .take()
+            .expect("AvgPool2d::backward called without cached forward");
+        let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let k = self.window;
+        let (oh, ow) = (h / k, w / k);
+        let inv = 1.0 / (k * k) as f32;
+        let mut grad_in = Tensor::zeros(&dims);
+        let go = grad_output.as_slice();
+        for bi in 0..b {
+            for ch in 0..c {
+                let in_base = (bi * c + ch) * h * w;
+                let out_base = (bi * c + ch) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = go[out_base + oy * ow + ox] * inv;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                grad_in.as_mut_slice()
+                                    [in_base + (oy * k + dy) * w + ox * k + dx] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+/// Global average pooling: `[B, C, H, W] → [B, C]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { cached_dims: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.shape().rank(), 4, "GlobalAvgPool expects [B,C,H,W]");
+        let (b, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let plane = h * w;
+        let inv = 1.0 / plane as f32;
+        let mut out = Tensor::zeros(&[b, c]);
+        for bi in 0..b {
+            for ch in 0..c {
+                let base = (bi * c + ch) * plane;
+                out.as_mut_slice()[bi * c + ch] =
+                    input.as_slice()[base..base + plane].iter().sum::<f32>() * inv;
+            }
+        }
+        if train {
+            self.cached_dims = Some(input.dims().to_vec());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let dims = self
+            .cached_dims
+            .take()
+            .expect("GlobalAvgPool::backward called without cached forward");
+        let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let plane = h * w;
+        let inv = 1.0 / plane as f32;
+        let mut grad_in = Tensor::zeros(&dims);
+        for bi in 0..b {
+            for ch in 0..c {
+                let g = grad_output.as_slice()[bi * c + ch] * inv;
+                let base = (bi * c + ch) * plane;
+                for v in &mut grad_in.as_mut_slice()[base..base + plane] {
+                    *v = g;
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixmatch_tensor::TensorRng;
+
+    #[test]
+    fn maxpool_picks_window_maxima() {
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let mut p = MaxPool2d::new(2);
+        let y = p.forward(&x, false);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 9.0, 2.0, 3.0], &[1, 1, 2, 2]).unwrap();
+        let mut p = MaxPool2d::new(2);
+        let _ = p.forward(&x, true);
+        let g = p.backward(&Tensor::ones(&[1, 1, 1, 1]));
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avgpool_averages() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let mut p = AvgPool2d::new(2);
+        let y = p.forward(&x, false);
+        assert_eq!(y.as_slice(), &[2.5]);
+    }
+
+    #[test]
+    fn avgpool_backward_spreads_uniformly() {
+        let x = Tensor::randn(&[1, 1, 2, 2], &mut TensorRng::seed_from(0));
+        let mut p = AvgPool2d::new(2);
+        let _ = p.forward(&x, true);
+        let g = p.backward(&Tensor::full(&[1, 1, 1, 1], 4.0));
+        assert_eq!(g.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn global_pool_reduces_to_bc() {
+        let mut rng = TensorRng::seed_from(1);
+        let x = Tensor::randn(&[2, 3, 4, 4], &mut rng);
+        let mut p = GlobalAvgPool::new();
+        let y = p.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 3]);
+        let g = p.backward(&Tensor::ones(&[2, 3]));
+        assert_eq!(g.dims(), x.dims());
+        assert!((g.as_slice()[0] - 1.0 / 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_input_panics() {
+        let mut p = MaxPool2d::new(2);
+        let _ = p.forward(&Tensor::zeros(&[1, 1, 3, 3]), false);
+    }
+
+    #[test]
+    fn gradcheck_pooling_layers() {
+        use crate::gradcheck::check_layer_gradients;
+        let mut rng = TensorRng::seed_from(7);
+        check_layer_gradients(&mut AvgPool2d::new(2), &[1, 2, 4, 4], 2e-2, &mut rng);
+        check_layer_gradients(&mut GlobalAvgPool::new(), &[2, 3, 4, 4], 2e-2, &mut rng);
+        // MaxPool is piecewise-linear; gradcheck is valid away from ties,
+        // which random continuous inputs avoid almost surely.
+        check_layer_gradients(&mut MaxPool2d::new(2), &[1, 2, 4, 4], 5e-2, &mut rng);
+    }
+}

@@ -1,0 +1,49 @@
+//! # mixmatch-nn
+//!
+//! Neural-network substrate for the Mix-and-Match reproduction.
+//!
+//! The paper trains CNNs (ResNet-18, MobileNet-v2, YOLO-v3) and RNNs
+//! (LSTM, GRU) under quantization; this crate supplies those model families,
+//! their layers with hand-written forward/backward passes, losses, optimizers
+//! and evaluation metrics — all on top of [`mixmatch_tensor`].
+//!
+//! Design notes:
+//!
+//! * **No autograd tape.** Every layer implements [`Layer::forward`] /
+//!   [`Layer::backward`] explicitly and caches what it needs. This keeps the
+//!   computation auditable and makes it trivial for `mixmatch-quant` to
+//!   interpose weight projection and activation quantization (STE) at exact,
+//!   known points.
+//! * **Parameters are named.** [`Param`] carries a stable name so the
+//!   quantization layer can report per-layer statistics and per-row scheme
+//!   assignments the way the paper's tables do.
+//!
+//! # Example
+//!
+//! ```
+//! use mixmatch_nn::layers::Linear;
+//! use mixmatch_nn::module::Layer;
+//! use mixmatch_tensor::{Tensor, TensorRng};
+//!
+//! let mut rng = TensorRng::seed_from(0);
+//! let mut fc = Linear::new(8, 4, true, &mut rng);
+//! let x = Tensor::randn(&[2, 8], &mut rng);
+//! let y = fc.forward(&x, true);
+//! assert_eq!(y.dims(), &[2, 4]);
+//! ```
+
+// Index-heavy numerical kernels read more clearly with explicit loops.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod gradcheck;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod models;
+pub mod module;
+pub mod optim;
+pub mod rnn;
+
+pub use module::{Layer, Param};

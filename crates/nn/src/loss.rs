@@ -1,0 +1,178 @@
+//! Loss functions.
+//!
+//! Each loss returns `(scalar_loss, grad_wrt_input)` in one call — the
+//! training loops feed the gradient straight into `Layer::backward`.
+
+use mixmatch_tensor::Tensor;
+
+/// Numerically-stable log-softmax over the last axis of `[B, C]` logits.
+fn log_softmax_rows(logits: &Tensor) -> Tensor {
+    let (b, c) = (logits.dims()[0], logits.dims()[1]);
+    let mut out = Tensor::zeros(&[b, c]);
+    for r in 0..b {
+        let row = logits.row(r);
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let logsum = row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln() + m;
+        for (o, &x) in out.row_mut(r).iter_mut().zip(row) {
+            *o = x - logsum;
+        }
+    }
+    out
+}
+
+/// Softmax cross-entropy over `[B, C]` logits and integer class targets.
+///
+/// Returns the mean loss and the gradient `(softmax - onehot)/B`.
+///
+/// # Panics
+///
+/// Panics when `targets.len()` differs from the batch size or a target is out
+/// of range.
+pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().rank(), 2, "cross_entropy expects [B, C]");
+    let (b, c) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(targets.len(), b, "one target per batch row required");
+    let logp = log_softmax_rows(logits);
+    let mut loss = 0.0f32;
+    let mut grad = Tensor::zeros(&[b, c]);
+    let inv_b = 1.0 / b as f32;
+    for r in 0..b {
+        let t = targets[r];
+        assert!(t < c, "target {t} out of range for {c} classes");
+        loss -= logp.row(r)[t];
+        let g = grad.row_mut(r);
+        for (j, gj) in g.iter_mut().enumerate() {
+            let p = logp.row(r)[j].exp();
+            *gj = (p - if j == t { 1.0 } else { 0.0 }) * inv_b;
+        }
+    }
+    (loss * inv_b, grad)
+}
+
+/// Mean-squared error between prediction and target of identical shape.
+///
+/// Returns `(mean((p-t)^2), 2(p-t)/N)`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    let diff = pred - target;
+    let n = pred.len() as f32;
+    let loss = diff.sq_norm() / n;
+    let grad = &diff * (2.0 / n);
+    (loss, grad)
+}
+
+/// Binary cross-entropy on probabilities in `(0, 1)`, with targets in `[0,1]`.
+///
+/// Returns the mean loss and its gradient with respect to the probabilities.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn bce(prob: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(prob.dims(), target.dims(), "bce shape mismatch");
+    let n = prob.len() as f32;
+    let eps = 1e-7f32;
+    let mut loss = 0.0f32;
+    let mut grad = Tensor::zeros(prob.dims());
+    for i in 0..prob.len() {
+        let p = prob.as_slice()[i].clamp(eps, 1.0 - eps);
+        let t = target.as_slice()[i];
+        loss -= t * p.ln() + (1.0 - t) * (1.0 - p).ln();
+        grad.as_mut_slice()[i] = (p - t) / (p * (1.0 - p)) / n;
+    }
+    (loss / n, grad)
+}
+
+/// Perplexity from a mean negative-log-likelihood (`exp(nll)`), the PTB
+/// language-modelling metric of Table VI.
+pub fn perplexity(mean_nll: f32) -> f32 {
+    mean_nll.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixmatch_tensor::TensorRng;
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, _) = cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_confident_correct_is_small() {
+        let mut logits = Tensor::zeros(&[1, 3]);
+        logits.set(&[0, 1], 20.0);
+        let (loss, _) = cross_entropy(&logits, &[1]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let mut rng = TensorRng::seed_from(0);
+        let logits = Tensor::randn(&[3, 5], &mut rng);
+        let targets = [1usize, 4, 0];
+        let (_, grad) = cross_entropy(&logits, &targets);
+        let h = 1e-2f32;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += h;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= h;
+            let numeric = (cross_entropy(&lp, &targets).0 - cross_entropy(&lm, &targets).0)
+                / (2.0 * h);
+            assert!(
+                (grad.as_slice()[i] - numeric).abs() < 1e-3,
+                "grad mismatch at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_grad_rows_sum_to_zero() {
+        let mut rng = TensorRng::seed_from(1);
+        let logits = Tensor::randn(&[4, 6], &mut rng);
+        let (_, grad) = cross_entropy(&logits, &[0, 1, 2, 3]);
+        for r in 0..4 {
+            let s: f32 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn mse_basics() {
+        let p = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let t = Tensor::from_vec(vec![0.0, 0.0], &[2]).unwrap();
+        let (loss, grad) = mse(&p, &t);
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn bce_at_half_is_ln2() {
+        let p = Tensor::full(&[4], 0.5);
+        let t = Tensor::from_vec(vec![0.0, 1.0, 0.0, 1.0], &[4]).unwrap();
+        let (loss, _) = bce(&p, &t);
+        assert!((loss - (2.0f32).ln().abs()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_gradient_sign() {
+        let p = Tensor::full(&[1], 0.8);
+        let t_hi = Tensor::full(&[1], 1.0);
+        let t_lo = Tensor::full(&[1], 0.0);
+        assert!(bce(&p, &t_hi).1.as_slice()[0] < 0.0); // push p up
+        assert!(bce(&p, &t_lo).1.as_slice()[0] > 0.0); // push p down
+    }
+
+    #[test]
+    fn perplexity_of_zero_nll_is_one() {
+        assert_eq!(perplexity(0.0), 1.0);
+        assert!((perplexity((10.0f32).ln()) - 10.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,415 @@
+//! Evaluation metrics used by the paper's tables.
+//!
+//! * Top-1/Top-5 accuracy — Tables II, III, IV, IX.
+//! * Perplexity — Table VI (LSTM on PTB); see [`crate::loss::perplexity`].
+//! * Phoneme error rate (edit distance) — Table VI (GRU on TIMIT).
+//! * IoU and mAP at configurable thresholds — Table V (YOLO on COCO).
+
+use mixmatch_tensor::Tensor;
+
+/// Fraction of rows whose true class appears in the top-`k` logits.
+///
+/// # Panics
+///
+/// Panics when `logits` is not `[B, C]`, `targets.len() != B`, or `k == 0`.
+pub fn top_k_accuracy(logits: &Tensor, targets: &[usize], k: usize) -> f32 {
+    assert_eq!(logits.shape().rank(), 2, "top_k_accuracy expects [B, C]");
+    assert!(k > 0, "k must be positive");
+    let (b, c) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(targets.len(), b, "one target per row required");
+    let k = k.min(c);
+    let mut hits = 0usize;
+    for r in 0..b {
+        let row = logits.row(r);
+        let target_score = row[targets[r]];
+        // Count entries strictly greater than the target's score; ties broken
+        // in favour of the target (matches common topk semantics closely
+        // enough for evaluation).
+        let better = row.iter().filter(|&&v| v > target_score).count();
+        if better < k {
+            hits += 1;
+        }
+    }
+    hits as f32 / b as f32
+}
+
+/// Top-1 accuracy shorthand.
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
+    top_k_accuracy(logits, targets, 1)
+}
+
+/// Levenshtein edit distance between two symbol sequences.
+pub fn edit_distance(a: &[usize], b: &[usize]) -> usize {
+    let (la, lb) = (a.len(), b.len());
+    if la == 0 {
+        return lb;
+    }
+    if lb == 0 {
+        return la;
+    }
+    let mut prev: Vec<usize> = (0..=lb).collect();
+    let mut curr = vec![0usize; lb + 1];
+    for i in 1..=la {
+        curr[0] = i;
+        for j in 1..=lb {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            curr[j] = (prev[j] + 1).min(curr[j - 1] + 1).min(prev[j - 1] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[lb]
+}
+
+/// Collapses consecutive duplicate symbols (CTC-style) before scoring a
+/// phoneme sequence.
+pub fn collapse_repeats(seq: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(seq.len());
+    for &s in seq {
+        if out.last() != Some(&s) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Phoneme error rate: total edit distance over total reference length, in
+/// percent (lower is better, as in Table VI).
+///
+/// # Panics
+///
+/// Panics when the two slices have different lengths or the references are
+/// all empty.
+pub fn phoneme_error_rate(hyps: &[Vec<usize>], refs: &[Vec<usize>]) -> f32 {
+    assert_eq!(hyps.len(), refs.len(), "one hypothesis per reference");
+    let mut dist = 0usize;
+    let mut total = 0usize;
+    for (h, r) in hyps.iter().zip(refs) {
+        let hc = collapse_repeats(h);
+        let rc = collapse_repeats(r);
+        dist += edit_distance(&hc, &rc);
+        total += rc.len();
+    }
+    assert!(total > 0, "empty reference set");
+    100.0 * dist as f32 / total as f32
+}
+
+/// An axis-aligned box with a confidence score and class, in any consistent
+/// coordinate unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetBox {
+    /// Centre x.
+    pub cx: f32,
+    /// Centre y.
+    pub cy: f32,
+    /// Width.
+    pub w: f32,
+    /// Height.
+    pub h: f32,
+    /// Confidence score (objectness × class probability).
+    pub score: f32,
+    /// Class id.
+    pub class: usize,
+}
+
+impl DetBox {
+    fn corners(&self) -> (f32, f32, f32, f32) {
+        (
+            self.cx - self.w / 2.0,
+            self.cy - self.h / 2.0,
+            self.cx + self.w / 2.0,
+            self.cy + self.h / 2.0,
+        )
+    }
+}
+
+/// Intersection-over-union of two boxes.
+pub fn iou(a: &DetBox, b: &DetBox) -> f32 {
+    let (ax1, ay1, ax2, ay2) = a.corners();
+    let (bx1, by1, bx2, by2) = b.corners();
+    let ix = (ax2.min(bx2) - ax1.max(bx1)).max(0.0);
+    let iy = (ay2.min(by2) - ay1.max(by1)).max(0.0);
+    let inter = ix * iy;
+    let union = a.w * a.h + b.w * b.h - inter;
+    if union <= 0.0 {
+        0.0
+    } else {
+        inter / union
+    }
+}
+
+/// Greedy non-maximum suppression per class.
+pub fn nms(mut boxes: Vec<DetBox>, iou_threshold: f32) -> Vec<DetBox> {
+    boxes.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("NaN score"));
+    let mut keep: Vec<DetBox> = Vec::new();
+    'outer: for b in boxes {
+        for k in &keep {
+            if k.class == b.class && iou(k, &b) > iou_threshold {
+                continue 'outer;
+            }
+        }
+        keep.push(b);
+    }
+    keep
+}
+
+/// Average precision for one class at one IoU threshold using all-point
+/// interpolation, given per-image predictions and ground truths.
+fn average_precision(
+    preds: &[(usize, DetBox)], // (image id, box) — this class only
+    gts: &[(usize, DetBox)],
+    iou_thresh: f32,
+) -> f32 {
+    if gts.is_empty() {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..preds.len()).collect();
+    order.sort_by(|&a, &b| {
+        preds[b]
+            .1
+            .score
+            .partial_cmp(&preds[a].1.score)
+            .expect("NaN score")
+    });
+    let mut matched = vec![false; gts.len()];
+    let mut tp = Vec::with_capacity(preds.len());
+    for &pi in &order {
+        let (img, pbox) = &preds[pi];
+        let mut best_iou = 0.0f32;
+        let mut best_gt = None;
+        for (gi, (gimg, gbox)) in gts.iter().enumerate() {
+            if gimg != img || matched[gi] {
+                continue;
+            }
+            let v = iou(pbox, gbox);
+            if v > best_iou {
+                best_iou = v;
+                best_gt = Some(gi);
+            }
+        }
+        if best_iou >= iou_thresh {
+            matched[best_gt.expect("gt present when IoU > 0")] = true;
+            tp.push(true);
+        } else {
+            tp.push(false);
+        }
+    }
+    // Precision–recall sweep.
+    let mut cum_tp = 0usize;
+    let mut curve: Vec<(f32, f32)> = Vec::with_capacity(tp.len()); // (recall, precision)
+    for (i, &hit) in tp.iter().enumerate() {
+        if hit {
+            cum_tp += 1;
+        }
+        let prec = cum_tp as f32 / (i + 1) as f32;
+        let rec = cum_tp as f32 / gts.len() as f32;
+        curve.push((rec, prec));
+    }
+    // All-point interpolated AP.
+    let mut ap = 0.0f32;
+    let mut prev_rec = 0.0f32;
+    let mut i = 0usize;
+    while i < curve.len() {
+        let rec = curve[i].0;
+        let max_prec = curve[i..]
+            .iter()
+            .map(|&(_, p)| p)
+            .fold(0.0f32, f32::max);
+        ap += (rec - prev_rec) * max_prec;
+        prev_rec = rec;
+        // Skip to next recall change.
+        while i < curve.len() && curve[i].0 == rec {
+            i += 1;
+        }
+    }
+    ap
+}
+
+/// Mean average precision over classes at a single IoU threshold
+/// (`mAP@0.5` when `iou_thresh == 0.5`).
+///
+/// `predictions` and `ground_truth` are per-image box lists.
+pub fn mean_average_precision(
+    predictions: &[Vec<DetBox>],
+    ground_truth: &[Vec<DetBox>],
+    num_classes: usize,
+    iou_thresh: f32,
+) -> f32 {
+    let mut flat_preds: Vec<(usize, DetBox)> = Vec::new();
+    let mut flat_gts: Vec<(usize, DetBox)> = Vec::new();
+    for (img, boxes) in predictions.iter().enumerate() {
+        flat_preds.extend(boxes.iter().map(|&b| (img, b)));
+    }
+    for (img, boxes) in ground_truth.iter().enumerate() {
+        flat_gts.extend(boxes.iter().map(|&b| (img, b)));
+    }
+    let mut total = 0.0f32;
+    let mut classes_with_gt = 0usize;
+    for c in 0..num_classes {
+        let preds_c: Vec<(usize, DetBox)> = flat_preds
+            .iter()
+            .filter(|(_, b)| b.class == c)
+            .cloned()
+            .collect();
+        let gts_c: Vec<(usize, DetBox)> = flat_gts
+            .iter()
+            .filter(|(_, b)| b.class == c)
+            .cloned()
+            .collect();
+        if gts_c.is_empty() {
+            continue;
+        }
+        classes_with_gt += 1;
+        total += average_precision(&preds_c, &gts_c, iou_thresh);
+    }
+    if classes_with_gt == 0 {
+        0.0
+    } else {
+        total / classes_with_gt as f32
+    }
+}
+
+/// COCO-style `mAP@0.5:0.95`: the mean of mAP over IoU thresholds
+/// 0.50, 0.55, …, 0.95.
+pub fn map_coco(
+    predictions: &[Vec<DetBox>],
+    ground_truth: &[Vec<DetBox>],
+    num_classes: usize,
+) -> f32 {
+    let mut total = 0.0f32;
+    let mut n = 0usize;
+    let mut t = 0.5f32;
+    while t < 0.975 {
+        total += mean_average_precision(predictions, ground_truth, num_classes, t);
+        n += 1;
+        t += 0.05;
+    }
+    total / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed(cx: f32, cy: f32, w: f32, h: f32, score: f32, class: usize) -> DetBox {
+        DetBox {
+            cx,
+            cy,
+            w,
+            h,
+            score,
+            class,
+        }
+    }
+
+    #[test]
+    fn topk_basics() {
+        let logits =
+            Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.6, 0.3, 0.1], &[2, 3]).unwrap();
+        assert_eq!(accuracy(&logits, &[1, 0]), 1.0);
+        assert_eq!(accuracy(&logits, &[0, 1]), 0.0);
+        assert_eq!(top_k_accuracy(&logits, &[0, 1], 2), 1.0);
+    }
+
+    #[test]
+    fn edit_distance_known_cases() {
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 3]), 1); // deletion
+        assert_eq!(edit_distance(&[1, 2], &[1, 2, 3]), 1); // insertion
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 9, 3]), 1); // substitution
+        assert_eq!(edit_distance(&[], &[1, 2]), 2);
+    }
+
+    #[test]
+    fn collapse_removes_consecutive_dups() {
+        assert_eq!(collapse_repeats(&[1, 1, 2, 2, 2, 1]), vec![1, 2, 1]);
+        assert_eq!(collapse_repeats(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn per_zero_for_perfect_hyps() {
+        let r = vec![vec![1, 1, 2, 3]];
+        let h = vec![vec![1, 2, 2, 3]];
+        assert_eq!(phoneme_error_rate(&h, &r), 0.0);
+    }
+
+    #[test]
+    fn per_counts_errors() {
+        let r = vec![vec![1, 2, 3, 4]]; // collapsed len 4
+        let h = vec![vec![1, 2, 3, 9]];
+        assert!((phoneme_error_rate(&h, &r) - 25.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn iou_identical_is_one() {
+        let a = boxed(0.5, 0.5, 0.2, 0.2, 1.0, 0);
+        assert!((iou(&a, &a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iou_disjoint_is_zero() {
+        let a = boxed(0.2, 0.2, 0.1, 0.1, 1.0, 0);
+        let b = boxed(0.8, 0.8, 0.1, 0.1, 1.0, 0);
+        assert_eq!(iou(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        let a = boxed(0.0, 0.0, 2.0, 2.0, 1.0, 0);
+        let b = boxed(1.0, 0.0, 2.0, 2.0, 1.0, 0);
+        // Intersection 2, union 6.
+        assert!((iou(&a, &b) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nms_suppresses_overlapping_same_class() {
+        let boxes = vec![
+            boxed(0.5, 0.5, 0.2, 0.2, 0.9, 0),
+            boxed(0.51, 0.5, 0.2, 0.2, 0.8, 0),
+            boxed(0.5, 0.5, 0.2, 0.2, 0.7, 1), // other class survives
+        ];
+        let kept = nms(boxes, 0.5);
+        assert_eq!(kept.len(), 2);
+        assert!((kept[0].score - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_detection_has_map_one() {
+        let gt = vec![vec![boxed(0.5, 0.5, 0.2, 0.2, 1.0, 0)]];
+        let pred = vec![vec![boxed(0.5, 0.5, 0.2, 0.2, 0.95, 0)]];
+        let map = mean_average_precision(&pred, &gt, 1, 0.5);
+        assert!((map - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn missed_detection_lowers_map() {
+        let gt = vec![vec![
+            boxed(0.2, 0.2, 0.2, 0.2, 1.0, 0),
+            boxed(0.8, 0.8, 0.2, 0.2, 1.0, 0),
+        ]];
+        let pred = vec![vec![boxed(0.2, 0.2, 0.2, 0.2, 0.9, 0)]];
+        let map = mean_average_precision(&pred, &gt, 1, 0.5);
+        assert!((map - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn false_positive_lowers_map() {
+        let gt = vec![vec![boxed(0.2, 0.2, 0.2, 0.2, 1.0, 0)]];
+        let pred = vec![vec![
+            boxed(0.9, 0.9, 0.1, 0.1, 0.99, 0), // confident false positive
+            boxed(0.2, 0.2, 0.2, 0.2, 0.5, 0),
+        ]];
+        let map = mean_average_precision(&pred, &gt, 1, 0.5);
+        assert!(map < 1.0 && map > 0.0);
+    }
+
+    #[test]
+    fn coco_map_le_map50() {
+        let gt = vec![vec![boxed(0.5, 0.5, 0.2, 0.2, 1.0, 0)]];
+        // Slightly offset prediction: passes IoU 0.5 but fails 0.9.
+        let pred = vec![vec![boxed(0.52, 0.5, 0.2, 0.2, 0.9, 0)]];
+        let m50 = mean_average_precision(&pred, &gt, 1, 0.5);
+        let mcoco = map_coco(&pred, &gt, 1);
+        assert!(mcoco < m50);
+        assert!(m50 > 0.99);
+    }
+}

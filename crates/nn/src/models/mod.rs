@@ -1,0 +1,19 @@
+//! Model families evaluated in the paper.
+//!
+//! Full-size topologies (ResNet-18, MobileNet-v2, YOLO-v3, the PTB/TIMIT/IMDB
+//! RNNs) exist as *shape workloads* in `mixmatch-fpga` for the performance
+//! tables; here we provide **trainable** networks with the same block
+//! structure at configurable scale, so the accuracy experiments run in
+//! CPU-feasible time while exercising identical layer types (residual blocks,
+//! inverted residuals with depthwise conv, detection heads, stacked
+//! LSTM/GRU).
+
+mod mobilenet;
+mod resnet;
+mod rnn_models;
+mod yolo;
+
+pub use mobilenet::{MobileNetConfig, MobileNetV2};
+pub use resnet::{ResNet, ResNetConfig};
+pub use rnn_models::{GruFrameClassifier, LstmClassifier, LstmLanguageModel};
+pub use yolo::{YoloConfig, YoloDetector, YoloTarget};

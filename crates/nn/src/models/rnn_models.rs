@@ -1,0 +1,373 @@
+//! The three RNN applications of Table VI: language modelling (perplexity),
+//! frame classification (phoneme error rate) and sequence classification
+//! (sentiment accuracy).
+
+use crate::layers::{Embedding, Linear};
+use crate::module::{Layer, Param};
+use crate::rnn::{Gru, Lstm};
+use mixmatch_tensor::{Tensor, TensorRng};
+
+/// Stacked-LSTM language model: embedding → N×LSTM → tied-width decoder.
+///
+/// Mirrors the paper's "LSTM with 256 hidden neurons in two layers on PTB"
+/// at configurable scale. Input is a `[T, B]` token-id matrix; output is
+/// `[T·B, vocab]` next-token logits.
+pub struct LstmLanguageModel {
+    embedding: Embedding,
+    lstms: Vec<Lstm>,
+    decoder: Linear,
+    vocab: usize,
+    hidden: usize,
+}
+
+impl LstmLanguageModel {
+    /// Builds the model: `layers` LSTM layers of width `hidden` on
+    /// `embed_dim`-dimensional embeddings.
+    pub fn new(
+        vocab: usize,
+        embed_dim: usize,
+        hidden: usize,
+        layers: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
+        assert!(layers >= 1, "need at least one LSTM layer");
+        let mut lstms = Vec::new();
+        for l in 0..layers {
+            let input = if l == 0 { embed_dim } else { hidden };
+            lstms.push(Lstm::with_name(&format!("lstm{l}"), input, hidden, rng));
+        }
+        LstmLanguageModel {
+            embedding: Embedding::new(vocab, embed_dim, rng),
+            lstms,
+            decoder: Linear::with_name("decoder", hidden, vocab, true, rng),
+            vocab,
+            hidden,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Runs the model on `[T, B]` token ids, returning `[T·B, vocab]` logits.
+    pub fn forward_tokens(&mut self, tokens: &[Vec<usize>], train: bool) -> Tensor {
+        let t = tokens.len();
+        let b = tokens[0].len();
+        // Embed all steps: ids flattened time-major.
+        let flat: Vec<usize> = tokens.iter().flatten().copied().collect();
+        let emb = self.embedding.lookup(&flat, train); // [T*B, E]
+        let e = emb.dims()[1];
+        let mut x = emb.reshape(&[t, b, e]);
+        for lstm in &mut self.lstms {
+            x = lstm.forward(&x, train);
+        }
+        let h = x.reshape(&[t * b, self.hidden]);
+        self.decoder.forward(&h, train)
+    }
+
+    /// Backward pass for [`forward_tokens`](Self::forward_tokens).
+    pub fn backward_tokens(&mut self, grad_logits: &Tensor, t: usize, b: usize) {
+        let g = self.decoder.backward(grad_logits);
+        let mut g = g.reshape(&[t, b, self.hidden]);
+        for lstm in self.lstms.iter_mut().rev() {
+            g = lstm.backward(&g);
+        }
+        let e = self.embedding.dim();
+        self.embedding.lookup_backward(&g.reshape(&[t * b, e]));
+    }
+
+    /// All trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = self.embedding.params_mut();
+        for l in &mut self.lstms {
+            v.extend(l.params_mut());
+        }
+        v.extend(self.decoder.params_mut());
+        v
+    }
+
+    /// All parameters (immutable).
+    pub fn params(&self) -> Vec<&Param> {
+        let mut v = self.embedding.params();
+        for l in &self.lstms {
+            v.extend(l.params());
+        }
+        v.extend(self.decoder.params());
+        v
+    }
+
+    /// Zeroes every gradient.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+/// GRU network classifying every frame of a feature sequence (TIMIT-style
+/// phoneme recognition). Input `[T, B, F]`, output `[T·B, classes]`.
+pub struct GruFrameClassifier {
+    grus: Vec<Gru>,
+    head: Linear,
+    hidden: usize,
+    cached_tb: Option<(usize, usize)>,
+}
+
+impl GruFrameClassifier {
+    /// Builds `layers` GRU layers of width `hidden` over `features`-dim frames.
+    pub fn new(
+        features: usize,
+        hidden: usize,
+        layers: usize,
+        classes: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
+        assert!(layers >= 1, "need at least one GRU layer");
+        let mut grus = Vec::new();
+        for l in 0..layers {
+            let input = if l == 0 { features } else { hidden };
+            grus.push(Gru::with_name(&format!("gru{l}"), input, hidden, rng));
+        }
+        GruFrameClassifier {
+            grus,
+            head: Linear::with_name("head", hidden, classes, true, rng),
+            hidden,
+            cached_tb: None,
+        }
+    }
+}
+
+impl Layer for GruFrameClassifier {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let (t, b) = (input.dims()[0], input.dims()[1]);
+        let mut x = input.clone();
+        for gru in &mut self.grus {
+            x = gru.forward(&x, train);
+        }
+        if train {
+            self.cached_tb = Some((t, b));
+        }
+        self.head.forward(&x.reshape(&[t * b, self.hidden]), train)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let (t, b) = self
+            .cached_tb
+            .take()
+            .expect("GruFrameClassifier::backward without cached forward");
+        let g = self.head.backward(grad_output);
+        let mut g = g.reshape(&[t, b, self.hidden]);
+        for gru in self.grus.iter_mut().rev() {
+            g = gru.backward(&g);
+        }
+        g
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut v = Vec::new();
+        for gru in &self.grus {
+            v.extend(gru.params());
+        }
+        v.extend(self.head.params());
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = Vec::new();
+        for gru in &mut self.grus {
+            v.extend(gru.params_mut());
+        }
+        v.extend(self.head.params_mut());
+        v
+    }
+}
+
+/// LSTM sequence classifier (IMDB-style sentiment): embedding → N×LSTM →
+/// classifier on the final hidden state. Input `[T, B]` token ids.
+pub struct LstmClassifier {
+    embedding: Embedding,
+    lstms: Vec<Lstm>,
+    head: Linear,
+    hidden: usize,
+    cached_tb: Option<(usize, usize)>,
+}
+
+impl LstmClassifier {
+    /// Builds the classifier.
+    pub fn new(
+        vocab: usize,
+        embed_dim: usize,
+        hidden: usize,
+        layers: usize,
+        classes: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
+        assert!(layers >= 1, "need at least one LSTM layer");
+        let mut lstms = Vec::new();
+        for l in 0..layers {
+            let input = if l == 0 { embed_dim } else { hidden };
+            lstms.push(Lstm::with_name(&format!("lstm{l}"), input, hidden, rng));
+        }
+        LstmClassifier {
+            embedding: Embedding::new(vocab, embed_dim, rng),
+            lstms,
+            head: Linear::with_name("head", hidden, classes, true, rng),
+            hidden,
+            cached_tb: None,
+        }
+    }
+
+    /// Classifies `[T, B]` token sequences, returning `[B, classes]` logits.
+    pub fn forward_tokens(&mut self, tokens: &[Vec<usize>], train: bool) -> Tensor {
+        let t = tokens.len();
+        let b = tokens[0].len();
+        let flat: Vec<usize> = tokens.iter().flatten().copied().collect();
+        let emb = self.embedding.lookup(&flat, train);
+        let e = emb.dims()[1];
+        let mut x = emb.reshape(&[t, b, e]);
+        for lstm in &mut self.lstms {
+            x = lstm.forward(&x, train);
+        }
+        // Final step hidden state: rows [(t-1)*b .. t*b).
+        let last = Tensor::from_vec(
+            x.as_slice()[(t - 1) * b * self.hidden..].to_vec(),
+            &[b, self.hidden],
+        )
+        .expect("final step slice");
+        if train {
+            self.cached_tb = Some((t, b));
+        }
+        self.head.forward(&last, train)
+    }
+
+    /// Backward for [`forward_tokens`](Self::forward_tokens).
+    pub fn backward_tokens(&mut self, grad_logits: &Tensor) {
+        let (t, b) = self
+            .cached_tb
+            .take()
+            .expect("LstmClassifier::backward_tokens without forward");
+        let g_last = self.head.backward(grad_logits); // [B, H]
+        // Scatter into a [T, B, H] gradient that is zero except the last step.
+        let mut g_seq = Tensor::zeros(&[t, b, self.hidden]);
+        let off = (t - 1) * b * self.hidden;
+        g_seq.as_mut_slice()[off..].copy_from_slice(g_last.as_slice());
+        let mut g = g_seq;
+        for lstm in self.lstms.iter_mut().rev() {
+            g = lstm.backward(&g);
+        }
+        let e = self.embedding.dim();
+        self.embedding.lookup_backward(&g.reshape(&[t * b, e]));
+    }
+
+    /// All trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = self.embedding.params_mut();
+        for l in &mut self.lstms {
+            v.extend(l.params_mut());
+        }
+        v.extend(self.head.params_mut());
+        v
+    }
+
+    /// All parameters (immutable).
+    pub fn params(&self) -> Vec<&Param> {
+        let mut v = self.embedding.params();
+        for l in &self.lstms {
+            v.extend(l.params());
+        }
+        v.extend(self.head.params());
+        v
+    }
+
+    /// Zeroes every gradient.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::cross_entropy;
+    use crate::optim::Adam;
+
+    #[test]
+    fn lm_shapes_and_learning() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut lm = LstmLanguageModel::new(12, 8, 16, 2, &mut rng);
+        // Fixed sequence: predict next token of a repeating pattern.
+        let tokens: Vec<Vec<usize>> = (0..6).map(|t| vec![t % 3, (t + 1) % 3]).collect();
+        let targets: Vec<usize> = (0..6).flat_map(|t| vec![(t + 1) % 3, (t + 2) % 3]).collect();
+        let mut opt = Adam::new(0.01);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..30 {
+            let logits = lm.forward_tokens(&tokens, true);
+            assert_eq!(logits.dims(), &[12, 12]);
+            let (loss, grad) = cross_entropy(&logits, &targets);
+            lm.backward_tokens(&grad, 6, 2);
+            opt.step(&mut lm.params_mut());
+            lm.zero_grad();
+            first.get_or_insert(loss);
+            last = loss;
+        }
+        assert!(
+            last < first.unwrap() * 0.7,
+            "LM should learn the pattern: {} -> {last}",
+            first.unwrap()
+        );
+    }
+
+    #[test]
+    fn classifier_uses_final_state() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut clf = LstmClassifier::new(10, 6, 8, 1, 2, &mut rng);
+        let tokens: Vec<Vec<usize>> = vec![vec![1, 2], vec![3, 4], vec![5, 6]];
+        let logits = clf.forward_tokens(&tokens, false);
+        assert_eq!(logits.dims(), &[2, 2]);
+    }
+
+    #[test]
+    fn classifier_learns_token_presence() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut clf = LstmClassifier::new(8, 6, 10, 1, 2, &mut rng);
+        // Class is determined by the last token parity.
+        let batches: Vec<(Vec<Vec<usize>>, Vec<usize>)> = (0..8)
+            .map(|i| {
+                let last = (i % 4) as usize;
+                (vec![vec![7], vec![last]], vec![last % 2])
+            })
+            .collect();
+        let mut opt = Adam::new(0.02);
+        let mut first = None;
+        let mut last_loss = 0.0;
+        for _ in 0..40 {
+            let mut total = 0.0;
+            for (tokens, targets) in &batches {
+                let logits = clf.forward_tokens(tokens, true);
+                let (loss, grad) = cross_entropy(&logits, targets);
+                clf.backward_tokens(&grad);
+                opt.step(&mut clf.params_mut());
+                clf.zero_grad();
+                total += loss;
+            }
+            first.get_or_insert(total);
+            last_loss = total;
+        }
+        assert!(last_loss < first.unwrap() * 0.5);
+    }
+
+    #[test]
+    fn gru_frame_classifier_shapes() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut clf = GruFrameClassifier::new(5, 12, 2, 4, &mut rng);
+        let x = Tensor::randn(&[7, 3, 5], &mut rng);
+        let y = clf.forward(&x, true);
+        assert_eq!(y.dims(), &[21, 4]);
+        let g = clf.backward(&Tensor::zeros(&[21, 4]));
+        assert_eq!(g.dims(), &[7, 3, 5]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Optimizers and learning-rate schedules.
+//!
+//! The paper's quantization training uses SGD with ℓ2 regularisation and step
+//! or cosine learning-rate decay (§IV-C1); Adam is provided for the RNN tasks
+//! where it is the conventional choice.
+
+use crate::module::Param;
+
+/// Learning-rate schedule evaluated per epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply by `gamma` every `every` epochs.
+    Step {
+        /// Epoch period between decays.
+        every: usize,
+        /// Multiplicative decay factor.
+        gamma: f32,
+    },
+    /// Cosine annealing from the base rate to `min_lr` over `total_epochs`.
+    Cosine {
+        /// Horizon of the anneal.
+        total_epochs: usize,
+        /// Floor learning rate.
+        min_lr: f32,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate at `epoch` given the base rate.
+    pub fn lr_at(&self, base_lr: f32, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => base_lr,
+            LrSchedule::Step { every, gamma } => {
+                base_lr * gamma.powi((epoch / every.max(1)) as i32)
+            }
+            LrSchedule::Cosine {
+                total_epochs,
+                min_lr,
+            } => {
+                let t = (epoch as f32 / total_epochs.max(1) as f32).min(1.0);
+                min_lr + 0.5 * (base_lr - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+/// SGD with momentum and decoupled ℓ2 weight decay.
+#[derive(Debug)]
+pub struct Sgd {
+    base_lr: f32,
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    schedule: LrSchedule,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates plain SGD (no momentum, no decay).
+    pub fn new(lr: f32) -> Self {
+        Self::with_config(lr, 0.0, 0.0, LrSchedule::Constant)
+    }
+
+    /// Creates SGD with momentum, ℓ2 weight decay and a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lr <= 0` or `momentum` is outside `[0, 1)`.
+    pub fn with_config(lr: f32, momentum: f32, weight_decay: f32, schedule: LrSchedule) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        Sgd {
+            base_lr: lr,
+            lr,
+            momentum,
+            weight_decay,
+            schedule,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Updates the learning rate for a new epoch.
+    pub fn start_epoch(&mut self, epoch: usize) {
+        self.lr = self.schedule.lr_at(self.base_lr, epoch);
+    }
+
+    /// The learning rate currently in effect.
+    pub fn current_lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Applies one update step to `params` from their accumulated gradients.
+    /// Gradients are left untouched; call `zero_grad` afterwards.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.len() != params.len() {
+            self.velocity = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        }
+        for (p, vel) in params.iter_mut().zip(self.velocity.iter_mut()) {
+            debug_assert_eq!(p.len(), vel.len(), "parameter shape changed under optimizer");
+            let g = p.grad.as_slice().to_vec();
+            let w = p.value.as_mut_slice();
+            for i in 0..w.len() {
+                let grad = g[i] + self.weight_decay * w[i];
+                vel[i] = self.momentum * vel[i] + grad;
+                w[i] -= self.lr * vel[i];
+            }
+        }
+    }
+}
+
+/// Adam optimizer (β1=0.9, β2=0.999 by default).
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates Adam with standard betas.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lr <= 0`.
+    pub fn new(lr: f32) -> Self {
+        Self::with_weight_decay(lr, 0.0)
+    }
+
+    /// Adam with ℓ2 weight decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lr <= 0`.
+    pub fn with_weight_decay(lr: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Applies one Adam step.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.len() != params.len() {
+            self.m = params.iter().map(|p| vec![0.0; p.len()]).collect();
+            self.v = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+            let g = p.grad.as_slice().to_vec();
+            let w = p.value.as_mut_slice();
+            for i in 0..w.len() {
+                let grad = g[i] + self.weight_decay * w[i];
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad * grad;
+                let mh = m[i] / bc1;
+                let vh = v[i] / bc2;
+                w[i] -= self.lr * mh / (vh.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixmatch_tensor::Tensor;
+
+    fn quadratic_grad(p: &mut Param) {
+        // d/dw of 0.5*||w - 3||^2 is (w - 3)
+        p.grad = p.value.map(|w| w - 3.0);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut p = Param::new("w", Tensor::zeros(&[4]));
+        let mut opt = Sgd::new(0.2);
+        for _ in 0..100 {
+            quadratic_grad(&mut p);
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.as_slice().iter().all(|&w| (w - 3.0).abs() < 1e-3));
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let run = |momentum: f32| {
+            let mut p = Param::new("w", Tensor::zeros(&[1]));
+            let mut opt = Sgd::with_config(0.02, momentum, 0.0, LrSchedule::Constant);
+            for _ in 0..40 {
+                quadratic_grad(&mut p);
+                opt.step(&mut [&mut p]);
+            }
+            (p.value.as_slice()[0] - 3.0).abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn weight_decay_shrinks_stationary_point() {
+        let mut p = Param::new("w", Tensor::zeros(&[1]));
+        let mut opt = Sgd::with_config(0.1, 0.0, 0.5, LrSchedule::Constant);
+        for _ in 0..300 {
+            quadratic_grad(&mut p);
+            opt.step(&mut [&mut p]);
+        }
+        // Stationary point of (w-3) + 0.5 w = 0  →  w = 2.
+        assert!((p.value.as_slice()[0] - 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut p = Param::new("w", Tensor::zeros(&[4]));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..300 {
+            quadratic_grad(&mut p);
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.as_slice().iter().all(|&w| (w - 3.0).abs() < 1e-2));
+    }
+
+    #[test]
+    fn step_schedule_decays() {
+        let s = LrSchedule::Step {
+            every: 10,
+            gamma: 0.1,
+        };
+        assert!((s.lr_at(1.0, 0) - 1.0).abs() < 1e-7);
+        assert!((s.lr_at(1.0, 9) - 1.0).abs() < 1e-7);
+        assert!((s.lr_at(1.0, 10) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(1.0, 25) - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints() {
+        let s = LrSchedule::Cosine {
+            total_epochs: 100,
+            min_lr: 0.001,
+        };
+        assert!((s.lr_at(1.0, 0) - 1.0).abs() < 1e-6);
+        assert!((s.lr_at(1.0, 100) - 0.001).abs() < 1e-6);
+        let mid = s.lr_at(1.0, 50);
+        assert!(mid < 1.0 && mid > 0.001);
+    }
+
+    #[test]
+    fn epoch_updates_current_lr() {
+        let mut opt = Sgd::with_config(
+            1.0,
+            0.0,
+            0.0,
+            LrSchedule::Step {
+                every: 1,
+                gamma: 0.5,
+            },
+        );
+        opt.start_epoch(2);
+        assert!((opt.current_lr() - 0.25).abs() < 1e-7);
+    }
+}

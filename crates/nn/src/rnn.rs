@@ -1,0 +1,539 @@
+//! Recurrent layers: LSTM and GRU with full backpropagation through time.
+//!
+//! The paper's RNN benchmarks (Table VI) quantize a 2×256 LSTM (PTB), a
+//! 2×1024 GRU (TIMIT) and a 3×512 LSTM (IMDB). Both cells here store their
+//! input-to-hidden and hidden-to-hidden weights as `[gates·H, I]` / `[gates·H,
+//! H]` matrices — **rows are gate units**, so MSQ's row-wise scheme assignment
+//! applies to them exactly as to conv filters.
+//!
+//! Sequences are rank-3 tensors `[T, B, I]` (time-major).
+
+use crate::init;
+use crate::module::{Layer, Param};
+use mixmatch_tensor::{gemm, Tensor, TensorRng};
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Computes `x · Wᵀ + h · Uᵀ (+ bias)` for one time step: `[B, G·H]`.
+fn gate_preact(x: &Tensor, w: &Tensor, h: &Tensor, u: &Tensor, bias: &Tensor) -> Tensor {
+    let mut z = x.matmul(&w.transpose());
+    let zh = h.matmul(&u.transpose());
+    z.axpy(1.0, &zh);
+    let b = z.dims()[0];
+    for r in 0..b {
+        let row = z.row_mut(r);
+        for (j, v) in row.iter_mut().enumerate() {
+            *v += bias.as_slice()[j];
+        }
+    }
+    z
+}
+
+/// Splits `[T, B, I]` into per-step `[B, I]` tensors.
+fn split_steps(seq: &Tensor) -> Vec<Tensor> {
+    assert_eq!(seq.shape().rank(), 3, "sequence tensors are [T, B, I]");
+    let (t, b, i) = (seq.dims()[0], seq.dims()[1], seq.dims()[2]);
+    (0..t)
+        .map(|s| {
+            Tensor::from_vec(seq.as_slice()[s * b * i..(s + 1) * b * i].to_vec(), &[b, i])
+                .expect("contiguous step slice")
+        })
+        .collect()
+}
+
+/// Stacks per-step `[B, H]` tensors into `[T, B, H]`.
+fn stack_steps(steps: &[Tensor]) -> Tensor {
+    let (b, h) = (steps[0].dims()[0], steps[0].dims()[1]);
+    let mut data = Vec::with_capacity(steps.len() * b * h);
+    for s in steps {
+        data.extend_from_slice(s.as_slice());
+    }
+    Tensor::from_vec(data, &[steps.len(), b, h]).expect("stacked steps")
+}
+
+struct LstmStepCache {
+    x: Tensor,
+    h_prev: Tensor,
+    c_prev: Tensor,
+    gates: Tensor, // [B, 4H] post-activation: i | f | g | o
+    tanh_c: Tensor,
+}
+
+/// Single-layer LSTM over a `[T, B, I]` sequence, returning `[T, B, H]`.
+///
+/// Gate layout in the stacked weight matrices is `i | f | g | o`.
+pub struct Lstm {
+    w_ih: Param,
+    w_hh: Param,
+    bias: Param,
+    input_size: usize,
+    hidden_size: usize,
+    cache: Option<Vec<LstmStepCache>>,
+}
+
+impl Lstm {
+    /// Creates an LSTM layer with LeCun-uniform init and forget-gate bias 1.
+    pub fn new(input_size: usize, hidden_size: usize, rng: &mut TensorRng) -> Self {
+        Self::with_name("lstm", input_size, hidden_size, rng)
+    }
+
+    /// Creates an LSTM layer with named parameters.
+    pub fn with_name(name: &str, input_size: usize, hidden_size: usize, rng: &mut TensorRng) -> Self {
+        let w_ih = Param::new(
+            format!("{name}.w_ih"),
+            init::lecun_uniform(&[4 * hidden_size, input_size], input_size, rng),
+        );
+        let w_hh = Param::new(
+            format!("{name}.w_hh"),
+            init::lecun_uniform(&[4 * hidden_size, hidden_size], hidden_size, rng),
+        );
+        let mut bias = Tensor::zeros(&[4 * hidden_size]);
+        // Forget-gate bias at 1.0 is standard practice for trainability.
+        for j in hidden_size..2 * hidden_size {
+            bias.as_mut_slice()[j] = 1.0;
+        }
+        Lstm {
+            w_ih,
+            w_hh,
+            bias: Param::new(format!("{name}.bias"), bias),
+            input_size,
+            hidden_size,
+            cache: None,
+        }
+    }
+
+    /// Hidden state width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// The `[4H, I]` input-to-hidden weight.
+    pub fn w_ih_mut(&mut self) -> &mut Param {
+        &mut self.w_ih
+    }
+
+    /// The `[4H, H]` hidden-to-hidden weight.
+    pub fn w_hh_mut(&mut self) -> &mut Param {
+        &mut self.w_hh
+    }
+
+    fn step(
+        &self,
+        x: &Tensor,
+        h_prev: &Tensor,
+        c_prev: &Tensor,
+    ) -> (Tensor, Tensor, Tensor, Tensor) {
+        let hs = self.hidden_size;
+        let z = gate_preact(x, &self.w_ih.value, h_prev, &self.w_hh.value, &self.bias.value);
+        let b = x.dims()[0];
+        let mut gates = Tensor::zeros(&[b, 4 * hs]);
+        let mut c = Tensor::zeros(&[b, hs]);
+        let mut tanh_c = Tensor::zeros(&[b, hs]);
+        let mut h = Tensor::zeros(&[b, hs]);
+        for r in 0..b {
+            let zr = z.row(r);
+            let gr = gates.row_mut(r);
+            for j in 0..hs {
+                gr[j] = sigmoid(zr[j]); // i
+                gr[hs + j] = sigmoid(zr[hs + j]); // f
+                gr[2 * hs + j] = zr[2 * hs + j].tanh(); // g
+                gr[3 * hs + j] = sigmoid(zr[3 * hs + j]); // o
+            }
+            for j in 0..hs {
+                let cv = gr[hs + j] * c_prev.row(r)[j] + gr[j] * gr[2 * hs + j];
+                c.row_mut(r)[j] = cv;
+                let tc = cv.tanh();
+                tanh_c.row_mut(r)[j] = tc;
+                h.row_mut(r)[j] = gr[3 * hs + j] * tc;
+            }
+        }
+        (h, c, gates, tanh_c)
+    }
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let steps = split_steps(input);
+        let b = steps[0].dims()[0];
+        assert_eq!(steps[0].dims()[1], self.input_size, "LSTM input width mismatch");
+        let mut h = Tensor::zeros(&[b, self.hidden_size]);
+        let mut c = Tensor::zeros(&[b, self.hidden_size]);
+        let mut outputs = Vec::with_capacity(steps.len());
+        let mut cache = Vec::with_capacity(steps.len());
+        for x in &steps {
+            let (h_new, c_new, gates, tanh_c) = self.step(x, &h, &c);
+            if train {
+                cache.push(LstmStepCache {
+                    x: x.clone(),
+                    h_prev: h.clone(),
+                    c_prev: c.clone(),
+                    gates,
+                    tanh_c,
+                });
+            }
+            h = h_new.clone();
+            c = c_new;
+            outputs.push(h_new);
+        }
+        if train {
+            self.cache = Some(cache);
+        }
+        stack_steps(&outputs)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("Lstm::backward called without cached forward");
+        let hs = self.hidden_size;
+        let go_steps = split_steps(grad_output);
+        let b = go_steps[0].dims()[0];
+        let mut dh_next = Tensor::zeros(&[b, hs]);
+        let mut dc_next = Tensor::zeros(&[b, hs]);
+        let mut dx_steps = vec![Tensor::zeros(&[b, self.input_size]); cache.len()];
+        for t in (0..cache.len()).rev() {
+            let sc = &cache[t];
+            let mut dh = go_steps[t].clone();
+            dh.axpy(1.0, &dh_next);
+            let mut dz = Tensor::zeros(&[b, 4 * hs]);
+            let mut dc_prev = Tensor::zeros(&[b, hs]);
+            for r in 0..b {
+                let g = sc.gates.row(r);
+                for j in 0..hs {
+                    let (i, f, gg, o) = (g[j], g[hs + j], g[2 * hs + j], g[3 * hs + j]);
+                    let tc = sc.tanh_c.row(r)[j];
+                    let dhv = dh.row(r)[j];
+                    let do_ = dhv * tc;
+                    let dct = dhv * o * (1.0 - tc * tc) + dc_next.row(r)[j];
+                    let di = dct * gg;
+                    let df = dct * sc.c_prev.row(r)[j];
+                    let dg = dct * i;
+                    dc_prev.row_mut(r)[j] = dct * f;
+                    let dzr = dz.row_mut(r);
+                    dzr[j] = di * i * (1.0 - i);
+                    dzr[hs + j] = df * f * (1.0 - f);
+                    dzr[2 * hs + j] = dg * (1.0 - gg * gg);
+                    dzr[3 * hs + j] = do_ * o * (1.0 - o);
+                }
+            }
+            // Parameter grads: dW_ih += dzᵀ·x ; dW_hh += dzᵀ·h_prev ; db += Σ dz
+            gemm::gemm_accumulate(
+                dz.transpose().as_slice(),
+                sc.x.as_slice(),
+                self.w_ih.grad.as_mut_slice(),
+                4 * hs,
+                b,
+                self.input_size,
+            );
+            gemm::gemm_accumulate(
+                dz.transpose().as_slice(),
+                sc.h_prev.as_slice(),
+                self.w_hh.grad.as_mut_slice(),
+                4 * hs,
+                b,
+                hs,
+            );
+            for r in 0..b {
+                for (j, &v) in dz.row(r).iter().enumerate() {
+                    self.bias.grad.as_mut_slice()[j] += v;
+                }
+            }
+            dx_steps[t] = dz.matmul(&self.w_ih.value);
+            dh_next = dz.matmul(&self.w_hh.value);
+            dc_next = dc_prev;
+        }
+        stack_steps(&dx_steps)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.w_ih, &self.w_hh, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w_ih, &mut self.w_hh, &mut self.bias]
+    }
+}
+
+struct GruStepCache {
+    x: Tensor,
+    h_prev: Tensor,
+    r: Tensor,
+    z: Tensor,
+    n: Tensor,
+    hn_pre: Tensor, // U_n·h_prev + b_hn (needed for dr)
+}
+
+/// Single-layer GRU over a `[T, B, I]` sequence, returning `[T, B, H]`.
+///
+/// Gate layout is `r | z | n`, with the PyTorch-style reset-gate placement
+/// `n = tanh(W_n x + b_in + r ⊙ (U_n h + b_hn))`.
+pub struct Gru {
+    w_ih: Param, // [3H, I]
+    w_hh: Param, // [3H, H]
+    bias_ih: Param,
+    bias_hh: Param,
+    input_size: usize,
+    hidden_size: usize,
+    cache: Option<Vec<GruStepCache>>,
+}
+
+impl Gru {
+    /// Creates a GRU layer with LeCun-uniform init.
+    pub fn new(input_size: usize, hidden_size: usize, rng: &mut TensorRng) -> Self {
+        Self::with_name("gru", input_size, hidden_size, rng)
+    }
+
+    /// Creates a GRU layer with named parameters.
+    pub fn with_name(name: &str, input_size: usize, hidden_size: usize, rng: &mut TensorRng) -> Self {
+        Gru {
+            w_ih: Param::new(
+                format!("{name}.w_ih"),
+                init::lecun_uniform(&[3 * hidden_size, input_size], input_size, rng),
+            ),
+            w_hh: Param::new(
+                format!("{name}.w_hh"),
+                init::lecun_uniform(&[3 * hidden_size, hidden_size], hidden_size, rng),
+            ),
+            bias_ih: Param::new(format!("{name}.bias_ih"), Tensor::zeros(&[3 * hidden_size])),
+            bias_hh: Param::new(format!("{name}.bias_hh"), Tensor::zeros(&[3 * hidden_size])),
+            input_size,
+            hidden_size,
+            cache: None,
+        }
+    }
+
+    /// Hidden state width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// The `[3H, I]` input-to-hidden weight.
+    pub fn w_ih_mut(&mut self) -> &mut Param {
+        &mut self.w_ih
+    }
+
+    /// The `[3H, H]` hidden-to-hidden weight.
+    pub fn w_hh_mut(&mut self) -> &mut Param {
+        &mut self.w_hh
+    }
+}
+
+impl Layer for Gru {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let steps = split_steps(input);
+        let b = steps[0].dims()[0];
+        assert_eq!(steps[0].dims()[1], self.input_size, "GRU input width mismatch");
+        let hs = self.hidden_size;
+        let mut h = Tensor::zeros(&[b, hs]);
+        let mut outputs = Vec::with_capacity(steps.len());
+        let mut cache = Vec::with_capacity(steps.len());
+        for x in &steps {
+            let zi = x.matmul(&self.w_ih.value.transpose()); // [B, 3H]
+            let zh = h.matmul(&self.w_hh.value.transpose()); // [B, 3H]
+            let mut r = Tensor::zeros(&[b, hs]);
+            let mut z = Tensor::zeros(&[b, hs]);
+            let mut n = Tensor::zeros(&[b, hs]);
+            let mut hn_pre = Tensor::zeros(&[b, hs]);
+            let mut h_new = Tensor::zeros(&[b, hs]);
+            for row in 0..b {
+                for j in 0..hs {
+                    let bi = self.bias_ih.value.as_slice();
+                    let bh = self.bias_hh.value.as_slice();
+                    let rv = sigmoid(zi.row(row)[j] + bi[j] + zh.row(row)[j] + bh[j]);
+                    let zv = sigmoid(zi.row(row)[hs + j] + bi[hs + j] + zh.row(row)[hs + j] + bh[hs + j]);
+                    let hn = zh.row(row)[2 * hs + j] + bh[2 * hs + j];
+                    let nv = (zi.row(row)[2 * hs + j] + bi[2 * hs + j] + rv * hn).tanh();
+                    r.row_mut(row)[j] = rv;
+                    z.row_mut(row)[j] = zv;
+                    n.row_mut(row)[j] = nv;
+                    hn_pre.row_mut(row)[j] = hn;
+                    h_new.row_mut(row)[j] = (1.0 - zv) * nv + zv * h.row(row)[j];
+                }
+            }
+            if train {
+                cache.push(GruStepCache {
+                    x: x.clone(),
+                    h_prev: h.clone(),
+                    r,
+                    z,
+                    n,
+                    hn_pre,
+                });
+            }
+            h = h_new.clone();
+            outputs.push(h_new);
+        }
+        if train {
+            self.cache = Some(cache);
+        }
+        stack_steps(&outputs)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("Gru::backward called without cached forward");
+        let hs = self.hidden_size;
+        let go_steps = split_steps(grad_output);
+        let b = go_steps[0].dims()[0];
+        let mut dh_next = Tensor::zeros(&[b, hs]);
+        let mut dx_steps = vec![Tensor::zeros(&[b, self.input_size]); cache.len()];
+        for t in (0..cache.len()).rev() {
+            let sc = &cache[t];
+            let mut dh = go_steps[t].clone();
+            dh.axpy(1.0, &dh_next);
+            // dzi: grads w.r.t. x·W_ihᵀ pre-activations; dzh w.r.t. h·W_hhᵀ.
+            let mut dzi = Tensor::zeros(&[b, 3 * hs]);
+            let mut dzh = Tensor::zeros(&[b, 3 * hs]);
+            let mut dh_prev = Tensor::zeros(&[b, hs]);
+            for row in 0..b {
+                for j in 0..hs {
+                    let (r, z, n) = (sc.r.row(row)[j], sc.z.row(row)[j], sc.n.row(row)[j]);
+                    let hp = sc.h_prev.row(row)[j];
+                    let dhv = dh.row(row)[j];
+                    let dz = dhv * (hp - n);
+                    let dn = dhv * (1.0 - z);
+                    let dn_pre = dn * (1.0 - n * n);
+                    let dr = dn_pre * sc.hn_pre.row(row)[j];
+                    let dr_pre = dr * r * (1.0 - r);
+                    let dz_pre = dz * z * (1.0 - z);
+                    dzi.row_mut(row)[j] = dr_pre;
+                    dzi.row_mut(row)[hs + j] = dz_pre;
+                    dzi.row_mut(row)[2 * hs + j] = dn_pre;
+                    dzh.row_mut(row)[j] = dr_pre;
+                    dzh.row_mut(row)[hs + j] = dz_pre;
+                    dzh.row_mut(row)[2 * hs + j] = dn_pre * r;
+                    dh_prev.row_mut(row)[j] = dhv * z;
+                }
+            }
+            gemm::gemm_accumulate(
+                dzi.transpose().as_slice(),
+                sc.x.as_slice(),
+                self.w_ih.grad.as_mut_slice(),
+                3 * hs,
+                b,
+                self.input_size,
+            );
+            gemm::gemm_accumulate(
+                dzh.transpose().as_slice(),
+                sc.h_prev.as_slice(),
+                self.w_hh.grad.as_mut_slice(),
+                3 * hs,
+                b,
+                hs,
+            );
+            for row in 0..b {
+                for (j, &v) in dzi.row(row).iter().enumerate() {
+                    self.bias_ih.grad.as_mut_slice()[j] += v;
+                }
+                for (j, &v) in dzh.row(row).iter().enumerate() {
+                    self.bias_hh.grad.as_mut_slice()[j] += v;
+                }
+            }
+            dx_steps[t] = dzi.matmul(&self.w_ih.value);
+            dh_next = &dzh.matmul(&self.w_hh.value) + &dh_prev;
+        }
+        stack_steps(&dx_steps)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.w_ih, &self.w_hh, &self.bias_ih, &self.bias_hh]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![
+            &mut self.w_ih,
+            &mut self.w_hh,
+            &mut self.bias_ih,
+            &mut self.bias_hh,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+
+    #[test]
+    fn lstm_output_shape() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut lstm = Lstm::new(5, 7, &mut rng);
+        let x = Tensor::randn(&[4, 2, 5], &mut rng);
+        let y = lstm.forward(&x, false);
+        assert_eq!(y.dims(), &[4, 2, 7]);
+    }
+
+    #[test]
+    fn lstm_hidden_state_carries_information() {
+        // Same input at every step: outputs must evolve (h changes), so the
+        // first and last step outputs differ.
+        let mut rng = TensorRng::seed_from(1);
+        let mut lstm = Lstm::new(3, 4, &mut rng);
+        let step = Tensor::randn(&[1, 3], &mut rng);
+        let mut data = Vec::new();
+        for _ in 0..6 {
+            data.extend_from_slice(step.as_slice());
+        }
+        let x = Tensor::from_vec(data, &[6, 1, 3]).unwrap();
+        let y = lstm.forward(&x, false);
+        let first = &y.as_slice()[0..4];
+        let last = &y.as_slice()[20..24];
+        assert!(first.iter().zip(last).any(|(a, b)| (a - b).abs() > 1e-4));
+    }
+
+    #[test]
+    fn lstm_gradcheck() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut lstm = Lstm::new(3, 4, &mut rng);
+        check_layer_gradients(&mut lstm, &[3, 2, 3], 3e-2, &mut rng);
+    }
+
+    #[test]
+    fn gru_output_shape() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut gru = Gru::new(5, 6, &mut rng);
+        let x = Tensor::randn(&[4, 3, 5], &mut rng);
+        let y = gru.forward(&x, false);
+        assert_eq!(y.dims(), &[4, 3, 6]);
+    }
+
+    #[test]
+    fn gru_gradcheck() {
+        let mut rng = TensorRng::seed_from(4);
+        let mut gru = Gru::new(3, 4, &mut rng);
+        check_layer_gradients(&mut gru, &[3, 2, 3], 3e-2, &mut rng);
+    }
+
+    #[test]
+    fn gru_forgets_with_z_one() {
+        // Forcing the update gate to saturate at 1 (huge positive bias) makes
+        // h_t ≈ h_{t-1} = 0 forever.
+        let mut rng = TensorRng::seed_from(5);
+        let mut gru = Gru::new(2, 3, &mut rng);
+        for j in 3..6 {
+            gru.bias_ih.value.as_mut_slice()[j] = 50.0;
+        }
+        let x = Tensor::randn(&[5, 1, 2], &mut rng);
+        let y = gru.forward(&x, false);
+        assert!(y.as_slice().iter().all(|&v| v.abs() < 1e-4));
+    }
+
+    #[test]
+    fn weight_matrices_expose_gate_rows() {
+        let mut rng = TensorRng::seed_from(6);
+        let lstm = Lstm::new(8, 16, &mut rng);
+        assert_eq!(lstm.params()[0].value.dims(), &[64, 8]);
+        let gru = Gru::new(8, 16, &mut rng);
+        assert_eq!(gru.params()[0].value.dims(), &[48, 8]);
+    }
+}

@@ -1,0 +1,432 @@
+//! ADMM weight-quantization training (Algorithm 1, with Algorithm 2's
+//! row-wise scheme selection folded into the projection).
+//!
+//! The quantizer attaches to a model's named parameters, keeping an auxiliary
+//! variable `Z` and scaled dual `U` per target weight. Each epoch:
+//!
+//! ```text
+//! recompute per-row scheme assignment (variance ranking, Algorithm 2)
+//! Z ← proj_S(W + U)          // row-wise codebook projection
+//! U ← W − Z + U
+//! ```
+//!
+//! and during every batch the proximal term `ρ/2·‖W − Z + U‖²` joins the
+//! loss, i.e. `ρ·(W − Z + U)` is added to the weight gradients. After
+//! training, `W ← proj_S(W)` hard-projects the model.
+
+use crate::msq::{project_rowwise_with, MsqPolicy, RowQuantInfo};
+use crate::rowwise::RowAssignment;
+use mixmatch_nn::module::Param;
+use mixmatch_tensor::Tensor;
+
+/// ADMM hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmmConfig {
+    /// Proximal weight ρ. The paper's Algorithm 1 writes the penalty with
+    /// unit weight; exposing ρ is the standard generalisation.
+    pub rho: f32,
+    /// Quantization policy (scheme choice + bits).
+    pub policy: MsqPolicy,
+    /// Re-run Algorithm 2's variance ranking every epoch (the paper's
+    /// behaviour) instead of freezing the first assignment.
+    pub reassign_each_epoch: bool,
+}
+
+impl AdmmConfig {
+    /// Defaults matching the paper's setup: ρ tuned for the small stand-in
+    /// models, per-epoch reassignment on.
+    pub fn new(policy: MsqPolicy) -> Self {
+        AdmmConfig {
+            rho: 1e-2,
+            policy,
+            reassign_each_epoch: true,
+        }
+    }
+}
+
+/// Should `param` be quantized? Default: rank-2 weights of GEMM-lowered
+/// layers — conv/linear `.weight`, recurrent `.w_ih`/`.w_hh` — excluding
+/// embeddings (table lookups, not GEMM operands on the accelerator).
+pub fn default_target_filter(param: &Param) -> bool {
+    let name = param.name();
+    let is_weight =
+        name.ends_with(".weight") || name.ends_with(".w_ih") || name.ends_with(".w_hh");
+    is_weight && param.value.shape().rank() == 2 && !name.starts_with("embedding")
+}
+
+/// Per-parameter ADMM state.
+#[derive(Debug, Clone)]
+struct ParamState {
+    index: usize,
+    name: String,
+    z: Tensor,
+    u: Tensor,
+    assignment: Option<RowAssignment>,
+}
+
+/// Quantization report for one parameter after the final projection.
+#[derive(Debug, Clone)]
+pub struct LayerQuantReport {
+    /// Parameter name.
+    pub name: String,
+    /// Per-row fit information (scheme, α, MSE).
+    pub rows: Vec<RowQuantInfo>,
+}
+
+impl LayerQuantReport {
+    /// Fraction of rows on SP2.
+    pub fn sp2_fraction(&self) -> f32 {
+        let sp2 = self
+            .rows
+            .iter()
+            .filter(|r| r.scheme == crate::schemes::Scheme::Sp2)
+            .count();
+        sp2 as f32 / self.rows.len().max(1) as f32
+    }
+
+    /// Mean per-row quantization MSE.
+    pub fn mean_mse(&self) -> f32 {
+        self.rows.iter().map(|r| r.mse).sum::<f32>() / self.rows.len().max(1) as f32
+    }
+}
+
+/// Per-layer policy override (the paper's §I note that MSQ is
+/// "perpendicular to, and can be combined with, inter-layer multi-precision
+/// approaches": e.g. keep the first and last layers at higher precision).
+#[derive(Debug, Clone)]
+pub struct LayerOverride {
+    /// Substring matched against parameter names.
+    pub name_contains: String,
+    /// Policy applied to matching parameters.
+    pub policy: MsqPolicy,
+}
+
+/// The ADMM weight quantizer (see module docs).
+///
+/// # Example
+///
+/// ```
+/// use mixmatch_nn::layers::Linear;
+/// use mixmatch_nn::module::Layer;
+/// use mixmatch_quant::admm::{AdmmConfig, AdmmQuantizer};
+/// use mixmatch_quant::msq::MsqPolicy;
+/// use mixmatch_tensor::TensorRng;
+///
+/// let mut rng = TensorRng::seed_from(0);
+/// let mut fc = Linear::new(8, 4, true, &mut rng);
+/// let mut q = AdmmQuantizer::attach(&fc.params(), AdmmConfig::new(MsqPolicy::msq_half()));
+/// q.epoch_update(&mut fc.params_mut());
+/// q.penalty_grads(&mut fc.params_mut());
+/// let reports = q.project_final(&mut fc.params_mut());
+/// assert_eq!(reports.len(), 1); // only the weight, not the bias
+/// ```
+pub struct AdmmQuantizer {
+    config: AdmmConfig,
+    states: Vec<ParamState>,
+    overrides: Vec<LayerOverride>,
+}
+
+impl AdmmQuantizer {
+    /// Attaches to the parameters selected by [`default_target_filter`].
+    pub fn attach(params: &[&Param], config: AdmmConfig) -> Self {
+        Self::attach_filtered(params, config, default_target_filter)
+    }
+
+    /// Attaches to the parameters selected by `filter`.
+    pub fn attach_filtered(
+        params: &[&Param],
+        config: AdmmConfig,
+        filter: impl Fn(&Param) -> bool,
+    ) -> Self {
+        let states = params
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| filter(p))
+            .map(|(index, p)| ParamState {
+                index,
+                name: p.name().to_string(),
+                z: p.value.clone(),
+                u: Tensor::zeros(p.value.dims()),
+                assignment: None,
+            })
+            .collect();
+        AdmmQuantizer {
+            config,
+            states,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Adds a per-layer policy override (first match wins). Inter-layer
+    /// multi-precision composes with MSQ this way, as §I of the paper notes.
+    pub fn with_override(mut self, layer: LayerOverride) -> Self {
+        self.overrides.push(layer);
+        self
+    }
+
+    /// The policy in effect for a parameter name.
+    pub fn policy_for(&self, name: &str) -> MsqPolicy {
+        self.overrides
+            .iter()
+            .find(|o| name.contains(&o.name_contains))
+            .map(|o| o.policy)
+            .unwrap_or(self.config.policy)
+    }
+
+    /// Names of the parameters under quantization.
+    pub fn target_names(&self) -> Vec<&str> {
+        self.states.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AdmmConfig {
+        &self.config
+    }
+
+    fn check(&self, state: &ParamState, params: &[&mut Param]) {
+        debug_assert_eq!(
+            params[state.index].name(),
+            state.name,
+            "parameter ordering changed under the quantizer"
+        );
+    }
+
+    /// Epoch-boundary update: recompute row assignments (Algorithm 2), then
+    /// `Z ← proj(W + U)` and `U ← W − Z + U`.
+    pub fn epoch_update(&mut self, params: &mut [&mut Param]) {
+        let policies: Vec<MsqPolicy> =
+            self.states.iter().map(|s| self.policy_for(&s.name)).collect();
+        for (state, policy) in self.states.iter_mut().zip(policies) {
+            debug_assert_eq!(params[state.index].name(), state.name);
+            let w = &params[state.index].value;
+            let wu = w + &state.u;
+            if state.assignment.is_none() || self.config.reassign_each_epoch {
+                state.assignment = Some(policy.assignment_for(&wu));
+            }
+            let assignment = state.assignment.as_ref().expect("assignment just set");
+            let (z, _) = project_rowwise_with(&wu, assignment, policy.bits, policy.alpha);
+            // U ← W − Z + U
+            let mut u = w - &z;
+            u.axpy(1.0, &state.u);
+            state.z = z;
+            state.u = u;
+        }
+    }
+
+    /// Adds the proximal gradient `ρ·(W − Z + U)` to each target's gradient.
+    /// Call once per batch after the task-loss backward pass.
+    pub fn penalty_grads(&self, params: &mut [&mut Param]) {
+        for state in &self.states {
+            self.check(state, params);
+            let p = &mut params[state.index];
+            let mut diff = &p.value - &state.z;
+            diff.axpy(1.0, &state.u);
+            p.grad.axpy(self.config.rho, &diff);
+        }
+    }
+
+    /// The proximal loss value `Σ ρ/2·‖W − Z + U‖²` (for logging).
+    pub fn penalty_loss(&self, params: &[&Param]) -> f32 {
+        let mut total = 0.0f32;
+        for state in &self.states {
+            let p = params[state.index];
+            debug_assert_eq!(p.name(), state.name);
+            let mut diff = &p.value - &state.z;
+            diff.axpy(1.0, &state.u);
+            total += 0.5 * self.config.rho * diff.sq_norm();
+        }
+        total
+    }
+
+    /// Mean distance between each weight and its quantized target — a
+    /// convergence diagnostic that should shrink over training.
+    pub fn mean_residual(&self, params: &[&Param]) -> f32 {
+        if self.states.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0f32;
+        let mut count = 0usize;
+        for state in &self.states {
+            let p = params[state.index];
+            let diff = &p.value - &state.z;
+            total += diff.sq_norm();
+            count += p.value.len();
+        }
+        (total / count.max(1) as f32).sqrt()
+    }
+
+    /// Hard-projects every target weight onto its scheme (`W ← proj_S(W)`),
+    /// returning per-layer reports. The model is quantized after this call.
+    pub fn project_final(&mut self, params: &mut [&mut Param]) -> Vec<LayerQuantReport> {
+        let policies: Vec<MsqPolicy> =
+            self.states.iter().map(|s| self.policy_for(&s.name)).collect();
+        let mut reports = Vec::with_capacity(self.states.len());
+        for (state, policy) in self.states.iter_mut().zip(policies) {
+            debug_assert_eq!(params[state.index].name(), state.name);
+            let p = &mut params[state.index];
+            let assignment = match &state.assignment {
+                Some(a) if !self.config.reassign_each_epoch => a.clone(),
+                _ => policy.assignment_for(&p.value),
+            };
+            let (q, rows) =
+                project_rowwise_with(&p.value, &assignment, policy.bits, policy.alpha);
+            p.value = q;
+            state.assignment = Some(assignment);
+            reports.push(LayerQuantReport {
+                name: state.name.clone(),
+                rows,
+            });
+        }
+        reports
+    }
+
+    /// The last row assignment of a target (after `epoch_update` or
+    /// `project_final`), if any.
+    pub fn assignment_of(&self, name: &str) -> Option<&RowAssignment> {
+        self.states
+            .iter()
+            .find(|s| s.name == name)
+            .and_then(|s| s.assignment.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::Scheme;
+    use mixmatch_nn::layers::Linear;
+    use mixmatch_nn::module::Layer;
+    use mixmatch_tensor::TensorRng;
+
+    #[test]
+    fn default_filter_selects_gemm_weights_only() {
+        let mut rng = TensorRng::seed_from(0);
+        let fc = Linear::new(4, 4, true, &mut rng);
+        let params = fc.params();
+        assert!(default_target_filter(params[0])); // weight
+        assert!(!default_target_filter(params[1])); // bias (rank 1)
+        let emb = Param::new("embedding.weight", Tensor::zeros(&[10, 4]));
+        assert!(!default_target_filter(&emb));
+        let wih = Param::new("lstm0.w_ih", Tensor::zeros(&[16, 4]));
+        assert!(default_target_filter(&wih));
+    }
+
+    #[test]
+    fn epoch_update_maintains_admm_invariants() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut fc = Linear::new(8, 6, false, &mut rng);
+        let cfg = AdmmConfig::new(MsqPolicy::single(Scheme::Fixed, 4));
+        let mut q = AdmmQuantizer::attach(&fc.params(), cfg);
+        q.epoch_update(&mut fc.params_mut());
+        // After the first update with U0 = 0: Z = proj(W), U = W − Z.
+        let state = &q.states[0];
+        let w = &fc.params()[0].value;
+        let reconstructed = &state.z + &state.u;
+        assert!(reconstructed.max_abs_diff(w) < 1e-5);
+    }
+
+    #[test]
+    fn penalty_grad_points_from_w_towards_z_minus_u() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut fc = Linear::new(4, 4, false, &mut rng);
+        let cfg = AdmmConfig {
+            rho: 1.0,
+            policy: MsqPolicy::single(Scheme::Fixed, 4),
+            reassign_each_epoch: true,
+        };
+        let mut q = AdmmQuantizer::attach(&fc.params(), cfg);
+        q.epoch_update(&mut fc.params_mut());
+        fc.zero_grad();
+        q.penalty_grads(&mut fc.params_mut());
+        // Gradient equals W − Z + U elementwise (ρ = 1).
+        let state = &q.states[0];
+        let mut expect = &fc.params()[0].value - &state.z;
+        expect.axpy(1.0, &state.u);
+        assert!(fc.params()[0].grad.max_abs_diff(&expect) < 1e-6);
+    }
+
+    #[test]
+    fn repeated_admm_epochs_shrink_the_residual() {
+        // Gradient descent on just the proximal term must pull W onto the
+        // quantization grid.
+        let mut rng = TensorRng::seed_from(3);
+        let mut fc = Linear::new(16, 8, false, &mut rng);
+        let cfg = AdmmConfig {
+            rho: 0.5,
+            policy: MsqPolicy::msq_half(),
+            reassign_each_epoch: true,
+        };
+        let mut q = AdmmQuantizer::attach(&fc.params(), cfg);
+        let mut residuals = Vec::new();
+        for _ in 0..10 {
+            q.epoch_update(&mut fc.params_mut());
+            for _ in 0..20 {
+                fc.zero_grad();
+                q.penalty_grads(&mut fc.params_mut());
+                let mut params = fc.params_mut();
+                let g = params[0].grad.clone();
+                params[0].value.axpy(-0.5, &g);
+            }
+            residuals.push(q.mean_residual(&fc.params()));
+        }
+        assert!(
+            residuals[9] < residuals[0] * 0.2,
+            "residuals did not shrink: {residuals:?}"
+        );
+    }
+
+    #[test]
+    fn final_projection_lands_on_grid_and_reports() {
+        let mut rng = TensorRng::seed_from(4);
+        let mut fc = Linear::new(8, 6, true, &mut rng);
+        let cfg = AdmmConfig::new(MsqPolicy::msq_half());
+        let mut q = AdmmQuantizer::attach(&fc.params(), cfg);
+        let reports = q.project_final(&mut fc.params_mut());
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].rows.len(), 6);
+        assert!((reports[0].sp2_fraction() - 0.5).abs() < 0.01);
+        // Idempotence: a second projection changes nothing.
+        let w1 = fc.params()[0].value.clone();
+        let _ = q.project_final(&mut fc.params_mut());
+        assert!(fc.params()[0].value.max_abs_diff(&w1) < 1e-6);
+    }
+
+    #[test]
+    fn layer_overrides_compose_inter_layer_precision_with_msq() {
+        use mixmatch_nn::module::Sequential;
+        let mut rng = TensorRng::seed_from(6);
+        let mut net = Sequential::new();
+        net.push(Linear::with_name("first", 8, 8, false, &mut rng));
+        net.push(Linear::with_name("mid", 8, 8, false, &mut rng));
+        let cfg = AdmmConfig::new(MsqPolicy::msq_half());
+        let mut q = AdmmQuantizer::attach(&net.params(), cfg).with_override(LayerOverride {
+            name_contains: "first".into(),
+            // Keep the first layer at 6-bit fixed (higher precision).
+            policy: MsqPolicy::single(Scheme::Fixed, 6),
+        });
+        assert_eq!(q.policy_for("first.weight").bits, 6);
+        assert_eq!(q.policy_for("mid.weight").bits, 4);
+        let reports = q.project_final(&mut net.params_mut());
+        // First layer rows all Fixed; mid layer mixed.
+        let first = reports.iter().find(|r| r.name == "first.weight").unwrap();
+        assert!(first.rows.iter().all(|r| r.scheme == Scheme::Fixed));
+        let mid = reports.iter().find(|r| r.name == "mid.weight").unwrap();
+        assert!((mid.sp2_fraction() - 0.5).abs() < 0.01);
+        // Higher precision ⇒ lower projection error on the first layer.
+        assert!(first.mean_mse() < mid.mean_mse());
+    }
+
+    #[test]
+    fn penalty_loss_is_nonnegative_and_zero_at_z_minus_u() {
+        let mut rng = TensorRng::seed_from(5);
+        let mut fc = Linear::new(4, 4, false, &mut rng);
+        let cfg = AdmmConfig::new(MsqPolicy::single(Scheme::Sp2, 4));
+        let mut q = AdmmQuantizer::attach(&fc.params(), cfg);
+        q.epoch_update(&mut fc.params_mut());
+        assert!(q.penalty_loss(&fc.params()) >= 0.0);
+        // Set W = Z − U → penalty 0.
+        let target = &q.states[0].z - &q.states[0].u;
+        fc.params_mut()[0].value = target;
+        assert!(q.penalty_loss(&fc.params()) < 1e-8);
+    }
+}

@@ -1,0 +1,232 @@
+//! Scaling-factor (`α`) optimization.
+//!
+//! Quantized levels live in `[-1, 1]`; the real weight row is `α ×` level.
+//! Given a codebook, the MSE-optimal `α` and level assignment are found by
+//! alternating minimisation: project `w/α` onto the codebook, then solve the
+//! closed-form least squares `α = Σ wq / Σ q²`. This is the standard inner
+//! loop used by ADMM-based quantization (the paper's Algorithm 1 projection
+//! step `proj_S`).
+
+use crate::schemes::Codebook;
+
+/// Result of fitting `α` to one weight vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaFit {
+    /// Optimal scaling factor.
+    pub alpha: f32,
+    /// Mean squared quantization error at that `α`.
+    pub mse: f32,
+}
+
+/// Number of alternating iterations; converges in well under 10 in practice.
+const ITERATIONS: usize = 10;
+
+/// Fits the MSE-optimal scaling factor of `codebook` to `weights`.
+///
+/// Returns `α = 0` (exact representation) for an all-zero vector.
+pub fn fit_alpha(weights: &[f32], codebook: &Codebook) -> AlphaFit {
+    let max_abs = weights.iter().map(|&w| w.abs()).fold(0.0f32, f32::max);
+    if max_abs == 0.0 {
+        return AlphaFit {
+            alpha: 0.0,
+            mse: 0.0,
+        };
+    }
+    let mut alpha = max_abs;
+    let mut q = vec![0.0f32; weights.len()];
+    for _ in 0..ITERATIONS {
+        // Projection step.
+        for (qi, &w) in q.iter_mut().zip(weights) {
+            *qi = codebook.project(w / alpha);
+        }
+        // Closed-form scale update.
+        let num: f32 = q.iter().zip(weights).map(|(&qi, &w)| qi * w).sum();
+        let den: f32 = q.iter().map(|&qi| qi * qi).sum();
+        if den <= f32::EPSILON || num <= 0.0 {
+            break;
+        }
+        let next = num / den;
+        if (next - alpha).abs() <= 1e-7 * alpha.abs() {
+            alpha = next;
+            break;
+        }
+        alpha = next;
+    }
+    let mse = weights
+        .iter()
+        .map(|&w| {
+            let e = w - alpha * codebook.project(w / alpha.max(f32::MIN_POSITIVE));
+            e * e
+        })
+        .sum::<f32>()
+        / weights.len() as f32;
+    AlphaFit { alpha, mse }
+}
+
+/// Projects `weights` in place onto `α ×` codebook levels with the fitted
+/// scale, returning the fit.
+pub fn project_with_alpha(weights: &mut [f32], codebook: &Codebook) -> AlphaFit {
+    let fit = fit_alpha(weights, codebook);
+    project_at_alpha(weights, codebook, fit.alpha);
+    fit
+}
+
+/// Projects `weights` in place at a **given** scale, returning the resulting
+/// MSE. Used when several rows share one group α (the paper's setting).
+pub fn project_at_alpha(weights: &mut [f32], codebook: &Codebook, alpha: f32) -> f32 {
+    if alpha == 0.0 {
+        let mse = weights.iter().map(|w| w * w).sum::<f32>() / weights.len().max(1) as f32;
+        for w in weights.iter_mut() {
+            *w = 0.0;
+        }
+        return mse;
+    }
+    let mut se = 0.0f32;
+    for w in weights.iter_mut() {
+        let q = alpha * codebook.project(*w / alpha);
+        se += (*w - q) * (*w - q);
+        *w = q;
+    }
+    se / weights.len().max(1) as f32
+}
+
+/// Quantization MSE of `weights` under `codebook` at a given `alpha`,
+/// without modifying the data.
+pub fn mse_at_alpha(weights: &[f32], codebook: &Codebook, alpha: f32) -> f32 {
+    if alpha == 0.0 {
+        return weights.iter().map(|w| w * w).sum::<f32>() / weights.len().max(1) as f32;
+    }
+    weights
+        .iter()
+        .map(|&w| {
+            let e = w - alpha * codebook.project(w / alpha);
+            e * e
+        })
+        .sum::<f32>()
+        / weights.len().max(1) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::Scheme;
+    use mixmatch_tensor::TensorRng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_levels_have_zero_error() {
+        let cb = Codebook::new(Scheme::Fixed, 4);
+        // Weights already on 0.5 × levels.
+        let weights: Vec<f32> = [0.0, 1.0, -1.0, 3.0 / 7.0]
+            .iter()
+            .map(|v| v * 0.5)
+            .collect();
+        let fit = fit_alpha(&weights, &cb);
+        assert!(fit.mse < 1e-10, "mse {}", fit.mse);
+        assert!((fit.alpha - 0.5).abs() < 1e-4, "alpha {}", fit.alpha);
+    }
+
+    #[test]
+    fn zero_vector_is_handled() {
+        let cb = Codebook::new(Scheme::Sp2, 4);
+        let fit = fit_alpha(&[0.0, 0.0], &cb);
+        assert_eq!(fit.alpha, 0.0);
+        assert_eq!(fit.mse, 0.0);
+    }
+
+    #[test]
+    fn alternating_updates_beat_naive_max_scaling() {
+        let mut rng = TensorRng::seed_from(0);
+        let cb = Codebook::new(Scheme::Fixed, 4);
+        let weights: Vec<f32> = (0..256).map(|_| rng.normal() * 0.1).collect();
+        let fit = fit_alpha(&weights, &cb);
+        // Naive α = max|w|.
+        let naive_alpha = weights.iter().map(|w| w.abs()).fold(0.0f32, f32::max);
+        let naive_mse = weights
+            .iter()
+            .map(|&w| {
+                let e = w - naive_alpha * cb.project(w / naive_alpha);
+                e * e
+            })
+            .sum::<f32>()
+            / weights.len() as f32;
+        assert!(fit.mse <= naive_mse + 1e-12);
+    }
+
+    #[test]
+    fn concentrated_rows_prefer_sp2_spread_rows_prefer_fixed_at_shared_alpha() {
+        // The distribution-matching claim behind MSQ (§IV-A), in its actual
+        // setting: α is shared across a layer (Eqs. 1/8 define one α per
+        // group). Under a common α, *low-variance* rows concentrate near
+        // zero where SP2's levels are densest; *high-variance* rows spread
+        // across the range where fixed-point's uniform grid is denser.
+        let mut rng = TensorRng::seed_from(1);
+        let sp2 = Codebook::new(Scheme::Sp2, 4);
+        let fixed = Codebook::new(Scheme::Fixed, 4);
+        let alpha = 1.0f32; // common layer scale
+        let concentrated: Vec<f32> = (0..4096).map(|_| rng.normal() * 0.1).collect();
+        let spread: Vec<f32> = (0..4096).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+        let c_sp2 = mse_at_alpha(&concentrated, &sp2, alpha);
+        let c_fix = mse_at_alpha(&concentrated, &fixed, alpha);
+        let s_sp2 = mse_at_alpha(&spread, &sp2, alpha);
+        let s_fix = mse_at_alpha(&spread, &fixed, alpha);
+        assert!(c_sp2 < c_fix, "concentrated: sp2 {c_sp2} !< fixed {c_fix}");
+        assert!(s_fix < s_sp2, "spread: fixed {s_fix} !< sp2 {s_sp2}");
+    }
+
+    #[test]
+    fn project_at_alpha_reports_the_mse_it_creates() {
+        let mut rng = TensorRng::seed_from(7);
+        let cb = Codebook::new(Scheme::Fixed, 4);
+        let weights: Vec<f32> = (0..128).map(|_| rng.normal() * 0.3).collect();
+        let expected = mse_at_alpha(&weights, &cb, 0.5);
+        let mut w = weights.clone();
+        let got = project_at_alpha(&mut w, &cb, 0.5);
+        assert!((expected - got).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pow2_has_larger_error_than_sp2_on_gaussian_tails() {
+        // The accuracy story of §III-B: P2's tail resolution hurts.
+        let mut rng = TensorRng::seed_from(2);
+        let p2 = Codebook::new(Scheme::Pow2, 4);
+        let sp2 = Codebook::new(Scheme::Sp2, 4);
+        let weights: Vec<f32> = (0..4096).map(|_| rng.normal() * 0.1).collect();
+        let e_p2 = fit_alpha(&weights, &p2).mse;
+        let e_sp2 = fit_alpha(&weights, &sp2).mse;
+        assert!(e_sp2 < e_p2, "sp2 {e_sp2} !< p2 {e_p2}");
+    }
+
+    #[test]
+    fn project_with_alpha_writes_projected_values() {
+        let mut rng = TensorRng::seed_from(3);
+        let cb = Codebook::new(Scheme::Fixed, 4);
+        let mut weights: Vec<f32> = (0..64).map(|_| rng.normal() * 0.2).collect();
+        let orig = weights.clone();
+        let fit = project_with_alpha(&mut weights, &cb);
+        assert!(fit.alpha > 0.0);
+        // Every value is on the α-scaled grid.
+        for &w in &weights {
+            let q = cb.project(w / fit.alpha);
+            assert!((w - fit.alpha * q).abs() < 1e-5);
+        }
+        // And the projection moved values by at most the worst-case cell.
+        for (w, o) in weights.iter().zip(&orig) {
+            assert!((w - o).abs() <= fit.alpha * 0.52);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn fitted_alpha_is_nonnegative_and_finite(
+            v in proptest::collection::vec(-2.0f32..2.0, 4..64)
+        ) {
+            let cb = Codebook::new(Scheme::Sp2, 4);
+            let fit = fit_alpha(&v, &cb);
+            prop_assert!(fit.alpha >= 0.0);
+            prop_assert!(fit.alpha.is_finite());
+            prop_assert!(fit.mse >= 0.0);
+        }
+    }
+}

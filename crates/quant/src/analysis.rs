@@ -1,0 +1,185 @@
+//! Distribution and quantization-error analysis (Figure 1 and the row-wise
+//! motivation of §IV-A).
+
+use crate::alpha::{fit_alpha, mse_at_alpha};
+use crate::schemes::{Codebook, Scheme};
+use mixmatch_tensor::stats::{self, Histogram};
+use mixmatch_tensor::Tensor;
+
+/// Quantization MSE of one weight set under each scheme at `bits`, with
+/// per-set optimal `α` (the quantity Figure 1 argues about).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchemeErrors {
+    /// Fixed-point MSE.
+    pub fixed: f32,
+    /// Power-of-2 MSE.
+    pub pow2: f32,
+    /// SP2 MSE.
+    pub sp2: f32,
+}
+
+impl SchemeErrors {
+    /// The scheme with the lowest error.
+    pub fn best(&self) -> Scheme {
+        if self.sp2 <= self.fixed && self.sp2 <= self.pow2 {
+            Scheme::Sp2
+        } else if self.fixed <= self.pow2 {
+            Scheme::Fixed
+        } else {
+            Scheme::Pow2
+        }
+    }
+}
+
+/// Computes per-scheme quantization errors for a weight slice, each scheme
+/// with its own optimal `α`.
+pub fn scheme_errors(weights: &[f32], bits: u32) -> SchemeErrors {
+    let err = |scheme| fit_alpha(weights, &Codebook::new(scheme, bits)).mse;
+    SchemeErrors {
+        fixed: err(Scheme::Fixed),
+        pow2: err(Scheme::Pow2),
+        sp2: err(Scheme::Sp2),
+    }
+}
+
+/// Per-scheme errors of a weight slice at a **shared** `α` — the setting of
+/// Algorithm 2, where all rows of a layer live on one scale and the question
+/// is which level *shape* fits each row.
+pub fn scheme_errors_at_alpha(weights: &[f32], bits: u32, alpha: f32) -> SchemeErrors {
+    let err = |scheme| mse_at_alpha(weights, &Codebook::new(scheme, bits), alpha);
+    SchemeErrors {
+        fixed: err(Scheme::Fixed),
+        pow2: err(Scheme::Pow2),
+        sp2: err(Scheme::Sp2),
+    }
+}
+
+/// Row-level distribution statistics used to motivate row-wise assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowStats {
+    /// Row index.
+    pub row: usize,
+    /// Population variance.
+    pub variance: f32,
+    /// Excess kurtosis (0 ≈ Gaussian, < 0 Uniform-like).
+    pub kurtosis: f32,
+    /// Per-scheme quantization errors of this row at the layer-shared `α`.
+    pub errors: SchemeErrors,
+}
+
+/// Analyses every row of a weight matrix under one shared layer `α`
+/// (fitted with the fixed-point codebook over the whole matrix) — the
+/// comparison Algorithm 2's variance ranking approximates.
+///
+/// # Panics
+///
+/// Panics when `weight` is not rank-2.
+pub fn analyse_rows(weight: &Tensor, bits: u32) -> Vec<RowStats> {
+    assert_eq!(weight.shape().rank(), 2, "analyse_rows expects [rows, cols]");
+    let layer_alpha = fit_alpha(weight.as_slice(), &Codebook::new(Scheme::Fixed, bits)).alpha;
+    (0..weight.dims()[0])
+        .map(|r| {
+            let row = weight.row(r);
+            RowStats {
+                row: r,
+                variance: stats::variance(row),
+                kurtosis: stats::excess_kurtosis(row),
+                errors: scheme_errors_at_alpha(row, bits, layer_alpha),
+            }
+        })
+        .collect()
+}
+
+/// Data series for regenerating Figure 1: the normalised level positions of
+/// each scheme and a histogram of the weights scaled into `[-1, 1]`.
+#[derive(Debug, Clone)]
+pub struct Figure1Data {
+    /// Fixed-point levels.
+    pub fixed_levels: Vec<f32>,
+    /// Power-of-2 levels.
+    pub pow2_levels: Vec<f32>,
+    /// SP2 levels.
+    pub sp2_levels: Vec<f32>,
+    /// Histogram of weights normalised by max |w|.
+    pub histogram: Histogram,
+}
+
+/// Builds the Figure 1 series from a flat weight sample.
+///
+/// # Panics
+///
+/// Panics when `weights` is empty.
+pub fn figure1_data(weights: &[f32], bits: u32, hist_bins: usize) -> Figure1Data {
+    assert!(!weights.is_empty(), "need weights to plot");
+    let max_abs = weights
+        .iter()
+        .map(|w| w.abs())
+        .fold(0.0f32, f32::max)
+        .max(1e-8);
+    let normalised: Vec<f32> = weights.iter().map(|w| w / max_abs).collect();
+    Figure1Data {
+        fixed_levels: Codebook::new(Scheme::Fixed, bits).values(),
+        pow2_levels: Codebook::new(Scheme::Pow2, bits).values(),
+        sp2_levels: Codebook::new(Scheme::Sp2, bits).values(),
+        histogram: Histogram::build(&normalised, -1.0, 1.0, hist_bins),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixmatch_tensor::TensorRng;
+
+    #[test]
+    fn pow2_is_worst_on_gaussian_weights() {
+        // §III-B: even at each scheme's own optimal α, P2's poor tail
+        // resolution makes it the worst of the three on Gaussian weights.
+        let mut rng = TensorRng::seed_from(0);
+        let w: Vec<f32> = (0..4096).map(|_| rng.normal() * 0.08).collect();
+        let e = scheme_errors(&w, 4);
+        assert!(e.pow2 > e.fixed);
+        assert!(e.pow2 > e.sp2);
+        // Fixed and SP2 are close (the paper calls them equivalent): within
+        // 2x of each other, both far below P2.
+        assert!(e.fixed / e.sp2 < 2.0 && e.sp2 / e.fixed < 2.0);
+    }
+
+    #[test]
+    fn uniform_weights_prefer_fixed() {
+        let mut rng = TensorRng::seed_from(1);
+        let w: Vec<f32> = (0..4096).map(|_| rng.uniform_in(-0.2, 0.2)).collect();
+        assert_eq!(scheme_errors(&w, 4).best(), Scheme::Fixed);
+    }
+
+    #[test]
+    fn row_analysis_matches_construction() {
+        // A layer with one concentrated row and one spread row, analysed at
+        // the shared layer α: the concentrated row prefers SP2, the spread
+        // row prefers fixed — the premise of Algorithm 2.
+        let mut rng = TensorRng::seed_from(2);
+        let mut t = Tensor::zeros(&[2, 512]);
+        for c in 0..512 {
+            t.set(&[0, c], rng.normal() * 0.05);
+            t.set(&[1, c], rng.uniform_in(-0.5, 0.5));
+        }
+        let stats = analyse_rows(&t, 4);
+        assert!(stats[0].variance < stats[1].variance);
+        assert!(stats[0].kurtosis > stats[1].kurtosis);
+        // MSQ's decision is binary SP2-vs-fixed (P2 is not in the mix):
+        // the concentrated row must prefer SP2, the spread row fixed.
+        assert!(stats[0].errors.sp2 < stats[0].errors.fixed);
+        assert!(stats[1].errors.fixed < stats[1].errors.sp2);
+        assert_eq!(stats[1].errors.best(), Scheme::Fixed);
+    }
+
+    #[test]
+    fn figure1_levels_have_paper_counts() {
+        let mut rng = TensorRng::seed_from(3);
+        let w: Vec<f32> = (0..256).map(|_| rng.normal() * 0.1).collect();
+        let fig = figure1_data(&w, 4, 64);
+        assert_eq!(fig.fixed_levels.len(), 15);
+        assert_eq!(fig.pow2_levels.len(), 15);
+        assert_eq!(fig.sp2_levels.len(), 13); // 15 codes, 13 distinct values
+        assert_eq!(fig.histogram.counts().iter().sum::<usize>(), 256);
+    }
+}

@@ -1,0 +1,431 @@
+//! Hardware-level weight codes and their integer arithmetic.
+//!
+//! This module is the ground truth for Table I: it implements the
+//! weight×activation multiplication of every scheme **exactly as the
+//! hardware would** — integer multiply for fixed-point (DSP), one left shift
+//! for P2, two left shifts plus one addition for SP2 (LUT shifter/adder) —
+//! and counts the operations. All integer results are exact; scaling back to
+//! real values happens once per output with the row's `α` and the code's
+//! power-of-two denominator.
+
+use std::fmt;
+
+/// Exponent bit-budget of an SP2 code (paper §III-A: `m1 + m2 = m − 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sp2Exponents {
+    /// Bits for the first power-of-2 term.
+    pub m1: u32,
+    /// Bits for the second power-of-2 term.
+    pub m2: u32,
+}
+
+impl Sp2Exponents {
+    /// Creates the exponent budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m1 < m2` (the paper requires `m1 ≥ m2`) or `m1 == 0`.
+    pub fn new(m1: u32, m2: u32) -> Self {
+        assert!(m1 >= m2, "SP2 requires m1 >= m2");
+        assert!(m1 > 0, "SP2 requires m1 > 0");
+        Sp2Exponents { m1, m2 }
+    }
+
+    /// log2 of the common denominator: the largest exponent, `2^{m1} − 1`.
+    pub fn denom_log2(&self) -> u32 {
+        (1 << self.m1) - 1
+    }
+}
+
+/// Operation counts for one weight×activation MAC, following Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// Full multiplications (consume a DSP slice on FPGA).
+    pub mults: usize,
+    /// Barrel-shift operations (LUT).
+    pub shifts: usize,
+    /// Additions beyond the accumulator add (LUT).
+    pub adds: usize,
+}
+
+impl OpCounts {
+    /// Component-wise sum.
+    pub fn merge(self, other: OpCounts) -> OpCounts {
+        OpCounts {
+            mults: self.mults + other.mults,
+            shifts: self.shifts + other.shifts,
+            adds: self.adds + other.adds,
+        }
+    }
+}
+
+/// A quantized weight's hardware representation.
+///
+/// Every variant stores enough to (a) reproduce the normalised level value
+/// exactly and (b) run the integer MAC the way the corresponding FPGA
+/// resource would.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightCode {
+    /// Sign + integer magnitude over denominator `denom` (fixed-point).
+    Fixed {
+        /// −1, 0 or +1.
+        sign: i8,
+        /// Unsigned magnitude `0..=denom`.
+        magnitude: u32,
+        /// Level denominator `2^{m-1} − 1`.
+        denom: u32,
+    },
+    /// Sign + single negative power-of-2 exponent (P2).
+    Pow2 {
+        /// −1, 0 or +1.
+        sign: i8,
+        /// Value is `2^-exponent`; ignored when `sign == 0`.
+        exponent: u32,
+        /// Largest representable exponent, fixing the common denominator
+        /// `2^max_exponent`.
+        max_exponent: u32,
+    },
+    /// Sign + up to two negative power-of-2 exponents (SP2).
+    Sp2 {
+        /// −1, 0 or +1.
+        sign: i8,
+        /// First term's exponent (`None` = the `q1 = 0` code).
+        e1: Option<u32>,
+        /// Second term's exponent (`None` = the `q2 = 0` code).
+        e2: Option<u32>,
+        /// Exponent bit-budget, fixing the common denominator.
+        exps: Sp2Exponents,
+    },
+}
+
+impl WeightCode {
+    /// Fixed-point code constructor.
+    pub fn fixed(sign: i8, magnitude: u32, denom: u32) -> Self {
+        debug_assert!(magnitude <= denom);
+        WeightCode::Fixed {
+            sign,
+            magnitude,
+            denom,
+        }
+    }
+
+    /// P2 code constructor.
+    pub fn pow2(sign: i8, exponent: u32, max_exponent: u32) -> Self {
+        debug_assert!(exponent <= max_exponent);
+        WeightCode::Pow2 {
+            sign,
+            exponent,
+            max_exponent,
+        }
+    }
+
+    /// P2 zero code.
+    pub fn pow2_zero(max_exponent: u32) -> Self {
+        WeightCode::Pow2 {
+            sign: 0,
+            exponent: 0,
+            max_exponent,
+        }
+    }
+
+    /// SP2 code constructor.
+    pub fn sp2(sign: i8, e1: Option<u32>, e2: Option<u32>, exps: Sp2Exponents) -> Self {
+        WeightCode::Sp2 { sign, e1, e2, exps }
+    }
+
+    /// The normalised level value this code encodes.
+    pub fn value(&self) -> f32 {
+        match *self {
+            WeightCode::Fixed {
+                sign,
+                magnitude,
+                denom,
+            } => sign as f32 * magnitude as f32 / denom as f32,
+            WeightCode::Pow2 { sign, exponent, .. } => {
+                sign as f32 * (2.0f32).powi(-(exponent as i32))
+            }
+            WeightCode::Sp2 { sign, e1, e2, .. } => {
+                let q1 = e1.map_or(0.0, |e| (2.0f32).powi(-(e as i32)));
+                let q2 = e2.map_or(0.0, |e| (2.0f32).powi(-(e as i32)));
+                sign as f32 * (q1 + q2)
+            }
+        }
+    }
+
+    /// log2 of the power-of-two denominator used by [`mac`](Self::mac) for
+    /// shift-based codes; `None` for fixed-point (its denominator is
+    /// `denom`, not a power of two).
+    pub fn denom_log2(&self) -> Option<u32> {
+        match *self {
+            WeightCode::Fixed { .. } => None,
+            WeightCode::Pow2 { max_exponent, .. } => Some(max_exponent),
+            WeightCode::Sp2 { exps, .. } => Some(exps.denom_log2()),
+        }
+    }
+
+    /// Integer denominator: the scaled integer accumulated by
+    /// [`mac`](Self::mac) equals `activation × value × denominator`.
+    pub fn denominator(&self) -> u32 {
+        match *self {
+            WeightCode::Fixed { denom, .. } => denom,
+            _ => 1 << self.denom_log2().expect("shift-based code"),
+        }
+    }
+
+    /// One integer MAC: accumulates `activation × value × denominator` into
+    /// `acc` exactly, returning the operation count the hardware would spend
+    /// (Table I).
+    ///
+    /// * Fixed: one integer multiply (DSP).
+    /// * P2: one shift.
+    /// * SP2: up to two shifts and one add (LUT).
+    pub fn mac(&self, activation: u32, acc: &mut i64) -> OpCounts {
+        match *self {
+            WeightCode::Fixed {
+                sign, magnitude, ..
+            } => {
+                let p = activation as i64 * magnitude as i64;
+                *acc += sign as i64 * p;
+                OpCounts {
+                    mults: 1,
+                    ..OpCounts::default()
+                }
+            }
+            WeightCode::Pow2 {
+                sign,
+                exponent,
+                max_exponent,
+            } => {
+                if sign == 0 {
+                    return OpCounts::default();
+                }
+                let shifted = (activation as i64) << (max_exponent - exponent);
+                *acc += sign as i64 * shifted;
+                OpCounts {
+                    shifts: 1,
+                    ..OpCounts::default()
+                }
+            }
+            WeightCode::Sp2 { sign, e1, e2, exps } => {
+                if sign == 0 {
+                    return OpCounts::default();
+                }
+                let d = exps.denom_log2();
+                let mut ops = OpCounts::default();
+                let mut sum = 0i64;
+                if let Some(e) = e1 {
+                    sum += (activation as i64) << (d - e);
+                    ops.shifts += 1;
+                }
+                if let Some(e) = e2 {
+                    let term = (activation as i64) << (d - e);
+                    if sum != 0 {
+                        ops.adds += 1;
+                    }
+                    sum += term;
+                    ops.shifts += 1;
+                }
+                *acc += sign as i64 * sum;
+                ops
+            }
+        }
+    }
+}
+
+impl fmt::Display for WeightCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            WeightCode::Fixed {
+                sign,
+                magnitude,
+                denom,
+            } => write!(f, "fixed({}{}/{})", sign_char(sign), magnitude, denom),
+            WeightCode::Pow2 { sign, exponent, .. } => {
+                if sign == 0 {
+                    write!(f, "p2(0)")
+                } else {
+                    write!(f, "p2({}2^-{})", sign_char(sign), exponent)
+                }
+            }
+            WeightCode::Sp2 { sign, e1, e2, .. } => {
+                if sign == 0 {
+                    write!(f, "sp2(0)")
+                } else {
+                    let t = |e: Option<u32>| e.map_or("0".to_string(), |v| format!("2^-{v}"));
+                    write!(f, "sp2({}{}+{})", sign_char(sign), t(e1), t(e2))
+                }
+            }
+        }
+    }
+}
+
+fn sign_char(sign: i8) -> char {
+    if sign < 0 {
+        '-'
+    } else {
+        '+'
+    }
+}
+
+/// Table I analysis: operation counts for an `m`-bit weight × `n`-bit
+/// activation product under each scheme, as the paper states them.
+///
+/// * Fixed-point: `n`-bit addition `m − 2` times (shift-add multiplier).
+/// * SP2: shifts by up to `2^{m1} − 2` and `2^{m2} − 2` bits, one
+///   `(n + 2^{m1} − 2)`-bit addition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacCost {
+    /// Number of additions.
+    pub additions: usize,
+    /// Width in bits of the widest addition.
+    pub addition_width: u32,
+    /// Number of shifts.
+    pub shifts: usize,
+    /// Largest shift distance in bits.
+    pub max_shift: u32,
+}
+
+/// Cost of one fixed-point MAC per Table I.
+pub fn fixed_mac_cost(m: u32, n: u32) -> MacCost {
+    MacCost {
+        additions: (m as usize).saturating_sub(2),
+        addition_width: n,
+        shifts: 0,
+        max_shift: 0,
+    }
+}
+
+/// Cost of one SP2 MAC per Table I.
+pub fn sp2_mac_cost(m: u32, n: u32) -> MacCost {
+    let (m1, m2) = crate::schemes::sp2_split(m);
+    MacCost {
+        additions: 1,
+        addition_width: n + (1 << m1) - 2,
+        shifts: 2,
+        max_shift: ((1u32 << m1) - 2).max((1u32 << m2).saturating_sub(2)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fixed_mac_is_exact() {
+        let code = WeightCode::fixed(-1, 5, 7); // value -5/7
+        let mut acc = 0i64;
+        let ops = code.mac(13, &mut acc);
+        assert_eq!(acc, -65); // 13 * 5/7 * 7
+        assert_eq!(ops.mults, 1);
+        assert_eq!(ops.shifts + ops.adds, 0);
+    }
+
+    #[test]
+    fn pow2_mac_is_one_shift() {
+        let code = WeightCode::pow2(1, 2, 6); // value 1/4, denom 2^6
+        let mut acc = 0i64;
+        let ops = code.mac(3, &mut acc);
+        // 3 * (1/4) * 64 = 48 = 3 << 4.
+        assert_eq!(acc, 48);
+        assert_eq!(ops.shifts, 1);
+        assert_eq!(ops.mults, 0);
+    }
+
+    #[test]
+    fn sp2_mac_is_two_shifts_one_add() {
+        let exps = Sp2Exponents::new(2, 1);
+        let code = WeightCode::sp2(1, Some(2), Some(1), exps); // 1/4 + 1/2 = 3/4
+        let mut acc = 0i64;
+        let ops = code.mac(8, &mut acc);
+        // denom 2^3 = 8: 8 * 3/4 * 8 = 48.
+        assert_eq!(acc, 48);
+        assert_eq!(ops.shifts, 2);
+        assert_eq!(ops.adds, 1);
+        assert_eq!(ops.mults, 0);
+    }
+
+    #[test]
+    fn zero_codes_cost_nothing() {
+        let exps = Sp2Exponents::new(2, 1);
+        for code in [
+            WeightCode::pow2_zero(6),
+            WeightCode::sp2(0, None, None, exps),
+        ] {
+            let mut acc = 7i64;
+            let ops = code.mac(99, &mut acc);
+            assert_eq!(acc, 7);
+            assert_eq!(ops, OpCounts::default());
+        }
+    }
+
+    #[test]
+    fn single_term_sp2_skips_the_add() {
+        let exps = Sp2Exponents::new(2, 1);
+        let code = WeightCode::sp2(1, Some(1), None, exps); // exactly 1/2
+        let mut acc = 0i64;
+        let ops = code.mac(4, &mut acc);
+        assert_eq!(acc, 16); // 4 * 1/2 * 8
+        assert_eq!(ops.shifts, 1);
+        assert_eq!(ops.adds, 0);
+    }
+
+    #[test]
+    fn denominators() {
+        assert_eq!(WeightCode::fixed(1, 3, 7).denominator(), 7);
+        assert_eq!(WeightCode::pow2(1, 0, 6).denominator(), 64);
+        let exps = Sp2Exponents::new(2, 1);
+        assert_eq!(WeightCode::sp2(1, Some(1), None, exps).denominator(), 8);
+    }
+
+    #[test]
+    fn table1_costs() {
+        // m=4, n=4: fixed = 2 additions of 4 bits; SP2 = shifts up to 2 bits
+        // (2^2-2), addition of n + 2^{m1} - 2 = 6 bits.
+        let f = fixed_mac_cost(4, 4);
+        assert_eq!(f.additions, 2);
+        assert_eq!(f.addition_width, 4);
+        let s = sp2_mac_cost(4, 4);
+        assert_eq!(s.shifts, 2);
+        assert_eq!(s.max_shift, 2);
+        assert_eq!(s.additions, 1);
+        assert_eq!(s.addition_width, 6);
+    }
+
+    #[test]
+    fn display_forms() {
+        let exps = Sp2Exponents::new(2, 1);
+        assert_eq!(WeightCode::fixed(-1, 3, 7).to_string(), "fixed(-3/7)");
+        assert_eq!(WeightCode::pow2(1, 2, 6).to_string(), "p2(+2^-2)");
+        assert_eq!(
+            WeightCode::sp2(1, Some(2), Some(1), exps).to_string(),
+            "sp2(+2^-2+2^-1)"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn mac_equals_scaled_float_product(a in 0u32..256, mag in 0u32..8) {
+            let code = WeightCode::fixed(1, mag, 7);
+            let mut acc = 0i64;
+            code.mac(a, &mut acc);
+            let float = a as f64 * code.value() as f64 * 7.0;
+            prop_assert!((acc as f64 - float).abs() < 1e-3);
+        }
+
+        #[test]
+        fn sp2_mac_equals_scaled_float_product(
+            a in 0u32..256,
+            e1 in proptest::option::of(1u32..4),
+            e2 in proptest::option::of(1u32..2),
+        ) {
+            let exps = Sp2Exponents::new(2, 1);
+            let sign = if e1.is_none() && e2.is_none() { 0 } else { 1 };
+            let code = WeightCode::sp2(sign, e1, e2, exps);
+            let mut acc = 0i64;
+            code.mac(a, &mut acc);
+            let float = a as f64 * code.value() as f64 * 8.0;
+            prop_assert!((acc as f64 - float).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Layer-level integer deployment.
+//!
+//! Bridges training-time layers to the hardware arithmetic: a trained,
+//! MSQ-projected convolution or linear layer re-executes through
+//! [`QuantizedMatrix`]'s integer kernels (im2col → shift/add / DSP-multiply
+//! GEMM → per-row rescale), reproducing the float-quantized forward pass to
+//! f32 rounding. This is the software twin of Figure 3's datapath for one
+//! layer.
+
+use crate::integer::{ActQuantizer, QuantizedMatrix};
+use crate::msq::MsqPolicy;
+use mixmatch_tensor::im2col::{im2col, ConvGeometry};
+use mixmatch_tensor::Tensor;
+
+/// A convolution layer in deployment form: integer weight codes + the
+/// activation quantizer feeding it.
+#[derive(Debug, Clone)]
+pub struct QuantizedConv {
+    geom: ConvGeometry,
+    matrix: QuantizedMatrix,
+    act: ActQuantizer,
+}
+
+impl QuantizedConv {
+    /// Encodes a conv layer's GEMM-form weights (`[Cout, (Cin/g)·k·k]`)
+    /// under `policy`, taking activations through `act`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the weight shape disagrees with `geom` or the geometry is
+    /// grouped (depthwise deployment uses one matrix per group; see
+    /// [`QuantizedConv::depthwise`]).
+    pub fn new(geom: ConvGeometry, weight: &Tensor, policy: &MsqPolicy, act: ActQuantizer) -> Self {
+        assert_eq!(geom.groups, 1, "use QuantizedConv::depthwise for groups");
+        assert_eq!(
+            weight.dims(),
+            &[geom.out_channels, geom.gemm_k()],
+            "weight must be in GEMM form"
+        );
+        QuantizedConv {
+            geom,
+            matrix: QuantizedMatrix::from_float(weight, policy),
+            act,
+        }
+    }
+
+    /// Depthwise variant: each channel is a 1-row matrix; rows are stacked
+    /// so the row index is the channel.
+    pub fn depthwise(
+        geom: ConvGeometry,
+        weight: &Tensor,
+        policy: &MsqPolicy,
+        act: ActQuantizer,
+    ) -> Self {
+        assert_eq!(geom.groups, geom.in_channels, "depthwise geometry required");
+        assert_eq!(weight.dims(), &[geom.out_channels, geom.gemm_k()]);
+        QuantizedConv {
+            geom,
+            matrix: QuantizedMatrix::from_float(weight, policy),
+            act,
+        }
+    }
+
+    /// The dequantized GEMM weight (for parity checks against the float
+    /// path).
+    pub fn dequantized_weight(&self) -> Tensor {
+        self.matrix.to_float()
+    }
+
+    /// Runs one image `[C, H, W]` through the integer datapath, returning
+    /// the output feature map `[Cout, OH, OW]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on channel mismatch.
+    pub fn forward_image(&self, image: &Tensor) -> Tensor {
+        let h = image.dims()[1];
+        let w = image.dims()[2];
+        let oh = self.geom.output_size(h);
+        let ow = self.geom.output_size(w);
+        let patches = oh * ow;
+        let mut out = Tensor::zeros(&[self.geom.out_channels, oh, ow]);
+        if self.geom.groups == 1 {
+            let cols = im2col(image, &self.geom, 0);
+            let xq = self.act.quantize(cols.as_slice());
+            let (y, _) = self.matrix.matmul(&xq, patches, &self.act);
+            out.as_mut_slice().copy_from_slice(y.as_slice());
+        } else {
+            // Depthwise: one single-row GEMM per channel group, using the
+            // channel's already-encoded codes and group α.
+            for g in 0..self.geom.groups {
+                let cols = im2col(image, &self.geom, g);
+                let xq = self.act.quantize(cols.as_slice());
+                let (y, _) = self.matrix.matmul_row(g, &xq, patches, &self.act);
+                out.as_mut_slice()[g * patches..(g + 1) * patches].copy_from_slice(&y);
+            }
+        }
+        out
+    }
+}
+
+/// Parity check: maximum absolute difference between the integer datapath
+/// and the float reference (dequantized weights × quantized-dequantized
+/// activations) over one image.
+pub fn conv_parity(conv: &QuantizedConv, image: &Tensor) -> f32 {
+    let integer = conv.forward_image(image);
+    // Float reference path.
+    let geom = conv.geom;
+    let h = image.dims()[1];
+    let oh = geom.output_size(h);
+    let ow = geom.output_size(image.dims()[2]);
+    let patches = oh * ow;
+    let wf = conv.dequantized_weight();
+    let mut reference = Tensor::zeros(&[geom.out_channels, oh, ow]);
+    let cpg = geom.out_channels / geom.groups;
+    for g in 0..geom.groups {
+        let cols = im2col(image, &geom, g);
+        let xd = conv.act.dequantize(&conv.act.quantize(cols.as_slice()));
+        let xd = Tensor::from_vec(xd, cols.dims()).expect("same shape");
+        for r in 0..cpg {
+            let row = g * cpg + r;
+            for p in 0..patches {
+                let mut acc = 0.0f32;
+                for k in 0..geom.gemm_k() {
+                    acc += wf.row(row)[k] * xd.at(&[k, p]);
+                }
+                reference.as_mut_slice()[row * patches + p] = acc;
+            }
+        }
+    }
+    integer.max_abs_diff(&reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::Scheme;
+    use mixmatch_tensor::TensorRng;
+
+    #[test]
+    fn dense_conv_integer_path_matches_float_reference() {
+        let mut rng = TensorRng::seed_from(0);
+        let geom = ConvGeometry::new(3, 8, 3, 1, 1);
+        let w = Tensor::randn(&[8, 27], &mut rng);
+        let conv = QuantizedConv::new(geom, &w, &MsqPolicy::msq_optimal(), ActQuantizer::new(4, 2.0));
+        let img = Tensor::rand_uniform(&[3, 6, 6], 0.0, 2.0, &mut rng);
+        let diff = conv_parity(&conv, &img);
+        assert!(diff < 1e-3, "integer/float divergence {diff}");
+    }
+
+    #[test]
+    fn strided_conv_output_shape() {
+        let mut rng = TensorRng::seed_from(1);
+        let geom = ConvGeometry::new(2, 4, 3, 2, 1);
+        let w = Tensor::randn(&[4, 18], &mut rng);
+        let conv = QuantizedConv::new(geom, &w, &MsqPolicy::single(Scheme::Sp2, 4), ActQuantizer::new(4, 1.0));
+        let img = Tensor::rand_uniform(&[2, 8, 8], 0.0, 1.0, &mut rng);
+        let out = conv.forward_image(&img);
+        assert_eq!(out.dims(), &[4, 4, 4]);
+    }
+
+    #[test]
+    fn depthwise_integer_path_matches_float_reference() {
+        let mut rng = TensorRng::seed_from(2);
+        let geom = ConvGeometry::depthwise(4, 3, 1, 1);
+        let w = Tensor::randn(&[4, 9], &mut rng);
+        let conv = QuantizedConv::depthwise(
+            geom,
+            &w,
+            &MsqPolicy::single(Scheme::Fixed, 4),
+            ActQuantizer::new(4, 1.5),
+        );
+        let img = Tensor::rand_uniform(&[4, 5, 5], 0.0, 1.5, &mut rng);
+        let diff = conv_parity(&conv, &img);
+        assert!(diff < 1e-3, "depthwise divergence {diff}");
+    }
+
+    #[test]
+    #[should_panic(expected = "GEMM form")]
+    fn wrong_weight_shape_panics() {
+        let geom = ConvGeometry::new(3, 8, 3, 1, 1);
+        let w = Tensor::zeros(&[8, 26]);
+        let _ = QuantizedConv::new(geom, &w, &MsqPolicy::msq_half(), ActQuantizer::new(4, 1.0));
+    }
+}

@@ -1,0 +1,259 @@
+//! Packed deployment format for quantized weights.
+//!
+//! The paper's Table V headlines "4-bit quantization = 8× compression rate";
+//! this module makes that concrete: every weight code of every scheme packs
+//! into exactly 4 bits (for `m = 4`), so a layer ships as
+//! `⌈rows·cols/2⌉` bytes plus one `(scheme, α)` pair per row.
+//!
+//! Bit layouts (4-bit example):
+//!
+//! * Fixed: `sign | magnitude(3)` — sign-magnitude, as Eq. 1 implies.
+//! * P2: `sign | exponent-code(3)` where code 0 = value 0, code `e` = `2^{e-7}`.
+//! * SP2: `sign | e1-code(2) | e2-code(1)` — the two shift exponents.
+
+use crate::codes::{Sp2Exponents, WeightCode};
+use crate::schemes::{sp2_split, Scheme};
+use std::error::Error;
+use std::fmt;
+
+/// Error from unpacking a serialized weight row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnpackError {
+    /// The byte stream ended before `count` codes were read.
+    Truncated {
+        /// Codes expected.
+        expected: usize,
+        /// Codes available.
+        available: usize,
+    },
+    /// A nibble decodes to no valid code under the scheme.
+    InvalidCode {
+        /// Offending nibble value.
+        nibble: u8,
+    },
+}
+
+impl fmt::Display for UnpackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnpackError::Truncated {
+                expected,
+                available,
+            } => write!(f, "stream truncated: expected {expected} codes, got {available}"),
+            UnpackError::InvalidCode { nibble } => {
+                write!(f, "nibble {nibble:#x} is not a valid code")
+            }
+        }
+    }
+}
+
+impl Error for UnpackError {}
+
+/// Encodes one 4-bit weight code as a nibble.
+///
+/// # Panics
+///
+/// Panics when the code was not built at 4-bit precision (magnitudes or
+/// exponents out of nibble range).
+pub fn encode_nibble(code: &WeightCode) -> u8 {
+    match *code {
+        WeightCode::Fixed {
+            sign, magnitude, ..
+        } => {
+            assert!(magnitude < 8, "fixed magnitude {magnitude} exceeds 3 bits");
+            let s = u8::from(sign < 0) << 3;
+            s | magnitude as u8
+        }
+        WeightCode::Pow2 {
+            sign, exponent, ..
+        } => {
+            if sign == 0 {
+                return 0;
+            }
+            // Value 2^-e with e in 0..=6 → code 7-e in 1..=7.
+            assert!(exponent <= 6, "p2 exponent {exponent} exceeds 4-bit range");
+            let s = u8::from(sign < 0) << 3;
+            s | (7 - exponent as u8)
+        }
+        WeightCode::Sp2 { sign, e1, e2, .. } => {
+            if sign == 0 {
+                return 0;
+            }
+            let s = u8::from(sign < 0) << 3;
+            // e1 ∈ {None, 1, 2, 3} → 2 bits; e2 ∈ {None, 1} → 1 bit.
+            let c1 = e1.map_or(0u8, |e| {
+                assert!((1..=3).contains(&e), "sp2 e1 {e} out of range");
+                e as u8
+            });
+            let c2 = u8::from(e2.is_some());
+            s | (c1 << 1) | c2
+        }
+    }
+}
+
+/// Decodes one nibble back to a 4-bit weight code.
+///
+/// # Errors
+///
+/// Returns [`UnpackError::InvalidCode`] for nibbles that encode "negative
+/// zero" (no scheme uses them).
+pub fn decode_nibble(nibble: u8, scheme: Scheme) -> Result<WeightCode, UnpackError> {
+    let sign_bit = (nibble >> 3) & 1;
+    let payload = nibble & 0b0111;
+    if payload == 0 && sign_bit == 1 {
+        return Err(UnpackError::InvalidCode { nibble });
+    }
+    let sign: i8 = if payload == 0 {
+        0
+    } else if sign_bit == 1 {
+        -1
+    } else {
+        1
+    };
+    match scheme {
+        Scheme::Fixed => Ok(WeightCode::fixed(sign, payload as u32, 7)),
+        Scheme::Pow2 => {
+            if sign == 0 {
+                Ok(WeightCode::pow2_zero(6))
+            } else {
+                Ok(WeightCode::pow2(sign, 7 - payload as u32, 6))
+            }
+        }
+        Scheme::Sp2 => {
+            let (m1, m2) = sp2_split(4);
+            let exps = Sp2Exponents::new(m1, m2);
+            if sign == 0 {
+                return Ok(WeightCode::sp2(0, None, None, exps));
+            }
+            let c1 = (payload >> 1) & 0b11;
+            let c2 = payload & 1;
+            let e1 = (c1 != 0).then_some(c1 as u32);
+            let e2 = (c2 != 0).then_some(1u32);
+            if e1.is_none() && e2.is_none() {
+                return Err(UnpackError::InvalidCode { nibble });
+            }
+            Ok(WeightCode::sp2(sign, e1, e2, exps))
+        }
+    }
+}
+
+/// Packs a sequence of 4-bit codes into bytes, two per byte (low nibble
+/// first).
+pub fn pack_nibbles(codes: &[WeightCode]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(codes.len().div_ceil(2));
+    for pair in codes.chunks(2) {
+        let lo = encode_nibble(&pair[0]);
+        let hi = pair.get(1).map(encode_nibble).unwrap_or(0);
+        out.push(lo | (hi << 4));
+    }
+    out
+}
+
+/// Unpacks `count` codes from packed bytes.
+///
+/// # Errors
+///
+/// Returns [`UnpackError::Truncated`] when `bytes` holds fewer than `count`
+/// nibbles, or [`UnpackError::InvalidCode`] on an undecodable nibble.
+pub fn unpack_nibbles(
+    bytes: &[u8],
+    count: usize,
+    scheme: Scheme,
+) -> Result<Vec<WeightCode>, UnpackError> {
+    if bytes.len() * 2 < count {
+        return Err(UnpackError::Truncated {
+            expected: count,
+            available: bytes.len() * 2,
+        });
+    }
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let byte = bytes[i / 2];
+        let nibble = if i % 2 == 0 { byte & 0xF } else { byte >> 4 };
+        out.push(decode_nibble(nibble, scheme)?);
+    }
+    Ok(out)
+}
+
+/// Compression rate versus 32-bit floats for a packed layer (per-row α and
+/// scheme tags amortise away for realistic widths).
+pub fn compression_rate(rows: usize, cols: usize) -> f32 {
+    let float_bytes = (rows * cols * 4) as f32;
+    // Packed codes + per-row f32 α + per-row scheme byte.
+    let packed_bytes = (rows * cols).div_ceil(2) as f32 + (rows * 5) as f32;
+    float_bytes / packed_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::Codebook;
+    use proptest::prelude::*;
+
+    #[test]
+    fn every_4bit_code_round_trips() {
+        for scheme in [Scheme::Fixed, Scheme::Pow2, Scheme::Sp2] {
+            let cb = Codebook::new(scheme, 4);
+            for level in cb.levels() {
+                let nibble = encode_nibble(&level.code);
+                assert!(nibble < 16);
+                let decoded = decode_nibble(nibble, scheme).expect("valid nibble");
+                assert!(
+                    (decoded.value() - level.value).abs() < 1e-6,
+                    "{scheme}: {} -> {nibble:#x} -> {}",
+                    level.value,
+                    decoded.value()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pack_unpack_round_trips_odd_lengths() {
+        let cb = Codebook::new(Scheme::Sp2, 4);
+        let codes: Vec<WeightCode> = cb.levels().iter().map(|l| l.code).collect();
+        let packed = pack_nibbles(&codes);
+        assert_eq!(packed.len(), codes.len().div_ceil(2));
+        let unpacked = unpack_nibbles(&packed, codes.len(), Scheme::Sp2).expect("round trip");
+        for (a, b) in codes.iter().zip(&unpacked) {
+            assert!((a.value() - b.value()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let err = unpack_nibbles(&[0u8], 3, Scheme::Fixed).unwrap_err();
+        assert_eq!(
+            err,
+            UnpackError::Truncated {
+                expected: 3,
+                available: 2
+            }
+        );
+    }
+
+    #[test]
+    fn negative_zero_is_invalid() {
+        assert!(decode_nibble(0b1000, Scheme::Fixed).is_err());
+        assert!(decode_nibble(0b1000, Scheme::Sp2).is_err());
+    }
+
+    #[test]
+    fn compression_approaches_8x() {
+        let r = compression_rate(512, 4608); // a ResNet layer
+        assert!(r > 7.8 && r <= 8.0, "rate {r}");
+        // Tiny layers amortise worse.
+        assert!(compression_rate(4, 8) < 7.0);
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_valid_nibbles_decode_and_reencode(nibble in 0u8..16) {
+            for scheme in [Scheme::Fixed, Scheme::Pow2, Scheme::Sp2] {
+                if let Ok(code) = decode_nibble(nibble, scheme) {
+                    prop_assert_eq!(encode_nibble(&code), nibble);
+                }
+            }
+        }
+    }
+}

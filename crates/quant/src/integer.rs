@@ -1,0 +1,547 @@
+//! Bit-exact integer inference kernels.
+//!
+//! [`QuantizedMatrix`] is the deployment form of an MSQ-quantized weight
+//! matrix: per-row hardware codes plus per-row `α`. Its
+//! [`matvec`](QuantizedMatrix::matvec) runs entirely in integer arithmetic —
+//! DSP-style multiplies for fixed rows, shift/add for SP2 rows — and is the
+//! functional model the FPGA simulator (and Table I's operation analysis)
+//! rests on. A float reference path exists purely to validate exactness.
+
+use crate::codes::{OpCounts, WeightCode};
+use crate::msq::SchemeBooks;
+use crate::rowwise::RowAssignment;
+use crate::schemes::Scheme;
+use mixmatch_tensor::Tensor;
+
+/// Uniform unsigned quantizer for activations (the paper's n-bit fixed-point
+/// activation format): maps `[0, clip]` to integers `0..=2^bits − 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActQuantizer {
+    /// Activation bit-width.
+    pub bits: u32,
+    /// Clip threshold; values above saturate.
+    pub clip: f32,
+}
+
+impl ActQuantizer {
+    /// Creates the quantizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `clip <= 0` or `bits` is outside `2..=16`.
+    pub fn new(bits: u32, clip: f32) -> Self {
+        assert!(clip > 0.0, "clip must be positive");
+        assert!((2..=16).contains(&bits), "activation bits out of range");
+        ActQuantizer { bits, clip }
+    }
+
+    /// Number of non-zero integer levels (`2^bits − 1`).
+    pub fn levels(&self) -> u32 {
+        (1 << self.bits) - 1
+    }
+
+    /// Real value represented per integer step.
+    pub fn step(&self) -> f32 {
+        self.clip / self.levels() as f32
+    }
+
+    /// Quantizes a slice of activations to integers.
+    pub fn quantize(&self, xs: &[f32]) -> Vec<u32> {
+        xs.iter()
+            .map(|&x| {
+                let c = x.clamp(0.0, self.clip);
+                (c / self.step()).round() as u32
+            })
+            .collect()
+    }
+
+    /// Dequantizes integers back to real values.
+    pub fn dequantize(&self, qs: &[u32]) -> Vec<f32> {
+        qs.iter().map(|&q| q as f32 * self.step()).collect()
+    }
+}
+
+/// One row of quantized weights: codes + scale.
+#[derive(Debug, Clone)]
+struct QuantRow {
+    scheme: Scheme,
+    alpha: f32,
+    /// Integer denominator shared by every code in the row.
+    denominator: u32,
+    codes: Vec<WeightCode>,
+}
+
+/// A weight matrix in deployment (integer-code) form.
+///
+/// # Example
+///
+/// ```
+/// use mixmatch_quant::integer::{ActQuantizer, QuantizedMatrix};
+/// use mixmatch_quant::msq::MsqPolicy;
+/// use mixmatch_tensor::{Tensor, TensorRng};
+///
+/// let mut rng = TensorRng::seed_from(0);
+/// let w = Tensor::randn(&[4, 16], &mut rng);
+/// let qm = QuantizedMatrix::from_float(&w, &MsqPolicy::msq_half());
+/// let act = ActQuantizer::new(4, 1.0);
+/// let x: Vec<f32> = (0..16).map(|i| i as f32 / 16.0).collect();
+/// let (y, ops) = qm.matvec(&act.quantize(&x), &act);
+/// assert_eq!(y.len(), 4);
+/// assert!(ops.shifts > 0 || ops.mults > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantizedMatrix {
+    rows: Vec<QuantRow>,
+    cols: usize,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a float matrix under `policy` and encodes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weight` is not rank-2.
+    pub fn from_float(weight: &Tensor, policy: &crate::msq::MsqPolicy) -> Self {
+        let assignment = policy.assignment_for(weight);
+        Self::encode(weight, &assignment, policy.bits, policy.alpha)
+    }
+
+    /// Quantizes with an explicit row assignment at per-group α.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/row-count mismatch.
+    pub fn from_float_with_assignment(
+        weight: &Tensor,
+        assignment: &RowAssignment,
+        bits: u32,
+    ) -> Self {
+        Self::encode(
+            weight,
+            assignment,
+            bits,
+            crate::msq::AlphaGranularity::PerGroup,
+        )
+    }
+
+    fn encode(
+        weight: &Tensor,
+        assignment: &RowAssignment,
+        bits: u32,
+        granularity: crate::msq::AlphaGranularity,
+    ) -> Self {
+        assert_eq!(weight.shape().rank(), 2, "weights must be [rows, cols]");
+        let books = SchemeBooks::new(bits);
+        let (q, info) = crate::msq::project_rowwise_with(weight, assignment, bits, granularity);
+        let cols = weight.dims()[1];
+        let mut rows = Vec::with_capacity(assignment.rows());
+        for r in 0..assignment.rows() {
+            let scheme = info[r].scheme;
+            let alpha = info[r].alpha;
+            let cb = books.get(scheme);
+            let codes: Vec<WeightCode> = q
+                .row(r)
+                .iter()
+                .map(|&w| {
+                    if alpha == 0.0 {
+                        cb.nearest(0.0).code
+                    } else {
+                        cb.nearest(w / alpha).code
+                    }
+                })
+                .collect();
+            let denominator = codes
+                .first()
+                .map(|c| c.denominator())
+                .unwrap_or(1);
+            rows.push(QuantRow {
+                scheme,
+                alpha,
+                denominator,
+                codes,
+            });
+        }
+        QuantizedMatrix { rows, cols }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Scheme of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of range.
+    pub fn row_scheme(&self, r: usize) -> Scheme {
+        self.rows[r].scheme
+    }
+
+    /// The dequantized float matrix (for validation against the float path).
+    pub fn to_float(&self) -> Tensor {
+        let mut t = Tensor::zeros(&[self.rows(), self.cols]);
+        for (r, row) in self.rows.iter().enumerate() {
+            for (c, code) in row.codes.iter().enumerate() {
+                t.set(&[r, c], row.alpha * code.value());
+            }
+        }
+        t
+    }
+
+    /// Integer matrix–vector product against quantized activations.
+    ///
+    /// Per row, the integer accumulator collects
+    /// `Σ_k activation_k × code_k × denominator` exactly; the single float
+    /// scaling at the end multiplies by `α × step / denominator`. Returns the
+    /// real-valued outputs and the total hardware operation counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `activations.len() != cols`.
+    pub fn matvec(&self, activations: &[u32], act: &ActQuantizer) -> (Vec<f32>, OpCounts) {
+        assert_eq!(activations.len(), self.cols, "activation length mismatch");
+        let mut out = Vec::with_capacity(self.rows());
+        let mut ops = OpCounts::default();
+        for row in &self.rows {
+            let mut acc = 0i64;
+            for (code, &a) in row.codes.iter().zip(activations) {
+                ops = ops.merge(code.mac(a, &mut acc));
+            }
+            let scale = row.alpha * act.step() / row.denominator as f32;
+            out.push(acc as f32 * scale);
+        }
+        (out, ops)
+    }
+
+    /// Integer matrix–matrix product: `activations` is `[cols, n]`
+    /// column-major-free (row-major `[cols][n]` as a flat slice). Returns a
+    /// `[rows, n]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the activation slice length is not a multiple of `cols`.
+    pub fn matmul(&self, activations: &[u32], n: usize, act: &ActQuantizer) -> (Tensor, OpCounts) {
+        assert_eq!(
+            activations.len(),
+            self.cols * n,
+            "activation matrix must be cols × n"
+        );
+        let mut out = Tensor::zeros(&[self.rows(), n]);
+        let mut ops = OpCounts::default();
+        for j in 0..n {
+            let col: Vec<u32> = (0..self.cols).map(|k| activations[k * n + j]).collect();
+            let (y, o) = self.matvec(&col, act);
+            ops = ops.merge(o);
+            for (r, &v) in y.iter().enumerate() {
+                out.set(&[r, j], v);
+            }
+        }
+        (out, ops)
+    }
+
+    /// Integer product of **one row** against an activation matrix
+    /// `[cols, n]` (flat, row-major) — the depthwise-deployment primitive
+    /// where each output channel owns a private patch matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of range or the activation slice is not
+    /// `cols × n`.
+    pub fn matmul_row(
+        &self,
+        r: usize,
+        activations: &[u32],
+        n: usize,
+        act: &ActQuantizer,
+    ) -> (Vec<f32>, OpCounts) {
+        assert!(r < self.rows(), "row index out of range");
+        assert_eq!(activations.len(), self.cols * n, "activation matrix must be cols × n");
+        let row = &self.rows[r];
+        let scale = row.alpha * act.step() / row.denominator as f32;
+        let mut out = Vec::with_capacity(n);
+        let mut ops = OpCounts::default();
+        for j in 0..n {
+            let mut acc = 0i64;
+            for (k, code) in row.codes.iter().enumerate() {
+                ops = ops.merge(code.mac(activations[k * n + j], &mut acc));
+            }
+            out.push(acc as f32 * scale);
+        }
+        (out, ops)
+    }
+
+    /// Serialises a 4-bit matrix into the packed deployment format
+    /// (two codes per byte plus per-row `(scheme, α)` metadata) — the
+    /// paper's "8× compression" in concrete bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix was not quantized at 4 bits.
+    pub fn pack(&self) -> PackedMatrix {
+        let mut data = Vec::new();
+        let mut row_meta = Vec::with_capacity(self.rows());
+        for row in &self.rows {
+            row_meta.push((row.scheme, row.alpha));
+            data.extend(crate::export::pack_nibbles(&row.codes));
+        }
+        PackedMatrix {
+            rows: self.rows(),
+            cols: self.cols,
+            row_meta,
+            data,
+        }
+    }
+
+    /// Ops for one full matrix–vector pass, split per scheme — the data behind
+    /// the Table I comparison at matrix granularity.
+    pub fn op_profile(&self) -> (OpCounts, OpCounts) {
+        let mut fixed = OpCounts::default();
+        let mut shift = OpCounts::default();
+        let probe = 1u32;
+        for row in &self.rows {
+            let mut acc = 0i64;
+            let mut row_ops = OpCounts::default();
+            for code in &row.codes {
+                row_ops = row_ops.merge(code.mac(probe, &mut acc));
+            }
+            match row.scheme {
+                Scheme::Fixed => fixed = fixed.merge(row_ops),
+                _ => shift = shift.merge(row_ops),
+            }
+        }
+        (fixed, shift)
+    }
+}
+
+/// A [`QuantizedMatrix`] in serialized form: packed nibbles plus per-row
+/// scheme/α metadata. See [`crate::export`] for the bit layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedMatrix {
+    rows: usize,
+    cols: usize,
+    row_meta: Vec<(Scheme, f32)>,
+    data: Vec<u8>,
+}
+
+impl PackedMatrix {
+    /// Packed weight bytes (excluding metadata).
+    pub fn data_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Total serialized size in bytes: packed codes + 5 bytes/row metadata.
+    pub fn byte_size(&self) -> usize {
+        self.data.len() + self.row_meta.len() * 5
+    }
+
+    /// Deserialises back into an executable [`QuantizedMatrix`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::export::UnpackError`] on a corrupt stream.
+    pub fn unpack(&self) -> Result<QuantizedMatrix, crate::export::UnpackError> {
+        let bytes_per_row = self.cols.div_ceil(2);
+        let mut rows = Vec::with_capacity(self.rows);
+        for (r, &(scheme, alpha)) in self.row_meta.iter().enumerate() {
+            let slice = self
+                .data
+                .get(r * bytes_per_row..(r + 1) * bytes_per_row)
+                .ok_or(crate::export::UnpackError::Truncated {
+                    expected: self.cols,
+                    available: 0,
+                })?;
+            let codes = crate::export::unpack_nibbles(slice, self.cols, scheme)?;
+            let denominator = codes.first().map(|c| c.denominator()).unwrap_or(1);
+            rows.push(QuantRow {
+                scheme,
+                alpha,
+                denominator,
+                codes,
+            });
+        }
+        Ok(QuantizedMatrix {
+            rows,
+            cols: self.cols,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msq::MsqPolicy;
+    use crate::rowwise::PartitionRatio;
+    use mixmatch_tensor::TensorRng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn act_quantizer_round_trips_on_grid() {
+        let act = ActQuantizer::new(4, 1.5);
+        let grid: Vec<f32> = (0..=15).map(|i| i as f32 * act.step()).collect();
+        let q = act.quantize(&grid);
+        let d = act.dequantize(&q);
+        for (a, b) in grid.iter().zip(&d) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        assert_eq!(act.quantize(&[99.0])[0], 15); // saturation
+        assert_eq!(act.quantize(&[-1.0])[0], 0); // floor
+    }
+
+    #[test]
+    fn integer_matvec_matches_float_reference_exactly() {
+        // The headline property: integer shift/add arithmetic reproduces the
+        // float-domain quantized product to f32 rounding.
+        let mut rng = TensorRng::seed_from(0);
+        let w = Tensor::randn(&[8, 32], &mut rng);
+        for policy in [
+            MsqPolicy::single(Scheme::Fixed, 4),
+            MsqPolicy::single(Scheme::Pow2, 4),
+            MsqPolicy::single(Scheme::Sp2, 4),
+            MsqPolicy::msq_half(),
+            MsqPolicy::msq_optimal(),
+        ] {
+            let qm = QuantizedMatrix::from_float(&w, &policy);
+            let act = ActQuantizer::new(4, 2.0);
+            let x: Vec<f32> = (0..32).map(|_| rng.uniform_in(0.0, 2.0)).collect();
+            let xq = act.quantize(&x);
+            let (y_int, _) = qm.matvec(&xq, &act);
+            // Float reference: dequantized weights × dequantized activations.
+            let wf = qm.to_float();
+            let xd = act.dequantize(&xq);
+            for r in 0..8 {
+                let y_float: f32 = wf.row(r).iter().zip(&xd).map(|(&a, &b)| a * b).sum();
+                assert!(
+                    (y_int[r] - y_float).abs() < 1e-3 * (1.0 + y_float.abs()),
+                    "row {r}: int {} vs float {y_float}",
+                    y_int[r]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_rows_use_multiplies_sp2_rows_use_shifts() {
+        let mut rng = TensorRng::seed_from(1);
+        let w = Tensor::randn(&[10, 16], &mut rng);
+        let qm = QuantizedMatrix::from_float(&w, &MsqPolicy::msq_half());
+        let (fixed_ops, shift_ops) = qm.op_profile();
+        assert!(fixed_ops.mults > 0);
+        assert_eq!(fixed_ops.shifts, 0);
+        assert!(shift_ops.shifts > 0);
+        assert_eq!(shift_ops.mults, 0);
+    }
+
+    #[test]
+    fn sp2_ops_at_most_two_shifts_one_add_per_mac() {
+        let mut rng = TensorRng::seed_from(2);
+        let w = Tensor::randn(&[6, 64], &mut rng);
+        let qm = QuantizedMatrix::from_float(&w, &MsqPolicy::single(Scheme::Sp2, 4));
+        let act = ActQuantizer::new(4, 1.0);
+        let x = vec![1u32; 64];
+        let (_, ops) = qm.matvec(&x, &act);
+        let macs = 6 * 64;
+        assert!(ops.shifts <= 2 * macs);
+        assert!(ops.adds <= macs);
+        assert_eq!(ops.mults, 0);
+    }
+
+    #[test]
+    fn matmul_agrees_with_repeated_matvec() {
+        let mut rng = TensorRng::seed_from(3);
+        let w = Tensor::randn(&[5, 12], &mut rng);
+        let qm = QuantizedMatrix::from_float(&w, &MsqPolicy::msq_optimal());
+        let act = ActQuantizer::new(4, 1.0);
+        let x: Vec<f32> = (0..12 * 3).map(|_| rng.uniform_in(0.0, 1.0)).collect();
+        let xq = act.quantize(&x);
+        let (y, _) = qm.matmul(&xq, 3, &act);
+        for j in 0..3 {
+            let col: Vec<u32> = (0..12).map(|k| xq[k * 3 + j]).collect();
+            let (yv, _) = qm.matvec(&col, &act);
+            for r in 0..5 {
+                assert!((y.at(&[r, j]) - yv[r]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn row_schemes_follow_assignment() {
+        let mut rng = TensorRng::seed_from(4);
+        let w = Tensor::randn(&[4, 8], &mut rng);
+        let assignment = RowAssignment::from_schemes(vec![
+            Scheme::Sp2,
+            Scheme::Fixed,
+            Scheme::Sp2,
+            Scheme::Fixed,
+        ]);
+        let qm = QuantizedMatrix::from_float_with_assignment(&w, &assignment, 4);
+        assert_eq!(qm.row_scheme(0), Scheme::Sp2);
+        assert_eq!(qm.row_scheme(1), Scheme::Fixed);
+    }
+
+    #[test]
+    fn zero_row_is_exact() {
+        let w = Tensor::zeros(&[1, 8]);
+        let qm = QuantizedMatrix::from_float(&w, &MsqPolicy::single(Scheme::Sp2, 4));
+        let act = ActQuantizer::new(4, 1.0);
+        let (y, _) = qm.matvec(&[7u32; 8], &act);
+        assert_eq!(y[0], 0.0);
+    }
+
+    #[test]
+    fn pack_unpack_preserves_inference_exactly() {
+        let mut rng = TensorRng::seed_from(11);
+        let w = Tensor::randn(&[16, 33], &mut rng); // odd cols exercise padding
+        for policy in [
+            MsqPolicy::single(Scheme::Fixed, 4),
+            MsqPolicy::single(Scheme::Pow2, 4),
+            MsqPolicy::msq_optimal(),
+        ] {
+            let qm = QuantizedMatrix::from_float(&w, &policy);
+            let packed = qm.pack();
+            let restored = packed.unpack().expect("round trip");
+            let act = ActQuantizer::new(4, 1.0);
+            let x: Vec<u32> = (0..33).map(|i| (i % 16) as u32).collect();
+            let (y0, _) = qm.matvec(&x, &act);
+            let (y1, _) = restored.matvec(&x, &act);
+            assert_eq!(y0, y1, "packed round trip changed outputs");
+        }
+    }
+
+    #[test]
+    fn packed_size_approaches_8x_compression() {
+        let mut rng = TensorRng::seed_from(12);
+        let w = Tensor::randn(&[64, 512], &mut rng);
+        let qm = QuantizedMatrix::from_float(&w, &MsqPolicy::msq_half());
+        let packed = qm.pack();
+        let float_bytes = 64 * 512 * 4;
+        let rate = float_bytes as f32 / packed.byte_size() as f32;
+        assert!(rate > 7.5, "compression rate {rate}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn integer_path_is_exact_for_random_ratios(seed in 0u64..500, ratio in 0.0f32..1.0) {
+            let mut rng = TensorRng::seed_from(seed);
+            let w = Tensor::randn(&[4, 8], &mut rng);
+            let policy = MsqPolicy::mixed(PartitionRatio::new(ratio), 4);
+            let qm = QuantizedMatrix::from_float(&w, &policy);
+            let act = ActQuantizer::new(4, 1.0);
+            let x: Vec<f32> = (0..8).map(|_| rng.uniform_in(0.0, 1.0)).collect();
+            let xq = act.quantize(&x);
+            let (y, _) = qm.matvec(&xq, &act);
+            let wf = qm.to_float();
+            let xd = act.dequantize(&xq);
+            for r in 0..4 {
+                let yf: f32 = wf.row(r).iter().zip(&xd).map(|(&a, &b)| a * b).sum();
+                prop_assert!((y[r] - yf).abs() < 1e-3 * (1.0 + yf.abs()));
+            }
+        }
+    }
+}

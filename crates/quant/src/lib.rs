@@ -1,0 +1,61 @@
+//! # mixmatch-quant
+//!
+//! The core contribution of the Mix-and-Match reproduction: the paper's
+//! quantization schemes and the FPGA-centric mixed-scheme quantization (MSQ)
+//! training framework.
+//!
+//! * [`schemes`] — fixed-point (Eq. 1), power-of-2 (Eq. 4) and the proposed
+//!   **SP2** sum-of-power-of-2 scheme (Eq. 8) as level codebooks.
+//! * [`codes`] — hardware weight codes with bit-exact integer MACs (DSP
+//!   multiply vs LUT shift/add) and Table I's operation-cost analysis.
+//! * [`alpha`] — MSE-optimal scaling-factor search.
+//! * [`rowwise`] — Algorithm 2's variance-ranked row partitioning plus
+//!   ablation variants (random, kurtosis).
+//! * [`msq`] — row-wise projection `proj_S` under a [`msq::MsqPolicy`].
+//! * [`admm`] — Algorithm 1's ADMM training loop state (`Z`, `U`, proximal
+//!   penalty, final hard projection).
+//! * [`qat`] — a model-agnostic quantization-aware training driver.
+//! * [`integer`] — deployment-form [`integer::QuantizedMatrix`] running
+//!   entirely in integer arithmetic, validated bit-exact against the float
+//!   path.
+//! * [`baselines`] — DoReFa / PACT comparators and the published reference
+//!   rows of Tables III–IV.
+//! * [`analysis`] — distribution statistics and the Figure 1 data series.
+//!
+//! # Example: quantize a weight matrix the MSQ way
+//!
+//! ```
+//! use mixmatch_quant::msq::{project_with_policy, MsqPolicy};
+//! use mixmatch_quant::schemes::Scheme;
+//! use mixmatch_tensor::{Tensor, TensorRng};
+//!
+//! let mut rng = TensorRng::seed_from(0);
+//! let w = Tensor::randn(&[16, 64], &mut rng);
+//! let (quantized, info) = project_with_policy(&w, &MsqPolicy::msq_optimal());
+//! assert_eq!(quantized.dims(), w.dims());
+//! // The optimal XC7Z045 ratio assigns 2/3 of rows to SP2.
+//! let sp2_rows = info.iter().filter(|i| i.scheme == Scheme::Sp2).count();
+//! assert_eq!(sp2_rows, 11);
+//! ```
+
+// Index-heavy numerical kernels read more clearly with explicit loops.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod admm;
+pub mod alpha;
+pub mod analysis;
+pub mod baselines;
+pub mod codes;
+pub mod deploy;
+pub mod export;
+pub mod integer;
+pub mod msq;
+pub mod qat;
+pub mod rowwise;
+pub mod schemes;
+
+pub use admm::{AdmmConfig, AdmmQuantizer};
+pub use msq::{MsqPolicy, SchemeChoice};
+pub use rowwise::{PartitionRatio, RowAssignment};
+pub use schemes::{Codebook, Scheme};

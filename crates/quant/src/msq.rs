@@ -1,0 +1,320 @@
+//! MSQ — mixed-scheme quantization of weight matrices (paper §IV).
+//!
+//! `project_rowwise` is the `proj_S` of Algorithms 1–2 applied to a whole
+//! matrix: every row is projected onto its assigned scheme's codebook with a
+//! per-row MSE-optimal scaling factor. `MsqPolicy` bundles bit-width and
+//! scheme choice (single scheme, or mixed with a partition ratio).
+
+use crate::alpha;
+use crate::rowwise::{assign_by_variance, PartitionRatio, RowAssignment};
+use crate::schemes::{Codebook, Scheme};
+use mixmatch_tensor::Tensor;
+
+/// How a weight matrix's rows are mapped to schemes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchemeChoice {
+    /// Every row uses one scheme (the paper's P2 / Fixed / SP2 baselines).
+    Single(Scheme),
+    /// Algorithm 2: variance-ranked rows, the lowest-variance `PR_SP2`
+    /// fraction on SP2, the rest fixed-point.
+    Mixed(PartitionRatio),
+}
+
+/// Scaling-factor granularity.
+///
+/// The paper's equations define one `α` per quantization group (all the
+/// rows of a layer that share a scheme map to one GEMM core with one output
+/// scale), which is also what makes Algorithm 2's variance ranking
+/// meaningful: under a shared `α`, low-variance rows concentrate where SP2's
+/// levels are dense. Per-row `α` is kept as an ablation extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AlphaGranularity {
+    /// One `α` per (layer, scheme) group — the paper's setting.
+    #[default]
+    PerGroup,
+    /// One `α` per matrix row (ablation).
+    PerRow,
+}
+
+/// Quantization policy: scheme choice + bit-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsqPolicy {
+    /// Scheme selection strategy.
+    pub choice: SchemeChoice,
+    /// Weight bit-width (4 everywhere in the paper).
+    pub bits: u32,
+    /// Scaling-factor granularity.
+    pub alpha: AlphaGranularity,
+}
+
+impl MsqPolicy {
+    /// Single-scheme policy.
+    pub fn single(scheme: Scheme, bits: u32) -> Self {
+        MsqPolicy {
+            choice: SchemeChoice::Single(scheme),
+            bits,
+            alpha: AlphaGranularity::PerGroup,
+        }
+    }
+
+    /// Mixed-scheme policy with the given SP2 partition ratio.
+    pub fn mixed(ratio: PartitionRatio, bits: u32) -> Self {
+        MsqPolicy {
+            choice: SchemeChoice::Mixed(ratio),
+            bits,
+            alpha: AlphaGranularity::PerGroup,
+        }
+    }
+
+    /// Switches to per-row scaling factors (ablation).
+    pub fn with_per_row_alpha(mut self) -> Self {
+        self.alpha = AlphaGranularity::PerRow;
+        self
+    }
+
+    /// The paper's `MSQ (half/half)` configuration at 4 bits.
+    pub fn msq_half() -> Self {
+        Self::mixed(PartitionRatio::from_fixed_sp2(1.0, 1.0), 4)
+    }
+
+    /// The paper's optimal ratio from XC7Z045 characterization (`1:2`).
+    pub fn msq_optimal() -> Self {
+        Self::mixed(PartitionRatio::from_fixed_sp2(1.0, 2.0), 4)
+    }
+
+    /// Resolves the per-row assignment for a concrete weight matrix.
+    pub fn assignment_for(&self, weight: &Tensor) -> RowAssignment {
+        match self.choice {
+            SchemeChoice::Single(s) => RowAssignment::uniform(s, weight.dims()[0]),
+            SchemeChoice::Mixed(ratio) => assign_by_variance(weight, ratio),
+        }
+    }
+}
+
+/// Per-row result of a projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowQuantInfo {
+    /// Scheme the row was quantized with.
+    pub scheme: Scheme,
+    /// Fitted scaling factor.
+    pub alpha: f32,
+    /// Mean squared quantization error of the row.
+    pub mse: f32,
+}
+
+/// Projects `weight` row-wise onto the codebooks selected by `assignment`,
+/// returning the quantized matrix and per-row fit info.
+///
+/// With [`AlphaGranularity::PerGroup`] (the paper's setting), one `α` is
+/// fitted jointly over all rows sharing a scheme; with `PerRow`, each row
+/// fits its own.
+///
+/// # Panics
+///
+/// Panics when `weight` is not rank-2 or the assignment row count differs.
+pub fn project_rowwise_with(
+    weight: &Tensor,
+    assignment: &RowAssignment,
+    bits: u32,
+    granularity: AlphaGranularity,
+) -> (Tensor, Vec<RowQuantInfo>) {
+    assert_eq!(weight.shape().rank(), 2, "row-wise projection needs [rows, cols]");
+    assert_eq!(
+        weight.dims()[0],
+        assignment.rows(),
+        "assignment row count mismatch"
+    );
+    // Build each needed codebook once.
+    let books = SchemeBooks::new(bits);
+    let mut out = weight.clone();
+    let mut info: Vec<Option<RowQuantInfo>> = vec![None; assignment.rows()];
+    match granularity {
+        AlphaGranularity::PerRow => {
+            for r in 0..assignment.rows() {
+                let scheme = assignment.scheme(r);
+                let cb = books.get(scheme);
+                let fit = alpha::project_with_alpha(out.row_mut(r), cb);
+                info[r] = Some(RowQuantInfo {
+                    scheme,
+                    alpha: fit.alpha,
+                    mse: fit.mse,
+                });
+            }
+        }
+        AlphaGranularity::PerGroup => {
+            for scheme in [Scheme::Fixed, Scheme::Pow2, Scheme::Sp2] {
+                let rows: Vec<usize> = (0..assignment.rows())
+                    .filter(|&r| assignment.scheme(r) == scheme)
+                    .collect();
+                if rows.is_empty() {
+                    continue;
+                }
+                let cb = books.get(scheme);
+                // Joint α over the group's concatenated values.
+                let mut group: Vec<f32> = Vec::new();
+                for &r in &rows {
+                    group.extend_from_slice(out.row(r));
+                }
+                let fit = alpha::fit_alpha(&group, cb);
+                for &r in &rows {
+                    let mse = alpha::project_at_alpha(out.row_mut(r), cb, fit.alpha);
+                    info[r] = Some(RowQuantInfo {
+                        scheme,
+                        alpha: fit.alpha,
+                        mse,
+                    });
+                }
+            }
+        }
+    }
+    let info: Vec<RowQuantInfo> = info
+        .into_iter()
+        .map(|i| i.expect("every row projected"))
+        .collect();
+    (out, info)
+}
+
+/// [`project_rowwise_with`] at the paper's per-group granularity.
+pub fn project_rowwise(
+    weight: &Tensor,
+    assignment: &RowAssignment,
+    bits: u32,
+) -> (Tensor, Vec<RowQuantInfo>) {
+    project_rowwise_with(weight, assignment, bits, AlphaGranularity::PerGroup)
+}
+
+/// Convenience: resolve the policy's assignment and project in one call.
+pub fn project_with_policy(weight: &Tensor, policy: &MsqPolicy) -> (Tensor, Vec<RowQuantInfo>) {
+    let assignment = policy.assignment_for(weight);
+    project_rowwise_with(weight, &assignment, policy.bits, policy.alpha)
+}
+
+/// Cache of the three codebooks at one bit-width.
+#[derive(Debug, Clone)]
+pub struct SchemeBooks {
+    fixed: Codebook,
+    pow2: Codebook,
+    sp2: Codebook,
+}
+
+impl SchemeBooks {
+    /// Builds all three codebooks at `bits`.
+    pub fn new(bits: u32) -> Self {
+        SchemeBooks {
+            fixed: Codebook::new(Scheme::Fixed, bits),
+            pow2: Codebook::new(Scheme::Pow2, bits),
+            sp2: Codebook::new(Scheme::Sp2, bits),
+        }
+    }
+
+    /// The codebook for `scheme`.
+    pub fn get(&self, scheme: Scheme) -> &Codebook {
+        match scheme {
+            Scheme::Fixed => &self.fixed,
+            Scheme::Pow2 => &self.pow2,
+            Scheme::Sp2 => &self.sp2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixmatch_tensor::TensorRng;
+
+    /// A matrix whose first half of rows is Gaussian (low spread) and second
+    /// half uniform (high spread).
+    fn mixed_matrix(rows: usize, cols: usize, rng: &mut TensorRng) -> Tensor {
+        let mut t = Tensor::zeros(&[rows, cols]);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = if r < rows / 2 {
+                    rng.normal() * 0.05
+                } else {
+                    rng.uniform_in(-0.3, 0.3)
+                };
+                t.set(&[r, c], v);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn projection_lands_on_grid() {
+        let mut rng = TensorRng::seed_from(0);
+        let w = Tensor::randn(&[6, 32], &mut rng);
+        let policy = MsqPolicy::msq_half();
+        let (q, info) = project_with_policy(&w, &policy);
+        let books = SchemeBooks::new(4);
+        for r in 0..6 {
+            let cb = books.get(info[r].scheme);
+            for &v in q.row(r) {
+                if info[r].alpha == 0.0 {
+                    assert_eq!(v, 0.0);
+                } else {
+                    let nearest = info[r].alpha * cb.project(v / info[r].alpha);
+                    assert!((v - nearest).abs() < 1e-5, "off-grid value {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn half_half_assigns_half_rows_sp2() {
+        let mut rng = TensorRng::seed_from(1);
+        let w = mixed_matrix(8, 64, &mut rng);
+        let a = MsqPolicy::msq_half().assignment_for(&w);
+        assert_eq!(a.count(Scheme::Sp2), 4);
+        // The Gaussian (low-variance) half must be the SP2 half.
+        for r in 0..4 {
+            assert_eq!(a.scheme(r), Scheme::Sp2, "row {r}");
+        }
+    }
+
+    #[test]
+    fn mixed_projection_beats_or_matches_single_schemes_in_mse() {
+        // The algorithmic motivation of §IV-A: matching schemes to row
+        // distributions reduces total quantization error.
+        let mut rng = TensorRng::seed_from(2);
+        let w = mixed_matrix(16, 256, &mut rng);
+        let total_mse = |policy: &MsqPolicy| -> f32 {
+            let (_, info) = project_with_policy(&w, policy);
+            info.iter().map(|i| i.mse).sum()
+        };
+        let msq = total_mse(&MsqPolicy::msq_half());
+        let fixed = total_mse(&MsqPolicy::single(Scheme::Fixed, 4));
+        let sp2 = total_mse(&MsqPolicy::single(Scheme::Sp2, 4));
+        assert!(
+            msq <= fixed.min(sp2) + 1e-9,
+            "msq {msq} vs fixed {fixed}, sp2 {sp2}"
+        );
+    }
+
+    #[test]
+    fn single_policy_reports_uniform_scheme() {
+        let mut rng = TensorRng::seed_from(3);
+        let w = Tensor::randn(&[5, 16], &mut rng);
+        let (_, info) = project_with_policy(&w, &MsqPolicy::single(Scheme::Pow2, 4));
+        assert!(info.iter().all(|i| i.scheme == Scheme::Pow2));
+    }
+
+    #[test]
+    fn optimal_ratio_is_two_thirds_sp2() {
+        let mut rng = TensorRng::seed_from(4);
+        let w = Tensor::randn(&[12, 16], &mut rng);
+        let a = MsqPolicy::msq_optimal().assignment_for(&w);
+        assert_eq!(a.count(Scheme::Sp2), 8);
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let mut rng = TensorRng::seed_from(5);
+        let w = Tensor::randn(&[4, 32], &mut rng);
+        let policy = MsqPolicy::single(Scheme::Sp2, 4);
+        let a = policy.assignment_for(&w);
+        let (q1, _) = project_rowwise(&w, &a, 4);
+        let (q2, info2) = project_rowwise(&q1, &a, 4);
+        assert!(q1.max_abs_diff(&q2) < 1e-5);
+        assert!(info2.iter().all(|i| i.mse < 1e-9));
+    }
+}

@@ -1,0 +1,273 @@
+//! Quantization-aware training driver.
+//!
+//! Wires a model, an optimizer and an [`AdmmQuantizer`] into the paper's
+//! training procedure (Algorithm 1): per epoch a `Z`/`U` update, per batch
+//! the task loss plus the proximal penalty, and a final hard projection.
+//! Data is supplied by a closure so this crate stays independent of any
+//! dataset substrate.
+
+use crate::admm::{AdmmConfig, AdmmQuantizer, LayerQuantReport};
+use crate::msq::MsqPolicy;
+use mixmatch_nn::loss::cross_entropy;
+use mixmatch_nn::metrics::{accuracy, top_k_accuracy};
+use mixmatch_nn::module::Layer;
+use mixmatch_nn::optim::{LrSchedule, Sgd};
+use mixmatch_tensor::Tensor;
+
+/// Training-run configuration.
+#[derive(Debug, Clone)]
+pub struct QatConfig {
+    /// Weight-quantization policy; `None` trains a float baseline.
+    pub policy: Option<MsqPolicy>,
+    /// ADMM ρ (ignored for float baselines).
+    pub rho: f32,
+    /// Epochs.
+    pub epochs: usize,
+    /// Base learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// ℓ2 weight decay (the paper's ℓ2 regularisation).
+    pub weight_decay: f32,
+    /// Learning-rate schedule (paper: step or cosine decay).
+    pub schedule: LrSchedule,
+    /// Batches of forward-only passes after the final hard projection, to
+    /// re-estimate BatchNorm running statistics under the *quantized*
+    /// weights (standard post-projection calibration; without it BN stats
+    /// describe the pre-projection model).
+    pub bn_recalibration_batches: usize,
+}
+
+impl QatConfig {
+    /// Float-baseline training configuration.
+    pub fn float_baseline(epochs: usize, lr: f32) -> Self {
+        QatConfig {
+            policy: None,
+            rho: 0.0,
+            epochs,
+            lr,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            schedule: LrSchedule::Cosine {
+                total_epochs: epochs,
+                min_lr: lr * 0.01,
+            },
+            bn_recalibration_batches: 0,
+        }
+    }
+
+    /// Quantization-aware configuration with the given policy.
+    pub fn quantized(policy: MsqPolicy, epochs: usize, lr: f32) -> Self {
+        QatConfig {
+            policy: Some(policy),
+            rho: 1e-2,
+            epochs,
+            lr,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            schedule: LrSchedule::Cosine {
+                total_epochs: epochs,
+                min_lr: lr * 0.01,
+            },
+            bn_recalibration_batches: 16,
+        }
+    }
+}
+
+/// Per-epoch training diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochLog {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Mean task loss over the epoch.
+    pub train_loss: f32,
+    /// Mean ADMM proximal penalty (0 for float runs).
+    pub penalty: f32,
+    /// RMS distance of weights from their quantization targets.
+    pub residual: f32,
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct QatOutcome {
+    /// Per-epoch diagnostics.
+    pub logs: Vec<EpochLog>,
+    /// Per-layer quantization reports (empty for float baselines).
+    pub reports: Vec<LayerQuantReport>,
+}
+
+/// Trains a classifier with (optional) ADMM weight quantization.
+///
+/// `batches` yields the epoch's training batches as `(images, targets)`;
+/// it is called once per epoch so the caller controls shuffling.
+pub fn train_classifier<M, F>(model: &mut M, mut batches: F, config: &QatConfig) -> QatOutcome
+where
+    M: Layer,
+    F: FnMut(usize) -> Vec<(Tensor, Vec<usize>)>,
+{
+    let mut opt = Sgd::with_config(
+        config.lr,
+        config.momentum,
+        config.weight_decay,
+        config.schedule.clone(),
+    );
+    let mut quantizer = config.policy.map(|policy| {
+        let mut admm = AdmmConfig::new(policy);
+        admm.rho = config.rho;
+        AdmmQuantizer::attach(&model.params(), admm)
+    });
+    let mut logs = Vec::with_capacity(config.epochs);
+    for epoch in 0..config.epochs {
+        opt.start_epoch(epoch);
+        if let Some(q) = &mut quantizer {
+            q.epoch_update(&mut model.params_mut());
+        }
+        let mut loss_sum = 0.0f32;
+        let mut penalty_sum = 0.0f32;
+        let mut n_batches = 0usize;
+        for (x, y) in batches(epoch) {
+            let logits = model.forward(&x, true);
+            let (loss, grad) = cross_entropy(&logits, &y);
+            model.backward(&grad);
+            if let Some(q) = &quantizer {
+                q.penalty_grads(&mut model.params_mut());
+                penalty_sum += q.penalty_loss(&model.params());
+            }
+            opt.step(&mut model.params_mut());
+            model.zero_grad();
+            loss_sum += loss;
+            n_batches += 1;
+        }
+        let residual = quantizer
+            .as_ref()
+            .map(|q| q.mean_residual(&model.params()))
+            .unwrap_or(0.0);
+        logs.push(EpochLog {
+            epoch,
+            train_loss: loss_sum / n_batches.max(1) as f32,
+            penalty: penalty_sum / n_batches.max(1) as f32,
+            residual,
+        });
+    }
+    let reports = quantizer
+        .as_mut()
+        .map(|q| q.project_final(&mut model.params_mut()))
+        .unwrap_or_default();
+    if !reports.is_empty() && config.bn_recalibration_batches > 0 {
+        // Forward-only passes refresh BatchNorm running statistics for the
+        // now-projected weights. No gradients, no optimizer steps.
+        let mut remaining = config.bn_recalibration_batches;
+        'recal: for epoch in 0.. {
+            for (x, _) in batches(config.epochs + epoch) {
+                if remaining == 0 {
+                    break 'recal;
+                }
+                let _ = model.forward(&x, true);
+                remaining -= 1;
+            }
+        }
+    }
+    QatOutcome { logs, reports }
+}
+
+/// Evaluation summary for a classifier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalResult {
+    /// Top-1 accuracy in percent.
+    pub top1: f32,
+    /// Top-5 accuracy in percent.
+    pub top5: f32,
+}
+
+/// Evaluates a classifier on one test batch (eval mode).
+pub fn evaluate_classifier<M: Layer>(model: &mut M, x: &Tensor, targets: &[usize]) -> EvalResult {
+    let logits = model.forward(x, false);
+    EvalResult {
+        top1: 100.0 * accuracy(&logits, targets),
+        top5: 100.0 * top_k_accuracy(&logits, targets, 5),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::Scheme;
+    use mixmatch_nn::layers::{Linear, Relu};
+    use mixmatch_nn::module::Sequential;
+    use mixmatch_tensor::TensorRng;
+
+    /// A linearly separable toy task: class = argmax of two fixed projections.
+    fn toy_batches(rng: &mut TensorRng, n: usize) -> Vec<(Tensor, Vec<usize>)> {
+        let mut out = Vec::new();
+        for _ in 0..n {
+            let x = Tensor::randn(&[16, 6], rng);
+            let y: Vec<usize> = (0..16)
+                .map(|r| {
+                    let row = x.row(r);
+                    usize::from(row[0] + row[1] < row[2] + row[3])
+                })
+                .collect();
+            out.push((x, y));
+        }
+        out
+    }
+
+    fn toy_model(rng: &mut TensorRng) -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Linear::new(6, 16, true, rng));
+        net.push(Relu::new());
+        net.push(Linear::new(16, 2, true, rng));
+        net
+    }
+
+    #[test]
+    fn float_training_learns_the_toy_task() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut model = toy_model(&mut rng);
+        let mut data_rng = rng.fork();
+        let cfg = QatConfig::float_baseline(12, 0.1);
+        let out = train_classifier(&mut model, |_| toy_batches(&mut data_rng, 8), &cfg);
+        assert!(out.reports.is_empty());
+        assert!(out.logs.last().unwrap().train_loss < out.logs[0].train_loss * 0.6);
+        let (x, y) = &toy_batches(&mut rng.fork(), 1)[0];
+        let eval = evaluate_classifier(&mut model, x, y);
+        assert!(eval.top1 > 80.0, "top1 {}", eval.top1);
+    }
+
+    #[test]
+    fn quantized_training_projects_weights_onto_grid() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut model = toy_model(&mut rng);
+        let mut data_rng = rng.fork();
+        let cfg = QatConfig::quantized(MsqPolicy::msq_half(), 10, 0.1);
+        let out = train_classifier(&mut model, |_| toy_batches(&mut data_rng, 8), &cfg);
+        assert_eq!(out.reports.len(), 2); // two Linear weights
+        // Residual must shrink over training as ADMM pulls W towards Z.
+        let first = out.logs.first().unwrap().residual;
+        let last = out.logs.last().unwrap().residual;
+        assert!(last < first, "residual {first} -> {last}");
+        // Quantized model still solves the task.
+        let (x, y) = &toy_batches(&mut rng.fork(), 1)[0];
+        let eval = evaluate_classifier(&mut model, x, y);
+        assert!(eval.top1 > 75.0, "top1 {}", eval.top1);
+    }
+
+    #[test]
+    fn all_schemes_train_without_collapse() {
+        for scheme in [Scheme::Fixed, Scheme::Pow2, Scheme::Sp2] {
+            let mut rng = TensorRng::seed_from(2);
+            let mut model = toy_model(&mut rng);
+            let mut data_rng = rng.fork();
+            let cfg = QatConfig::quantized(MsqPolicy::single(scheme, 4), 8, 0.1);
+            let out = train_classifier(&mut model, |_| toy_batches(&mut data_rng, 6), &cfg);
+            let (x, y) = &toy_batches(&mut rng.fork(), 1)[0];
+            let eval = evaluate_classifier(&mut model, x, y);
+            assert!(
+                eval.top1 > 65.0,
+                "{scheme} collapsed to {}, logs {:?}",
+                eval.top1,
+                out.logs.last()
+            );
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Row-wise scheme assignment (the heart of Algorithm 2).
+//!
+//! Rows of the GEMM weight matrix are ranked by **variance**; the fraction
+//! `PR_SP2` with the smallest variances (most Gaussian-like, mass near zero)
+//! is assigned SP2, the rest fixed-point. The partition ratio comes from FPGA
+//! resource characterization (`mixmatch-fpga`), not from accuracy.
+
+use crate::schemes::Scheme;
+use mixmatch_tensor::stats;
+use mixmatch_tensor::{Tensor, TensorRng};
+
+/// Per-row scheme assignment for one weight matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowAssignment {
+    schemes: Vec<Scheme>,
+}
+
+impl RowAssignment {
+    /// Builds an assignment from explicit per-row schemes.
+    pub fn from_schemes(schemes: Vec<Scheme>) -> Self {
+        RowAssignment { schemes }
+    }
+
+    /// Uniform assignment: every row uses `scheme`.
+    pub fn uniform(scheme: Scheme, rows: usize) -> Self {
+        RowAssignment {
+            schemes: vec![scheme; rows],
+        }
+    }
+
+    /// Scheme of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of range.
+    pub fn scheme(&self, r: usize) -> Scheme {
+        self.schemes[r]
+    }
+
+    /// Per-row schemes.
+    pub fn schemes(&self) -> &[Scheme] {
+        &self.schemes
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.schemes.len()
+    }
+
+    /// Number of rows assigned to `scheme`.
+    pub fn count(&self, scheme: Scheme) -> usize {
+        self.schemes.iter().filter(|&&s| s == scheme).count()
+    }
+
+    /// Fraction of rows assigned SP2.
+    pub fn sp2_fraction(&self) -> f32 {
+        self.count(Scheme::Sp2) as f32 / self.rows().max(1) as f32
+    }
+}
+
+/// The partition ratio `PR_SP2`: the fraction of rows (0..=1) given to SP2.
+///
+/// The paper expresses ratios as `fixed : SP2` PE counts (e.g. `1:2`);
+/// [`PartitionRatio::from_fixed_sp2`] converts that hardware form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionRatio(f32);
+
+impl PartitionRatio {
+    /// Ratio from an SP2 fraction in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when outside `[0, 1]`.
+    pub fn new(sp2_fraction: f32) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&sp2_fraction),
+            "SP2 fraction must be in [0, 1]"
+        );
+        PartitionRatio(sp2_fraction)
+    }
+
+    /// Ratio from the paper's `fixed : SP2` notation, e.g. `(1, 2)` on
+    /// XC7Z045 → SP2 fraction 2/3.
+    ///
+    /// # Panics
+    ///
+    /// Panics when both parts are zero.
+    pub fn from_fixed_sp2(fixed: f32, sp2: f32) -> Self {
+        assert!(fixed + sp2 > 0.0, "ratio parts must not both be zero");
+        PartitionRatio(sp2 / (fixed + sp2))
+    }
+
+    /// The SP2 fraction.
+    pub fn sp2_fraction(&self) -> f32 {
+        self.0
+    }
+
+    /// Number of SP2 rows out of `rows`.
+    pub fn sp2_rows(&self, rows: usize) -> usize {
+        (self.0 * rows as f32).round() as usize
+    }
+}
+
+/// Algorithm 2's assignment: the `PR_SP2` fraction of rows with the
+/// **lowest variance** gets SP2, the rest fixed-point.
+///
+/// # Panics
+///
+/// Panics when `weight` is not rank-2.
+pub fn assign_by_variance(weight: &Tensor, ratio: PartitionRatio) -> RowAssignment {
+    let variances = stats::row_variances(weight);
+    let rows = variances.len();
+    let n_sp2 = ratio.sp2_rows(rows);
+    let mut order: Vec<usize> = (0..rows).collect();
+    order.sort_by(|&a, &b| {
+        variances[a]
+            .partial_cmp(&variances[b])
+            .expect("finite variances")
+    });
+    let mut schemes = vec![Scheme::Fixed; rows];
+    for &r in order.iter().take(n_sp2) {
+        schemes[r] = Scheme::Sp2;
+    }
+    RowAssignment { schemes }
+}
+
+/// Ablation baseline: the same SP2 row count, chosen uniformly at random
+/// instead of by variance.
+pub fn assign_random(rows: usize, ratio: PartitionRatio, rng: &mut TensorRng) -> RowAssignment {
+    let n_sp2 = ratio.sp2_rows(rows);
+    let mut order: Vec<usize> = (0..rows).collect();
+    rng.shuffle(&mut order);
+    let mut schemes = vec![Scheme::Fixed; rows];
+    for &r in order.iter().take(n_sp2) {
+        schemes[r] = Scheme::Sp2;
+    }
+    RowAssignment { schemes }
+}
+
+/// Extension (not in the paper): assign by excess kurtosis instead of
+/// variance — rows with *positive* kurtosis (heavier tails than Gaussian,
+/// mass concentrated near zero) get SP2. Used by the row-wise ablation bench.
+pub fn assign_by_kurtosis(weight: &Tensor, ratio: PartitionRatio) -> RowAssignment {
+    let rows = weight.dims()[0];
+    let kurt: Vec<f32> = (0..rows)
+        .map(|r| stats::excess_kurtosis(weight.row(r)))
+        .collect();
+    let n_sp2 = ratio.sp2_rows(rows);
+    let mut order: Vec<usize> = (0..rows).collect();
+    // Highest kurtosis first → most leptokurtic rows get SP2.
+    order.sort_by(|&a, &b| kurt[b].partial_cmp(&kurt[a]).expect("finite kurtosis"));
+    let mut schemes = vec![Scheme::Fixed; rows];
+    for &r in order.iter().take(n_sp2) {
+        schemes[r] = Scheme::Sp2;
+    }
+    RowAssignment { schemes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix_with_row_variances(vars: &[f32]) -> Tensor {
+        // Row r alternates ±sqrt(var): variance exactly var.
+        let cols = 8;
+        let mut t = Tensor::zeros(&[vars.len(), cols]);
+        for (r, &v) in vars.iter().enumerate() {
+            let a = v.sqrt();
+            for c in 0..cols {
+                t.set(&[r, c], if c % 2 == 0 { a } else { -a });
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn ratio_conversions_match_paper_notation() {
+        // XC7Z020 optimum 1:1.5 → SP2 fraction 0.6.
+        assert!((PartitionRatio::from_fixed_sp2(1.0, 1.5).sp2_fraction() - 0.6).abs() < 1e-6);
+        // XC7Z045 optimum 1:2 → 2/3.
+        assert!(
+            (PartitionRatio::from_fixed_sp2(1.0, 2.0).sp2_fraction() - 2.0 / 3.0).abs() < 1e-6
+        );
+        // Half/half of Table II.
+        assert_eq!(PartitionRatio::from_fixed_sp2(1.0, 1.0).sp2_fraction(), 0.5);
+        assert_eq!(PartitionRatio::from_fixed_sp2(1.0, 0.0).sp2_fraction(), 0.0);
+    }
+
+    #[test]
+    fn low_variance_rows_get_sp2() {
+        let w = matrix_with_row_variances(&[0.5, 0.01, 0.3, 0.02]);
+        let a = assign_by_variance(&w, PartitionRatio::new(0.5));
+        assert_eq!(a.scheme(1), Scheme::Sp2);
+        assert_eq!(a.scheme(3), Scheme::Sp2);
+        assert_eq!(a.scheme(0), Scheme::Fixed);
+        assert_eq!(a.scheme(2), Scheme::Fixed);
+        assert_eq!(a.count(Scheme::Sp2), 2);
+    }
+
+    #[test]
+    fn ratio_zero_and_one_are_uniform() {
+        let w = matrix_with_row_variances(&[0.1, 0.2, 0.3]);
+        let all_fixed = assign_by_variance(&w, PartitionRatio::new(0.0));
+        assert_eq!(all_fixed.count(Scheme::Sp2), 0);
+        let all_sp2 = assign_by_variance(&w, PartitionRatio::new(1.0));
+        assert_eq!(all_sp2.count(Scheme::Sp2), 3);
+    }
+
+    #[test]
+    fn sp2_row_count_rounds() {
+        let r = PartitionRatio::from_fixed_sp2(1.0, 1.5);
+        assert_eq!(r.sp2_rows(10), 6);
+        assert_eq!(r.sp2_rows(16), 10);
+    }
+
+    #[test]
+    fn random_assignment_respects_count() {
+        let mut rng = TensorRng::seed_from(0);
+        let a = assign_random(20, PartitionRatio::new(0.6), &mut rng);
+        assert_eq!(a.count(Scheme::Sp2), 12);
+        assert_eq!(a.rows(), 20);
+    }
+
+    #[test]
+    fn uniform_constructor() {
+        let a = RowAssignment::uniform(Scheme::Pow2, 5);
+        assert!(a.schemes().iter().all(|&s| s == Scheme::Pow2));
+        assert_eq!(a.sp2_fraction(), 0.0);
+    }
+
+    #[test]
+    fn kurtosis_assignment_prefers_peaked_rows() {
+        use mixmatch_tensor::TensorRng;
+        let mut rng = TensorRng::seed_from(1);
+        let cols = 512;
+        let mut t = Tensor::zeros(&[2, cols]);
+        // Row 0: Laplace-ish (peaked, positive kurtosis) built from a product
+        // of normals; row 1: uniform (negative kurtosis).
+        for c in 0..cols {
+            t.set(&[0, c], rng.normal() * rng.normal());
+            t.set(&[1, c], rng.uniform_in(-1.0, 1.0));
+        }
+        let a = assign_by_kurtosis(&t, PartitionRatio::new(0.5));
+        assert_eq!(a.scheme(0), Scheme::Sp2);
+        assert_eq!(a.scheme(1), Scheme::Fixed);
+    }
+}

@@ -1,0 +1,353 @@
+//! The three weight-quantization schemes of the paper: fixed-point (Eq. 1),
+//! power-of-2 (Eq. 4) and the proposed sum-of-power-of-2 / SP2 (Eq. 8).
+//!
+//! A [`Codebook`] materialises a scheme's *normalised* quantization levels
+//! (the levels inside `[-1, 1]` before multiplication by the scaling factor
+//! `α`) together with, for every level, the hardware code that produces it —
+//! an integer magnitude for fixed-point, one shift for P2, two shifts for
+//! SP2. Projection is nearest-level search on the sorted level table.
+
+use crate::codes::{Sp2Exponents, WeightCode};
+use std::fmt;
+
+/// Weight-quantization scheme selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Uniform fixed-point levels `±k/(2^{m-1}-1)` (Eq. 1) — DSP-friendly.
+    Fixed,
+    /// Power-of-2 levels `±2^-e` (Eq. 4) — one shifter, poor tail precision.
+    Pow2,
+    /// Sum of two powers of 2, `±(q1+q2)` (Eq. 8) — two shifters + adder,
+    /// near-uniform level spacing. The paper's proposal.
+    Sp2,
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Scheme::Fixed => "Fixed",
+            Scheme::Pow2 => "P2",
+            Scheme::Sp2 => "SP2",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A quantization level: its normalised value and the hardware code behind it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Level {
+    /// Normalised value in `[-1, 1]`.
+    pub value: f32,
+    /// Hardware code producing `value` (sign + integer magnitude or shifts).
+    pub code: WeightCode,
+}
+
+/// Sorted table of quantization levels for one scheme at one bit-width.
+///
+/// # Example
+///
+/// ```
+/// use mixmatch_quant::schemes::{Codebook, Scheme};
+///
+/// let cb = Codebook::new(Scheme::Sp2, 4);
+/// // 4-bit SP2 has 15 codes; coincident values are deduplicated.
+/// assert!(cb.levels().len() <= 15);
+/// assert_eq!(cb.project(0.49), cb.project(0.51)); // both snap to 0.5
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Codebook {
+    scheme: Scheme,
+    bits: u32,
+    levels: Vec<Level>,
+    /// Total number of codes before value-deduplication (always `2^m - 1`).
+    code_count: usize,
+}
+
+impl Codebook {
+    /// Builds the codebook for `scheme` at `bits` total bit-width (sign
+    /// included).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits < 2` or `bits > 8` (the paper's range is 3–7; 8 is a
+    /// safe ceiling for the shift-based integer kernels).
+    pub fn new(scheme: Scheme, bits: u32) -> Self {
+        assert!((2..=8).contains(&bits), "bit-width {bits} out of range 2..=8");
+        let mut levels: Vec<Level> = Vec::new();
+        let mut code_count = 0usize;
+        let mut push = |value: f32, code: WeightCode, code_count: &mut usize| {
+            *code_count += 1;
+            // Deduplicate coincident values (SP2 produces e.g. 1/2 twice).
+            if !levels.iter().any(|l| (l.value - value).abs() < 1e-9) {
+                levels.push(Level { value, code });
+            }
+        };
+        match scheme {
+            Scheme::Fixed => {
+                let denom = (1u32 << (bits - 1)) - 1; // 2^{m-1} - 1
+                push(0.0, WeightCode::fixed(0, 0, denom), &mut code_count);
+                for mag in 1..=denom {
+                    let v = mag as f32 / denom as f32;
+                    push(v, WeightCode::fixed(1, mag, denom), &mut code_count);
+                    push(-v, WeightCode::fixed(-1, mag, denom), &mut code_count);
+                }
+            }
+            Scheme::Pow2 => {
+                // Exponents 0 .. 2^{m-1}-2, value 2^-e (Eq. 4), plus zero.
+                let max_e = (1u32 << (bits - 1)) - 2;
+                push(0.0, WeightCode::pow2_zero(max_e), &mut code_count);
+                for e in 0..=max_e {
+                    let v = (2.0f32).powi(-(e as i32));
+                    push(v, WeightCode::pow2(1, e, max_e), &mut code_count);
+                    push(-v, WeightCode::pow2(-1, e, max_e), &mut code_count);
+                }
+            }
+            Scheme::Sp2 => {
+                let (m1, m2) = sp2_split(bits);
+                let exps = Sp2Exponents::new(m1, m2);
+                // q1 ∈ {0} ∪ {2^-e : e = 1..2^{m1}-1}; likewise q2 with m2.
+                let q_values = |mm: u32| -> Vec<Option<u32>> {
+                    let mut v: Vec<Option<u32>> = vec![None];
+                    for e in 1..(1u32 << mm) {
+                        v.push(Some(e));
+                    }
+                    v
+                };
+                for &e1 in &q_values(m1) {
+                    for &e2 in &q_values(m2) {
+                        let q1 = e1.map_or(0.0, |e| (2.0f32).powi(-(e as i32)));
+                        let q2 = e2.map_or(0.0, |e| (2.0f32).powi(-(e as i32)));
+                        let v = q1 + q2;
+                        if v == 0.0 {
+                            push(0.0, WeightCode::sp2(0, None, None, exps), &mut code_count);
+                        } else {
+                            push(v, WeightCode::sp2(1, e1, e2, exps), &mut code_count);
+                            push(-v, WeightCode::sp2(-1, e1, e2, exps), &mut code_count);
+                        }
+                    }
+                }
+            }
+        }
+        levels.sort_by(|a, b| a.value.partial_cmp(&b.value).expect("finite levels"));
+        Codebook {
+            scheme,
+            bits,
+            levels,
+            code_count,
+        }
+    }
+
+    /// The scheme this codebook realises.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Total bit-width (sign included).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Sorted deduplicated levels.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// Normalised level values only, sorted ascending.
+    pub fn values(&self) -> Vec<f32> {
+        self.levels.iter().map(|l| l.value).collect()
+    }
+
+    /// Number of codes before deduplication — `2^m − 1` for every scheme,
+    /// matching the paper's count.
+    pub fn code_count(&self) -> usize {
+        self.code_count
+    }
+
+    /// Nearest level to `x` (which should be pre-scaled into `[-1, 1]`).
+    pub fn project(&self, x: f32) -> f32 {
+        self.nearest(x).value
+    }
+
+    /// Nearest [`Level`] (value + hardware code) to `x`.
+    pub fn nearest(&self, x: f32) -> Level {
+        debug_assert!(!self.levels.is_empty());
+        // Binary search on the sorted table, then compare the two neighbours.
+        let idx = self
+            .levels
+            .partition_point(|l| l.value < x)
+            .min(self.levels.len() - 1);
+        let mut best = self.levels[idx];
+        if idx > 0 {
+            let below = self.levels[idx - 1];
+            if (x - below.value).abs() <= (x - best.value).abs() {
+                best = below;
+            }
+        }
+        best
+    }
+
+    /// Projects a slice of pre-scaled values, writing nearest levels in place.
+    pub fn project_slice(&self, xs: &mut [f32]) {
+        for x in xs {
+            *x = self.project(*x);
+        }
+    }
+}
+
+/// Splits `bits` into the SP2 sub-widths `(m1, m2)` with `m1 + m2 = bits - 1`
+/// and `m1 ≥ m2` (paper §III-A).
+pub fn sp2_split(bits: u32) -> (u32, u32) {
+    let payload = bits - 1;
+    let m2 = payload / 2;
+    let m1 = payload - m2;
+    (m1, m2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fixed_4bit_levels_match_eq1() {
+        let cb = Codebook::new(Scheme::Fixed, 4);
+        let expect: Vec<f32> = (-7..=7).map(|k| k as f32 / 7.0).collect();
+        let got = cb.values();
+        assert_eq!(got.len(), 15);
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-6, "{g} vs {e}");
+        }
+        assert_eq!(cb.code_count(), 15);
+    }
+
+    #[test]
+    fn pow2_4bit_levels_match_eq4() {
+        let cb = Codebook::new(Scheme::Pow2, 4);
+        // ±{1, 1/2, 1/4, ..., 1/64} ∪ {0} = 15 levels.
+        assert_eq!(cb.values().len(), 15);
+        assert_eq!(cb.code_count(), 15);
+        let vals = cb.values();
+        assert!((vals[0] + 1.0).abs() < 1e-6);
+        assert!((vals[14] - 1.0).abs() < 1e-6);
+        assert!(vals.contains(&0.0));
+        // Smallest non-zero magnitude is 2^-(2^{m-1}-2) = 1/64.
+        let min_pos = vals.iter().copied().filter(|&v| v > 0.0).fold(f32::MAX, f32::min);
+        assert!((min_pos - 1.0 / 64.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn sp2_4bit_has_15_codes_and_expected_values() {
+        let cb = Codebook::new(Scheme::Sp2, 4);
+        assert_eq!(cb.code_count(), 15, "paper: 2^m - 1 codes");
+        // m1=2, m2=1: q1 ∈ {0, 1/8, 1/4, 1/2}, q2 ∈ {0, 1/2}.
+        // Distinct sums: 0, 1/8, 1/4, 1/2, 5/8, 3/4, 1 → 13 signed levels.
+        let vals = cb.values();
+        assert_eq!(vals.len(), 13);
+        for expect in [0.0, 0.125, 0.25, 0.5, 0.625, 0.75, 1.0] {
+            assert!(
+                vals.iter().any(|v| (v - expect).abs() < 1e-6),
+                "missing level {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn sp2_split_is_balanced() {
+        assert_eq!(sp2_split(4), (2, 1));
+        assert_eq!(sp2_split(5), (2, 2));
+        assert_eq!(sp2_split(6), (3, 2));
+        assert_eq!(sp2_split(8), (4, 3));
+    }
+
+    #[test]
+    fn sp2_tail_spacing_is_finer_than_pow2() {
+        // The motivation in Fig. 1: near |w| = 1, P2's neighbouring level is
+        // 1/2 away by factor (gap 0.5), SP2's is 0.25 away.
+        let p2 = Codebook::new(Scheme::Pow2, 4);
+        let sp2 = Codebook::new(Scheme::Sp2, 4);
+        let gap = |cb: &Codebook| {
+            let v = cb.values();
+            v[v.len() - 1] - v[v.len() - 2]
+        };
+        assert!(gap(&sp2) < gap(&p2));
+    }
+
+    #[test]
+    fn projection_snaps_to_nearest() {
+        let cb = Codebook::new(Scheme::Fixed, 4);
+        assert!((cb.project(0.0) - 0.0).abs() < 1e-6);
+        assert!((cb.project(1.0) - 1.0).abs() < 1e-6);
+        assert!((cb.project(0.99) - 1.0).abs() < 1e-6);
+        assert!((cb.project(-2.0) + 1.0).abs() < 1e-6); // clamps to extreme level
+        // 0.5 is between 3/7≈0.4286 and 4/7≈0.5714 → distance equal-ish, snap
+        // to one of them.
+        let p = cb.project(0.5);
+        assert!((p - 3.0 / 7.0).abs() < 1e-6 || (p - 4.0 / 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn every_level_code_reproduces_its_value() {
+        for scheme in [Scheme::Fixed, Scheme::Pow2, Scheme::Sp2] {
+            for bits in [3u32, 4, 5, 6] {
+                let cb = Codebook::new(scheme, bits);
+                for level in cb.levels() {
+                    let decoded = level.code.value();
+                    assert!(
+                        (decoded - level.value).abs() < 1e-6,
+                        "{scheme} {bits}b level {} decodes to {decoded}",
+                        level.value
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn code_count_is_2m_minus_1_for_all_schemes() {
+        for scheme in [Scheme::Fixed, Scheme::Pow2, Scheme::Sp2] {
+            for bits in [3u32, 4, 5] {
+                let cb = Codebook::new(scheme, bits);
+                assert_eq!(
+                    cb.code_count(),
+                    (1usize << bits) - 1,
+                    "{scheme} at {bits} bits"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(Scheme::Fixed.to_string(), "Fixed");
+        assert_eq!(Scheme::Pow2.to_string(), "P2");
+        assert_eq!(Scheme::Sp2.to_string(), "SP2");
+    }
+
+    proptest! {
+        #[test]
+        fn projection_is_idempotent(x in -1.5f32..1.5, bits in 3u32..7) {
+            for scheme in [Scheme::Fixed, Scheme::Pow2, Scheme::Sp2] {
+                let cb = Codebook::new(scheme, bits);
+                let once = cb.project(x);
+                prop_assert_eq!(once.to_bits(), cb.project(once).to_bits());
+            }
+        }
+
+        #[test]
+        fn projection_error_bounded_by_largest_gap(x in -1.0f32..1.0) {
+            let cb = Codebook::new(Scheme::Sp2, 4);
+            let vals = cb.values();
+            let max_gap = vals.windows(2).map(|w| w[1] - w[0]).fold(0.0f32, f32::max);
+            prop_assert!((cb.project(x) - x).abs() <= max_gap / 2.0 + 1e-6);
+        }
+
+        #[test]
+        fn projection_is_monotone(a in -1.0f32..1.0, b in -1.0f32..1.0, bits in 3u32..6) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            for scheme in [Scheme::Fixed, Scheme::Pow2, Scheme::Sp2] {
+                let cb = Codebook::new(scheme, bits);
+                prop_assert!(cb.project(lo) <= cb.project(hi) + 1e-7);
+            }
+        }
+    }
+}

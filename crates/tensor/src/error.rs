@@ -1,0 +1,81 @@
+//! Error types for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by fallible tensor operations.
+///
+/// Most tensor operations in this crate panic on misuse (shape mismatch is a
+/// programming error in a numerical kernel), but operations whose failure is
+/// data-dependent — e.g. building a tensor from an external buffer — return
+/// `Result<_, TensorError>` instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of provided elements does not match the product of the
+    /// requested dimensions.
+    ElementCountMismatch {
+        /// Number of elements supplied by the caller.
+        provided: usize,
+        /// Number of elements the shape requires.
+        expected: usize,
+    },
+    /// Two shapes that were required to be identical differ.
+    ShapeMismatch {
+        /// Left-hand-side shape, printed in error text.
+        left: Vec<usize>,
+        /// Right-hand-side shape, printed in error text.
+        right: Vec<usize>,
+    },
+    /// A dimension of size zero was supplied where a non-empty tensor is
+    /// required.
+    EmptyShape,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ElementCountMismatch { provided, expected } => write!(
+                f,
+                "element count mismatch: {provided} values provided but shape requires {expected}"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::EmptyShape => write!(f, "shape has a zero-sized dimension"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = TensorError::ElementCountMismatch {
+            provided: 3,
+            expected: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('4'));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn shape_mismatch_mentions_both_shapes() {
+        let e = TensorError::ShapeMismatch {
+            left: vec![2, 3],
+            right: vec![3, 2],
+        };
+        let s = e.to_string();
+        assert!(s.contains("[2, 3]") && s.contains("[3, 2]"));
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,267 @@
+//! Blocked GEMM kernels.
+//!
+//! The accelerator modelled in `mixmatch-fpga` is a tiled GEMM machine, and
+//! every convolution in `mixmatch-nn` lowers to GEMM via `im2col`, so this is
+//! the hot loop of the whole reproduction. The kernel below is a classic
+//! cache-blocked triple loop with a `k`-major micro-kernel; for large
+//! matrices, rows are fanned out across threads with `crossbeam::scope`.
+
+use crate::tensor::Tensor;
+
+/// Cache block edge (elements). 64×64 f32 blocks fit easily in L1/L2.
+const BLOCK: usize = 64;
+
+/// Row count above which the parallel path is used.
+const PAR_THRESHOLD_ROWS: usize = 128;
+
+/// `C = A × B` for row-major slices: `a` is `m×k`, `b` is `k×n`, `c` is `m×n`.
+///
+/// `c` is fully overwritten. This is the allocation-free primitive; prefer
+/// [`matmul`] when working with [`Tensor`]s.
+///
+/// # Panics
+///
+/// Panics when slice lengths do not match the given dimensions.
+pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs slice length must be m*k");
+    assert_eq!(b.len(), k * n, "rhs slice length must be k*n");
+    assert_eq!(c.len(), m * n, "out slice length must be m*n");
+    c.iter_mut().for_each(|x| *x = 0.0);
+    if m >= PAR_THRESHOLD_ROWS && k * n >= 64 * 64 {
+        gemm_parallel(a, b, c, m, k, n);
+    } else {
+        gemm_block_range(a, b, c, 0, m, k, n);
+    }
+}
+
+/// Accumulating GEMM: `C += A × B`. Same layout rules as [`gemm`].
+///
+/// # Panics
+///
+/// Panics when slice lengths do not match the given dimensions.
+pub fn gemm_accumulate(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs slice length must be m*k");
+    assert_eq!(b.len(), k * n, "rhs slice length must be k*n");
+    assert_eq!(c.len(), m * n, "out slice length must be m*n");
+    gemm_block_range(a, b, c, 0, m, k, n);
+}
+
+/// Blocked kernel over a row range `[row_lo, row_hi)` of the output.
+/// Accumulates into `c` (callers zero it when overwrite semantics are wanted).
+fn gemm_block_range(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    row_lo: usize,
+    row_hi: usize,
+    k: usize,
+    n: usize,
+) {
+    for i0 in (row_lo..row_hi).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(row_hi);
+        for k0 in (0..k).step_by(BLOCK) {
+            let k1 = (k0 + BLOCK).min(k);
+            for j0 in (0..n).step_by(BLOCK) {
+                let j1 = (j0 + BLOCK).min(n);
+                for i in i0..i1 {
+                    let a_row = &a[i * k..(i + 1) * k];
+                    let c_row = &mut c[i * n..(i + 1) * n];
+                    for kk in k0..k1 {
+                        let aik = a_row[kk];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[kk * n..(kk + 1) * n];
+                        for j in j0..j1 {
+                            c_row[j] += aik * b_row[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fans output rows across threads. Each thread owns a disjoint row band of
+/// `c`, so no synchronisation is needed beyond the scope join.
+fn gemm_parallel(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .clamp(1, 8);
+    let rows_per = m.div_ceil(threads);
+    let bands: Vec<(usize, &mut [f32])> = c
+        .chunks_mut(rows_per * n)
+        .enumerate()
+        .map(|(t, band)| (t * rows_per, band))
+        .collect();
+    crossbeam::scope(|scope| {
+        for (row_lo, band) in bands {
+            let rows = band.len() / n;
+            scope.spawn(move |_| {
+                let a_band = &a[row_lo * k..(row_lo + rows) * k];
+                gemm_block_range(a_band, b, band, 0, rows, k, n);
+            });
+        }
+    })
+    .expect("gemm worker thread panicked");
+}
+
+/// Matrix multiply of two rank-2 tensors.
+///
+/// # Panics
+///
+/// Panics unless `a` is `[m, k]`, `b` is `[k, n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank-2");
+    assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank-2");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(
+        k, k2,
+        "matmul inner dimensions differ: {} vs {}",
+        k, k2
+    );
+    let mut out = Tensor::zeros(&[m, n]);
+    gemm(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n);
+    out
+}
+
+/// `y = A × x` for a rank-2 `a` and rank-1 `x` (GEMV). RNN cells use this.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matvec lhs must be rank-2");
+    assert_eq!(x.shape().rank(), 1, "matvec rhs must be rank-1");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    assert_eq!(k, x.dims()[0], "matvec inner dimensions differ");
+    let mut out = Tensor::zeros(&[m]);
+    let xs = x.as_slice();
+    for i in 0..m {
+        out.as_mut_slice()[i] = a.row(i).iter().zip(xs).map(|(&w, &v)| w * v).sum();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TensorRng;
+    use proptest::prelude::*;
+
+    /// Reference triple loop, no blocking — the oracle for the fast kernel.
+    fn gemm_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = TensorRng::seed_from(3);
+        let a = Tensor::randn(&[5, 5], &mut rng);
+        let mut eye = Tensor::zeros(&[5, 5]);
+        for i in 0..5 {
+            eye.set(&[i, i], 1.0);
+        }
+        assert!(matmul(&a, &eye).max_abs_diff(&a) < 1e-6);
+        assert!(matmul(&eye, &a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn blocked_matches_naive_rectangular() {
+        let mut rng = TensorRng::seed_from(17);
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 70, 5), (65, 130, 67), (7, 3, 129)] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            let fast = matmul(&a, &b);
+            let slow = gemm_naive(a.as_slice(), b.as_slice(), m, k, n);
+            let slow = Tensor::from_vec(slow, &[m, n]).unwrap();
+            assert!(
+                fast.max_abs_diff(&slow) < 1e-3,
+                "mismatch at ({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_naive() {
+        let mut rng = TensorRng::seed_from(21);
+        let (m, k, n) = (200, 80, 90);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let fast = matmul(&a, &b);
+        let slow = gemm_naive(a.as_slice(), b.as_slice(), m, k, n);
+        let slow = Tensor::from_vec(slow, &[m, n]).unwrap();
+        assert!(fast.max_abs_diff(&slow) < 1e-2);
+    }
+
+    #[test]
+    fn accumulate_adds_on_top() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![2.0, 0.0, 0.0, 2.0];
+        let mut c = vec![1.0; 4];
+        gemm_accumulate(&a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, vec![3.0, 1.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = TensorRng::seed_from(8);
+        let a = Tensor::randn(&[6, 9], &mut rng);
+        let x = Tensor::randn(&[9], &mut rng);
+        let y = matvec(&a, &x);
+        let y2 = matmul(&a, &x.reshape(&[9, 1]));
+        for i in 0..6 {
+            assert!((y.as_slice()[i] - y2.as_slice()[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn mismatched_inner_dims_panic() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = matmul(&a, &b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn gemm_is_linear_in_lhs(m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..100) {
+            let mut rng = TensorRng::seed_from(seed);
+            let a1 = Tensor::randn(&[m, k], &mut rng);
+            let a2 = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            let lhs = matmul(&(&a1 + &a2), &b);
+            let rhs = &matmul(&a1, &b) + &matmul(&a2, &b);
+            prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+        }
+
+        #[test]
+        fn transpose_reverses_product(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..100) {
+            let mut rng = TensorRng::seed_from(seed);
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            let lhs = matmul(&a, &b).transpose();
+            let rhs = matmul(&b.transpose(), &a.transpose());
+            prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+        }
+    }
+}

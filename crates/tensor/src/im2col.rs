@@ -1,0 +1,260 @@
+//! `im2col` / `col2im` transforms.
+//!
+//! Convolutions in `mixmatch-nn` — and on the modelled FPGA — are lowered to
+//! GEMM: the input feature map is unrolled into a patch matrix (`im2col`) and
+//! multiplied by the filter matrix whose **rows are output channels**. That
+//! row-per-filter layout is exactly the weight matrix the paper's Algorithm 2
+//! partitions between SP2 and fixed-point schemes.
+
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels (rows of the GEMM weight matrix).
+    pub out_channels: usize,
+    /// Square kernel edge.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on each border.
+    pub padding: usize,
+    /// Groups (1 = dense conv, `in_channels` = depthwise).
+    pub groups: usize,
+}
+
+impl ConvGeometry {
+    /// Dense convolution geometry.
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, stride: usize, padding: usize) -> Self {
+        ConvGeometry {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            groups: 1,
+        }
+    }
+
+    /// Depthwise convolution geometry (`groups == in_channels == out_channels`).
+    pub fn depthwise(channels: usize, kernel: usize, stride: usize, padding: usize) -> Self {
+        ConvGeometry {
+            in_channels: channels,
+            out_channels: channels,
+            kernel,
+            stride,
+            padding,
+            groups: channels,
+        }
+    }
+
+    /// Output spatial edge for a square input of edge `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the kernel does not fit in the padded input.
+    pub fn output_size(&self, input: usize) -> usize {
+        let padded = input + 2 * self.padding;
+        assert!(
+            padded >= self.kernel,
+            "kernel {} larger than padded input {}",
+            self.kernel,
+            padded
+        );
+        (padded - self.kernel) / self.stride + 1
+    }
+
+    /// GEMM reduction length `K = (Cin/groups)·k·k`.
+    pub fn gemm_k(&self) -> usize {
+        (self.in_channels / self.groups) * self.kernel * self.kernel
+    }
+}
+
+/// Unrolls an input feature map `[c, h, w]` into the patch matrix
+/// `[(c/groups)·k·k, out_h·out_w]` for one group.
+///
+/// The output is laid out so that `weights [Cout/g, K] × patches [K, P]`
+/// directly yields the output feature map rows.
+///
+/// # Panics
+///
+/// Panics when `input` is not rank-3 or channels disagree with `geom`.
+pub fn im2col(input: &Tensor, geom: &ConvGeometry, group: usize) -> Tensor {
+    assert_eq!(input.shape().rank(), 3, "im2col expects [c, h, w] input");
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    assert_eq!(c, geom.in_channels, "channel count mismatch");
+    assert!(group < geom.groups, "group index out of range");
+    let cg = geom.in_channels / geom.groups;
+    let out_h = geom.output_size(h);
+    let out_w = geom.output_size(w);
+    let k = geom.kernel;
+    let mut cols = Tensor::zeros(&[cg * k * k, out_h * out_w]);
+    let src = input.as_slice();
+    let dst = cols.as_mut_slice();
+    let patches = out_h * out_w;
+    for cc in 0..cg {
+        let src_c = (group * cg + cc) * h * w;
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (cc * k * k + ky * k + kx) * patches;
+                for oy in 0..out_h {
+                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..out_w {
+                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        dst[row + oy * out_w + ox] = src[src_c + iy as usize * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    cols
+}
+
+/// Adjoint of [`im2col`]: scatters a patch-matrix gradient back onto the input
+/// feature map (accumulating where patches overlap). Needed by the conv
+/// backward pass.
+///
+/// # Panics
+///
+/// Panics when shapes are inconsistent with `geom` and `(h, w)`.
+pub fn col2im(cols: &Tensor, geom: &ConvGeometry, group: usize, h: usize, w: usize) -> Tensor {
+    let cg = geom.in_channels / geom.groups;
+    let out_h = geom.output_size(h);
+    let out_w = geom.output_size(w);
+    let k = geom.kernel;
+    assert_eq!(
+        cols.dims(),
+        &[cg * k * k, out_h * out_w],
+        "col2im input shape mismatch"
+    );
+    assert!(group < geom.groups, "group index out of range");
+    let mut out = Tensor::zeros(&[geom.in_channels, h, w]);
+    let dst = out.as_mut_slice();
+    let src = cols.as_slice();
+    let patches = out_h * out_w;
+    for cc in 0..cg {
+        let dst_c = (group * cg + cc) * h * w;
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (cc * k * k + ky * k + kx) * patches;
+                for oy in 0..out_h {
+                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..out_w {
+                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        dst[dst_c + iy as usize * w + ix as usize] += src[row + oy * out_w + ox];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TensorRng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn output_size_formula() {
+        let g = ConvGeometry::new(3, 8, 3, 1, 1);
+        assert_eq!(g.output_size(8), 8);
+        let g2 = ConvGeometry::new(3, 8, 3, 2, 1);
+        assert_eq!(g2.output_size(8), 4);
+        let g3 = ConvGeometry::new(3, 8, 1, 1, 0);
+        assert_eq!(g3.output_size(8), 8);
+    }
+
+    #[test]
+    fn gemm_k_accounts_for_groups() {
+        assert_eq!(ConvGeometry::new(8, 16, 3, 1, 1).gemm_k(), 72);
+        assert_eq!(ConvGeometry::depthwise(8, 3, 1, 1).gemm_k(), 9);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1x1 kernel, stride 1, no padding: the patch matrix is the input
+        // flattened per channel.
+        let mut rng = TensorRng::seed_from(2);
+        let x = Tensor::randn(&[2, 4, 4], &mut rng);
+        let g = ConvGeometry::new(2, 2, 1, 1, 0);
+        let cols = im2col(&x, &g, 0);
+        assert_eq!(cols.dims(), &[2, 16]);
+        assert_eq!(cols.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn im2col_values_at_known_positions() {
+        // 1 channel, 3x3 input, 2x2 kernel, stride 1, no padding.
+        let x = Tensor::from_vec((1..=9).map(|i| i as f32).collect(), &[1, 3, 3]).unwrap();
+        let g = ConvGeometry::new(1, 1, 2, 1, 0);
+        let cols = im2col(&x, &g, 0);
+        assert_eq!(cols.dims(), &[4, 4]);
+        // Patch (0,0) = [1,2,4,5] read down the first column.
+        let got: Vec<f32> = (0..4).map(|r| cols.at(&[r, 0])).collect();
+        assert_eq!(got, vec![1.0, 2.0, 4.0, 5.0]);
+        // Patch (1,1) = [5,6,8,9] in the last column.
+        let got: Vec<f32> = (0..4).map(|r| cols.at(&[r, 3])).collect();
+        assert_eq!(got, vec![5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn padding_produces_zeros_on_border_patches() {
+        let x = Tensor::ones(&[1, 2, 2]);
+        let g = ConvGeometry::new(1, 1, 3, 1, 1);
+        let cols = im2col(&x, &g, 0);
+        // Top-left patch: only the bottom-right 2x2 sub-window overlaps input.
+        assert_eq!(cols.at(&[0, 0]), 0.0); // (ky=0,kx=0) off-image
+        assert_eq!(cols.at(&[4, 0]), 1.0); // centre on-image
+    }
+
+    #[test]
+    fn depthwise_groups_select_single_channel() {
+        let mut x = Tensor::zeros(&[3, 2, 2]);
+        for c in 0..3 {
+            for i in 0..4 {
+                x.as_mut_slice()[c * 4 + i] = (c * 10 + i) as f32;
+            }
+        }
+        let g = ConvGeometry::depthwise(3, 1, 1, 0);
+        let c1 = im2col(&x, &g, 1);
+        assert_eq!(c1.as_slice(), &[10.0, 11.0, 12.0, 13.0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn col2im_is_adjoint_of_im2col(
+            h in 3usize..7, k in 1usize..4, stride in 1usize..3, pad in 0usize..2, seed in 0u64..50
+        ) {
+            // <im2col(x), y> == <x, col2im(y)> for all x, y: the defining
+            // property of an adjoint pair, which is exactly what correct
+            // backprop through convolution requires.
+            prop_assume!(h + 2 * pad >= k);
+            let mut rng = TensorRng::seed_from(seed);
+            let g = ConvGeometry::new(2, 4, k, stride, pad);
+            let x = Tensor::randn(&[2, h, h], &mut rng);
+            let cols = im2col(&x, &g, 0);
+            let y = Tensor::randn(cols.dims(), &mut rng);
+            let lhs = cols.dot(&y);
+            let back = col2im(&y, &g, 0, h, h);
+            let rhs = x.dot(&back);
+            prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+        }
+    }
+}

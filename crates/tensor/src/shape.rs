@@ -1,0 +1,212 @@
+//! Shape and stride bookkeeping for row-major tensors.
+
+use std::fmt;
+
+/// The dimensions of a row-major tensor.
+///
+/// A `Shape` owns its dimension list and derives contiguous row-major strides
+/// on demand. Tensors in this crate are always contiguous, so strides are a
+/// pure function of the dimensions.
+///
+/// # Example
+///
+/// ```
+/// use mixmatch_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// assert_eq!(s.flat_index(&[1, 2, 3]), 23);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a dimension slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty. Zero-sized dimensions are allowed (an empty
+    /// tensor), but a rank-0 shape is not representable.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "shape must have at least one dimension");
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// The dimension list.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// `true` when the shape contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Contiguous row-major strides.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Maps a multi-dimensional index to its flat row-major offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` rank differs from the shape rank or any coordinate is
+    /// out of bounds.
+    pub fn flat_index(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.dims.len(),
+            "index rank {} does not match shape rank {}",
+            index.len(),
+            self.dims.len()
+        );
+        let strides = self.strides();
+        let mut flat = 0usize;
+        for (axis, (&i, &d)) in index.iter().zip(self.dims.iter()).enumerate() {
+            assert!(i < d, "index {i} out of bounds for axis {axis} of size {d}");
+            flat += i * strides[axis];
+        }
+        flat
+    }
+
+    /// Inverse of [`flat_index`](Self::flat_index): converts a flat offset back
+    /// to a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat >= len()`.
+    pub fn unravel(&self, flat: usize) -> Vec<usize> {
+        assert!(flat < self.len(), "flat index {flat} out of range");
+        let strides = self.strides();
+        let mut rem = flat;
+        let mut out = Vec::with_capacity(self.dims.len());
+        for &s in &strides {
+            out.push(rem / s);
+            rem %= s;
+        }
+        out
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn rank_one_shape() {
+        let s = Shape::new(&[7]);
+        assert_eq!(s.len(), 7);
+        assert_eq!(s.strides(), vec![1]);
+        assert_eq!(s.flat_index(&[6]), 6);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "(2x3)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_dims_panic() {
+        let _ = Shape::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn flat_index_bounds_checked() {
+        let s = Shape::new(&[2, 2]);
+        let _ = s.flat_index(&[2, 0]);
+    }
+
+    #[test]
+    fn zero_dim_is_empty() {
+        let s = Shape::new(&[3, 0]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn unravel_inverts_flat_index(dims in proptest::collection::vec(1usize..6, 1..4),
+                                      seed in 0usize..1000) {
+            let shape = Shape::new(&dims);
+            let flat = seed % shape.len();
+            let idx = shape.unravel(flat);
+            prop_assert_eq!(shape.flat_index(&idx), flat);
+        }
+
+        #[test]
+        fn flat_indices_cover_range_bijectively(dims in proptest::collection::vec(1usize..5, 1..4)) {
+            let shape = Shape::new(&dims);
+            let mut seen = vec![false; shape.len()];
+            for flat in 0..shape.len() {
+                let idx = shape.unravel(flat);
+                let back = shape.flat_index(&idx);
+                prop_assert!(!seen[back]);
+                seen[back] = true;
+            }
+            prop_assert!(seen.iter().all(|&b| b));
+        }
+    }
+}

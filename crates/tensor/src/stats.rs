@@ -1,0 +1,260 @@
+//! Statistics helpers.
+//!
+//! Algorithm 2 of the paper assigns a quantization scheme to each weight-matrix
+//! row from its **variance**, with the threshold chosen as a **percentile** of
+//! the per-row variances; Figure 1 plots a weight **histogram** against the
+//! scheme's quantization levels. This module provides those three primitives
+//! plus the moments used by the distribution analysis in `mixmatch-quant`.
+
+use crate::tensor::Tensor;
+
+/// Arithmetic mean of a slice.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn mean(xs: &[f32]) -> f32 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+
+/// Population variance of a slice.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn variance(xs: &[f32]) -> f32 {
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32
+}
+
+/// Population standard deviation.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    variance(xs).sqrt()
+}
+
+/// Excess kurtosis (zero for a Gaussian, negative for Uniform-like
+/// distributions). Used to characterise whether a row is "Gaussian-like"
+/// (prefer SP2) or "Uniform-like" (prefer fixed-point).
+///
+/// Returns 0 when the variance vanishes.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn excess_kurtosis(xs: &[f32]) -> f32 {
+    let m = mean(xs);
+    let n = xs.len() as f32;
+    let var = variance(xs);
+    if var <= f32::EPSILON {
+        return 0.0;
+    }
+    let m4 = xs.iter().map(|&x| (x - m).powi(4)).sum::<f32>() / n;
+    m4 / (var * var) - 3.0
+}
+
+/// `q`-th percentile (0..=100) by linear interpolation on the sorted copy.
+///
+/// # Panics
+///
+/// Panics on an empty slice or when `q` is outside `[0, 100]`.
+pub fn percentile(xs: &[f32], q: f32) -> f32 {
+    assert!(!xs.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&q), "percentile q must be in [0,100]");
+    let mut sorted: Vec<f32> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let pos = q / 100.0 * (sorted.len() - 1) as f32;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f32;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Variance of every row of a rank-2 tensor — the statistic Algorithm 2 sorts
+/// to split rows between SP2 and fixed-point.
+///
+/// # Panics
+///
+/// Panics when `t` is not rank-2.
+pub fn row_variances(t: &Tensor) -> Vec<f32> {
+    assert_eq!(t.shape().rank(), 2, "row_variances expects a rank-2 tensor");
+    (0..t.dims()[0]).map(|r| variance(t.row(r))).collect()
+}
+
+/// A fixed-width histogram over `[lo, hi]`.
+///
+/// # Example
+///
+/// ```
+/// use mixmatch_tensor::stats::Histogram;
+///
+/// let h = Histogram::build(&[0.1, 0.2, 0.9], 0.0, 1.0, 10);
+/// assert_eq!(h.counts().iter().sum::<usize>(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f32,
+    hi: f32,
+    counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` equal-width buckets over `[lo, hi]`.
+    /// Samples outside the range are clamped into the edge buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bins == 0` or `lo >= hi`.
+    pub fn build(xs: &[f32], lo: f32, hi: f32, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        let mut counts = vec![0usize; bins];
+        let width = (hi - lo) / bins as f32;
+        for &x in xs {
+            let idx = ((x - lo) / width).floor();
+            let idx = idx.clamp(0.0, (bins - 1) as f32) as usize;
+            counts[idx] += 1;
+        }
+        Histogram { lo, hi, counts }
+    }
+
+    /// Bucket counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Centre of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f32 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f32;
+        self.lo + width * (i as f32 + 0.5)
+    }
+
+    /// Normalised densities (sum ≈ 1 over occupied buckets).
+    pub fn densities(&self) -> Vec<f32> {
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f32 / total as f32)
+            .collect()
+    }
+
+    /// Renders a row of unicode bars for terminal output (Figure 1 harness).
+    pub fn sparkline(&self) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        self.counts
+            .iter()
+            .map(|&c| LEVELS[(c * (LEVELS.len() - 1)) / max])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TensorRng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn moments_on_known_data() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-6);
+        assert!((variance(&xs) - 4.0).abs() < 1e-6);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kurtosis_separates_gaussian_from_uniform() {
+        let mut rng = TensorRng::seed_from(33);
+        let gauss: Vec<f32> = (0..20_000).map(|_| rng.normal()).collect();
+        let unif: Vec<f32> = (0..20_000).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+        assert!(excess_kurtosis(&gauss).abs() < 0.15);
+        assert!((excess_kurtosis(&unif) + 1.2).abs() < 0.15);
+    }
+
+    #[test]
+    fn kurtosis_of_constant_is_zero() {
+        assert_eq!(excess_kurtosis(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_endpoints_and_median() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert!((percentile(&xs, 25.0) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn row_variances_match_scalar_variance() {
+        let t = Tensor::from_vec(vec![1.0, 1.0, 1.0, 0.0, 2.0, 4.0], &[2, 3]).unwrap();
+        let v = row_variances(&t);
+        assert_eq!(v[0], 0.0);
+        assert!((v[1] - variance(&[0.0, 2.0, 4.0])).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamping() {
+        let h = Histogram::build(&[-5.0, 0.05, 0.15, 0.15, 5.0], 0.0, 1.0, 10);
+        assert_eq!(h.counts()[0], 2); // -5.0 clamped + 0.05
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[9], 1); // 5.0 clamped
+        assert_eq!(h.counts().iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn histogram_bin_centers() {
+        let h = Histogram::build(&[0.0], 0.0, 1.0, 4);
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-6);
+        assert!((h.bin_center(3) - 0.875).abs() < 1e-6);
+    }
+
+    #[test]
+    fn densities_sum_to_one() {
+        let mut rng = TensorRng::seed_from(4);
+        let xs: Vec<f32> = (0..500).map(|_| rng.normal()).collect();
+        let h = Histogram::build(&xs, -4.0, 4.0, 32);
+        let total: f32 = h.densities().iter().sum();
+        assert!((total - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sparkline_has_one_char_per_bin() {
+        let h = Histogram::build(&[0.5], 0.0, 1.0, 12);
+        assert_eq!(h.sparkline().chars().count(), 12);
+    }
+
+    proptest! {
+        #[test]
+        fn variance_is_translation_invariant(
+            v in proptest::collection::vec(-10.0f32..10.0, 2..40), shift in -5.0f32..5.0
+        ) {
+            let shifted: Vec<f32> = v.iter().map(|&x| x + shift).collect();
+            prop_assert!((variance(&v) - variance(&shifted)).abs() < 1e-2);
+        }
+
+        #[test]
+        fn percentile_is_monotone(v in proptest::collection::vec(-10.0f32..10.0, 1..40),
+                                  q1 in 0.0f32..100.0, q2 in 0.0f32..100.0) {
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(percentile(&v, lo) <= percentile(&v, hi) + 1e-6);
+        }
+    }
+}

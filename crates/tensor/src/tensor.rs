@@ -1,0 +1,597 @@
+//! The owned, contiguous, row-major `f32` tensor.
+
+use crate::error::TensorError;
+use crate::rng::TensorRng;
+use crate::shape::Shape;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An owned, contiguous, row-major tensor of `f32` values.
+///
+/// `Tensor` is deliberately simple: no views, no broadcasting rules beyond
+/// scalar and per-row helpers, no autograd. Higher layers (the `mixmatch-nn`
+/// crate) build explicit forward/backward passes on top of it, which keeps the
+/// numerical core easy to audit — an important property when validating
+/// bit-exact quantized kernels against it.
+///
+/// # Example
+///
+/// ```
+/// use mixmatch_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// assert_eq!(t.at(&[1, 0]), 3.0);
+/// assert_eq!(t.sum(), 10.0);
+/// # Ok::<(), mixmatch_tensor::TensorError>(())
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ElementCountMismatch`] when `data.len()` does not
+    /// equal the product of `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.len() {
+            return Err(TensorError::ElementCountMismatch {
+                provided: data.len(),
+                expected: shape.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Standard-normal initialised tensor.
+    pub fn randn(dims: &[usize], rng: &mut TensorRng) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.len()).map(|_| rng.normal()).collect();
+        Tensor { shape, data }
+    }
+
+    /// Uniform `[lo, hi)` initialised tensor.
+    pub fn rand_uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut TensorRng) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.len()).map(|_| rng.uniform_in(lo, hi)).collect();
+        Tensor { shape, data }
+    }
+
+    /// 1-D tensor `[0, 1, ..., n-1]`.
+    pub fn arange(n: usize) -> Self {
+        Tensor {
+            shape: Shape::new(&[n]),
+            data: (0..n).map(|i| i as f32).collect(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension list shorthand.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-bounds coordinates.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.flat_index(index)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-bounds coordinates.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let flat = self.shape.flat_index(index);
+        self.data[flat] = value;
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the element counts differ; reshape of a contiguous tensor
+    /// is otherwise always valid.
+    pub fn reshape(&self, dims: &[usize]) -> Tensor {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            shape.len(),
+            self.data.len(),
+            "reshape from {} to {} changes element count",
+            self.shape,
+            shape
+        );
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
+    }
+
+    /// 2-D transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not rank-2.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "transpose requires a rank-2 tensor");
+        let (rows, cols) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = Tensor::zeros(&[cols, rows]);
+        for r in 0..rows {
+            for c in 0..cols {
+                out.data[c * rows + r] = self.data[r * cols + c];
+            }
+        }
+        out
+    }
+
+    /// Borrows row `r` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not rank-2 or `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert_eq!(self.shape.rank(), 2, "row() requires a rank-2 tensor");
+        let cols = self.shape.dim(1);
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Mutably borrows row `r` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not rank-2 or `r` is out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert_eq!(self.shape.rank(), 2, "row_mut() requires a rank-2 tensor");
+        let cols = self.shape.dim(1);
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise maps
+    // ------------------------------------------------------------------
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape, other.shape,
+            "zip requires identical shapes ({} vs {})",
+            self.shape, other.shape
+        );
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// `self += alpha * other`, the BLAS `axpy` primitive used by optimizers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(
+            self.shape, other.shape,
+            "axpy requires identical shapes ({} vs {})",
+            self.shape, other.shape
+        );
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale_inplace(&mut self, s: f32) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Sets every element to zero, reusing the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn mean(&self) -> f32 {
+        assert!(!self.is_empty(), "mean of an empty tensor");
+        self.sum() / self.len() as f32
+    }
+
+    /// Maximum element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn max(&self) -> f32 {
+        assert!(!self.is_empty(), "max of an empty tensor");
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn min(&self) -> f32 {
+        assert!(!self.is_empty(), "min of an empty tensor");
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element in the flat buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.is_empty(), "argmax of an empty tensor");
+        let mut best = 0usize;
+        for (i, &x) in self.data.iter().enumerate() {
+            if x > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Squared L2 norm.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// L2 norm.
+    pub fn norm(&self) -> f32 {
+        self.sq_norm().sqrt()
+    }
+
+    /// Dot product of two same-shaped tensors, flattened.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(
+            self.shape, other.shape,
+            "dot requires identical shapes ({} vs {})",
+            self.shape, other.shape
+        );
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+
+    /// Maximum absolute difference between two same-shaped tensors. Useful in
+    /// tests comparing float and integer kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(
+            self.shape, other.shape,
+            "max_abs_diff requires identical shapes ({} vs {})",
+            self.shape, other.shape
+        );
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    /// Matrix multiply of two rank-2 tensors; delegates to the blocked kernel
+    /// in [`crate::gemm`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `[m, k]` and `other` is `[k, n]`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        crate::gemm::matmul(self, other)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} [", self.shape)?;
+        const PREVIEW: usize = 8;
+        for (i, x) in self.data.iter().take(PREVIEW).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x:.4}")?;
+        }
+        if self.data.len() > PREVIEW {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Add<&Tensor> for &Tensor {
+    type Output = Tensor;
+
+    fn add(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub<&Tensor> for &Tensor {
+    type Output = Tensor;
+
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a - b)
+    }
+}
+
+impl Mul<&Tensor> for &Tensor {
+    type Output = Tensor;
+
+    fn mul(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a * b)
+    }
+}
+
+impl Div<&Tensor> for &Tensor {
+    type Output = Tensor;
+
+    fn div(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a / b)
+    }
+}
+
+impl Mul<f32> for &Tensor {
+    type Output = Tensor;
+
+    fn mul(self, rhs: f32) -> Tensor {
+        self.map(|x| x * rhs)
+    }
+}
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+
+    fn neg(self) -> Tensor {
+        self.map(|x| -x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructors_have_expected_contents() {
+        assert!(Tensor::zeros(&[3, 2]).as_slice().iter().all(|&x| x == 0.0));
+        assert!(Tensor::ones(&[4]).as_slice().iter().all(|&x| x == 1.0));
+        assert_eq!(Tensor::arange(4).as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(Tensor::full(&[2], 5.0).as_slice(), &[5.0, 5.0]);
+    }
+
+    #[test]
+    fn from_vec_validates_count() {
+        let err = Tensor::from_vec(vec![1.0, 2.0], &[3]).unwrap_err();
+        assert_eq!(
+            err,
+            TensorError::ElementCountMismatch {
+                provided: 2,
+                expected: 3
+            }
+        );
+    }
+
+    #[test]
+    fn indexing_round_trips() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set(&[1, 2], 7.5);
+        assert_eq!(t.at(&[1, 2]), 7.5);
+        assert_eq!(t.as_slice()[5], 7.5);
+    }
+
+    #[test]
+    fn transpose_involutes() {
+        let t = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]).unwrap();
+        let tt = t.transpose().transpose();
+        assert_eq!(t, tt);
+        assert_eq!(t.transpose().at(&[2, 1]), t.at(&[1, 2]));
+    }
+
+    #[test]
+    fn rows_are_contiguous() {
+        let t = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]).unwrap();
+        assert_eq!(t.row(1), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.5], &[4]).unwrap();
+        assert_eq!(t.sum(), 2.5);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -2.0);
+        assert_eq!(t.argmax(), 2);
+        assert!((t.mean() - 0.625).abs() < 1e-6);
+    }
+
+    #[test]
+    fn axpy_matches_manual() {
+        let mut a = Tensor::ones(&[3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn operators_work_elementwise() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        assert_eq!((&a + &b).as_slice(), &[4.0, 6.0]);
+        assert_eq!((&a - &b).as_slice(), &[-2.0, -2.0]);
+        assert_eq!((&a * &b).as_slice(), &[3.0, 8.0]);
+        assert_eq!((&b / &a).as_slice(), &[3.0, 2.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical shapes")]
+    fn zip_rejects_mismatched_shapes() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        let _ = a.zip(&b, |x, _| x);
+    }
+
+    #[test]
+    fn debug_shows_shape_and_preview() {
+        let t = Tensor::zeros(&[16]);
+        let s = format!("{t:?}");
+        assert!(s.contains("(16)"));
+        assert!(s.contains('…'));
+    }
+
+    proptest! {
+        #[test]
+        fn reshape_preserves_data(n in 1usize..40) {
+            let t = Tensor::arange(n);
+            // factor n as 1 x n
+            let r = t.reshape(&[1, n]);
+            prop_assert_eq!(r.as_slice(), t.as_slice());
+        }
+
+        #[test]
+        fn dot_is_symmetric(v in proptest::collection::vec(-10.0f32..10.0, 1..32)) {
+            let n = v.len();
+            let a = Tensor::from_vec(v.clone(), &[n]).unwrap();
+            let b = Tensor::from_vec(v.iter().rev().copied().collect(), &[n]).unwrap();
+            prop_assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-3);
+        }
+
+        #[test]
+        fn norm_is_nonnegative_and_zero_only_at_zero(
+            v in proptest::collection::vec(-5.0f32..5.0, 1..16)
+        ) {
+            let n = v.len();
+            let t = Tensor::from_vec(v.clone(), &[n]).unwrap();
+            prop_assert!(t.norm() >= 0.0);
+            if v.iter().any(|&x| x != 0.0) {
+                prop_assert!(t.norm() > 0.0);
+            }
+        }
+    }
+}

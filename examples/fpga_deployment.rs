@@ -1,0 +1,69 @@
+//! FPGA deployment walkthrough: device comparison, design-space exploration,
+//! resource estimates and simulated end-to-end performance for every
+//! Table VIII workload.
+//!
+//! Run with: `cargo run --release --example fpga_deployment`
+
+use mixmatch::fpga::cost::CostModel;
+use mixmatch::fpga::explore::{optimal_design, sweep, ExploreConfig};
+use mixmatch::fpga::report::{fmt_pct, TextTable};
+use mixmatch::fpga::sim::{simulate, SimParams};
+use mixmatch::fpga::workload::Network;
+use mixmatch::prelude::*;
+
+fn main() {
+    // Which device class suits the SP2 trick? High LUT/DSP parts.
+    println!("device characterization (Figure 2):\n");
+    let mut t = TextTable::new(vec!["device", "LUT/DSP", "suitability for SP2 core"]);
+    for dev in FpgaDevice::figure2_devices() {
+        let verdict = if dev.lut_per_dsp() > 180.0 {
+            "good — LUT headroom for shift-add PEs"
+        } else {
+            "poor — DSP-rich, keep fixed-point"
+        };
+        t.row(vec![
+            dev.name.to_string(),
+            format!("{:.1}", dev.lut_per_dsp()),
+            verdict.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    for device in [FpgaDevice::XC7Z020, FpgaDevice::XC7Z045] {
+        println!("--- {device} ---\n");
+        println!("DSE sweep:");
+        for p in sweep(device, &ExploreConfig::default()) {
+            println!(
+                "  Blk_out,sp2 = {:>2}  LUT {}  {}",
+                p.config.blk_out_sp2,
+                fmt_pct(p.lut_util),
+                if p.feasible { "ok" } else { "over ceiling" }
+            );
+        }
+        let design = optimal_design(device, &ExploreConfig::default());
+        let model = CostModel::for_device(&device);
+        let usage = model.usage(&design);
+        println!(
+            "\noptimal: {} | LUT {:.0} DSP {:.0} BRAM {:.1} FF {:.0} | peak {:.1} GOPS\n",
+            design.ratio_label(),
+            usage.lut,
+            usage.dsp,
+            usage.bram36,
+            usage.ff,
+            design.peak_gops()
+        );
+        let params = SimParams::default();
+        let mut t = TextTable::new(vec!["workload", "GOPS", "latency", "PE util", "FPS"]);
+        for net in Network::table8_networks() {
+            let perf = simulate(&net, &design, &params);
+            t.row(vec![
+                net.name.clone(),
+                format!("{:.1}", perf.gops()),
+                format!("{:.1} ms", perf.latency_ms()),
+                fmt_pct(perf.pe_utilization()),
+                format!("{:.1}", perf.fps()),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+}

@@ -1,0 +1,102 @@
+//! Quickstart: the full Mix-and-Match pipeline in one file.
+//!
+//! 1. Characterise the target FPGA → SP2:fixed partition ratio.
+//! 2. Train a small CNN with MSQ (ADMM weight quantization + 4-bit STE
+//!    activations) at that ratio.
+//! 3. Deploy: encode weights as hardware codes, run bit-exact shift/add
+//!    inference, and estimate on-device throughput with the cycle simulator.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mixmatch::prelude::*;
+use mixmatch::data::{BatchIter, ImageDataset, SynthImageConfig};
+use mixmatch::fpga::explore::{optimal_design, ExploreConfig};
+use mixmatch::fpga::gemm_core::HeterogeneousGemm;
+use mixmatch::fpga::sim::{simulate, SimParams};
+use mixmatch::fpga::workload::Network;
+use mixmatch::nn::models::{ResNet, ResNetConfig};
+use mixmatch::quant::integer::ActQuantizer;
+use mixmatch::quant::qat::{evaluate_classifier, train_classifier, QatConfig};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Step 1: hardware characterization picks the ratio (paper §V-A).
+    // ------------------------------------------------------------------
+    let device = FpgaDevice::XC7Z045;
+    let design = optimal_design(device, &ExploreConfig::default());
+    println!(
+        "[1] DSE on {}: optimal design {} -> PR_SP2 = {:.3}",
+        device.name,
+        design.ratio_label(),
+        design.partition_ratio().sp2_fraction()
+    );
+
+    // ------------------------------------------------------------------
+    // Step 2: MSQ quantization-aware training at that ratio (Algorithms 1-2).
+    // ------------------------------------------------------------------
+    let mut rng = TensorRng::seed_from(42);
+    let ds = ImageDataset::generate(&SynthImageConfig::cifar10_like());
+    let policy = MsqPolicy::mixed(design.partition_ratio(), 4);
+    let mut model = ResNet::new(
+        ResNetConfig::mini(ds.config().classes).with_act_bits(4),
+        &mut rng,
+    );
+    let mut data_rng = rng.fork();
+    let outcome = train_classifier(
+        &mut model,
+        |_| {
+            BatchIter::shuffled(ds.train_len(), 32, false, &mut data_rng)
+                .map(|idx| ds.train_batch(&idx))
+                .collect()
+        },
+        &QatConfig::quantized(policy, 8, 0.05),
+    );
+    let (x_test, y_test) = ds.test_all();
+    let eval = evaluate_classifier(&mut model, &x_test, &y_test);
+    println!(
+        "[2] MSQ-trained mini-ResNet: top-1 {:.1}% (residual {:.4} -> {:.4})",
+        eval.top1,
+        outcome.logs.first().map(|l| l.residual).unwrap_or(0.0),
+        outcome.logs.last().map(|l| l.residual).unwrap_or(0.0),
+    );
+    for report in &outcome.reports {
+        println!(
+            "    {:<24} rows {}  SP2 fraction {:.2}  mean MSE {:.2e}",
+            report.name,
+            report.rows.len(),
+            report.sp2_fraction(),
+            report.mean_mse()
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Step 3: deployment — bit-exact integer inference + performance model.
+    // ------------------------------------------------------------------
+    let first_conv = model
+        .params()
+        .into_iter()
+        .find(|p| p.name() == "stem.weight")
+        .expect("stem weight")
+        .value
+        .clone();
+    let core = HeterogeneousGemm::new(&first_conv, &design, 4);
+    let (n_fixed, n_sp2) = core.row_split();
+    let act = ActQuantizer::new(4, 1.0);
+    let x: Vec<f32> = (0..first_conv.dims()[1])
+        .map(|i| (i % 7) as f32 / 7.0)
+        .collect();
+    let run = core.run(&act.quantize(&x), &act);
+    println!(
+        "[3] heterogeneous GEMM on stem conv: {} fixed rows (DSP, {} mults), {} SP2 rows (LUT, {} shifts + {} adds)",
+        n_fixed, run.fixed_ops.mults, n_sp2, run.sp2_ops.shifts, run.sp2_ops.adds
+    );
+
+    let perf = simulate(&Network::resnet18(), &design, &SimParams::default());
+    println!(
+        "    full-size ResNet-18 on this design: {:.1} GOPS, {:.1} ms/image, {:.1}% PE utilization",
+        perf.gops(),
+        perf.latency_ms(),
+        perf.pe_utilization() * 100.0
+    );
+    println!("\nDone: ratio from hardware, accuracy from training, speed from both.");
+}

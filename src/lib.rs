@@ -1,0 +1,56 @@
+//! # mixmatch
+//!
+//! Facade crate for the **Mix and Match** reproduction — an FPGA-centric
+//! deep-neural-network quantization framework (HPCA 2021).
+//!
+//! The paper's contribution is reproduced across five crates, re-exported
+//! here:
+//!
+//! | Module | Crate | What it holds |
+//! |---|---|---|
+//! | [`tensor`] | `mixmatch-tensor` | dense tensors, GEMM, im2col, stats |
+//! | [`nn`] | `mixmatch-nn` | layers, CNN/RNN models, losses, optimizers, metrics |
+//! | [`quant`] | `mixmatch-quant` | **the core**: SP2 scheme, MSQ row-wise mixing, ADMM+STE training, bit-exact integer kernels |
+//! | [`data`] | `mixmatch-data` | synthetic stand-ins for CIFAR/ImageNet/COCO/PTB/TIMIT/IMDB |
+//! | [`fpga`] | `mixmatch-fpga` | device DB, resource cost model, heterogeneous-GEMM cycle simulator, DSE |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mixmatch::prelude::*;
+//!
+//! // 1. Characterise the FPGA: the LUT/DSP budget fixes the SP2:fixed ratio.
+//! let design = mixmatch::fpga::explore::optimal_design(
+//!     FpgaDevice::XC7Z045,
+//!     &Default::default(),
+//! );
+//! assert_eq!(design.ratio_label(), "1:2");
+//!
+//! // 2. Quantize a weight matrix at that ratio, row-wise by variance.
+//! let mut rng = TensorRng::seed_from(0);
+//! let w = Tensor::randn(&[32, 64], &mut rng);
+//! let policy = MsqPolicy::mixed(design.partition_ratio(), 4);
+//! let (quantized, info) = mixmatch::quant::msq::project_with_policy(&w, &policy);
+//! assert_eq!(quantized.dims(), w.dims());
+//! assert_eq!(info.len(), 32);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mixmatch_data as data;
+pub use mixmatch_fpga as fpga;
+pub use mixmatch_nn as nn;
+pub use mixmatch_quant as quant;
+pub use mixmatch_tensor as tensor;
+
+/// The most common imports, for examples and downstream experiments.
+pub mod prelude {
+    pub use mixmatch_fpga::arch::AcceleratorConfig;
+    pub use mixmatch_fpga::device::FpgaDevice;
+    pub use mixmatch_nn::module::{Layer, Param};
+    pub use mixmatch_quant::admm::{AdmmConfig, AdmmQuantizer};
+    pub use mixmatch_quant::msq::MsqPolicy;
+    pub use mixmatch_quant::rowwise::PartitionRatio;
+    pub use mixmatch_quant::schemes::Scheme;
+    pub use mixmatch_tensor::{Tensor, TensorRng};
+}

@@ -1,0 +1,172 @@
+//! Integration tests: the full quantization pipeline across crates —
+//! data → model → ADMM training → projection → bit-exact deployment.
+
+use mixmatch::data::{BatchIter, ImageDataset, SynthImageConfig};
+use mixmatch::nn::models::{MobileNetConfig, MobileNetV2, ResNet, ResNetConfig};
+use mixmatch::prelude::*;
+use mixmatch::quant::integer::{ActQuantizer, QuantizedMatrix};
+use mixmatch::quant::msq::SchemeBooks;
+use mixmatch::quant::qat::{evaluate_classifier, train_classifier, QatConfig};
+
+fn tiny_dataset() -> ImageDataset {
+    ImageDataset::generate(&SynthImageConfig::tiny())
+}
+
+fn train(
+    model: &mut impl Layer,
+    ds: &ImageDataset,
+    policy: Option<MsqPolicy>,
+    epochs: usize,
+    seed: u64,
+) -> mixmatch::quant::qat::QatOutcome {
+    let cfg = match policy {
+        None => QatConfig::float_baseline(epochs, 0.05),
+        Some(p) => QatConfig::quantized(p, epochs, 0.05),
+    };
+    let mut data_rng = TensorRng::seed_from(seed);
+    train_classifier(
+        model,
+        |_| {
+            BatchIter::shuffled(ds.train_len(), 16, false, &mut data_rng)
+                .map(|idx| ds.train_batch(&idx))
+                .collect()
+        },
+        &cfg,
+    )
+}
+
+#[test]
+fn msq_training_beats_random_guessing_and_lands_on_grid() {
+    let ds = tiny_dataset();
+    let mut rng = TensorRng::seed_from(1);
+    let mut model = ResNet::new(
+        ResNetConfig::mini(ds.config().classes).with_act_bits(4),
+        &mut rng,
+    );
+    let outcome = train(&mut model, &ds, Some(MsqPolicy::msq_half()), 6, 2);
+    let (x, y) = ds.test_all();
+    let eval = evaluate_classifier(&mut model, &x, &y);
+    // 4 classes → chance is 25%.
+    assert!(eval.top1 > 40.0, "top1 {} too close to chance", eval.top1);
+    // Every quantized weight sits exactly on its row's scheme grid.
+    let books = SchemeBooks::new(4);
+    for report in &outcome.reports {
+        let param = model
+            .params()
+            .into_iter()
+            .find(|p| p.name() == report.name)
+            .expect("reported param exists");
+        for (r, row_info) in report.rows.iter().enumerate() {
+            let cb = books.get(row_info.scheme);
+            for &w in param.value.row(r) {
+                if row_info.alpha == 0.0 {
+                    assert_eq!(w, 0.0);
+                } else {
+                    let snapped = row_info.alpha * cb.project(w / row_info.alpha);
+                    assert!(
+                        (w - snapped).abs() < 1e-4,
+                        "{}[{r}]: {w} off-grid",
+                        report.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn quantized_model_deploys_bit_exactly_on_heterogeneous_cores() {
+    use mixmatch::fpga::gemm_core::HeterogeneousGemm;
+    let ds = tiny_dataset();
+    let mut rng = TensorRng::seed_from(3);
+    let mut model = ResNet::new(ResNetConfig::mini(ds.config().classes), &mut rng);
+    let _ = train(&mut model, &ds, Some(MsqPolicy::msq_optimal()), 4, 4);
+    // Take a quantized conv weight and push it through the FPGA functional
+    // model: integer shift/add output must match the float product of the
+    // dequantized matrix.
+    let w = model
+        .params()
+        .into_iter()
+        .find(|p| p.name().contains("conv1.weight"))
+        .expect("conv weight")
+        .value
+        .clone();
+    let design = AcceleratorConfig::d2_3();
+    let core = HeterogeneousGemm::new(&w, &design, 4);
+    let act = ActQuantizer::new(4, 2.0);
+    let x: Vec<f32> = (0..w.dims()[1]).map(|i| (i % 11) as f32 / 11.0).collect();
+    let xq = act.quantize(&x);
+    let run = core.run(&xq, &act);
+    let dq = core.dequantized();
+    let xd = act.dequantize(&xq);
+    for r in 0..w.dims()[0] {
+        let expect: f32 = dq.row(r).iter().zip(&xd).map(|(&a, &b)| a * b).sum();
+        assert!((run.output[r] - expect).abs() < 1e-3 * (1.0 + expect.abs()));
+    }
+    // Row split must follow the design ratio (1:2 → 2/3 SP2).
+    let (fixed, sp2) = core.row_split();
+    assert_eq!(fixed + sp2, w.dims()[0]);
+    assert!(sp2 > fixed);
+}
+
+#[test]
+fn mobilenet_pipeline_trains_under_quantization() {
+    let ds = tiny_dataset();
+    let mut rng = TensorRng::seed_from(5);
+    let mut model = MobileNetV2::new(
+        MobileNetConfig::mini(ds.config().classes).with_act_bits(4),
+        &mut rng,
+    );
+    let outcome = train(&mut model, &ds, Some(MsqPolicy::msq_optimal()), 6, 6);
+    assert!(!outcome.reports.is_empty());
+    // Depthwise + pointwise weights all quantized.
+    assert!(outcome.reports.iter().any(|r| r.name.contains(".dw.")));
+    let (x, y) = ds.test_all();
+    let eval = evaluate_classifier(&mut model, &x, &y);
+    assert!(eval.top1 > 35.0, "top1 {}", eval.top1);
+}
+
+#[test]
+fn scheme_accuracy_ordering_holds_on_tiny_task() {
+    // The paper's core accuracy claim in miniature: Fixed and SP2 are close;
+    // MSQ is not materially worse than either.
+    let ds = tiny_dataset();
+    let mut results = std::collections::HashMap::new();
+    for (label, policy) in [
+        ("fixed", MsqPolicy::single(Scheme::Fixed, 4)),
+        ("sp2", MsqPolicy::single(Scheme::Sp2, 4)),
+        ("msq", MsqPolicy::msq_half()),
+    ] {
+        let mut rng = TensorRng::seed_from(7);
+        let mut model = ResNet::new(
+            ResNetConfig::mini(ds.config().classes).with_act_bits(4),
+            &mut rng,
+        );
+        let _ = train(&mut model, &ds, Some(policy), 6, 8);
+        let (x, y) = ds.test_all();
+        results.insert(label, evaluate_classifier(&mut model, &x, &y).top1);
+    }
+    let fixed = results["fixed"];
+    let sp2 = results["sp2"];
+    let msq = results["msq"];
+    assert!(
+        (fixed - sp2).abs() < 25.0,
+        "fixed {fixed} vs sp2 {sp2} diverged wildly"
+    );
+    assert!(
+        msq + 15.0 >= fixed.min(sp2),
+        "msq {msq} collapsed vs fixed {fixed}/sp2 {sp2}"
+    );
+}
+
+#[test]
+fn integer_matmul_matches_training_time_projection() {
+    // QuantizedMatrix::from_float must agree with the training-time
+    // projection (same policy, same assignment logic).
+    let mut rng = TensorRng::seed_from(9);
+    let w = Tensor::randn(&[12, 24], &mut rng);
+    let policy = MsqPolicy::msq_half();
+    let (projected, _) = mixmatch::quant::msq::project_with_policy(&w, &policy);
+    let qm = QuantizedMatrix::from_float(&w, &policy);
+    assert!(qm.to_float().max_abs_diff(&projected) < 1e-5);
+}

@@ -1,0 +1,109 @@
+//! Integration tests: the hardware side — DSE → quantization ratio →
+//! simulation, and the consistency constraints between them.
+
+use mixmatch::fpga::cost::CostModel;
+use mixmatch::fpga::explore::{optimal_design, ExploreConfig};
+use mixmatch::fpga::perf::table8;
+use mixmatch::fpga::sim::{simulate, SimParams};
+use mixmatch::fpga::workload::Network;
+use mixmatch::prelude::*;
+
+#[test]
+fn dse_ratio_feeds_quantizer_and_matches_paper_optima() {
+    // XC7Z020 → 1:1.5, XC7Z045 → 1:2 (Table VII), and the ratio handed to
+    // Algorithm 2 reproduces the row split.
+    for (device, label, sp2_fraction) in [
+        (FpgaDevice::XC7Z020, "1:1.5", 0.6f32),
+        (FpgaDevice::XC7Z045, "1:2", 2.0 / 3.0),
+    ] {
+        let design = optimal_design(device, &ExploreConfig::default());
+        assert_eq!(design.ratio_label(), label);
+        let ratio = design.partition_ratio();
+        assert!((ratio.sp2_fraction() - sp2_fraction).abs() < 1e-6);
+        // Quantize a matrix at that ratio and check the row census.
+        let mut rng = TensorRng::seed_from(0);
+        let w = Tensor::randn(&[30, 16], &mut rng);
+        let policy = MsqPolicy::mixed(ratio, 4);
+        let assignment = policy.assignment_for(&w);
+        assert_eq!(assignment.count(Scheme::Sp2), ratio.sp2_rows(30));
+    }
+}
+
+#[test]
+fn paper_headline_speedup_band_holds() {
+    // §VI headline: optimal SP2/fixed ratios deliver 2.1–4.1× over DSP-only.
+    // Our simulator lands every workload in a 1.7–4.5 band with the same
+    // qualitative ordering (see EXPERIMENTS.md for the per-cell comparison).
+    let params = SimParams::default();
+    let rows = table8(&params);
+    let mut in_paper_band = 0usize;
+    let mut total = 0usize;
+    for (base, opt) in [(0usize, 2usize), (3, 5)] {
+        for (g0, g1) in rows[base].gops().iter().zip(rows[opt].gops()) {
+            let ratio = g1 / g0;
+            assert!(ratio > 1.7, "improvement {ratio} below band");
+            assert!(ratio < 4.5, "improvement {ratio} above band");
+            if (2.1..=4.1).contains(&ratio) {
+                in_paper_band += 1;
+            }
+            total += 1;
+        }
+    }
+    // Most cells fall inside the paper's exact band.
+    assert!(
+        in_paper_band * 2 >= total,
+        "only {in_paper_band}/{total} cells inside 2.1–4.1x"
+    );
+}
+
+#[test]
+fn dsp_utilization_is_always_full_and_lut_grows_with_sp2() {
+    for (_, cfg) in AcceleratorConfig::table7_designs() {
+        let model = CostModel::for_device(&cfg.device);
+        let util = model.usage_with_shell(&cfg).utilization(&cfg.device);
+        assert!((util.dsp - 1.0).abs() < 1e-6, "DSP not saturated on {cfg}");
+    }
+    let z020 = |sp2| {
+        let cfg = AcceleratorConfig::on_device(FpgaDevice::XC7Z020, sp2);
+        CostModel::for_device(&cfg.device)
+            .usage_with_shell(&cfg)
+            .utilization(&cfg.device)
+            .lut
+    };
+    assert!(z020(0) < z020(16));
+    assert!(z020(16) < z020(24));
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let params = SimParams::default();
+    let a = simulate(&Network::resnet18(), &AcceleratorConfig::d1_3(), &params);
+    let b = simulate(&Network::resnet18(), &AcceleratorConfig::d1_3(), &params);
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.total_ops, b.total_ops);
+}
+
+#[test]
+fn latency_shape_matches_paper_quotes() {
+    // Paper §VI-B2: ResNet-18 latency drops ~2.1x on XC7Z020 (100.7→47.1 ms)
+    // and ~2.5x on XC7Z045 (25.1→10.1 ms) from fixed-only to optimal.
+    let params = SimParams::default();
+    let net = Network::resnet18();
+    let l = |cfg: AcceleratorConfig| simulate(&net, &cfg, &params).latency_ms();
+    let z020_gain = l(AcceleratorConfig::d1_1()) / l(AcceleratorConfig::d1_3());
+    let z045_gain = l(AcceleratorConfig::d2_1()) / l(AcceleratorConfig::d2_3());
+    assert!((1.8..3.0).contains(&z020_gain), "z020 gain {z020_gain}");
+    assert!((1.8..3.0).contains(&z045_gain), "z045 gain {z045_gain}");
+    // And the larger device is faster in absolute terms.
+    assert!(l(AcceleratorConfig::d2_3()) < l(AcceleratorConfig::d1_3()));
+}
+
+#[test]
+fn eight_x_compression_rate_claim() {
+    // 4-bit weights = 8x compression vs 32-bit floats (Table V header).
+    let mut rng = TensorRng::seed_from(1);
+    let w = Tensor::randn(&[64, 64], &mut rng);
+    let float_bytes = w.len() * 4;
+    let quant_bits: usize = w.len() * 4; // 4 bits per weight
+    assert_eq!(float_bytes * 8 / quant_bits, 8);
+}
