@@ -44,5 +44,10 @@ fn bench_msq_projection(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_projection, bench_alpha_fit, bench_msq_projection);
+criterion_group!(
+    benches,
+    bench_projection,
+    bench_alpha_fit,
+    bench_msq_projection
+);
 criterion_main!(benches);

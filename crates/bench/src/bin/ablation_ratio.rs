@@ -22,7 +22,10 @@ fn main() {
     let net = Network::resnet18();
     let params = SimParams::default();
     let mut t = TextTable::new(vec![
-        "SP2 fraction", "ratio", "Top-1 (ResNet mini)", "sim GOPS (XC7Z045, lanes at ratio)",
+        "SP2 fraction",
+        "ratio",
+        "Top-1 (ResNet mini)",
+        "sim GOPS (XC7Z045, lanes at ratio)",
     ]);
     for sp2_lanes in [0usize, 8, 16, 24, 32, 48] {
         let frac = sp2_lanes as f32 / (16 + sp2_lanes) as f32;

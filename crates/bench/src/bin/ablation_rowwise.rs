@@ -65,7 +65,12 @@ fn main() {
     );
     let ratio = PartitionRatio::from_fixed_sp2(1.0, 2.0);
     let mut t = TextTable::new(vec![
-        "layer", "rows", "variance (paper)", "random", "kurtosis", "greedy oracle",
+        "layer",
+        "rows",
+        "variance (paper)",
+        "random",
+        "kurtosis",
+        "greedy oracle",
     ]);
     let mut sums = [0.0f64; 4];
     let mut ab_rng = TensorRng::seed_from(99);
@@ -131,7 +136,10 @@ fn main() {
     ]);
     t.row(vec![
         "random".to_string(),
-        format!("{:.3e}", total_mse(&w, &assign_random(rows, ratio, &mut ab2))),
+        format!(
+            "{:.3e}",
+            total_mse(&w, &assign_random(rows, ratio, &mut ab2))
+        ),
     ]);
     t.row(vec![
         "kurtosis".to_string(),

@@ -51,16 +51,29 @@ fn main() {
         .clone();
     let fig = figure1_data(weights.as_slice(), 4, 61);
 
-    println!("weight histogram (normalised to [-1, 1], {} samples):", weights.len());
+    println!(
+        "weight histogram (normalised to [-1, 1], {} samples):",
+        weights.len()
+    );
     println!("         {}", fig.histogram.sparkline());
     println!("{}", level_line("Fixed", &fig.fixed_levels, 61));
     println!("{}", level_line("P2", &fig.pow2_levels, 61));
     println!("{}", level_line("SP2", &fig.sp2_levels, 61));
     println!();
-    println!("level counts: Fixed {}  P2 {}  SP2 {} (15 codes, coincident values merged)",
-        fig.fixed_levels.len(), fig.pow2_levels.len(), fig.sp2_levels.len());
+    println!(
+        "level counts: Fixed {}  P2 {}  SP2 {} (15 codes, coincident values merged)",
+        fig.fixed_levels.len(),
+        fig.pow2_levels.len(),
+        fig.sp2_levels.len()
+    );
     println!("\nlevel values:");
-    let fmt = |v: &[f32]| v.iter().filter(|x| **x >= 0.0).map(|x| format!("{x:.4}")).collect::<Vec<_>>().join(" ");
+    let fmt = |v: &[f32]| {
+        v.iter()
+            .filter(|x| **x >= 0.0)
+            .map(|x| format!("{x:.4}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
     println!("  Fixed (≥0): {}", fmt(&fig.fixed_levels));
     println!("  P2    (≥0): {}", fmt(&fig.pow2_levels));
     println!("  SP2   (≥0): {}", fmt(&fig.sp2_levels));

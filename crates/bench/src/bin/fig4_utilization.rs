@@ -17,11 +17,14 @@ fn main() {
         (72, 27, 43, 100),
     ];
     let mut t = TextTable::new(vec![
-        "design", "LUT", "FF", "BRAM36", "DSP", "paper (LUT/FF/BRAM/DSP)",
+        "design",
+        "LUT",
+        "FF",
+        "BRAM36",
+        "DSP",
+        "paper (LUT/FF/BRAM/DSP)",
     ]);
-    for ((name, cfg), (pl, pf, pb, pd)) in
-        AcceleratorConfig::table7_designs().iter().zip(paper)
-    {
+    for ((name, cfg), (pl, pf, pb, pd)) in AcceleratorConfig::table7_designs().iter().zip(paper) {
         let model = CostModel::for_device(&cfg.device);
         let u = model.usage_with_shell(cfg).utilization(&cfg.device);
         t.row(vec![

@@ -15,7 +15,11 @@ fn main() {
     let (m1, m2) = sp2_split(m);
     let f = fixed_mac_cost(m, n);
     let s = sp2_mac_cost(m, n);
-    let mut t = TextTable::new(vec!["scheme", "weight operands", "ops per MAC (analytical)"]);
+    let mut t = TextTable::new(vec![
+        "scheme",
+        "weight operands",
+        "ops per MAC (analytical)",
+    ]);
     t.row(vec![
         format!("{m}-bit fixed"),
         format!("({}-bit integer)", m - 1),

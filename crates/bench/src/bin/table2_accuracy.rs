@@ -24,34 +24,48 @@ fn main() {
     // Paper deltas vs FP baseline (top-1), for side-by-side shape checking:
     // rows: P2, Fixed, SP2, MSQ(half), MSQ(opt).
     let paper_deltas: [(&str, [[f32; 5]; 2]); 3] = [
-        ("CIFAR10", [
-            [-0.65, -0.19, -0.15, -0.09, 0.03],   // ResNet-18
-            [-1.17, -0.17, 0.21, 0.06, 0.04],     // MobileNet-v2
-        ]),
-        ("CIFAR100", [
-            [-0.61, -0.12, -0.17, 0.09, 0.11],
-            [-2.80, -0.32, -0.35, -0.27, 0.02],
-        ]),
-        ("ImageNet", [
-            [-1.56, -0.04, -0.02, 0.35, 0.51],
-            [-1.95, -0.62, -0.56, -0.62, -0.57],
-        ]),
+        (
+            "CIFAR10",
+            [
+                [-0.65, -0.19, -0.15, -0.09, 0.03], // ResNet-18
+                [-1.17, -0.17, 0.21, 0.06, 0.04],   // MobileNet-v2
+            ],
+        ),
+        (
+            "CIFAR100",
+            [
+                [-0.61, -0.12, -0.17, 0.09, 0.11],
+                [-2.80, -0.32, -0.35, -0.27, 0.02],
+            ],
+        ),
+        (
+            "ImageNet",
+            [
+                [-1.56, -0.04, -0.02, 0.35, 0.51],
+                [-1.95, -0.62, -0.56, -0.62, -0.57],
+            ],
+        ),
     ];
 
-    for ((ds_name, cfg, epochs_full), (paper_name, paper)) in
-        datasets.iter().zip(paper_deltas)
-    {
+    for ((ds_name, cfg, epochs_full), (paper_name, paper)) in datasets.iter().zip(paper_deltas) {
         let cfg = mode.shrink_dataset(cfg.clone());
         let epochs = mode.epochs(*epochs_full);
         let ds = ImageDataset::generate(&cfg);
-        println!("--- {ds_name} ({} classes, {} train / {} test) ---\n",
-            cfg.classes, ds.train_len(), ds.test_len());
+        println!(
+            "--- {ds_name} ({} classes, {} train / {} test) ---\n",
+            cfg.classes,
+            ds.train_len(),
+            ds.test_len()
+        );
         for (kind, kind_name, paper_col) in [
             (CnnKind::ResNet, "ResNet (mini)", paper[0]),
             (CnnKind::MobileNet, "MobileNet-v2 (mini)", paper[1]),
         ] {
             let mut t = TextTable::new(vec![
-                "scheme", "Top-1 (ours)", "Top-5 (ours)", "paper Δ top-1",
+                "scheme",
+                "Top-1 (ours)",
+                "Top-5 (ours)",
+                "paper Δ top-1",
             ]);
             // Same seeds for every row: paired comparison across schemes.
             let seeds: &[u64] = if mode.fast { &[7] } else { &[7, 8] };

@@ -2,7 +2,9 @@
 //! ImageNet stand-in. DoReFa and PACT are re-trained here; the other methods
 //! are carried as published reference rows.
 
-use mixmatch_bench::harness::{run_cnn_experiment_seeds, run_cnn_ste_baseline_seeds, CnnKind, RunMode};
+use mixmatch_bench::harness::{
+    run_cnn_experiment_seeds, run_cnn_ste_baseline_seeds, CnnKind, RunMode,
+};
 use mixmatch_data::{ImageDataset, SynthImageConfig};
 use mixmatch_fpga::report::TextTable;
 use mixmatch_quant::baselines::{table3_reference_rows, BaselineMethod};
@@ -32,7 +34,12 @@ fn main() {
     );
 
     let mut t = TextTable::new(vec![
-        "method", "bits (W/A)", "Top-1 ours", "Top-5 ours", "Top-1 paper", "Top-5 paper",
+        "method",
+        "bits (W/A)",
+        "Top-1 ours",
+        "Top-5 ours",
+        "Top-1 paper",
+        "Top-5 paper",
     ]);
     let fmt = |v: f32| format!("{v:.2}");
     let opt = |v: Option<f32>| v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "N/A".into());
@@ -47,8 +54,10 @@ fn main() {
         t.row(vec![
             r.method.to_string(),
             r.bits.to_string(),
-            ours.map(|e| fmt(e.top1)).unwrap_or_else(|| "(ref only)".into()),
-            ours.map(|e| fmt(e.top5)).unwrap_or_else(|| "(ref only)".into()),
+            ours.map(|e| fmt(e.top1))
+                .unwrap_or_else(|| "(ref only)".into()),
+            ours.map(|e| fmt(e.top5))
+                .unwrap_or_else(|| "(ref only)".into()),
             opt(r.top1),
             opt(r.top5),
         ]);

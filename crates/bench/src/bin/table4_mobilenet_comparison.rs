@@ -1,7 +1,9 @@
 //! Table IV: MSQ vs PACT/DSQ on the MobileNet-v2 stand-in (ImageNet
 //! stand-in) — the hard-to-quantize lightweight model.
 
-use mixmatch_bench::harness::{run_cnn_experiment_seeds, run_cnn_ste_baseline_seeds, CnnKind, RunMode};
+use mixmatch_bench::harness::{
+    run_cnn_experiment_seeds, run_cnn_ste_baseline_seeds, CnnKind, RunMode,
+};
 use mixmatch_data::{ImageDataset, SynthImageConfig};
 use mixmatch_fpga::report::TextTable;
 use mixmatch_quant::baselines::{table4_reference_rows, BaselineMethod};
@@ -9,7 +11,9 @@ use mixmatch_quant::msq::MsqPolicy;
 
 fn main() {
     let mode = RunMode::from_args();
-    println!("=== Table IV: comparison with existing works (MobileNet-v2, ImageNet stand-in) ===\n");
+    println!(
+        "=== Table IV: comparison with existing works (MobileNet-v2, ImageNet stand-in) ===\n"
+    );
     let cfg = mode.shrink_dataset(SynthImageConfig::imagenet_like());
     let ds = ImageDataset::generate(&cfg);
     let epochs = mode.epochs(12);
@@ -27,7 +31,12 @@ fn main() {
     );
 
     let mut t = TextTable::new(vec![
-        "method", "bits (W/A)", "Top-1 ours", "Top-5 ours", "Top-1 paper", "Top-5 paper",
+        "method",
+        "bits (W/A)",
+        "Top-1 ours",
+        "Top-5 ours",
+        "Top-1 paper",
+        "Top-5 paper",
     ]);
     let opt = |v: Option<f32>| v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "N/A".into());
     for r in table4_reference_rows() {
@@ -40,8 +49,10 @@ fn main() {
         t.row(vec![
             r.method.to_string(),
             r.bits.to_string(),
-            ours.map(|e| format!("{:.2}", e.top1)).unwrap_or_else(|| "(ref only)".into()),
-            ours.map(|e| format!("{:.2}", e.top5)).unwrap_or_else(|| "(ref only)".into()),
+            ours.map(|e| format!("{:.2}", e.top1))
+                .unwrap_or_else(|| "(ref only)".into()),
+            ours.map(|e| format!("{:.2}", e.top5))
+                .unwrap_or_else(|| "(ref only)".into()),
             opt(r.top1),
             opt(r.top5),
         ]);

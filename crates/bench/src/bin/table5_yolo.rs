@@ -9,8 +9,8 @@ use mixmatch_nn::models::{YoloConfig, YoloDetector, YoloTarget};
 use mixmatch_nn::module::Layer;
 use mixmatch_nn::optim::{LrSchedule, Sgd};
 use mixmatch_quant::admm::{AdmmConfig, AdmmQuantizer, LayerOverride};
-use mixmatch_quant::schemes::Scheme;
 use mixmatch_quant::msq::MsqPolicy;
+use mixmatch_quant::schemes::Scheme;
 use mixmatch_tensor::TensorRng;
 
 fn to_targets(objs: &[mixmatch_data::SceneObject]) -> Vec<YoloTarget> {
@@ -81,8 +81,7 @@ fn train_and_eval(
         if let Some(q) = &mut quant {
             q.epoch_update(&mut model.params_mut());
         }
-        for idx in mixmatch_data::BatchIter::shuffled(ds.train_len(), batch, false, &mut data_rng)
-        {
+        for idx in mixmatch_data::BatchIter::shuffled(ds.train_len(), batch, false, &mut data_rng) {
             let (x, objs) = ds.train_batch(&idx);
             let targets: Vec<Vec<YoloTarget>> = objs.iter().map(|o| to_targets(o)).collect();
             let raw = model.forward(&x, true);
@@ -123,7 +122,11 @@ fn main() {
     let sizes = [(32usize, "320 (stand-in 32)"), (48, "640 (stand-in 48)")];
     let paper = [(37.7f32, 56.8f32, 35.8, 53.9), (45.6, 64.7, 44.1, 64.8)];
     let mut t = TextTable::new(vec![
-        "image size", "scheme", "mAP@0.5:0.95", "mAP@0.5", "paper (.5:.95 / .5)",
+        "image size",
+        "scheme",
+        "mAP@0.5:0.95",
+        "mAP@0.5",
+        "paper (.5:.95 / .5)",
     ]);
     for ((size, label), (p_fp_c, p_fp_5, p_q_c, p_q_5)) in sizes.iter().zip(paper) {
         let mut dcfg = DetectionConfig::coco_like(*size);

@@ -101,8 +101,7 @@ fn run_gru_per(policy: Option<MsqPolicy>, epochs: usize, fast: bool) -> f32 {
         if let Some(q) = &mut quant {
             q.epoch_update(&mut model.params_mut());
         }
-        for idx in mixmatch_data::BatchIter::shuffled(ds.train_len(), batch, false, &mut data_rng)
-        {
+        for idx in mixmatch_data::BatchIter::shuffled(ds.train_len(), batch, false, &mut data_rng) {
             let (x, labels) = ds.train_batch(&idx);
             let logits = model.forward(&x, true);
             // Flatten labels time-major to match [T*B, classes] logits.
@@ -167,8 +166,7 @@ fn run_sentiment(policy: Option<MsqPolicy>, epochs: usize, fast: bool) -> f32 {
         if let Some(q) = &mut quant {
             q.epoch_update(&mut model.params_mut());
         }
-        for idx in mixmatch_data::BatchIter::shuffled(ds.train_len(), batch, false, &mut data_rng)
-        {
+        for idx in mixmatch_data::BatchIter::shuffled(ds.train_len(), batch, false, &mut data_rng) {
             let (tokens, labels) = ds.train_batch(&idx);
             let logits = model.forward_tokens(&tokens, true);
             let (_, grad) = cross_entropy(&logits, &labels);
@@ -199,7 +197,11 @@ fn main() {
     let paper_ppl = [110.89f32, 113.03, 113.42, 112.74, 112.72];
     for ((label, policy), paper) in schemes().into_iter().zip(paper_ppl) {
         let ppl = run_lm(policy, epochs, mode.fast);
-        t.row(vec![label.to_string(), format!("{ppl:.2}"), format!("{paper:.2}")]);
+        t.row(vec![
+            label.to_string(),
+            format!("{ppl:.2}"),
+            format!("{paper:.2}"),
+        ]);
     }
     println!("{}", t.render());
 
@@ -208,7 +210,11 @@ fn main() {
     let paper_per = [19.24f32, 20.14, 20.09, 19.58, 19.53];
     for ((label, policy), paper) in schemes().into_iter().zip(paper_per) {
         let per = run_gru_per(policy, epochs, mode.fast);
-        t.row(vec![label.to_string(), format!("{per:.2}%"), format!("{paper:.2}%")]);
+        t.row(vec![
+            label.to_string(),
+            format!("{per:.2}%"),
+            format!("{paper:.2}%"),
+        ]);
     }
     println!("{}", t.render());
 
@@ -217,7 +223,11 @@ fn main() {
     let paper_acc = [86.37f32, 86.12, 86.02, 86.28, 86.31];
     for ((label, policy), paper) in schemes().into_iter().zip(paper_acc) {
         let acc = run_sentiment(policy, epochs, mode.fast);
-        t.row(vec![label.to_string(), format!("{acc:.2}%"), format!("{paper:.2}%")]);
+        t.row(vec![
+            label.to_string(),
+            format!("{acc:.2}%"),
+            format!("{paper:.2}%"),
+        ]);
     }
     println!("{}", t.render());
     println!("Shape target: quantized rows within a small margin of FP on all three");

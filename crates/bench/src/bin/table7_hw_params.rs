@@ -10,8 +10,15 @@ fn main() {
     println!("=== Table VII: implementation parameters and peak throughput ===\n");
     let paper_gops = [52.8f32, 106.0, 132.0, 208.0, 416.0, 624.0];
     let mut t = TextTable::new(vec![
-        "impl", "device", "Bat", "Blk_in", "Blk_out fixed", "Blk_out SP2", "ratio",
-        "peak GOPS (ours)", "peak GOPS (paper)",
+        "impl",
+        "device",
+        "Bat",
+        "Blk_in",
+        "Blk_out fixed",
+        "Blk_out SP2",
+        "ratio",
+        "peak GOPS (ours)",
+        "peak GOPS (paper)",
     ]);
     for ((name, cfg), paper) in AcceleratorConfig::table7_designs().iter().zip(paper_gops) {
         t.row(vec![

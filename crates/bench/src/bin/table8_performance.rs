@@ -1,16 +1,29 @@
 //! Table VIII: per-workload throughput (GOPS) under the six hardware
 //! settings, with resource usage — the paper's headline 2.1x-4.1x result.
 
+use mixmatch_fpga::bridge::FpgaTarget;
+use mixmatch_fpga::device::FpgaDevice;
 use mixmatch_fpga::perf::table8;
 use mixmatch_fpga::report::TextTable;
 use mixmatch_fpga::sim::SimParams;
+use mixmatch_quant::pipeline::{HardwareTarget, QuantPipeline};
 
 fn main() {
     println!("=== Table VIII: performance of DNN applications per hardware setting ===\n");
     let rows = table8(&SimParams::default());
     let mut t = TextTable::new(vec![
-        "device", "ratio", "LUT", "DSP", "BRAM36", "FF",
-        "ResNet-18", "MobileNet-v2", "YOLO-v3", "LSTM/PTB", "GRU/TIMIT", "LSTM/IMDB",
+        "device",
+        "ratio",
+        "LUT",
+        "DSP",
+        "BRAM36",
+        "FF",
+        "ResNet-18",
+        "MobileNet-v2",
+        "YOLO-v3",
+        "LSTM/PTB",
+        "GRU/TIMIT",
+        "LSTM/IMDB",
     ]);
     for row in &rows {
         let mut cells = vec![
@@ -37,11 +50,22 @@ fn main() {
     // Improvement factors and latency, as quoted in §VI-B2.
     println!("improvement of optimal ratio over fixed-only (paper: 2.1x-4.1x):");
     let mut t = TextTable::new(vec!["workload", "XC7Z020", "XC7Z045"]);
-    let nets = ["ResNet-18", "MobileNet-v2", "YOLO-v3", "LSTM/PTB", "GRU/TIMIT", "LSTM/IMDB"];
+    let nets = [
+        "ResNet-18",
+        "MobileNet-v2",
+        "YOLO-v3",
+        "LSTM/PTB",
+        "GRU/TIMIT",
+        "LSTM/IMDB",
+    ];
     for (i, name) in nets.iter().enumerate() {
         let z020 = rows[2].gops()[i] / rows[0].gops()[i];
         let z045 = rows[5].gops()[i] / rows[3].gops()[i];
-        t.row(vec![name.to_string(), format!("{z020:.2}x"), format!("{z045:.2}x")]);
+        t.row(vec![
+            name.to_string(),
+            format!("{z020:.2}x"),
+            format!("{z045:.2}x"),
+        ]);
     }
     println!("{}", t.render());
 
@@ -62,11 +86,38 @@ fn main() {
     }
     println!("{}", t.render());
 
+    // The same optima, derived through the pipeline bridge: what
+    // `QuantPipeline::for_device(device)` hands to quantization training.
+    println!("pipeline-derived policies (QuantPipeline::for_device):");
+    for device in [FpgaDevice::XC7Z020, FpgaDevice::XC7Z045] {
+        let target = FpgaTarget::new(device);
+        let policy = *QuantPipeline::for_device(target.clone()).policy();
+        println!(
+            "  {:<12} -> {:?}",
+            HardwareTarget::label(&target),
+            policy.choice
+        );
+    }
+    println!();
+
     println!("PE utilization (paper: CNN 52.4-70.1%, RNN 42.9-59.2%):");
-    let mut t = TextTable::new(vec!["design", "ResNet", "MobileNet", "YOLO", "PTB", "TIMIT", "IMDB"]);
-    for (row, (name, _)) in rows.iter().zip(
-        [("D1-1", 0), ("D1-2", 0), ("D1-3", 0), ("D2-1", 0), ("D2-2", 0), ("D2-3", 0)],
-    ) {
+    let mut t = TextTable::new(vec![
+        "design",
+        "ResNet",
+        "MobileNet",
+        "YOLO",
+        "PTB",
+        "TIMIT",
+        "IMDB",
+    ]);
+    for (row, (name, _)) in rows.iter().zip([
+        ("D1-1", 0),
+        ("D1-2", 0),
+        ("D1-3", 0),
+        ("D2-1", 0),
+        ("D2-2", 0),
+        ("D2-3", 0),
+    ]) {
         let mut cells = vec![format!("{} {}", name, row.ratio)];
         cells.extend(
             row.perfs

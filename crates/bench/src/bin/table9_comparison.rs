@@ -8,8 +8,18 @@ use mixmatch_fpga::sim::SimParams;
 fn main() {
     println!("=== Table IX: CNN implementations on ImageNet vs previous designs ===\n");
     let mut t = TextTable::new(vec![
-        "implementation", "device", "W/A", "Top-1", "MHz", "LUT", "DSP", "BRAM36",
-        "GOPS", "FPS", "GOPS/DSP", "GOPS/kLUT",
+        "implementation",
+        "device",
+        "W/A",
+        "Top-1",
+        "MHz",
+        "LUT",
+        "DSP",
+        "BRAM36",
+        "GOPS",
+        "FPS",
+        "GOPS/DSP",
+        "GOPS/kLUT",
     ]);
     let refs = table9_reference_columns();
     let ours = table9_our_columns(&SimParams::default());
@@ -18,7 +28,9 @@ fn main() {
             col.implementation.clone(),
             col.device.clone(),
             col.bits.to_string(),
-            col.top1.map(|v| format!("{v:.2}%")).unwrap_or_else(|| "N/A".into()),
+            col.top1
+                .map(|v| format!("{v:.2}%"))
+                .unwrap_or_else(|| "N/A".into()),
             format!("{:.0}", col.freq_mhz),
             format!("{:.0}", col.lut),
             format!("{:.0}", col.dsp),

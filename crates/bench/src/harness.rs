@@ -3,7 +3,9 @@
 use mixmatch_data::{BatchIter, ImageDataset, SynthImageConfig};
 use mixmatch_nn::models::{MobileNetConfig, MobileNetV2, ResNet, ResNetConfig};
 use mixmatch_nn::module::Layer;
+use mixmatch_nn::quantize::QuantizableModel;
 use mixmatch_quant::msq::MsqPolicy;
+use mixmatch_quant::pipeline::QuantPipeline;
 use mixmatch_quant::qat::{evaluate_classifier, train_classifier, EvalResult, QatConfig};
 use mixmatch_quant::schemes::Scheme;
 use mixmatch_tensor::TensorRng;
@@ -141,6 +143,26 @@ pub fn run_cnn_experiment(
             .collect::<Vec<_>>()
     };
     let (x_test, y_test) = dataset.test_all();
+    // Quantized rows go through the QuantPipeline (policy → ADMM → hard
+    // projection); the float baseline uses the raw QAT driver.
+    fn drive<M: Layer + QuantizableModel>(
+        model: &mut M,
+        policy: Option<MsqPolicy>,
+        cfg: &QatConfig,
+        mut make_batches: impl FnMut() -> Vec<(mixmatch_tensor::Tensor, Vec<usize>)>,
+    ) {
+        match policy {
+            Some(p) => {
+                let _ = QuantPipeline::from_policy(p)
+                    .with_qat(cfg.clone())
+                    .train_and_quantize(model, |_| make_batches())
+                    .expect("pipeline");
+            }
+            None => {
+                let _ = train_classifier(model, |_| make_batches(), cfg);
+            }
+        }
+    }
     match kind {
         CnnKind::ResNet => {
             let mut mc = ResNetConfig::mini(classes);
@@ -148,7 +170,7 @@ pub fn run_cnn_experiment(
                 mc = mc.with_act_bits(bits);
             }
             let mut model = ResNet::new(mc, &mut rng);
-            let _ = train_classifier(&mut model, |_| make_batches(&mut data_rng), &cfg);
+            drive(&mut model, policy, &cfg, || make_batches(&mut data_rng));
             evaluate_classifier(&mut model, &x_test, &y_test)
         }
         CnnKind::MobileNet => {
@@ -157,7 +179,7 @@ pub fn run_cnn_experiment(
                 mc = mc.with_act_bits(bits);
             }
             let mut model = MobileNetV2::new(mc, &mut rng);
-            let _ = train_classifier(&mut model, |_| make_batches(&mut data_rng), &cfg);
+            drive(&mut model, policy, &cfg, || make_batches(&mut data_rng));
             evaluate_classifier(&mut model, &x_test, &y_test)
         }
     }
@@ -219,10 +241,9 @@ pub fn run_cnn_ste_baseline(
         );
         for epoch in 0..epochs {
             opt.start_epoch(epoch);
-            let batches: Vec<_> =
-                BatchIter::shuffled(dataset.train_len(), 32, false, rng_data)
-                    .map(|idx| dataset.train_batch(&idx))
-                    .collect();
+            let batches: Vec<_> = BatchIter::shuffled(dataset.train_len(), 32, false, rng_data)
+                .map(|idx| dataset.train_batch(&idx))
+                .collect();
             for (x, y) in batches {
                 q.quantize_for_forward(&mut model.params_mut());
                 let logits = model.forward(&x, true);
@@ -279,13 +300,7 @@ mod tests {
     #[test]
     fn tiny_experiment_runs_end_to_end() {
         let ds = ImageDataset::generate(&SynthImageConfig::tiny());
-        let res = run_cnn_experiment(
-            CnnKind::ResNet,
-            &ds,
-            Some(MsqPolicy::msq_half()),
-            2,
-            42,
-        );
+        let res = run_cnn_experiment(CnnKind::ResNet, &ds, Some(MsqPolicy::msq_half()), 2, 42);
         assert!(res.top1 >= 0.0 && res.top1 <= 100.0);
     }
 }

@@ -179,10 +179,10 @@ impl ImageDataset {
             let mut buf = vec![0.0f32; img_len];
             for (cls, proto) in prototypes.iter().enumerate() {
                 for _ in 0..per_class {
-                    let dx = rng.uniform_in(-1.0, 1.0) * config.max_shift as f32
-                        / config.size as f32;
-                    let dy = rng.uniform_in(-1.0, 1.0) * config.max_shift as f32
-                        / config.size as f32;
+                    let dx =
+                        rng.uniform_in(-1.0, 1.0) * config.max_shift as f32 / config.size as f32;
+                    let dy =
+                        rng.uniform_in(-1.0, 1.0) * config.max_shift as f32 / config.size as f32;
                     proto.render(config, dx, dy, &mut buf);
                     for v in &mut buf {
                         *v += config.noise * rng.normal();
@@ -223,7 +223,12 @@ impl ImageDataset {
         self.config.channels * self.config.size * self.config.size
     }
 
-    fn batch_from(&self, images: &[f32], labels: &[usize], indices: &[usize]) -> (Tensor, Vec<usize>) {
+    fn batch_from(
+        &self,
+        images: &[f32],
+        labels: &[usize],
+        indices: &[usize],
+    ) -> (Tensor, Vec<usize>) {
         let il = self.image_len();
         let mut data = Vec::with_capacity(indices.len() * il);
         let mut ys = Vec::with_capacity(indices.len());
@@ -309,9 +314,8 @@ mod tests {
         let ds = ImageDataset::generate(&cfg);
         let il = ds.image_len();
         let img = |i: usize| &ds.train_images[i * il..(i + 1) * il];
-        let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-        };
+        let dist =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
         // samples 0,1 are class 0; sample of class 1 starts at 16.
         let same = dist(img(0), img(1));
         let cross = dist(img(0), img(16));

@@ -148,11 +148,7 @@ impl MarkovTextCorpus {
                 continue;
             }
             let row = &self.transitions[s * v..(s + 1) * v];
-            let hs: f32 = row
-                .iter()
-                .filter(|&&p| p > 0.0)
-                .map(|&p| -p * p.ln())
-                .sum();
+            let hs: f32 = row.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum();
             h += ps * hs;
         }
         h.exp()
@@ -343,7 +339,12 @@ impl PhonemeDataset {
     ///
     /// Panics when an index is out of range.
     pub fn train_batch(&self, indices: &[usize]) -> (Tensor, Vec<Vec<usize>>) {
-        Self::batch_from(&self.train_frames, &self.train_labels, indices, &self.config)
+        Self::batch_from(
+            &self.train_frames,
+            &self.train_labels,
+            indices,
+            &self.config,
+        )
     }
 
     /// Assembles a test batch.
@@ -477,7 +478,12 @@ impl SentimentDataset {
     ///
     /// Panics when an index is out of range.
     pub fn train_batch(&self, indices: &[usize]) -> (Vec<Vec<usize>>, Vec<usize>) {
-        Self::batch_from(&self.train_tokens, &self.train_labels, indices, self.config.length)
+        Self::batch_from(
+            &self.train_tokens,
+            &self.train_labels,
+            indices,
+            self.config.length,
+        )
     }
 
     /// Assembles a test batch.
@@ -486,7 +492,12 @@ impl SentimentDataset {
     ///
     /// Panics when an index is out of range.
     pub fn test_batch(&self, indices: &[usize]) -> (Vec<Vec<usize>>, Vec<usize>) {
-        Self::batch_from(&self.test_tokens, &self.test_labels, indices, self.config.length)
+        Self::batch_from(
+            &self.test_tokens,
+            &self.test_labels,
+            indices,
+            self.config.length,
+        )
     }
 
     fn batch_from(
@@ -589,7 +600,10 @@ mod tests {
             own += count_in(seq, label * cfg.polar_words);
             other += count_in(seq, (1 - label) * cfg.polar_words);
         }
-        assert!(own > other * 2, "polarity signal too weak: {own} vs {other}");
+        assert!(
+            own > other * 2,
+            "polarity signal too weak: {own} vs {other}"
+        );
     }
 
     #[test]

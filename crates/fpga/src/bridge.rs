@@ -1,0 +1,256 @@
+//! Design → policy bridge: `mixmatch-quant`'s [`HardwareTarget`] implemented
+//! by the FPGA substrate.
+//!
+//! This is what lets `QuantPipeline::for_device(FpgaDevice::XC7Z045)` close
+//! the paper's loop from a single call: the device's resource model runs the
+//! §V-A design-space exploration to pick `Blk_out,sp2` (hence the SP2:fixed
+//! partition ratio → `MsqPolicy`), and the pipeline's final report feeds the
+//! quantized model's layer shapes back through the cycle simulator for a
+//! latency/resource summary.
+
+use crate::arch::AcceleratorConfig;
+use crate::cost::CostModel;
+use crate::device::FpgaDevice;
+use crate::explore::{optimal_design, ExploreConfig};
+use crate::sim::{simulate, SimParams};
+use crate::workload::{GemmOp, Network};
+use mixmatch_nn::quantize::{QuantLayerDesc, QuantLayerKind};
+use mixmatch_quant::msq::MsqPolicy;
+use mixmatch_quant::pipeline::{HardwareSummary, HardwareTarget};
+
+/// Activation bits assumed for DRAM byte accounting (matches `workload`).
+const ACT_BITS: u64 = 4;
+
+/// Time steps assumed for recurrent layers in performance summaries (the
+/// descriptor does not carry the sequence length).
+const RECURRENT_STEPS: usize = 16;
+
+/// A concrete pipeline anchor: device + explored design + simulator
+/// calibration.
+///
+/// [`FpgaTarget::new`] runs the design-space exploration; use
+/// [`FpgaTarget::with_design`] to pin a Table VII design point instead.
+#[derive(Debug, Clone)]
+pub struct FpgaTarget {
+    /// The device.
+    pub device: FpgaDevice,
+    /// The accelerator design the policy derives from.
+    pub design: AcceleratorConfig,
+    /// Cycle-simulator calibration.
+    pub sim: SimParams,
+    /// Assumed square input feature-map edge for convolution latency
+    /// estimates (the stand-in datasets are 16–32 px; full-size workloads
+    /// use `crate::workload::Network` directly).
+    pub input_hw: usize,
+}
+
+impl FpgaTarget {
+    /// Explores the device (default [`ExploreConfig`]) and anchors at the
+    /// optimal design — the paper's 1:1.5 / 1:2 optima on the Zynq parts.
+    pub fn new(device: FpgaDevice) -> Self {
+        Self::with_design(device, optimal_design(device, &ExploreConfig::default()))
+    }
+
+    /// Anchors at an explicit design point.
+    pub fn with_design(device: FpgaDevice, design: AcceleratorConfig) -> Self {
+        FpgaTarget {
+            device,
+            design,
+            sim: SimParams::default(),
+            input_hw: 32,
+        }
+    }
+
+    /// Sets the assumed input feature-map edge.
+    pub fn with_input_size(mut self, input_hw: usize) -> Self {
+        self.input_hw = input_hw;
+        self
+    }
+
+    /// Lowers quantized-layer descriptors into a simulator [`Network`].
+    ///
+    /// Spatial sizes are estimated by composing conv strides in descriptor
+    /// order (shortcut/downsample convs conservatively shrink the running
+    /// size too), so treat the result as a performance *estimate* for
+    /// stand-in models; the full-size paper workloads live in
+    /// [`Network::table8_networks`].
+    pub fn network_for(&self, label: &str, layers: &[QuantLayerDesc]) -> Network {
+        let mut h = self.input_hw;
+        let gemms: Vec<GemmOp> = layers
+            .iter()
+            .map(|desc| match &desc.kind {
+                QuantLayerKind::Conv(geom) | QuantLayerKind::DepthwiseConv(geom) => {
+                    let h_in = h.max(geom.kernel);
+                    let h_out = (h_in / geom.stride).max(1);
+                    h = h_out;
+                    let depthwise = geom.groups > 1;
+                    GemmOp {
+                        name: desc.name.clone(),
+                        m_per_call: h_out * h_out,
+                        calls: 1,
+                        k: desc.cols,
+                        n: desc.rows,
+                        depthwise,
+                        input_bytes_per_call: (h_in * h_in * geom.in_channels) as u64 * ACT_BITS
+                            / 8,
+                        output_bytes_per_call: (h_out * h_out * geom.out_channels) as u64
+                            * ACT_BITS
+                            / 8,
+                        alu_ops_per_output: 0,
+                    }
+                }
+                QuantLayerKind::Recurrent => GemmOp {
+                    name: desc.name.clone(),
+                    m_per_call: 1,
+                    calls: RECURRENT_STEPS,
+                    k: desc.cols,
+                    n: desc.rows,
+                    depthwise: false,
+                    input_bytes_per_call: desc.cols as u64 * ACT_BITS / 8,
+                    output_bytes_per_call: desc.rows as u64 * ACT_BITS / 8,
+                    alu_ops_per_output: 10,
+                },
+                QuantLayerKind::Dense => GemmOp {
+                    name: desc.name.clone(),
+                    m_per_call: 1,
+                    calls: 1,
+                    k: desc.cols,
+                    n: desc.rows,
+                    depthwise: false,
+                    input_bytes_per_call: desc.cols as u64 * ACT_BITS / 8,
+                    output_bytes_per_call: desc.rows as u64 * ACT_BITS / 8,
+                    alu_ops_per_output: 0,
+                },
+            })
+            .collect();
+        Network {
+            name: label.into(),
+            gemms,
+        }
+    }
+}
+
+impl HardwareTarget for FpgaTarget {
+    fn label(&self) -> String {
+        format!("{} {}", self.device.name, self.design.ratio_label())
+    }
+
+    fn derive_policy(&self) -> MsqPolicy {
+        MsqPolicy::mixed(self.design.partition_ratio(), self.sim.weight_bits)
+    }
+
+    fn summarize(&self, layers: &[QuantLayerDesc]) -> Option<HardwareSummary> {
+        if layers.is_empty() {
+            return None;
+        }
+        let net = self.network_for("quantized model", layers);
+        let perf = simulate(&net, &self.design, &self.sim);
+        let model = CostModel::for_device(&self.device);
+        let usage = model.usage_with_shell(&self.design);
+        let util = usage.utilization(&self.device);
+        Some(HardwareSummary {
+            device: self.device.name.to_string(),
+            ratio_label: self.design.ratio_label(),
+            gops: perf.gops(),
+            latency_ms: perf.latency_ms(),
+            pe_utilization: perf.pe_utilization(),
+            lut: usage.lut,
+            ff: usage.ff,
+            bram36: usage.bram36,
+            dsp: usage.dsp,
+            lut_utilization: util.lut,
+        })
+    }
+}
+
+/// A bare device is a target too: exploration runs with defaults, so
+/// `QuantPipeline::for_device(FpgaDevice::XC7Z045)` is the one-call entry
+/// point. The pipeline's `into_prepared` hook converts the device into an
+/// explored [`FpgaTarget`] once, so the design-space sweep runs a single
+/// time however often the pipeline consults the target afterwards.
+impl HardwareTarget for FpgaDevice {
+    fn label(&self) -> String {
+        FpgaTarget::new(*self).label()
+    }
+
+    fn derive_policy(&self) -> MsqPolicy {
+        FpgaTarget::new(*self).derive_policy()
+    }
+
+    fn summarize(&self, layers: &[QuantLayerDesc]) -> Option<HardwareSummary> {
+        FpgaTarget::new(*self).summarize(layers)
+    }
+
+    fn into_prepared(self) -> Box<dyn HardwareTarget> {
+        Box::new(FpgaTarget::new(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixmatch_quant::msq::SchemeChoice;
+    use mixmatch_tensor::im2col::ConvGeometry;
+
+    fn conv_desc(name: &str, geom: ConvGeometry) -> QuantLayerDesc {
+        QuantLayerDesc {
+            name: name.into(),
+            rows: geom.out_channels,
+            cols: geom.gemm_k(),
+            kind: QuantLayerKind::Conv(geom),
+        }
+    }
+
+    #[test]
+    fn device_targets_reproduce_paper_ratios() {
+        for (device, label, sp2_fraction) in [
+            (FpgaDevice::XC7Z020, "7Z020 1:1.5", 0.6f32),
+            (FpgaDevice::XC7Z045, "7Z045 1:2", 2.0 / 3.0),
+        ] {
+            assert_eq!(HardwareTarget::label(&device), label);
+            let policy = device.derive_policy();
+            assert_eq!(policy.bits, 4);
+            match policy.choice {
+                SchemeChoice::Mixed(r) => {
+                    assert!((r.sp2_fraction() - sp2_fraction).abs() < 1e-6)
+                }
+                other => panic!("expected mixed policy, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn summarize_runs_the_cycle_simulator() {
+        let target = FpgaTarget::new(FpgaDevice::XC7Z045);
+        let layers = vec![
+            conv_desc("stem.weight", ConvGeometry::new(3, 8, 3, 1, 1)),
+            conv_desc("conv1.weight", ConvGeometry::new(8, 16, 3, 2, 1)),
+            QuantLayerDesc {
+                name: "fc.weight".into(),
+                rows: 10,
+                cols: 16,
+                kind: QuantLayerKind::Dense,
+            },
+        ];
+        let summary = target.summarize(&layers).expect("summary");
+        assert_eq!(summary.ratio_label, "1:2");
+        assert!(summary.gops > 0.0);
+        assert!(summary.latency_ms > 0.0);
+        assert!(summary.pe_utilization <= 1.0 + 1e-3);
+        assert!(summary.lut_utilization > 0.0 && summary.lut_utilization <= 0.8);
+        assert!(target.summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn network_lowering_tracks_spatial_size() {
+        let target = FpgaTarget::new(FpgaDevice::XC7Z020).with_input_size(16);
+        let layers = vec![
+            conv_desc("a.weight", ConvGeometry::new(3, 8, 3, 2, 1)),
+            conv_desc("b.weight", ConvGeometry::new(8, 8, 3, 2, 1)),
+        ];
+        let net = target.network_for("t", &layers);
+        assert_eq!(net.gemms[0].m_per_call, 64); // 16/2 = 8 → 64 positions
+        assert_eq!(net.gemms[1].m_per_call, 16); // 8/2 = 4 → 16 positions
+        assert_eq!(net.gemms[0].k, 27);
+    }
+}

@@ -142,8 +142,7 @@ impl CostModel {
                         ff: template.base.ff * scale,
                         // Buffer depth is a design choice: on BRAM-poor parts
                         // (ZU4/ZU5) the buffers shrink to fit.
-                        bram36: (template.base.bram36 * scale)
-                            .min(0.6 * device.bram36 as f32),
+                        bram36: (template.base.bram36 * scale).min(0.6 * device.bram36 as f32),
                         dsp: device.dsps as f32,
                     },
                     ..template
@@ -157,7 +156,11 @@ impl CostModel {
         let cols = config.blk_out_sp2 as f32;
         // Rescale the calibrated column cost if the caller deviates from the
         // standard Bat×Blk_in the constants were measured at.
-        let standard_macs = if config.device.dsps >= 700 { 64.0 } else { 16.0 };
+        let standard_macs = if config.device.dsps >= 700 {
+            64.0
+        } else {
+            16.0
+        };
         let macs = (config.bat * config.blk_in) as f32;
         let col_scale = macs / standard_macs;
         ResourceUsage {
@@ -199,7 +202,13 @@ mod tests {
             (AcceleratorConfig::d1_3(), 28_288.0, 220.0, 56.0, 17_083.0),
             (AcceleratorConfig::d2_1(), 41_830.0, 900.0, 160.0, 31_293.0),
             (AcceleratorConfig::d2_2(), 93_440.0, 900.0, 194.0, 65_699.0),
-            (AcceleratorConfig::d2_3(), 145_049.0, 900.0, 225.5, 111_575.0),
+            (
+                AcceleratorConfig::d2_3(),
+                145_049.0,
+                900.0,
+                225.5,
+                111_575.0,
+            ),
         ];
         for (cfg, lut, dsp, bram, ff) in cases {
             let model = CostModel::for_device(&cfg.device);
@@ -215,11 +224,7 @@ mod tests {
                 "{cfg} BRAM {} vs {bram}",
                 u.bram36
             );
-            assert!(
-                (u.ff - ff).abs() / ff < 0.15,
-                "{cfg} FF {} vs {ff}",
-                u.ff
-            );
+            assert!((u.ff - ff).abs() / ff < 0.15, "{cfg} FF {} vs {ff}", u.ff);
         }
     }
 
@@ -244,10 +249,7 @@ mod tests {
     fn all_paper_designs_fit_their_devices() {
         for (_, cfg) in AcceleratorConfig::table7_designs() {
             let model = CostModel::for_device(&cfg.device);
-            assert!(model
-                .usage_with_shell(&cfg)
-                .utilization(&cfg.device)
-                .fits());
+            assert!(model.usage_with_shell(&cfg).utilization(&cfg.device).fits());
         }
     }
 

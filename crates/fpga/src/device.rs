@@ -130,9 +130,7 @@ mod tests {
             ("ZU4CG", 120.7, 241.3, 6.3),
             ("ZU5CG", 93.8, 187.7, 4.2),
         ];
-        for (dev, (name, lut, ff, bram)) in
-            FpgaDevice::figure2_devices().iter().zip(expect)
-        {
+        for (dev, (name, lut, ff, bram)) in FpgaDevice::figure2_devices().iter().zip(expect) {
             assert_eq!(dev.name, name);
             assert!(
                 (dev.lut_per_dsp() - lut).abs() < 0.15,

@@ -49,9 +49,7 @@ pub fn sweep(device: FpgaDevice, cfg: &ExploreConfig) -> Vec<SweepPoint> {
     let mut sp2 = 0usize;
     while sp2 <= cfg.max_sp2_lanes {
         let candidate = AcceleratorConfig::on_device(device, sp2);
-        let util = model
-            .usage_with_shell(&candidate)
-            .utilization(&device);
+        let util = model.usage_with_shell(&candidate).utilization(&device);
         points.push(SweepPoint {
             config: candidate,
             lut_util: util.lut,
@@ -73,7 +71,8 @@ pub fn sweep(device: FpgaDevice, cfg: &ExploreConfig) -> Vec<SweepPoint> {
 /// the database).
 pub fn optimal_design(device: FpgaDevice, cfg: &ExploreConfig) -> AcceleratorConfig {
     sweep(device, cfg)
-        .into_iter().rfind(|p| p.feasible)
+        .into_iter()
+        .rfind(|p| p.feasible)
         .expect("fixed-only design must fit")
         .config
 }

@@ -40,10 +40,7 @@ impl HeterogeneousGemm {
     /// Builds the cores from a float weight matrix quantized at the design's
     /// partition ratio.
     pub fn new(weight: &Tensor, cfg: &AcceleratorConfig, bits: u32) -> Self {
-        let assignment = mixmatch_quant::rowwise::assign_by_variance(
-            weight,
-            cfg.partition_ratio(),
-        );
+        let assignment = mixmatch_quant::rowwise::assign_by_variance(weight, cfg.partition_ratio());
         Self::with_assignment(weight, &assignment, bits)
     }
 

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod arch;
+pub mod bridge;
 pub mod cost;
 pub mod device;
 pub mod explore;
@@ -39,5 +40,6 @@ pub mod sim;
 pub mod workload;
 
 pub use arch::AcceleratorConfig;
+pub use bridge::FpgaTarget;
 pub use device::FpgaDevice;
 pub use workload::Network;

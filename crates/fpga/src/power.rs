@@ -124,8 +124,6 @@ mod tests {
         let cfg = AcceleratorConfig::d2_3();
         let fast = simulate(&Network::mobilenet_v2(), &cfg, &SimParams::default());
         let slow = simulate(&Network::yolov3(320), &cfg, &SimParams::default());
-        assert!(
-            p.energy_per_inference_mj(&cfg, &fast) < p.energy_per_inference_mj(&cfg, &slow)
-        );
+        assert!(p.energy_per_inference_mj(&cfg, &fast) < p.energy_per_inference_mj(&cfg, &slow));
     }
 }

@@ -149,8 +149,7 @@ pub fn simulate_layer(op: &GemmOp, cfg: &AcceleratorConfig, params: &SimParams) 
         (model.usage(cfg).bram36 * BRAM36_BYTES * params.act_buffer_share) as u64;
     let act_bytes_per_call = op.input_bytes_per_call + op.output_bytes_per_call;
     // Partial buffering: only the excess over the on-chip budget spills.
-    let act_traffic =
-        op.calls as u64 * act_bytes_per_call.saturating_sub(act_buffer_bytes);
+    let act_traffic = op.calls as u64 * act_bytes_per_call.saturating_sub(act_buffer_bytes);
     let bytes = op.weight_bytes(params.weight_bits) + act_traffic;
     let dram_cycles = (bytes as f32 / params.dram_bytes_per_cycle).ceil() as u64;
     // Recurrence/ALU stall: post-GEMM gate math per call cannot overlap the
@@ -245,8 +244,8 @@ mod tests {
         let cfg = AcceleratorConfig::d1_1();
         let perf = simulate(&net, &cfg, &params());
         let conv1 = &perf.layers[0];
-        let conv1_util = conv1.ops as f32
-            / (conv1.total_cycles as f32 * 2.0 * cfg.macs_per_cycle() as f32);
+        let conv1_util =
+            conv1.ops as f32 / (conv1.total_cycles as f32 * 2.0 * cfg.macs_per_cycle() as f32);
         let deep = &perf.layers[2]; // a 64→64 3×3 conv, k = 576 divides 16
         let deep_util =
             deep.ops as f32 / (deep.total_cycles as f32 * 2.0 * cfg.macs_per_cycle() as f32);
@@ -274,7 +273,11 @@ mod tests {
             for net in [Network::resnet18(), Network::yolov3(320)] {
                 cnn_utils.push(simulate(&net, &cfg, &params()).pe_utilization());
             }
-            for net in [Network::lstm_ptb(), Network::gru_timit(), Network::lstm_imdb()] {
+            for net in [
+                Network::lstm_ptb(),
+                Network::gru_timit(),
+                Network::lstm_imdb(),
+            ] {
                 rnn_utils.push(simulate(&net, &cfg, &params()).pe_utilization());
             }
         }
@@ -305,7 +308,11 @@ mod tests {
 
     #[test]
     fn layer_cycles_sum_to_network_cycles() {
-        let perf = simulate(&Network::mobilenet_v2(), &AcceleratorConfig::d1_2(), &params());
+        let perf = simulate(
+            &Network::mobilenet_v2(),
+            &AcceleratorConfig::d1_2(),
+            &params(),
+        );
         let sum: u64 = perf.layers.iter().map(|l| l.total_cycles).sum();
         assert_eq!(sum, perf.total_cycles);
     }

@@ -54,7 +54,14 @@ impl GemmOp {
 const ACT_BITS: u64 = 4;
 
 /// A square convolution layer as a GEMM op.
-fn conv(name: impl Into<String>, h_in: usize, c_in: usize, c_out: usize, k: usize, stride: usize) -> GemmOp {
+fn conv(
+    name: impl Into<String>,
+    h_in: usize,
+    c_in: usize,
+    c_out: usize,
+    k: usize,
+    stride: usize,
+) -> GemmOp {
     let h_out = h_in / stride;
     GemmOp {
         name: name.into(),
@@ -146,17 +153,43 @@ impl Network {
     pub fn resnet18() -> Network {
         let mut g = vec![conv("conv1", 224, 3, 64, 7, 2)];
         // Stage template: (channels, first-stride, input resolution).
-        let stages = [(64usize, 1usize, 56usize), (128, 2, 56), (256, 2, 28), (512, 2, 14)];
+        let stages = [
+            (64usize, 1usize, 56usize),
+            (128, 2, 56),
+            (256, 2, 28),
+            (512, 2, 14),
+        ];
         for (si, &(c, s0, h_in)) in stages.iter().enumerate() {
             let c_prev = if si == 0 { 64 } else { c / 2 };
             for b in 0..2 {
                 let stride = if b == 0 { s0 } else { 1 };
                 let cin = if b == 0 { c_prev } else { c };
                 let h = if b == 0 { h_in } else { h_in / s0 };
-                g.push(conv(format!("layer{}.{}.conv1", si + 1, b), h, cin, c, 3, stride));
-                g.push(conv(format!("layer{}.{}.conv2", si + 1, b), h / stride, c, c, 3, 1));
+                g.push(conv(
+                    format!("layer{}.{}.conv1", si + 1, b),
+                    h,
+                    cin,
+                    c,
+                    3,
+                    stride,
+                ));
+                g.push(conv(
+                    format!("layer{}.{}.conv2", si + 1, b),
+                    h / stride,
+                    c,
+                    c,
+                    3,
+                    1,
+                ));
                 if b == 0 && (stride != 1 || cin != c) {
-                    g.push(conv(format!("layer{}.{}.down", si + 1, b), h, cin, c, 1, stride));
+                    g.push(conv(
+                        format!("layer{}.{}.down", si + 1, b),
+                        h,
+                        cin,
+                        c,
+                        1,
+                        stride,
+                    ));
                 }
             }
         }
@@ -255,7 +288,13 @@ impl Network {
         let mut g = Vec::new();
         for l in 0..2 {
             let input = h; // embedding width = hidden width
-            g.push(recurrent(format!("lstm{l}.w_ih"), batch, steps, input, 4 * h));
+            g.push(recurrent(
+                format!("lstm{l}.w_ih"),
+                batch,
+                steps,
+                input,
+                4 * h,
+            ));
             g.push(recurrent(format!("lstm{l}.w_hh"), batch, steps, h, 4 * h));
         }
         g.push(fc("decoder", batch * steps, h, 10_000));
@@ -272,7 +311,13 @@ impl Network {
         let mut g = Vec::new();
         for l in 0..2 {
             let input = if l == 0 { 39 } else { h };
-            g.push(recurrent(format!("gru{l}.w_ih"), batch, steps, input, 3 * h));
+            g.push(recurrent(
+                format!("gru{l}.w_ih"),
+                batch,
+                steps,
+                input,
+                3 * h,
+            ));
             g.push(recurrent(format!("gru{l}.w_hh"), batch, steps, h, 3 * h));
         }
         g.push(fc("head", batch * steps, h, 61));
@@ -288,7 +333,13 @@ impl Network {
         let mut g = Vec::new();
         for l in 0..3 {
             let input = h;
-            g.push(recurrent(format!("lstm{l}.w_ih"), batch, steps, input, 4 * h));
+            g.push(recurrent(
+                format!("lstm{l}.w_ih"),
+                batch,
+                steps,
+                input,
+                4 * h,
+            ));
             g.push(recurrent(format!("lstm{l}.w_hh"), batch, steps, h, 4 * h));
         }
         g.push(fc("head", batch, h, 2));
@@ -341,7 +392,11 @@ mod tests {
         let g320 = Network::yolov3(320).total_gop();
         let g640 = Network::yolov3(640).total_gop();
         assert!((34.0..42.0).contains(&g320), "YOLO@320 got {g320}");
-        assert!((g640 / g320 - 4.0).abs() < 0.1, "640/320 ratio {}", g640 / g320);
+        assert!(
+            (g640 / g320 - 4.0).abs() < 0.1,
+            "640/320 ratio {}",
+            g640 / g320
+        );
     }
 
     #[test]
@@ -350,7 +405,12 @@ mod tests {
         let dw = net.gemms.iter().filter(|g| g.depthwise).count();
         assert_eq!(dw, 17, "one depthwise per inverted residual block");
         // Depthwise ops are a small share of total (the 1×1 convs dominate).
-        let dw_ops: u64 = net.gemms.iter().filter(|g| g.depthwise).map(GemmOp::ops).sum();
+        let dw_ops: u64 = net
+            .gemms
+            .iter()
+            .filter(|g| g.depthwise)
+            .map(GemmOp::ops)
+            .sum();
         assert!((dw_ops as f64) < 0.15 * net.total_ops() as f64);
     }
 

@@ -113,7 +113,9 @@ mod tests {
         fn backward(&mut self, grad_output: &Tensor) -> Tensor {
             let x = self.cache.take().expect("no cache");
             let factor = if self.buggy { 2.0 } else { 1.0 };
-            self.w.grad.axpy(factor, &grad_output.zip(&x, |g, xi| g * xi));
+            self.w
+                .grad
+                .axpy(factor, &grad_output.zip(&x, |g, xi| g * xi));
             grad_output.zip(&self.w.value, |g, w| g * w)
         }
 

@@ -20,7 +20,12 @@ pub fn kaiming_normal(dims: &[usize], fan_in: usize, rng: &mut TensorRng) -> Ten
 /// # Panics
 ///
 /// Panics when `fan_in + fan_out == 0`.
-pub fn xavier_uniform(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut TensorRng) -> Tensor {
+pub fn xavier_uniform(
+    dims: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut TensorRng,
+) -> Tensor {
     assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
     let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
     Tensor::rand_uniform(dims, -a, a, rng)
@@ -49,7 +54,10 @@ mod tests {
         let t = kaiming_normal(&[200, 50], 50, &mut rng);
         let sd = stats::std_dev(t.as_slice());
         let expect = (2.0f32 / 50.0).sqrt();
-        assert!((sd - expect).abs() / expect < 0.1, "sd={sd} expect={expect}");
+        assert!(
+            (sd - expect).abs() / expect < 0.1,
+            "sd={sd} expect={expect}"
+        );
     }
 
     #[test]

@@ -68,12 +68,7 @@ impl Conv2d {
     /// # Panics
     ///
     /// Panics when channels are not divisible by groups.
-    pub fn with_geometry(
-        name: &str,
-        geom: ConvGeometry,
-        bias: bool,
-        rng: &mut TensorRng,
-    ) -> Self {
+    pub fn with_geometry(name: &str, geom: ConvGeometry, bias: bool, rng: &mut TensorRng) -> Self {
         assert_eq!(
             geom.in_channels % geom.groups,
             0,

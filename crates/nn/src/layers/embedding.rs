@@ -48,8 +48,7 @@ impl Embedding {
         let mut out = Tensor::zeros(&[ids.len(), self.dim]);
         for (r, &id) in ids.iter().enumerate() {
             assert!(id < self.vocab, "token id {id} out of vocabulary");
-            out.row_mut(r)
-                .copy_from_slice(self.table.value.row(id));
+            out.row_mut(r).copy_from_slice(self.table.value.row(id));
         }
         if train {
             self.cached_ids = Some(ids.to_vec());
@@ -81,7 +80,11 @@ impl Embedding {
 
 impl Layer for Embedding {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let ids: Vec<usize> = input.as_slice().iter().map(|&x| x.round() as usize).collect();
+        let ids: Vec<usize> = input
+            .as_slice()
+            .iter()
+            .map(|&x| x.round() as usize)
+            .collect();
         self.lookup(&ids, train)
     }
 

@@ -44,6 +44,8 @@ pub mod metrics;
 pub mod models;
 pub mod module;
 pub mod optim;
+pub mod quantize;
 pub mod rnn;
 
 pub use module::{Layer, Param};
+pub use quantize::{QuantLayerDesc, QuantLayerKind, QuantizableModel};

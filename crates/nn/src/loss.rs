@@ -124,8 +124,8 @@ mod tests {
             lp.as_mut_slice()[i] += h;
             let mut lm = logits.clone();
             lm.as_mut_slice()[i] -= h;
-            let numeric = (cross_entropy(&lp, &targets).0 - cross_entropy(&lm, &targets).0)
-                / (2.0 * h);
+            let numeric =
+                (cross_entropy(&lp, &targets).0 - cross_entropy(&lm, &targets).0) / (2.0 * h);
             assert!(
                 (grad.as_slice()[i] - numeric).abs() < 1e-3,
                 "grad mismatch at {i}"

@@ -210,10 +210,7 @@ fn average_precision(
     let mut i = 0usize;
     while i < curve.len() {
         let rec = curve[i].0;
-        let max_prec = curve[i..]
-            .iter()
-            .map(|&(_, p)| p)
-            .fold(0.0f32, f32::max);
+        let max_prec = curve[i..].iter().map(|&(_, p)| p).fold(0.0f32, f32::max);
         ap += (rec - prev_rec) * max_prec;
         prev_rec = rec;
         // Skip to next recall change.
@@ -303,8 +300,7 @@ mod tests {
 
     #[test]
     fn topk_basics() {
-        let logits =
-            Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.6, 0.3, 0.1], &[2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.6, 0.3, 0.1], &[2, 3]).unwrap();
         assert_eq!(accuracy(&logits, &[1, 0]), 1.0);
         assert_eq!(accuracy(&logits, &[0, 1]), 0.0);
         assert_eq!(top_k_accuracy(&logits, &[0, 1], 2), 1.0);

@@ -1,7 +1,10 @@
 //! MobileNet-v2-style network (inverted residual blocks with depthwise conv).
 
-use crate::layers::{BatchNorm2d, Conv2d, FakeQuant, FakeQuantConfig, GlobalAvgPool, Linear, Relu6};
+use crate::layers::{
+    BatchNorm2d, Conv2d, FakeQuant, FakeQuantConfig, GlobalAvgPool, Linear, Relu6,
+};
 use crate::module::{Layer, Param};
+use crate::quantize::{QuantLayerDesc, QuantizableModel};
 use mixmatch_tensor::im2col::ConvGeometry;
 use mixmatch_tensor::{Tensor, TensorRng};
 
@@ -83,7 +86,14 @@ struct InvertedResidual {
 }
 
 impl InvertedResidual {
-    fn new(name: &str, in_ch: usize, expansion: usize, out_ch: usize, stride: usize, rng: &mut TensorRng) -> Self {
+    fn new(
+        name: &str,
+        in_ch: usize,
+        expansion: usize,
+        out_ch: usize,
+        stride: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
         let hidden = in_ch * expansion;
         let expand = (expansion != 1).then(|| {
             (
@@ -340,6 +350,29 @@ impl Layer for MobileNetV2 {
             v.extend(b.params_mut());
         }
         v.extend(self.fc.params_mut());
+        v
+    }
+}
+
+impl QuantizableModel for MobileNetV2 {
+    fn model_params(&self) -> Vec<&Param> {
+        self.params()
+    }
+
+    fn model_params_mut(&mut self) -> Vec<&mut Param> {
+        self.params_mut()
+    }
+
+    fn quantizable_layers(&self) -> Vec<QuantLayerDesc> {
+        let mut v = vec![QuantLayerDesc::for_conv(&self.stem_conv)];
+        for b in &self.blocks {
+            if let Some((conv, _, _)) = &b.expand {
+                v.push(QuantLayerDesc::for_conv(conv));
+            }
+            v.push(QuantLayerDesc::for_conv(&b.depthwise));
+            v.push(QuantLayerDesc::for_conv(&b.project));
+        }
+        v.extend(QuantLayerDesc::for_param(self.fc.weight()));
         v
     }
 }

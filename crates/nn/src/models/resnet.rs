@@ -2,6 +2,7 @@
 
 use crate::layers::{BatchNorm2d, Conv2d, FakeQuant, FakeQuantConfig, GlobalAvgPool, Linear, Relu};
 use crate::module::{Layer, Param};
+use crate::quantize::{QuantLayerDesc, QuantizableModel};
 use mixmatch_tensor::im2col::ConvGeometry;
 use mixmatch_tensor::{Tensor, TensorRng};
 
@@ -330,6 +331,29 @@ impl Layer for ResNet {
             v.extend(b.params_mut());
         }
         v.extend(self.fc.params_mut());
+        v
+    }
+}
+
+impl QuantizableModel for ResNet {
+    fn model_params(&self) -> Vec<&Param> {
+        self.params()
+    }
+
+    fn model_params_mut(&mut self) -> Vec<&mut Param> {
+        self.params_mut()
+    }
+
+    fn quantizable_layers(&self) -> Vec<QuantLayerDesc> {
+        let mut v = vec![QuantLayerDesc::for_conv(&self.stem_conv)];
+        for b in &self.blocks {
+            v.push(QuantLayerDesc::for_conv(&b.conv1));
+            v.push(QuantLayerDesc::for_conv(&b.conv2));
+            if let Some((conv, _)) = &b.shortcut {
+                v.push(QuantLayerDesc::for_conv(conv));
+            }
+        }
+        v.extend(QuantLayerDesc::for_param(self.fc.weight()));
         v
     }
 }

@@ -4,6 +4,7 @@
 
 use crate::layers::{Embedding, Linear};
 use crate::module::{Layer, Param};
+use crate::quantize::QuantizableModel;
 use crate::rnn::{Gru, Lstm};
 use mixmatch_tensor::{Tensor, TensorRng};
 
@@ -248,7 +249,7 @@ impl LstmClassifier {
             .take()
             .expect("LstmClassifier::backward_tokens without forward");
         let g_last = self.head.backward(grad_logits); // [B, H]
-        // Scatter into a [T, B, H] gradient that is zero except the last step.
+                                                      // Scatter into a [T, B, H] gradient that is zero except the last step.
         let mut g_seq = Tensor::zeros(&[t, b, self.hidden]);
         let off = (t - 1) * b * self.hidden;
         g_seq.as_mut_slice()[off..].copy_from_slice(g_last.as_slice());
@@ -288,6 +289,39 @@ impl LstmClassifier {
     }
 }
 
+// The RNN models expose their quantizable layers through the name-based
+// default (`w_ih`/`w_hh` → recurrent, decoder/head `.weight` → dense;
+// embeddings excluded) — there is no conv geometry to attach.
+impl QuantizableModel for LstmLanguageModel {
+    fn model_params(&self) -> Vec<&Param> {
+        self.params()
+    }
+
+    fn model_params_mut(&mut self) -> Vec<&mut Param> {
+        self.params_mut()
+    }
+}
+
+impl QuantizableModel for GruFrameClassifier {
+    fn model_params(&self) -> Vec<&Param> {
+        Layer::params(self)
+    }
+
+    fn model_params_mut(&mut self) -> Vec<&mut Param> {
+        Layer::params_mut(self)
+    }
+}
+
+impl QuantizableModel for LstmClassifier {
+    fn model_params(&self) -> Vec<&Param> {
+        self.params()
+    }
+
+    fn model_params_mut(&mut self) -> Vec<&mut Param> {
+        self.params_mut()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,7 +334,9 @@ mod tests {
         let mut lm = LstmLanguageModel::new(12, 8, 16, 2, &mut rng);
         // Fixed sequence: predict next token of a repeating pattern.
         let tokens: Vec<Vec<usize>> = (0..6).map(|t| vec![t % 3, (t + 1) % 3]).collect();
-        let targets: Vec<usize> = (0..6).flat_map(|t| vec![(t + 1) % 3, (t + 2) % 3]).collect();
+        let targets: Vec<usize> = (0..6)
+            .flat_map(|t| vec![(t + 1) % 3, (t + 2) % 3])
+            .collect();
         let mut opt = Adam::new(0.01);
         let mut first = None;
         let mut last = 0.0;

@@ -10,6 +10,7 @@
 use crate::layers::{BatchNorm2d, Conv2d, FakeQuant, FakeQuantConfig, LeakyRelu, MaxPool2d};
 use crate::metrics::DetBox;
 use crate::module::{Layer, Param};
+use crate::quantize::{QuantLayerDesc, QuantizableModel};
 use mixmatch_tensor::im2col::ConvGeometry;
 use mixmatch_tensor::{Tensor, TensorRng};
 
@@ -203,8 +204,7 @@ impl YoloDetector {
                                 denom += (raw.as_slice()[idx(bi, 5 + c, cy, cx)] - mx).exp();
                             }
                             for c in 0..nc {
-                                let p =
-                                    (raw.as_slice()[idx(bi, 5 + c, cy, cx)] - mx).exp() / denom;
+                                let p = (raw.as_slice()[idx(bi, 5 + c, cy, cx)] - mx).exp() / denom;
                                 let y = if c == t.class { 1.0 } else { 0.0 };
                                 if c == t.class {
                                     loss += -(p.max(1e-6)).ln() / norm;
@@ -331,6 +331,26 @@ impl Layer for YoloDetector {
             v.extend(bn.params_mut());
         }
         v.extend(self.head.params_mut());
+        v
+    }
+}
+
+impl QuantizableModel for YoloDetector {
+    fn model_params(&self) -> Vec<&Param> {
+        self.params()
+    }
+
+    fn model_params_mut(&mut self) -> Vec<&mut Param> {
+        self.params_mut()
+    }
+
+    fn quantizable_layers(&self) -> Vec<QuantLayerDesc> {
+        let mut v: Vec<QuantLayerDesc> = self
+            .stages
+            .iter()
+            .map(|(conv, _, _, _)| QuantLayerDesc::for_conv(conv))
+            .collect();
+        v.push(QuantLayerDesc::for_conv(&self.head));
         v
     }
 }

@@ -98,7 +98,11 @@ impl Sgd {
             self.velocity = params.iter().map(|p| vec![0.0; p.len()]).collect();
         }
         for (p, vel) in params.iter_mut().zip(self.velocity.iter_mut()) {
-            debug_assert_eq!(p.len(), vel.len(), "parameter shape changed under optimizer");
+            debug_assert_eq!(
+                p.len(),
+                vel.len(),
+                "parameter shape changed under optimizer"
+            );
             let g = p.grad.as_slice().to_vec();
             let w = p.value.as_mut_slice();
             for i in 0..w.len() {
@@ -161,7 +165,11 @@ impl Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for ((p, m), v) in params.iter_mut().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+        for ((p, m), v) in params
+            .iter_mut()
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
             let g = p.grad.as_slice().to_vec();
             let w = p.value.as_mut_slice();
             for i in 0..w.len() {

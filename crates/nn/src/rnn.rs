@@ -80,7 +80,12 @@ impl Lstm {
     }
 
     /// Creates an LSTM layer with named parameters.
-    pub fn with_name(name: &str, input_size: usize, hidden_size: usize, rng: &mut TensorRng) -> Self {
+    pub fn with_name(
+        name: &str,
+        input_size: usize,
+        hidden_size: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
         let w_ih = Param::new(
             format!("{name}.w_ih"),
             init::lecun_uniform(&[4 * hidden_size, input_size], input_size, rng),
@@ -131,7 +136,13 @@ impl Lstm {
         c_prev: &Tensor,
     ) -> (Tensor, Tensor, Tensor, Tensor) {
         let hs = self.hidden_size;
-        let z = gate_preact(x, &self.w_ih.value, h_prev, &self.w_hh.value, &self.bias.value);
+        let z = gate_preact(
+            x,
+            &self.w_ih.value,
+            h_prev,
+            &self.w_hh.value,
+            &self.bias.value,
+        );
         let b = x.dims()[0];
         let mut gates = Tensor::zeros(&[b, 4 * hs]);
         let mut c = Tensor::zeros(&[b, hs]);
@@ -162,7 +173,11 @@ impl Layer for Lstm {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let steps = split_steps(input);
         let b = steps[0].dims()[0];
-        assert_eq!(steps[0].dims()[1], self.input_size, "LSTM input width mismatch");
+        assert_eq!(
+            steps[0].dims()[1],
+            self.input_size,
+            "LSTM input width mismatch"
+        );
         let mut h = Tensor::zeros(&[b, self.hidden_size]);
         let mut c = Tensor::zeros(&[b, self.hidden_size]);
         let mut outputs = Vec::with_capacity(steps.len());
@@ -292,7 +307,12 @@ impl Gru {
     }
 
     /// Creates a GRU layer with named parameters.
-    pub fn with_name(name: &str, input_size: usize, hidden_size: usize, rng: &mut TensorRng) -> Self {
+    pub fn with_name(
+        name: &str,
+        input_size: usize,
+        hidden_size: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
         Gru {
             w_ih: Param::new(
                 format!("{name}.w_ih"),
@@ -330,7 +350,11 @@ impl Layer for Gru {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let steps = split_steps(input);
         let b = steps[0].dims()[0];
-        assert_eq!(steps[0].dims()[1], self.input_size, "GRU input width mismatch");
+        assert_eq!(
+            steps[0].dims()[1],
+            self.input_size,
+            "GRU input width mismatch"
+        );
         let hs = self.hidden_size;
         let mut h = Tensor::zeros(&[b, hs]);
         let mut outputs = Vec::with_capacity(steps.len());
@@ -348,7 +372,9 @@ impl Layer for Gru {
                     let bi = self.bias_ih.value.as_slice();
                     let bh = self.bias_hh.value.as_slice();
                     let rv = sigmoid(zi.row(row)[j] + bi[j] + zh.row(row)[j] + bh[j]);
-                    let zv = sigmoid(zi.row(row)[hs + j] + bi[hs + j] + zh.row(row)[hs + j] + bh[hs + j]);
+                    let zv = sigmoid(
+                        zi.row(row)[hs + j] + bi[hs + j] + zh.row(row)[hs + j] + bh[hs + j],
+                    );
                     let hn = zh.row(row)[2 * hs + j] + bh[2 * hs + j];
                     let nv = (zi.row(row)[2 * hs + j] + bi[2 * hs + j] + rv * hn).tanh();
                     r.row_mut(row)[j] = rv;

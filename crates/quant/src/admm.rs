@@ -47,11 +47,10 @@ impl AdmmConfig {
 /// Should `param` be quantized? Default: rank-2 weights of GEMM-lowered
 /// layers — conv/linear `.weight`, recurrent `.w_ih`/`.w_hh` — excluding
 /// embeddings (table lookups, not GEMM operands on the accelerator).
+/// Delegates to [`mixmatch_nn::quantize::is_quantizable`] so the quantizer's
+/// target set always matches `QuantizableModel::quantizable_layers`.
 pub fn default_target_filter(param: &Param) -> bool {
-    let name = param.name();
-    let is_weight =
-        name.ends_with(".weight") || name.ends_with(".w_ih") || name.ends_with(".w_hh");
-    is_weight && param.value.shape().rank() == 2 && !name.starts_with("embedding")
+    mixmatch_nn::quantize::is_quantizable(param)
 }
 
 /// Per-parameter ADMM state.
@@ -194,8 +193,11 @@ impl AdmmQuantizer {
     /// Epoch-boundary update: recompute row assignments (Algorithm 2), then
     /// `Z ← proj(W + U)` and `U ← W − Z + U`.
     pub fn epoch_update(&mut self, params: &mut [&mut Param]) {
-        let policies: Vec<MsqPolicy> =
-            self.states.iter().map(|s| self.policy_for(&s.name)).collect();
+        let policies: Vec<MsqPolicy> = self
+            .states
+            .iter()
+            .map(|s| self.policy_for(&s.name))
+            .collect();
         for (state, policy) in self.states.iter_mut().zip(policies) {
             debug_assert_eq!(params[state.index].name(), state.name);
             let w = &params[state.index].value;
@@ -258,8 +260,11 @@ impl AdmmQuantizer {
     /// Hard-projects every target weight onto its scheme (`W ← proj_S(W)`),
     /// returning per-layer reports. The model is quantized after this call.
     pub fn project_final(&mut self, params: &mut [&mut Param]) -> Vec<LayerQuantReport> {
-        let policies: Vec<MsqPolicy> =
-            self.states.iter().map(|s| self.policy_for(&s.name)).collect();
+        let policies: Vec<MsqPolicy> = self
+            .states
+            .iter()
+            .map(|s| self.policy_for(&s.name))
+            .collect();
         let mut reports = Vec::with_capacity(self.states.len());
         for (state, policy) in self.states.iter_mut().zip(policies) {
             debug_assert_eq!(params[state.index].name(), state.name);
@@ -268,8 +273,7 @@ impl AdmmQuantizer {
                 Some(a) if !self.config.reassign_each_epoch => a.clone(),
                 _ => policy.assignment_for(&p.value),
             };
-            let (q, rows) =
-                project_rowwise_with(&p.value, &assignment, policy.bits, policy.alpha);
+            let (q, rows) = project_rowwise_with(&p.value, &assignment, policy.bits, policy.alpha);
             p.value = q;
             state.assignment = Some(assignment);
             reports.push(LayerQuantReport {

@@ -75,7 +75,11 @@ pub struct RowStats {
 ///
 /// Panics when `weight` is not rank-2.
 pub fn analyse_rows(weight: &Tensor, bits: u32) -> Vec<RowStats> {
-    assert_eq!(weight.shape().rank(), 2, "analyse_rows expects [rows, cols]");
+    assert_eq!(
+        weight.shape().rank(),
+        2,
+        "analyse_rows expects [rows, cols]"
+    );
     let layer_alpha = fit_alpha(weight.as_slice(), &Codebook::new(Scheme::Fixed, bits)).alpha;
     (0..weight.dims()[0])
         .map(|r| {

@@ -7,6 +7,7 @@
 //! f32 rounding. This is the software twin of Figure 3's datapath for one
 //! layer.
 
+use crate::error::QuantError;
 use crate::integer::{ActQuantizer, QuantizedMatrix};
 use crate::msq::MsqPolicy;
 use mixmatch_tensor::im2col::{im2col, ConvGeometry};
@@ -29,36 +30,124 @@ impl QuantizedConv {
     ///
     /// Panics when the weight shape disagrees with `geom` or the geometry is
     /// grouped (depthwise deployment uses one matrix per group; see
-    /// [`QuantizedConv::depthwise`]).
+    /// [`QuantizedConv::depthwise`]). The pipeline path uses the
+    /// non-panicking [`QuantizedConv::try_new`].
     pub fn new(geom: ConvGeometry, weight: &Tensor, policy: &MsqPolicy, act: ActQuantizer) -> Self {
-        assert_eq!(geom.groups, 1, "use QuantizedConv::depthwise for groups");
-        assert_eq!(
-            weight.dims(),
-            &[geom.out_channels, geom.gemm_k()],
-            "weight must be in GEMM form"
-        );
-        QuantizedConv {
-            geom,
-            matrix: QuantizedMatrix::from_float(weight, policy),
-            act,
+        Self::try_new(geom, weight, policy, act).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`QuantizedConv::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::Geometry`] for grouped geometries,
+    /// [`QuantError::ShapeMismatch`] when the weight is not the geometry's
+    /// GEMM form.
+    pub fn try_new(
+        geom: ConvGeometry,
+        weight: &Tensor,
+        policy: &MsqPolicy,
+        act: ActQuantizer,
+    ) -> Result<Self, QuantError> {
+        if geom.groups != 1 {
+            return Err(QuantError::Geometry {
+                context: "use QuantizedConv::depthwise for groups".into(),
+            });
         }
+        Self::checked(geom, weight, policy, act)
     }
 
     /// Depthwise variant: each channel is a 1-row matrix; rows are stacked
     /// so the row index is the channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-depthwise geometry or a shape mismatch; see
+    /// [`QuantizedConv::try_depthwise`].
     pub fn depthwise(
         geom: ConvGeometry,
         weight: &Tensor,
         policy: &MsqPolicy,
         act: ActQuantizer,
     ) -> Self {
-        assert_eq!(geom.groups, geom.in_channels, "depthwise geometry required");
-        assert_eq!(weight.dims(), &[geom.out_channels, geom.gemm_k()]);
-        QuantizedConv {
+        Self::try_depthwise(geom, weight, policy, act).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`QuantizedConv::depthwise`].
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::Geometry`] unless `groups == in_channels`,
+    /// [`QuantError::ShapeMismatch`] on a wrong weight shape.
+    pub fn try_depthwise(
+        geom: ConvGeometry,
+        weight: &Tensor,
+        policy: &MsqPolicy,
+        act: ActQuantizer,
+    ) -> Result<Self, QuantError> {
+        if geom.groups != geom.in_channels {
+            return Err(QuantError::Geometry {
+                context: "depthwise geometry required".into(),
+            });
+        }
+        Self::checked(geom, weight, policy, act)
+    }
+
+    fn checked(
+        geom: ConvGeometry,
+        weight: &Tensor,
+        policy: &MsqPolicy,
+        act: ActQuantizer,
+    ) -> Result<Self, QuantError> {
+        if weight.dims() != [geom.out_channels, geom.gemm_k()] {
+            return Err(QuantError::ShapeMismatch {
+                context: "weight must be in GEMM form".into(),
+                expected: vec![geom.out_channels, geom.gemm_k()],
+                got: weight.dims().to_vec(),
+            });
+        }
+        Ok(QuantizedConv {
             geom,
             matrix: QuantizedMatrix::from_float(weight, policy),
             act,
+        })
+    }
+
+    /// Wraps an already-encoded matrix (the pipeline path, which preserves
+    /// the training-time row assignment instead of re-deriving it).
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::ShapeMismatch`] when the matrix dimensions disagree
+    /// with the geometry's GEMM form.
+    pub fn from_matrix(
+        geom: ConvGeometry,
+        matrix: QuantizedMatrix,
+        act: ActQuantizer,
+    ) -> Result<Self, QuantError> {
+        if (matrix.rows(), matrix.cols()) != (geom.out_channels, geom.gemm_k()) {
+            return Err(QuantError::ShapeMismatch {
+                context: "encoded matrix must be in GEMM form".into(),
+                expected: vec![geom.out_channels, geom.gemm_k()],
+                got: vec![matrix.rows(), matrix.cols()],
+            });
         }
+        Ok(QuantizedConv { geom, matrix, act })
+    }
+
+    /// The convolution geometry.
+    pub fn geometry(&self) -> &ConvGeometry {
+        &self.geom
+    }
+
+    /// The underlying integer-code matrix.
+    pub fn matrix(&self) -> &QuantizedMatrix {
+        &self.matrix
+    }
+
+    /// The activation quantizer feeding this layer.
+    pub fn act_quantizer(&self) -> &ActQuantizer {
+        &self.act
     }
 
     /// The dequantized GEMM weight (for parity checks against the float
@@ -142,7 +231,12 @@ mod tests {
         let mut rng = TensorRng::seed_from(0);
         let geom = ConvGeometry::new(3, 8, 3, 1, 1);
         let w = Tensor::randn(&[8, 27], &mut rng);
-        let conv = QuantizedConv::new(geom, &w, &MsqPolicy::msq_optimal(), ActQuantizer::new(4, 2.0));
+        let conv = QuantizedConv::new(
+            geom,
+            &w,
+            &MsqPolicy::msq_optimal(),
+            ActQuantizer::new(4, 2.0),
+        );
         let img = Tensor::rand_uniform(&[3, 6, 6], 0.0, 2.0, &mut rng);
         let diff = conv_parity(&conv, &img);
         assert!(diff < 1e-3, "integer/float divergence {diff}");
@@ -153,7 +247,12 @@ mod tests {
         let mut rng = TensorRng::seed_from(1);
         let geom = ConvGeometry::new(2, 4, 3, 2, 1);
         let w = Tensor::randn(&[4, 18], &mut rng);
-        let conv = QuantizedConv::new(geom, &w, &MsqPolicy::single(Scheme::Sp2, 4), ActQuantizer::new(4, 1.0));
+        let conv = QuantizedConv::new(
+            geom,
+            &w,
+            &MsqPolicy::single(Scheme::Sp2, 4),
+            ActQuantizer::new(4, 1.0),
+        );
         let img = Tensor::rand_uniform(&[2, 8, 8], 0.0, 1.0, &mut rng);
         let out = conv.forward_image(&img);
         assert_eq!(out.dims(), &[4, 4, 4]);

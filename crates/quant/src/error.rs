@@ -1,0 +1,113 @@
+//! Unified error type for the quantization pipeline.
+//!
+//! Historically every constructor in this crate `assert!`-panicked on bad
+//! input, which is fine for experiment scripts but not for a library entry
+//! point. The [`QuantError`] enum covers every failure the pipeline path can
+//! hit — bit-width range, shape/geometry mismatches, missing parameters and
+//! corrupt packed streams ([`UnpackError`] folds in via `From`). The legacy
+//! panicking constructors remain as thin wrappers over the `try_` variants.
+
+use crate::export::UnpackError;
+use std::error::Error;
+use std::fmt;
+
+/// Everything that can go wrong while building or deploying a quantized
+/// model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantError {
+    /// Weight bit-width outside the supported `2..=8` range.
+    BitWidth {
+        /// Offending bit-width.
+        bits: u32,
+    },
+    /// A tensor's shape disagrees with what the operation requires.
+    ShapeMismatch {
+        /// What the shape describes (e.g. `"weight must be in GEMM form"`).
+        context: String,
+        /// Expected dimensions.
+        expected: Vec<usize>,
+        /// Actual dimensions.
+        got: Vec<usize>,
+    },
+    /// A convolution geometry is incompatible with the requested deployment
+    /// form.
+    Geometry {
+        /// Human-readable description of the conflict.
+        context: String,
+    },
+    /// A layer descriptor referenced a parameter the model does not expose.
+    MissingParam {
+        /// The parameter name looked up.
+        name: String,
+    },
+    /// The model exposes no quantizable layers at all.
+    NoQuantizableLayers,
+    /// A packed weight stream failed to decode.
+    Unpack(UnpackError),
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::BitWidth { bits } => {
+                write!(f, "bit-width {bits} out of range 2..=8")
+            }
+            QuantError::ShapeMismatch {
+                context,
+                expected,
+                got,
+            } => write!(f, "{context}: expected {expected:?}, got {got:?}"),
+            QuantError::Geometry { context } => f.write_str(context),
+            QuantError::MissingParam { name } => {
+                write!(f, "model exposes no parameter named {name:?}")
+            }
+            QuantError::NoQuantizableLayers => f.write_str("model has no quantizable layers"),
+            QuantError::Unpack(e) => write!(f, "packed stream corrupt: {e}"),
+        }
+    }
+}
+
+impl Error for QuantError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QuantError::Unpack(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<UnpackError> for QuantError {
+    fn from(e: UnpackError) -> Self {
+        QuantError::Unpack(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpack_error_folds_in() {
+        let e: QuantError = UnpackError::InvalidCode { nibble: 0x8 }.into();
+        assert!(matches!(e, QuantError::Unpack(_)));
+        assert!(e.to_string().contains("corrupt"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn display_messages_carry_context() {
+        let e = QuantError::ShapeMismatch {
+            context: "weight must be in GEMM form".into(),
+            expected: vec![8, 27],
+            got: vec![8, 26],
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("GEMM form") && msg.contains("[8, 26]"),
+            "{msg}"
+        );
+        assert!(QuantError::BitWidth { bits: 12 }
+            .to_string()
+            .contains("out of range"));
+    }
+}

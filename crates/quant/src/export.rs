@@ -39,7 +39,10 @@ impl fmt::Display for UnpackError {
             UnpackError::Truncated {
                 expected,
                 available,
-            } => write!(f, "stream truncated: expected {expected} codes, got {available}"),
+            } => write!(
+                f,
+                "stream truncated: expected {expected} codes, got {available}"
+            ),
             UnpackError::InvalidCode { nibble } => {
                 write!(f, "nibble {nibble:#x} is not a valid code")
             }
@@ -64,9 +67,7 @@ pub fn encode_nibble(code: &WeightCode) -> u8 {
             let s = u8::from(sign < 0) << 3;
             s | magnitude as u8
         }
-        WeightCode::Pow2 {
-            sign, exponent, ..
-        } => {
+        WeightCode::Pow2 { sign, exponent, .. } => {
             if sign == 0 {
                 return 0;
             }

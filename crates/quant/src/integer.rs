@@ -124,6 +124,22 @@ impl QuantizedMatrix {
         )
     }
 
+    /// Quantizes with an explicit row assignment and α granularity — the
+    /// pipeline path, which reuses the training-time assignment instead of
+    /// re-ranking rows of the already-projected weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/row-count mismatch.
+    pub fn from_float_with(
+        weight: &Tensor,
+        assignment: &RowAssignment,
+        bits: u32,
+        granularity: crate::msq::AlphaGranularity,
+    ) -> Self {
+        Self::encode(weight, assignment, bits, granularity)
+    }
+
     fn encode(
         weight: &Tensor,
         assignment: &RowAssignment,
@@ -150,10 +166,7 @@ impl QuantizedMatrix {
                     }
                 })
                 .collect();
-            let denominator = codes
-                .first()
-                .map(|c| c.denominator())
-                .unwrap_or(1);
+            let denominator = codes.first().map(|c| c.denominator()).unwrap_or(1);
             rows.push(QuantRow {
                 scheme,
                 alpha,
@@ -261,7 +274,11 @@ impl QuantizedMatrix {
         act: &ActQuantizer,
     ) -> (Vec<f32>, OpCounts) {
         assert!(r < self.rows(), "row index out of range");
-        assert_eq!(activations.len(), self.cols * n, "activation matrix must be cols × n");
+        assert_eq!(
+            activations.len(),
+            self.cols * n,
+            "activation matrix must be cols × n"
+        );
         let row = &self.rows[r];
         let scale = row.alpha * act.step() / row.denominator as f32;
         let mut out = Vec::with_capacity(n);

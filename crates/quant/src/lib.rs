@@ -21,6 +21,12 @@
 //! * [`baselines`] — DoReFa / PACT comparators and the published reference
 //!   rows of Tables III–IV.
 //! * [`analysis`] — distribution statistics and the Figure 1 data series.
+//! * [`pipeline`] — **the entry point**: [`pipeline::QuantPipeline`], the
+//!   builder chaining device characterization → policy → ADMM training →
+//!   bit-exact deployment, with [`pipeline::HardwareTarget`] as the bridge
+//!   the FPGA crate implements.
+//! * [`error`] — the unified [`error::QuantError`] the pipeline path
+//!   returns instead of panicking.
 //!
 //! # Example: quantize a weight matrix the MSQ way
 //!
@@ -48,14 +54,20 @@ pub mod analysis;
 pub mod baselines;
 pub mod codes;
 pub mod deploy;
+pub mod error;
 pub mod export;
 pub mod integer;
 pub mod msq;
+pub mod pipeline;
 pub mod qat;
 pub mod rowwise;
 pub mod schemes;
 
 pub use admm::{AdmmConfig, AdmmQuantizer};
+pub use error::QuantError;
 pub use msq::{MsqPolicy, SchemeChoice};
+pub use pipeline::{
+    HardwareSummary, HardwareTarget, PipelineReport, QuantPipeline, QuantizedModel,
+};
 pub use rowwise::{PartitionRatio, RowAssignment};
 pub use schemes::{Codebook, Scheme};

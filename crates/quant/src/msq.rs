@@ -118,7 +118,11 @@ pub fn project_rowwise_with(
     bits: u32,
     granularity: AlphaGranularity,
 ) -> (Tensor, Vec<RowQuantInfo>) {
-    assert_eq!(weight.shape().rank(), 2, "row-wise projection needs [rows, cols]");
+    assert_eq!(
+        weight.shape().rank(),
+        2,
+        "row-wise projection needs [rows, cols]"
+    );
     assert_eq!(
         weight.dims()[0],
         assignment.rows(),

@@ -1,0 +1,742 @@
+//! `QuantPipeline` — the single device-to-deployment entry point.
+//!
+//! The paper's workflow is one hardware-coupled loop: the FPGA's LUT/DSP
+//! budget fixes the SP2:fixed partition ratio (§V-A), the ratio drives
+//! row-wise MSQ projection during ADMM training (Algorithms 1–2), and the
+//! trained model lands in bit-exact integer kernels (§V-B). Historically the
+//! repo exposed that loop as six disconnected APIs that every example wired
+//! by hand; this module is the typed pipeline that replaces the hand-wiring:
+//!
+//! ```text
+//! QuantPipeline::for_device(FpgaDevice::XC7Z045)   // DSE → 1:2 → MsqPolicy
+//!     .with_qat(QatConfig::quantized(...))          // optional stage overrides
+//!     .calibrate(&activation_sample)                // activation clip fit
+//!     .train_and_quantize(&mut model, batches)?     // Algorithm 1 + deployment
+//!     .report()                                     // layers + cycle-sim summary
+//! ```
+//!
+//! The builder is typestate-flavored: a pipeline can only be obtained with a
+//! resolved policy (from a [`HardwareTarget`] or an explicit [`MsqPolicy`]),
+//! every stage consumes and returns the builder, and the terminal
+//! `quantize*` calls consume it into a [`QuantizedModel`] artifact — there
+//! is no orderable-but-invalid call sequence to misuse.
+//!
+//! The hardware side stays decoupled through the [`HardwareTarget`] trait:
+//! `mixmatch-fpga` implements it for `FpgaDevice` (design-space exploration
+//! for the policy, the cycle simulator for [`HardwareSummary`]), so this
+//! crate never depends on the FPGA crate even though
+//! `QuantPipeline::for_device(FpgaDevice::XC7Z045)` reads as if it did.
+
+use crate::admm::{AdmmConfig, AdmmQuantizer, LayerOverride, LayerQuantReport};
+use crate::deploy::QuantizedConv;
+use crate::error::QuantError;
+use crate::integer::{ActQuantizer, PackedMatrix, QuantizedMatrix};
+use crate::msq::MsqPolicy;
+use crate::qat::{train_classifier_with_quantizer, EpochLog, QatConfig};
+use crate::rowwise::RowAssignment;
+use crate::schemes::Codebook;
+use mixmatch_nn::module::{Layer, Param};
+use mixmatch_nn::quantize::{QuantLayerDesc, QuantLayerKind, QuantizableModel};
+use mixmatch_tensor::{stats, Tensor};
+use std::fmt;
+
+/// A deployment substrate that can anchor a pipeline: it derives the
+/// quantization policy from its resource model and (optionally) predicts
+/// performance for a quantized model's layer shapes.
+///
+/// `mixmatch-fpga` implements this for `FpgaDevice` and its `FpgaTarget`;
+/// tests can implement it with a stub.
+pub trait HardwareTarget {
+    /// Human-readable name (device + design ratio).
+    fn label(&self) -> String;
+
+    /// The MSQ policy this hardware wants (partition ratio from its
+    /// LUT/DSP characterization).
+    fn derive_policy(&self) -> MsqPolicy;
+
+    /// Performance/resource prediction for a model's layer shapes, if the
+    /// target models one. The default declines.
+    fn summarize(&self, layers: &[QuantLayerDesc]) -> Option<HardwareSummary> {
+        let _ = layers;
+        None
+    }
+
+    /// One-time hook run when the pipeline takes ownership of the target:
+    /// targets whose derivations are expensive resolve them here once (a
+    /// bare `FpgaDevice` runs its design-space exploration and hands back
+    /// the explored form) so later `label`/`derive_policy`/`summarize`
+    /// calls don't repeat the work. The default keeps `self` as-is.
+    fn into_prepared(self) -> Box<dyn HardwareTarget>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Latency/resource summary from a hardware target's performance model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwareSummary {
+    /// Device name.
+    pub device: String,
+    /// `fixed : SP2` lane ratio label (e.g. `"1:2"`).
+    pub ratio_label: String,
+    /// Achieved throughput in GOPS.
+    pub gops: f32,
+    /// End-to-end latency per input, milliseconds.
+    pub latency_ms: f32,
+    /// Achieved / peak throughput.
+    pub pe_utilization: f32,
+    /// Absolute LUT usage.
+    pub lut: f32,
+    /// Absolute flip-flop usage.
+    pub ff: f32,
+    /// Absolute BRAM36 usage.
+    pub bram36: f32,
+    /// Absolute DSP usage.
+    pub dsp: f32,
+    /// Full-bitstream LUT utilization fraction.
+    pub lut_utilization: f32,
+}
+
+/// Builder for the device-to-deployment quantization flow. See the module
+/// docs for the stage diagram.
+pub struct QuantPipeline {
+    label: String,
+    policy: MsqPolicy,
+    target: Option<Box<dyn HardwareTarget>>,
+    qat: Option<QatConfig>,
+    act: ActQuantizer,
+    overrides: Vec<LayerOverride>,
+}
+
+impl QuantPipeline {
+    /// Anchors the pipeline to a hardware target: the target's resource
+    /// model picks the `MsqPolicy` (the paper's §V-A procedure), and the
+    /// final report will include the target's performance prediction.
+    pub fn for_device(target: impl HardwareTarget + 'static) -> Self {
+        let target = target.into_prepared();
+        QuantPipeline {
+            label: target.label(),
+            policy: target.derive_policy(),
+            target: Some(target),
+            qat: None,
+            act: ActQuantizer::new(4, 1.0),
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Starts from an explicit policy with no hardware anchor (ablations,
+    /// scheme comparisons).
+    pub fn from_policy(policy: MsqPolicy) -> Self {
+        QuantPipeline {
+            label: format!("policy {policy:?}"),
+            policy,
+            target: None,
+            qat: None,
+            act: ActQuantizer::new(4, 1.0),
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Stage: overrides the derived policy.
+    pub fn with_policy(mut self, policy: MsqPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Stage: configures the ADMM training loop used by
+    /// [`QuantPipeline::train_and_quantize`]. The config's own `policy`
+    /// field is ignored — the pipeline's policy is authoritative.
+    pub fn with_qat(mut self, qat: QatConfig) -> Self {
+        self.qat = Some(qat);
+        self
+    }
+
+    /// Stage: replaces the default 4-bit/clip-1.0 activation quantizer.
+    pub fn with_act_quantizer(mut self, act: ActQuantizer) -> Self {
+        self.act = act;
+        self
+    }
+
+    /// Stage: fits the activation clip to a sample of representative
+    /// activations (99.9th percentile — the standard saturating-calibration
+    /// rule), keeping the current activation bit-width.
+    pub fn calibrate(mut self, activations: &[f32]) -> Self {
+        if !activations.is_empty() {
+            let clip = stats::percentile(activations, 99.9).max(f32::MIN_POSITIVE);
+            self.act = ActQuantizer::new(self.act.bits, clip);
+        }
+        self
+    }
+
+    /// Stage: per-layer policy override (inter-layer multi-precision, §I).
+    pub fn with_layer_override(mut self, layer: LayerOverride) -> Self {
+        self.overrides.push(layer);
+        self
+    }
+
+    /// The policy currently in effect.
+    pub fn policy(&self) -> &MsqPolicy {
+        &self.policy
+    }
+
+    /// The activation quantizer currently in effect.
+    pub fn act_quantizer(&self) -> &ActQuantizer {
+        &self.act
+    }
+
+    /// The policy in effect for a specific parameter name (after overrides).
+    pub fn policy_for(&self, name: &str) -> MsqPolicy {
+        self.overrides
+            .iter()
+            .find(|o| name.contains(&o.name_contains))
+            .map(|o| o.policy)
+            .unwrap_or(self.policy)
+    }
+
+    /// An [`AdmmQuantizer`] wired with this pipeline's policy, ρ and layer
+    /// overrides — for models whose training loop the generic classifier
+    /// driver cannot express (detection losses, token-driven RNNs). After
+    /// the custom loop, finish with [`QuantPipeline::quantize`].
+    pub fn admm_quantizer(&self, params: &[&Param]) -> AdmmQuantizer {
+        let mut admm = AdmmConfig::new(self.policy);
+        if let Some(qat) = &self.qat {
+            admm.rho = qat.rho;
+        }
+        let mut q = AdmmQuantizer::attach(params, admm);
+        for o in &self.overrides {
+            q = q.with_override(o.clone());
+        }
+        q
+    }
+
+    /// Terminal stage, post-training path: hard-projects the model's
+    /// quantizable weights onto their scheme grids (`W ← proj_S(W)`) and
+    /// packages the deployment artifact. Projection is idempotent, so this
+    /// is also the correct finisher after a custom ADMM loop.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::NoQuantizableLayers`] for models without GEMM weights,
+    /// [`QuantError::BitWidth`] / [`QuantError::ShapeMismatch`] /
+    /// [`QuantError::Geometry`] when a layer cannot be encoded.
+    pub fn quantize<M: QuantizableModel>(
+        self,
+        model: &mut M,
+    ) -> Result<QuantizedModel, QuantError> {
+        self.validate_bits()?;
+        let mut quantizer = self.admm_quantizer(&model.model_params());
+        let reports = quantizer.project_final(&mut model.model_params_mut());
+        self.package(model, reports, Vec::new())
+    }
+
+    /// Surfaces invalid bit-widths (base policy or overrides) as errors
+    /// before any projection could hit the panicking codebook constructor.
+    fn validate_bits(&self) -> Result<(), QuantError> {
+        Codebook::try_new(crate::schemes::Scheme::Sp2, self.policy.bits)?;
+        for o in &self.overrides {
+            Codebook::try_new(crate::schemes::Scheme::Sp2, o.policy.bits)?;
+        }
+        Ok(())
+    }
+
+    /// Terminal stage, training path: runs the full Algorithm 1 loop
+    /// (per-epoch `Z`/`U` updates, proximal penalty per batch, final hard
+    /// projection, BN recalibration) and packages the deployment artifact.
+    /// Uses the config from [`QuantPipeline::with_qat`], or the paper's
+    /// defaults when none was staged.
+    ///
+    /// # Errors
+    ///
+    /// As [`QuantPipeline::quantize`].
+    pub fn train_and_quantize<M, F>(
+        self,
+        model: &mut M,
+        batches: F,
+    ) -> Result<QuantizedModel, QuantError>
+    where
+        M: QuantizableModel + Layer,
+        F: FnMut(usize) -> Vec<(Tensor, Vec<usize>)>,
+    {
+        self.validate_bits()?;
+        let mut cfg = self
+            .qat
+            .clone()
+            .unwrap_or_else(|| QatConfig::quantized(self.policy, 8, 0.05));
+        cfg.policy = Some(self.policy);
+        let quantizer = Some(self.admm_quantizer(&Layer::params(model)));
+        let outcome = train_classifier_with_quantizer(model, batches, &cfg, quantizer);
+        self.package(model, outcome.reports, outcome.logs)
+    }
+
+    /// Validates the policy and encodes every quantizable layer into its
+    /// deployment form, preserving the training-time row assignments.
+    fn package<M: QuantizableModel>(
+        self,
+        model: &M,
+        reports: Vec<LayerQuantReport>,
+        logs: Vec<EpochLog>,
+    ) -> Result<QuantizedModel, QuantError> {
+        let descs = model.quantizable_layers();
+        if descs.is_empty() {
+            return Err(QuantError::NoQuantizableLayers);
+        }
+        let params = model.model_params();
+        let mut layers = Vec::with_capacity(descs.len());
+        for desc in descs {
+            let policy = self.policy_for(&desc.name);
+            let param = params
+                .iter()
+                .find(|p| p.name() == desc.name)
+                .ok_or_else(|| QuantError::MissingParam {
+                    name: desc.name.clone(),
+                })?;
+            let report = reports
+                .iter()
+                .find(|r| r.name == desc.name)
+                .ok_or_else(|| QuantError::MissingParam {
+                    name: desc.name.clone(),
+                })?
+                .clone();
+            if param.value.dims() != [desc.rows, desc.cols] {
+                return Err(QuantError::ShapeMismatch {
+                    context: format!("layer {} disagrees with its descriptor", desc.name),
+                    expected: vec![desc.rows, desc.cols],
+                    got: param.value.dims().to_vec(),
+                });
+            }
+            // Re-encode under the *training-time* assignment so deployment
+            // codes match the reports bit for bit (re-ranking the projected
+            // rows by variance could flip borderline rows).
+            let assignment =
+                RowAssignment::from_schemes(report.rows.iter().map(|r| r.scheme).collect());
+            let matrix = QuantizedMatrix::from_float_with(
+                &param.value,
+                &assignment,
+                policy.bits,
+                policy.alpha,
+            );
+            // The packed nibble format exists only at 4-bit precision.
+            let packed = (policy.bits == 4).then(|| matrix.pack());
+            let form = match &desc.kind {
+                QuantLayerKind::Conv(geom) | QuantLayerKind::DepthwiseConv(geom) => {
+                    DeployForm::Conv(QuantizedConv::from_matrix(*geom, matrix, self.act)?)
+                }
+                QuantLayerKind::Dense | QuantLayerKind::Recurrent => DeployForm::Matrix(matrix),
+            };
+            layers.push(QuantizedLayer {
+                desc,
+                report,
+                form,
+                packed,
+            });
+        }
+        Ok(QuantizedModel {
+            label: self.label,
+            policy: self.policy,
+            act: self.act,
+            target: self.target,
+            layers,
+            logs,
+        })
+    }
+}
+
+/// One layer of a [`QuantizedModel`]: descriptor, training-time report and
+/// executable integer form.
+pub struct QuantizedLayer {
+    /// Structural descriptor (name, dims, kind).
+    pub desc: QuantLayerDesc,
+    /// Per-row scheme/α/MSE report from the final projection.
+    pub report: LayerQuantReport,
+    /// Executable deployment form.
+    pub form: DeployForm,
+    /// Packed 4-bit serialization (`None` when the layer's bit-width ≠ 4).
+    pub packed: Option<PackedMatrix>,
+}
+
+impl QuantizedLayer {
+    /// The integer-code matrix behind this layer, whatever its form.
+    pub fn matrix(&self) -> &QuantizedMatrix {
+        match &self.form {
+            DeployForm::Matrix(m) => m,
+            DeployForm::Conv(c) => c.matrix(),
+        }
+    }
+
+    /// Serialized size in bytes, when packable.
+    pub fn packed_bytes(&self) -> Option<usize> {
+        self.packed.as_ref().map(|p| p.byte_size())
+    }
+}
+
+/// Executable deployment form of one layer.
+pub enum DeployForm {
+    /// Plain integer matrix (linear / recurrent weights).
+    Matrix(QuantizedMatrix),
+    /// im2col-driven integer convolution.
+    Conv(QuantizedConv),
+}
+
+/// The pipeline's artifact: per-layer deployment forms, packed bytes,
+/// quantization reports, training logs and the (optional) hardware target
+/// for performance reporting.
+pub struct QuantizedModel {
+    label: String,
+    policy: MsqPolicy,
+    act: ActQuantizer,
+    target: Option<Box<dyn HardwareTarget>>,
+    layers: Vec<QuantizedLayer>,
+    logs: Vec<EpochLog>,
+}
+
+impl fmt::Debug for QuantizedModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QuantizedModel")
+            .field("label", &self.label)
+            .field("policy", &self.policy)
+            .field("layers", &self.layers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl QuantizedModel {
+    /// Pipeline label (device + ratio, or the explicit policy).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The model-wide policy the pipeline quantized with.
+    pub fn policy(&self) -> &MsqPolicy {
+        &self.policy
+    }
+
+    /// The activation quantizer deployment runs with.
+    pub fn act_quantizer(&self) -> &ActQuantizer {
+        &self.act
+    }
+
+    /// All quantized layers, in model order.
+    pub fn layers(&self) -> &[QuantizedLayer] {
+        &self.layers
+    }
+
+    /// Looks a layer up by parameter name.
+    pub fn layer(&self, name: &str) -> Option<&QuantizedLayer> {
+        self.layers.iter().find(|l| l.desc.name == name)
+    }
+
+    /// Per-layer quantization reports, in model order.
+    pub fn reports(&self) -> Vec<&LayerQuantReport> {
+        self.layers.iter().map(|l| &l.report).collect()
+    }
+
+    /// Per-epoch training diagnostics (empty on the post-training path).
+    pub fn logs(&self) -> &[EpochLog] {
+        &self.logs
+    }
+
+    /// Total packed deployment bytes across packable layers.
+    pub fn packed_bytes(&self) -> usize {
+        self.layers.iter().filter_map(|l| l.packed_bytes()).sum()
+    }
+
+    /// Float bytes of the same weights (4 bytes per element).
+    pub fn float_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.desc.rows * l.desc.cols * 4)
+            .sum()
+    }
+
+    /// Float bytes of the *packable* (4-bit) layers only — the correct
+    /// numerator for [`QuantizedModel::compression_rate`] when layer
+    /// overrides keep some layers at other bit-widths.
+    pub fn packable_float_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| l.packed.is_some())
+            .map(|l| l.desc.rows * l.desc.cols * 4)
+            .sum()
+    }
+
+    /// Measured compression rate of the packed artifact vs the f32 form of
+    /// the same (packable) layers — the paper's Table V headline is 8× at
+    /// 4 bits. Layers kept at other bit-widths by overrides are excluded
+    /// from both sides of the ratio.
+    pub fn compression_rate(&self) -> f32 {
+        let packed = self.packed_bytes();
+        if packed == 0 {
+            return 1.0;
+        }
+        self.packable_float_bytes() as f32 / packed as f32
+    }
+
+    /// Builds the pipeline report: per-layer quantization summary plus, when
+    /// a hardware target anchors the pipeline, the cycle-simulator
+    /// latency/resource prediction for this model's layer shapes.
+    pub fn report(&self) -> PipelineReport {
+        let descs: Vec<QuantLayerDesc> = self.layers.iter().map(|l| l.desc.clone()).collect();
+        PipelineReport {
+            label: self.label.clone(),
+            layers: self
+                .layers
+                .iter()
+                .map(|l| LayerReportRow {
+                    name: l.desc.name.clone(),
+                    rows: l.desc.rows,
+                    cols: l.desc.cols,
+                    sp2_fraction: l.report.sp2_fraction(),
+                    mean_mse: l.report.mean_mse(),
+                    packed_bytes: l.packed_bytes(),
+                })
+                .collect(),
+            hardware: self.target.as_ref().and_then(|t| t.summarize(&descs)),
+            packed_bytes: self.packed_bytes(),
+            float_bytes: self.float_bytes(),
+            packable_float_bytes: self.packable_float_bytes(),
+        }
+    }
+}
+
+/// One row of a [`PipelineReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerReportRow {
+    /// Parameter name.
+    pub name: String,
+    /// Weight rows.
+    pub rows: usize,
+    /// Weight columns.
+    pub cols: usize,
+    /// Fraction of rows on SP2.
+    pub sp2_fraction: f32,
+    /// Mean per-row projection MSE.
+    pub mean_mse: f32,
+    /// Packed bytes, when the layer packs.
+    pub packed_bytes: Option<usize>,
+}
+
+/// Human-readable pipeline summary; render with `{}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineReport {
+    /// Pipeline label.
+    pub label: String,
+    /// Per-layer rows.
+    pub layers: Vec<LayerReportRow>,
+    /// Hardware prediction, when a target anchors the pipeline.
+    pub hardware: Option<HardwareSummary>,
+    /// Total packed bytes.
+    pub packed_bytes: usize,
+    /// Total float bytes across all layers.
+    pub float_bytes: usize,
+    /// Float bytes of the packable (4-bit) layers only.
+    pub packable_float_bytes: usize,
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "quantized model [{}]", self.label)?;
+        writeln!(
+            f,
+            "  {:<28} {:>6} {:>6} {:>8} {:>10} {:>10}",
+            "layer", "rows", "cols", "SP2", "mean MSE", "packed B"
+        )?;
+        for l in &self.layers {
+            writeln!(
+                f,
+                "  {:<28} {:>6} {:>6} {:>7.0}% {:>10.2e} {:>10}",
+                l.name,
+                l.rows,
+                l.cols,
+                l.sp2_fraction * 100.0,
+                l.mean_mse,
+                l.packed_bytes.map_or("-".to_string(), |b| b.to_string()),
+            )?;
+        }
+        if self.packed_bytes > 0 {
+            writeln!(
+                f,
+                "  packed {} B vs float {} B ({:.2}x compression)",
+                self.packed_bytes,
+                self.packable_float_bytes,
+                self.packable_float_bytes as f32 / self.packed_bytes as f32
+            )?;
+        }
+        if let Some(hw) = &self.hardware {
+            writeln!(
+                f,
+                "  {} @ {}: {:.1} GOPS, {:.2} ms/input, PE util {:.1}%, LUT {:.0} ({:.0}%), DSP {:.0}",
+                hw.device,
+                hw.ratio_label,
+                hw.gops,
+                hw.latency_ms,
+                hw.pe_utilization * 100.0,
+                hw.lut,
+                hw.lut_utilization * 100.0,
+                hw.dsp,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rowwise::PartitionRatio;
+    use crate::schemes::Scheme;
+    use mixmatch_nn::layers::Linear;
+    use mixmatch_nn::module::Sequential;
+    use mixmatch_tensor::TensorRng;
+
+    struct StubTarget;
+
+    impl HardwareTarget for StubTarget {
+        fn label(&self) -> String {
+            "stub (1:2)".into()
+        }
+
+        fn derive_policy(&self) -> MsqPolicy {
+            MsqPolicy::mixed(PartitionRatio::from_fixed_sp2(1.0, 2.0), 4)
+        }
+
+        fn summarize(&self, layers: &[QuantLayerDesc]) -> Option<HardwareSummary> {
+            Some(HardwareSummary {
+                device: "stub".into(),
+                ratio_label: "1:2".into(),
+                gops: layers.len() as f32,
+                latency_ms: 1.0,
+                pe_utilization: 0.5,
+                lut: 0.0,
+                ff: 0.0,
+                bram36: 0.0,
+                dsp: 0.0,
+                lut_utilization: 0.0,
+            })
+        }
+    }
+
+    fn toy_model(rng: &mut TensorRng) -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Linear::with_name("fc1", 8, 12, true, rng));
+        net.push(Linear::with_name("fc2", 12, 4, false, rng));
+        net
+    }
+
+    #[test]
+    fn for_device_derives_policy_and_summary() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut model = toy_model(&mut rng);
+        let pipeline = QuantPipeline::for_device(StubTarget);
+        match pipeline.policy().choice {
+            crate::msq::SchemeChoice::Mixed(r) => {
+                assert!((r.sp2_fraction() - 2.0 / 3.0).abs() < 1e-6)
+            }
+            other => panic!("expected mixed policy, got {other:?}"),
+        }
+        let quantized = pipeline.quantize(&mut model).expect("quantize");
+        assert_eq!(quantized.layers().len(), 2);
+        let report = quantized.report();
+        assert!(report.to_string().contains("fc1.weight"));
+        let hw = report.hardware.expect("stub summarizes");
+        assert_eq!(hw.gops, 2.0);
+    }
+
+    #[test]
+    fn quantize_projects_weights_onto_grid() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut model = toy_model(&mut rng);
+        let quantized = QuantPipeline::from_policy(MsqPolicy::msq_half())
+            .quantize(&mut model)
+            .expect("quantize");
+        // The in-place model weights now equal the deployment matrices.
+        for layer in quantized.layers() {
+            let dq = layer.matrix().to_float();
+            let param = mixmatch_nn::module::Layer::params(&model)
+                .into_iter()
+                .find(|p| p.name() == layer.desc.name)
+                .expect("param")
+                .value
+                .clone();
+            assert!(dq.max_abs_diff(&param) < 1e-5, "{}", layer.desc.name);
+        }
+    }
+
+    #[test]
+    fn packed_bytes_present_only_at_4_bits() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut model = toy_model(&mut rng);
+        let q4 = QuantPipeline::from_policy(MsqPolicy::single(Scheme::Sp2, 4))
+            .quantize(&mut model)
+            .expect("4-bit");
+        assert!(q4.packed_bytes() > 0);
+        // Layers this small amortise the per-row (scheme, α) metadata badly;
+        // realistic widths approach 8× (see the export module tests).
+        assert!(q4.compression_rate() > 3.5, "{}", q4.compression_rate());
+        let mut model6 = toy_model(&mut rng);
+        let q6 = QuantPipeline::from_policy(MsqPolicy::single(Scheme::Fixed, 6))
+            .quantize(&mut model6)
+            .expect("6-bit");
+        assert_eq!(q6.packed_bytes(), 0);
+        assert_eq!(q6.compression_rate(), 1.0);
+    }
+
+    #[test]
+    fn invalid_bit_width_is_an_error_not_a_panic() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut model = toy_model(&mut rng);
+        let err = QuantPipeline::from_policy(MsqPolicy::single(Scheme::Fixed, 12))
+            .quantize(&mut model)
+            .unwrap_err();
+        assert_eq!(err, QuantError::BitWidth { bits: 12 });
+    }
+
+    #[test]
+    fn empty_model_is_an_error() {
+        let mut model = Sequential::new();
+        let err = QuantPipeline::from_policy(MsqPolicy::msq_half())
+            .quantize(&mut model)
+            .unwrap_err();
+        assert_eq!(err, QuantError::NoQuantizableLayers);
+    }
+
+    #[test]
+    fn layer_overrides_flow_through_packaging() {
+        let mut rng = TensorRng::seed_from(4);
+        let mut model = toy_model(&mut rng);
+        let quantized = QuantPipeline::from_policy(MsqPolicy::msq_half())
+            .with_layer_override(LayerOverride {
+                name_contains: "fc1".into(),
+                policy: MsqPolicy::single(Scheme::Fixed, 6),
+            })
+            .quantize(&mut model)
+            .expect("quantize");
+        let fc1 = quantized.layer("fc1.weight").expect("fc1");
+        assert!(fc1.packed.is_none(), "6-bit layer must not pack");
+        assert!(fc1.report.rows.iter().all(|r| r.scheme == Scheme::Fixed));
+        let fc2 = quantized.layer("fc2.weight").expect("fc2");
+        assert!(fc2.packed.is_some());
+        assert!((fc2.report.sp2_fraction() - 0.5).abs() < 0.26);
+        // The compression ratio compares packed bytes against the float
+        // form of the *packed* layers only — the 6-bit fc1 stays out of
+        // both sides, so the rate stays in the physical 4-bit band.
+        assert_eq!(
+            quantized.packable_float_bytes(),
+            fc2.desc.rows * fc2.desc.cols * 4
+        );
+        assert!(
+            quantized.compression_rate() <= 8.0,
+            "rate {} exceeds the 4-bit bound",
+            quantized.compression_rate()
+        );
+    }
+
+    #[test]
+    fn calibrate_sets_activation_clip_by_percentile() {
+        let sample: Vec<f32> = (0..1000).map(|i| i as f32 / 1000.0).collect();
+        let p = QuantPipeline::from_policy(MsqPolicy::msq_half()).calibrate(&sample);
+        let clip = p.act_quantizer().clip;
+        assert!((0.95..=1.0).contains(&clip), "clip {clip}");
+    }
+}

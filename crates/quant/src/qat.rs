@@ -100,7 +100,28 @@ pub struct QatOutcome {
 ///
 /// `batches` yields the epoch's training batches as `(images, targets)`;
 /// it is called once per epoch so the caller controls shuffling.
-pub fn train_classifier<M, F>(model: &mut M, mut batches: F, config: &QatConfig) -> QatOutcome
+pub fn train_classifier<M, F>(model: &mut M, batches: F, config: &QatConfig) -> QatOutcome
+where
+    M: Layer,
+    F: FnMut(usize) -> Vec<(Tensor, Vec<usize>)>,
+{
+    let quantizer = config.policy.map(|policy| {
+        let mut admm = AdmmConfig::new(policy);
+        admm.rho = config.rho;
+        AdmmQuantizer::attach(&model.params(), admm)
+    });
+    train_classifier_with_quantizer(model, batches, config, quantizer)
+}
+
+/// [`train_classifier`] with a caller-built [`AdmmQuantizer`] — the
+/// `QuantPipeline` path, which needs per-layer policy overrides attached to
+/// the quantizer before training starts.
+pub fn train_classifier_with_quantizer<M, F>(
+    model: &mut M,
+    mut batches: F,
+    config: &QatConfig,
+    mut quantizer: Option<AdmmQuantizer>,
+) -> QatOutcome
 where
     M: Layer,
     F: FnMut(usize) -> Vec<(Tensor, Vec<usize>)>,
@@ -111,11 +132,6 @@ where
         config.weight_decay,
         config.schedule.clone(),
     );
-    let mut quantizer = config.policy.map(|policy| {
-        let mut admm = AdmmConfig::new(policy);
-        admm.rho = config.rho;
-        AdmmQuantizer::attach(&model.params(), admm)
-    });
     let mut logs = Vec::with_capacity(config.epochs);
     for epoch in 0..config.epochs {
         opt.start_epoch(epoch);
@@ -242,7 +258,7 @@ mod tests {
         let cfg = QatConfig::quantized(MsqPolicy::msq_half(), 10, 0.1);
         let out = train_classifier(&mut model, |_| toy_batches(&mut data_rng, 8), &cfg);
         assert_eq!(out.reports.len(), 2); // two Linear weights
-        // Residual must shrink over training as ADMM pulls W towards Z.
+                                          // Residual must shrink over training as ADMM pulls W towards Z.
         let first = out.logs.first().unwrap().residual;
         let last = out.logs.last().unwrap().residual;
         assert!(last < first, "residual {first} -> {last}");

@@ -178,9 +178,7 @@ mod tests {
         // XC7Z020 optimum 1:1.5 → SP2 fraction 0.6.
         assert!((PartitionRatio::from_fixed_sp2(1.0, 1.5).sp2_fraction() - 0.6).abs() < 1e-6);
         // XC7Z045 optimum 1:2 → 2/3.
-        assert!(
-            (PartitionRatio::from_fixed_sp2(1.0, 2.0).sp2_fraction() - 2.0 / 3.0).abs() < 1e-6
-        );
+        assert!((PartitionRatio::from_fixed_sp2(1.0, 2.0).sp2_fraction() - 2.0 / 3.0).abs() < 1e-6);
         // Half/half of Table II.
         assert_eq!(PartitionRatio::from_fixed_sp2(1.0, 1.0).sp2_fraction(), 0.5);
         assert_eq!(PartitionRatio::from_fixed_sp2(1.0, 0.0).sp2_fraction(), 0.0);

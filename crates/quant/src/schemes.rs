@@ -8,6 +8,7 @@
 //! SP2. Projection is nearest-level search on the sorted level table.
 
 use crate::codes::{Sp2Exponents, WeightCode};
+use crate::error::QuantError;
 use std::fmt;
 
 /// Weight-quantization scheme selector.
@@ -70,9 +71,21 @@ impl Codebook {
     /// # Panics
     ///
     /// Panics when `bits < 2` or `bits > 8` (the paper's range is 3–7; 8 is a
-    /// safe ceiling for the shift-based integer kernels).
+    /// safe ceiling for the shift-based integer kernels). The pipeline path
+    /// uses the non-panicking [`Codebook::try_new`].
     pub fn new(scheme: Scheme, bits: u32) -> Self {
-        assert!((2..=8).contains(&bits), "bit-width {bits} out of range 2..=8");
+        Self::try_new(scheme, bits).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the codebook for `scheme` at `bits` total bit-width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::BitWidth`] when `bits` is outside `2..=8`.
+    pub fn try_new(scheme: Scheme, bits: u32) -> Result<Self, QuantError> {
+        if !(2..=8).contains(&bits) {
+            return Err(QuantError::BitWidth { bits });
+        }
         let mut levels: Vec<Level> = Vec::new();
         let mut code_count = 0usize;
         let mut push = |value: f32, code: WeightCode, code_count: &mut usize| {
@@ -129,12 +142,12 @@ impl Codebook {
             }
         }
         levels.sort_by(|a, b| a.value.partial_cmp(&b.value).expect("finite levels"));
-        Codebook {
+        Ok(Codebook {
             scheme,
             bits,
             levels,
             code_count,
-        }
+        })
     }
 
     /// The scheme this codebook realises.
@@ -231,7 +244,11 @@ mod tests {
         assert!((vals[14] - 1.0).abs() < 1e-6);
         assert!(vals.contains(&0.0));
         // Smallest non-zero magnitude is 2^-(2^{m-1}-2) = 1/64.
-        let min_pos = vals.iter().copied().filter(|&v| v > 0.0).fold(f32::MAX, f32::min);
+        let min_pos = vals
+            .iter()
+            .copied()
+            .filter(|&v| v > 0.0)
+            .fold(f32::MAX, f32::min);
         assert!((min_pos - 1.0 / 64.0).abs() < 1e-7);
     }
 
@@ -279,8 +296,8 @@ mod tests {
         assert!((cb.project(1.0) - 1.0).abs() < 1e-6);
         assert!((cb.project(0.99) - 1.0).abs() < 1e-6);
         assert!((cb.project(-2.0) + 1.0).abs() < 1e-6); // clamps to extreme level
-        // 0.5 is between 3/7≈0.4286 and 4/7≈0.5714 → distance equal-ish, snap
-        // to one of them.
+                                                        // 0.5 is between 3/7≈0.4286 and 4/7≈0.5714 → distance equal-ish, snap
+                                                        // to one of them.
         let p = cb.project(0.5);
         assert!((p - 3.0 / 7.0).abs() < 1e-6 || (p - 4.0 / 7.0).abs() < 1e-6);
     }

@@ -117,11 +117,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank-2");
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (k2, n) = (b.dims()[0], b.dims()[1]);
-    assert_eq!(
-        k, k2,
-        "matmul inner dimensions differ: {} vs {}",
-        k, k2
-    );
+    assert_eq!(k, k2, "matmul inner dimensions differ: {} vs {}", k, k2);
     let mut out = Tensor::zeros(&[m, n]);
     gemm(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n);
     out
@@ -187,16 +183,18 @@ mod tests {
     #[test]
     fn blocked_matches_naive_rectangular() {
         let mut rng = TensorRng::seed_from(17);
-        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 70, 5), (65, 130, 67), (7, 3, 129)] {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 70, 5),
+            (65, 130, 67),
+            (7, 3, 129),
+        ] {
             let a = Tensor::randn(&[m, k], &mut rng);
             let b = Tensor::randn(&[k, n], &mut rng);
             let fast = matmul(&a, &b);
             let slow = gemm_naive(a.as_slice(), b.as_slice(), m, k, n);
             let slow = Tensor::from_vec(slow, &[m, n]).unwrap();
-            assert!(
-                fast.max_abs_diff(&slow) < 1e-3,
-                "mismatch at ({m},{k},{n})"
-            );
+            assert!(fast.max_abs_diff(&slow) < 1e-3, "mismatch at ({m},{k},{n})");
         }
     }
 

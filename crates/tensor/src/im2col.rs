@@ -27,7 +27,13 @@ pub struct ConvGeometry {
 
 impl ConvGeometry {
     /// Dense convolution geometry.
-    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, stride: usize, padding: usize) -> Self {
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
         ConvGeometry {
             in_channels,
             out_channels,

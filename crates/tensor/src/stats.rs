@@ -64,7 +64,10 @@ pub fn excess_kurtosis(xs: &[f32]) -> f32 {
 /// Panics on an empty slice or when `q` is outside `[0, 100]`.
 pub fn percentile(xs: &[f32], q: f32) -> f32 {
     assert!(!xs.is_empty(), "percentile of empty slice");
-    assert!((0.0..=100.0).contains(&q), "percentile q must be in [0,100]");
+    assert!(
+        (0.0..=100.0).contains(&q),
+        "percentile q must be in [0,100]"
+    );
     let mut sorted: Vec<f32> = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
     let pos = q / 100.0 * (sorted.len() - 1) as f32;

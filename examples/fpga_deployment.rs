@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example fpga_deployment`
 
 use mixmatch::fpga::cost::CostModel;
-use mixmatch::fpga::explore::{optimal_design, sweep, ExploreConfig};
+use mixmatch::fpga::explore::{sweep, ExploreConfig};
 use mixmatch::fpga::report::{fmt_pct, TextTable};
 use mixmatch::fpga::sim::{simulate, SimParams};
 use mixmatch::fpga::workload::Network;
@@ -40,17 +40,25 @@ fn main() {
                 if p.feasible { "ok" } else { "over ceiling" }
             );
         }
-        let design = optimal_design(device, &ExploreConfig::default());
+        // FpgaTarget is the pipeline anchor: the explored design *is* the
+        // MsqPolicy handed to QuantPipeline::for_device(device).
+        let target = FpgaTarget::new(device);
+        let design = target.design;
+        let policy = target.derive_policy();
         let model = CostModel::for_device(&device);
         let usage = model.usage(&design);
         println!(
-            "\noptimal: {} | LUT {:.0} DSP {:.0} BRAM {:.1} FF {:.0} | peak {:.1} GOPS\n",
+            "\noptimal: {} | LUT {:.0} DSP {:.0} BRAM {:.1} FF {:.0} | peak {:.1} GOPS",
             design.ratio_label(),
             usage.lut,
             usage.dsp,
             usage.bram36,
             usage.ff,
             design.peak_gops()
+        );
+        println!(
+            "derived pipeline policy: {:?} at {} bits\n",
+            policy.choice, policy.bits
         );
         let params = SimParams::default();
         let mut t = TextTable::new(vec!["workload", "GOPS", "latency", "PE util", "FPS"]);

@@ -2,7 +2,8 @@
 //! Table II on the CIFAR10 stand-in.
 //!
 //! Trains the ResNet stand-in as: float baseline, P2, Fixed, SP2, and MSQ at
-//! the half/half and optimal ratios; prints the accuracy ladder.
+//! the half/half and optimal ratios — each quantized run through one
+//! `QuantPipeline` chain — and prints the accuracy ladder.
 //!
 //! Run with: `cargo run --release --example image_classification`
 
@@ -18,20 +19,27 @@ fn run(ds: &ImageDataset, policy: Option<MsqPolicy>, seed: u64) -> f32 {
         cfg = cfg.with_act_bits(4);
     }
     let mut model = ResNet::new(cfg, &mut rng);
-    let qat = match policy {
-        None => QatConfig::float_baseline(10, 0.05),
-        Some(p) => QatConfig::quantized(p, 10, 0.05),
-    };
     let mut data_rng = rng.fork();
-    let _ = train_classifier(
-        &mut model,
-        |_| {
-            BatchIter::shuffled(ds.train_len(), 32, false, &mut data_rng)
-                .map(|idx| ds.train_batch(&idx))
-                .collect()
-        },
-        &qat,
-    );
+    let batches = |data_rng: &mut TensorRng| {
+        BatchIter::shuffled(ds.train_len(), 32, false, data_rng)
+            .map(|idx| ds.train_batch(&idx))
+            .collect::<Vec<_>>()
+    };
+    match policy {
+        None => {
+            let _ = train_classifier(
+                &mut model,
+                |_| batches(&mut data_rng),
+                &QatConfig::float_baseline(10, 0.05),
+            );
+        }
+        Some(p) => {
+            let _ = QuantPipeline::from_policy(p)
+                .with_qat(QatConfig::quantized(p, 10, 0.05))
+                .train_and_quantize(&mut model, |_| batches(&mut data_rng))
+                .expect("pipeline");
+        }
+    }
     let (x, y) = ds.test_all();
     evaluate_classifier(&mut model, &x, &y).top1
 }

@@ -16,7 +16,11 @@ fn main() {
     let ds = DetectionDataset::generate(&dcfg);
     println!(
         "COCO stand-in: {} classes, {} train / {} test scenes at {}x{}\n",
-        dcfg.classes, ds.train_len(), ds.test_len(), dcfg.image_size, dcfg.image_size
+        dcfg.classes,
+        ds.train_len(),
+        ds.test_len(),
+        dcfg.image_size,
+        dcfg.image_size
     );
     for (label, policy) in [
         ("Baseline (FP)", None),
@@ -28,7 +32,10 @@ fn main() {
             ycfg = ycfg.with_act_bits(4);
         }
         let mut model = YoloDetector::new(ycfg, &mut rng);
-        let mut quant = policy.map(|p| AdmmQuantizer::attach(&model.params(), AdmmConfig::new(p)));
+        // The detection loss needs a custom loop, so the pipeline hands out
+        // its ADMM quantizer and finishes with `quantize` afterwards.
+        let pipeline = policy.map(QuantPipeline::from_policy);
+        let mut quant = pipeline.as_ref().map(|p| p.admm_quantizer(&model.params()));
         let epochs = 30;
         let mut opt = Sgd::with_config(
             0.1,
@@ -72,8 +79,17 @@ fn main() {
                 model.zero_grad();
             }
         }
-        if let Some(q) = &mut quant {
-            let _ = q.project_final(&mut model.params_mut());
+        drop(quant.take());
+        if let Some(p) = pipeline {
+            // Hard projection + deployment packaging in one call; the report
+            // confirms every head/backbone conv landed on its scheme grid.
+            let quantized = p.quantize(&mut model).expect("pipeline");
+            println!(
+                "  [{}] {} conv layers quantized, {:.1}x packed compression",
+                label,
+                quantized.layers().len(),
+                quantized.compression_rate()
+            );
         }
         // Evaluate mAP on the test split.
         let (x, objs) = ds.test_all();

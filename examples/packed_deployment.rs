@@ -1,24 +1,35 @@
-//! Packed deployment: quantize a trained layer, serialise it into the 4-bit
-//! nibble format, measure the compression rate, and verify the unpacked
-//! matrix reproduces the exact integer inference results — the paper's
-//! "8× compression" and bit-exactness claims in one script.
+//! Packed deployment: let the pipeline derive the XC7Z045 policy, quantize a
+//! trained-layer stand-in, and verify the serialized 4-bit artifact — the
+//! paper's "8× compression" and bit-exactness claims in one script, with the
+//! partition ratio coming from hardware characterization instead of a
+//! hard-coded constant.
 //!
 //! Run with: `cargo run --release --example packed_deployment`
 
+use mixmatch::nn::layers::Linear;
+use mixmatch::nn::module::Sequential;
 use mixmatch::prelude::*;
 use mixmatch::quant::export::compression_rate;
-use mixmatch::quant::integer::{ActQuantizer, QuantizedMatrix};
+use mixmatch::quant::integer::ActQuantizer;
 
 fn main() {
     let mut rng = TensorRng::seed_from(4);
     // Stand-in for a trained ResNet layer3 conv: [256 filters, 1152 inputs].
-    let w = Tensor::randn(&[256, 1152], &mut rng);
-    let policy = MsqPolicy::msq_optimal();
-    let qm = QuantizedMatrix::from_float(&w, &policy);
-    let packed = qm.pack();
+    let mut model = Sequential::new();
+    model.push(Linear::with_name("layer3.conv", 1152, 256, false, &mut rng));
 
-    let float_bytes = w.len() * 4;
-    println!("layer: 256x1152 weights");
+    let quantized = QuantPipeline::for_device(FpgaDevice::XC7Z045)
+        .with_act_quantizer(ActQuantizer::new(4, 1.0))
+        .quantize(&mut model)
+        .expect("pipeline");
+    let layer = quantized.layer("layer3.conv.weight").expect("layer");
+    let packed = layer.packed.as_ref().expect("4-bit layers pack");
+
+    let float_bytes = 256 * 1152 * 4;
+    println!(
+        "layer: 256x1152 weights under the derived {} policy",
+        quantized.label()
+    );
     println!("  float32:      {:>9} bytes", float_bytes);
     println!(
         "  packed 4-bit: {:>9} bytes ({} code bytes + per-row scheme/alpha)",
@@ -27,19 +38,23 @@ fn main() {
     );
     println!(
         "  compression:  {:.2}x measured, {:.2}x analytic (paper: 8x)",
-        float_bytes as f32 / packed.byte_size() as f32,
+        quantized.compression_rate(),
         compression_rate(256, 1152)
     );
 
     // Round-trip and verify inference equality on integer activations.
     let restored = packed.unpack().expect("packed stream is well-formed");
-    let act = ActQuantizer::new(4, 1.0);
+    let qm = layer.matrix();
+    let act = *quantized.act_quantizer();
     let x: Vec<f32> = (0..1152).map(|i| ((i * 37) % 100) as f32 / 100.0).collect();
     let xq = act.quantize(&x);
     let (y0, ops) = qm.matvec(&xq, &act);
     let (y1, _) = restored.matvec(&xq, &act);
     assert_eq!(y0, y1, "unpacked matrix must be bit-identical");
-    println!("\nround-trip inference: identical across {} outputs", y0.len());
+    println!(
+        "\nround-trip inference: identical across {} outputs",
+        y0.len()
+    );
     println!(
         "op census: {} DSP multiplies, {} shifts, {} adds (SP2 rows run multiplier-free)",
         ops.mults, ops.shifts, ops.adds

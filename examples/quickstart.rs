@@ -1,29 +1,37 @@
-//! Quickstart: the full Mix-and-Match pipeline in one file.
+//! Quickstart: the full Mix-and-Match pipeline in one chain.
 //!
-//! 1. Characterise the target FPGA → SP2:fixed partition ratio.
-//! 2. Train a small CNN with MSQ (ADMM weight quantization + 4-bit STE
-//!    activations) at that ratio.
-//! 3. Deploy: encode weights as hardware codes, run bit-exact shift/add
-//!    inference, and estimate on-device throughput with the cycle simulator.
+//! `QuantPipeline` closes the paper's loop from a single entry point:
+//!
+//! 1. `for_device` characterises the target FPGA → SP2:fixed partition ratio
+//!    → `MsqPolicy` (§V-A).
+//! 2. `train_and_quantize` runs MSQ quantization-aware training (ADMM weight
+//!    quantization + 4-bit STE activations) at that ratio (Algorithms 1–2).
+//! 3. The returned `QuantizedModel` owns the bit-exact integer deployment
+//!    forms and packed weights; `.report()` feeds the cycle simulator.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use mixmatch::prelude::*;
 use mixmatch::data::{BatchIter, ImageDataset, SynthImageConfig};
-use mixmatch::fpga::explore::{optimal_design, ExploreConfig};
 use mixmatch::fpga::gemm_core::HeterogeneousGemm;
 use mixmatch::fpga::sim::{simulate, SimParams};
 use mixmatch::fpga::workload::Network;
 use mixmatch::nn::models::{ResNet, ResNetConfig};
+use mixmatch::prelude::*;
 use mixmatch::quant::integer::ActQuantizer;
-use mixmatch::quant::qat::{evaluate_classifier, train_classifier, QatConfig};
+use mixmatch::quant::qat::evaluate_classifier;
 
 fn main() {
     // ------------------------------------------------------------------
-    // Step 1: hardware characterization picks the ratio (paper §V-A).
+    // One pipeline: device characterization → MSQ training → deployment.
     // ------------------------------------------------------------------
     let device = FpgaDevice::XC7Z045;
-    let design = optimal_design(device, &ExploreConfig::default());
+    let target = FpgaTarget::new(device).with_input_size(16);
+    let design = target.design;
+    let pipeline = QuantPipeline::for_device(target).with_qat(QatConfig::quantized(
+        MsqPolicy::msq_optimal(),
+        8,
+        0.05,
+    ));
     println!(
         "[1] DSE on {}: optimal design {} -> PR_SP2 = {:.3}",
         device.name,
@@ -31,54 +39,36 @@ fn main() {
         design.partition_ratio().sp2_fraction()
     );
 
-    // ------------------------------------------------------------------
-    // Step 2: MSQ quantization-aware training at that ratio (Algorithms 1-2).
-    // ------------------------------------------------------------------
     let mut rng = TensorRng::seed_from(42);
     let ds = ImageDataset::generate(&SynthImageConfig::cifar10_like());
-    let policy = MsqPolicy::mixed(design.partition_ratio(), 4);
     let mut model = ResNet::new(
         ResNetConfig::mini(ds.config().classes).with_act_bits(4),
         &mut rng,
     );
     let mut data_rng = rng.fork();
-    let outcome = train_classifier(
-        &mut model,
-        |_| {
+    let quantized = pipeline
+        .train_and_quantize(&mut model, |_| {
             BatchIter::shuffled(ds.train_len(), 32, false, &mut data_rng)
                 .map(|idx| ds.train_batch(&idx))
                 .collect()
-        },
-        &QatConfig::quantized(policy, 8, 0.05),
-    );
+        })
+        .expect("pipeline");
+
     let (x_test, y_test) = ds.test_all();
     let eval = evaluate_classifier(&mut model, &x_test, &y_test);
     println!(
         "[2] MSQ-trained mini-ResNet: top-1 {:.1}% (residual {:.4} -> {:.4})",
         eval.top1,
-        outcome.logs.first().map(|l| l.residual).unwrap_or(0.0),
-        outcome.logs.last().map(|l| l.residual).unwrap_or(0.0),
+        quantized.logs().first().map(|l| l.residual).unwrap_or(0.0),
+        quantized.logs().last().map(|l| l.residual).unwrap_or(0.0),
     );
-    for report in &outcome.reports {
-        println!(
-            "    {:<24} rows {}  SP2 fraction {:.2}  mean MSE {:.2e}",
-            report.name,
-            report.rows.len(),
-            report.sp2_fraction(),
-            report.mean_mse()
-        );
-    }
+    println!("{}", quantized.report());
 
     // ------------------------------------------------------------------
-    // Step 3: deployment — bit-exact integer inference + performance model.
+    // The same integer arithmetic on the heterogeneous GEMM cores.
     // ------------------------------------------------------------------
-    let first_conv = model
-        .params()
-        .into_iter()
-        .find(|p| p.name() == "stem.weight")
-        .expect("stem weight")
-        .value
-        .clone();
+    let stem = quantized.layer("stem.weight").expect("stem layer");
+    let first_conv = stem.matrix().to_float();
     let core = HeterogeneousGemm::new(&first_conv, &design, 4);
     let (n_fixed, n_sp2) = core.row_split();
     let act = ActQuantizer::new(4, 1.0);

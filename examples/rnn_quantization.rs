@@ -34,10 +34,10 @@ fn main() {
     let mut rng = TensorRng::seed_from(3);
     let mut lm = LstmLanguageModel::new(cfg.vocab, 24, 48, 2, &mut rng);
     let mut opt = Adam::new(3e-3);
-    let policy = MsqPolicy::msq_optimal();
-    let mut admm = AdmmConfig::new(policy);
-    admm.rho = 1e-2;
-    let mut quant = AdmmQuantizer::attach(&lm.params(), admm);
+    // The token-driven LSTM owns its own training loop, so the pipeline
+    // hands out its ADMM quantizer and packages the model afterwards.
+    let pipeline = QuantPipeline::for_device(FpgaDevice::XC7Z045);
+    let mut quant = pipeline.admm_quantizer(&lm.params());
     println!(
         "quantizing {} weight matrices: {:?}\n",
         quant.target_names().len(),
@@ -65,17 +65,11 @@ fn main() {
         );
     }
     let ppl_before_projection = valid_ppl(&mut lm, &corpus);
-    let reports = quant.project_final(&mut lm.params_mut());
+    drop(quant);
+    let quantized = pipeline.quantize(&mut lm).expect("pipeline");
     let ppl_after = valid_ppl(&mut lm, &corpus);
     println!("\nvalidation perplexity: {ppl_before_projection:.2} (soft) -> {ppl_after:.2} (hard-projected 4-bit)");
-    for r in &reports {
-        println!(
-            "  {:<16} SP2 fraction {:.2}  mean row MSE {:.2e}",
-            r.name,
-            r.sp2_fraction(),
-            r.mean_mse()
-        );
-    }
+    println!("{}", quantized.report());
     println!("\n(The oracle perplexity above is the information-theoretic floor of the");
     println!(" synthetic corpus — a sanity anchor the quantized model should approach.)");
 }

@@ -1,5 +1,6 @@
 //! Integration tests: the full quantization pipeline across crates —
-//! data → model → ADMM training → projection → bit-exact deployment.
+//! data → model → ADMM training → projection → bit-exact deployment —
+//! driven through the `QuantPipeline` entry point.
 
 use mixmatch::data::{BatchIter, ImageDataset, SynthImageConfig};
 use mixmatch::nn::models::{MobileNetConfig, MobileNetV2, ResNet, ResNetConfig};
@@ -12,27 +13,40 @@ fn tiny_dataset() -> ImageDataset {
     ImageDataset::generate(&SynthImageConfig::tiny())
 }
 
-fn train(
-    model: &mut impl Layer,
+/// Trains `model` under `policy` through the pipeline, returning the
+/// deployment artifact (float baselines use the raw QAT driver).
+fn train<M>(
+    model: &mut M,
     ds: &ImageDataset,
     policy: Option<MsqPolicy>,
     epochs: usize,
     seed: u64,
-) -> mixmatch::quant::qat::QatOutcome {
-    let cfg = match policy {
-        None => QatConfig::float_baseline(epochs, 0.05),
-        Some(p) => QatConfig::quantized(p, epochs, 0.05),
-    };
+) -> Option<QuantizedModel>
+where
+    M: Layer + QuantizableModel,
+{
     let mut data_rng = TensorRng::seed_from(seed);
-    train_classifier(
-        model,
-        |_| {
-            BatchIter::shuffled(ds.train_len(), 16, false, &mut data_rng)
-                .map(|idx| ds.train_batch(&idx))
-                .collect()
-        },
-        &cfg,
-    )
+    let batches = |data_rng: &mut TensorRng| {
+        BatchIter::shuffled(ds.train_len(), 16, false, data_rng)
+            .map(|idx| ds.train_batch(&idx))
+            .collect::<Vec<_>>()
+    };
+    match policy {
+        None => {
+            let _ = train_classifier(
+                model,
+                |_| batches(&mut data_rng),
+                &QatConfig::float_baseline(epochs, 0.05),
+            );
+            None
+        }
+        Some(p) => Some(
+            QuantPipeline::from_policy(p)
+                .with_qat(QatConfig::quantized(p, epochs, 0.05))
+                .train_and_quantize(model, |_| batches(&mut data_rng))
+                .expect("pipeline"),
+        ),
+    }
 }
 
 #[test]
@@ -43,14 +57,14 @@ fn msq_training_beats_random_guessing_and_lands_on_grid() {
         ResNetConfig::mini(ds.config().classes).with_act_bits(4),
         &mut rng,
     );
-    let outcome = train(&mut model, &ds, Some(MsqPolicy::msq_half()), 6, 2);
+    let quantized = train(&mut model, &ds, Some(MsqPolicy::msq_half()), 6, 2).expect("quantized");
     let (x, y) = ds.test_all();
     let eval = evaluate_classifier(&mut model, &x, &y);
     // 4 classes → chance is 25%.
     assert!(eval.top1 > 40.0, "top1 {} too close to chance", eval.top1);
     // Every quantized weight sits exactly on its row's scheme grid.
     let books = SchemeBooks::new(4);
-    for report in &outcome.reports {
+    for report in quantized.reports() {
         let param = model
             .params()
             .into_iter()
@@ -117,10 +131,16 @@ fn mobilenet_pipeline_trains_under_quantization() {
         MobileNetConfig::mini(ds.config().classes).with_act_bits(4),
         &mut rng,
     );
-    let outcome = train(&mut model, &ds, Some(MsqPolicy::msq_optimal()), 6, 6);
-    assert!(!outcome.reports.is_empty());
-    // Depthwise + pointwise weights all quantized.
-    assert!(outcome.reports.iter().any(|r| r.name.contains(".dw.")));
+    let quantized =
+        train(&mut model, &ds, Some(MsqPolicy::msq_optimal()), 6, 6).expect("quantized");
+    assert!(!quantized.reports().is_empty());
+    // Depthwise + pointwise weights all quantized, and depthwise layers
+    // carry their geometry into deployment.
+    assert!(quantized.reports().iter().any(|r| r.name.contains(".dw.")));
+    assert!(quantized
+        .layers()
+        .iter()
+        .any(|l| matches!(l.desc.kind, QuantLayerKind::DepthwiseConv(_))));
     let (x, y) = ds.test_all();
     let eval = evaluate_classifier(&mut model, &x, &y);
     assert!(eval.top1 > 35.0, "top1 {}", eval.top1);

@@ -10,8 +10,10 @@ use mixmatch::prelude::*;
 
 #[test]
 fn dse_ratio_feeds_quantizer_and_matches_paper_optima() {
-    // XC7Z020 → 1:1.5, XC7Z045 → 1:2 (Table VII), and the ratio handed to
-    // Algorithm 2 reproduces the row split.
+    // XC7Z020 → 1:1.5, XC7Z045 → 1:2 (Table VII), and the policy the
+    // pipeline derives from each device reproduces the row split — the
+    // design → policy bridge replacing the manual optimal_design →
+    // partition_ratio → MsqPolicy wiring.
     for (device, label, sp2_fraction) in [
         (FpgaDevice::XC7Z020, "1:1.5", 0.6f32),
         (FpgaDevice::XC7Z045, "1:2", 2.0 / 3.0),
@@ -20,10 +22,11 @@ fn dse_ratio_feeds_quantizer_and_matches_paper_optima() {
         assert_eq!(design.ratio_label(), label);
         let ratio = design.partition_ratio();
         assert!((ratio.sp2_fraction() - sp2_fraction).abs() < 1e-6);
-        // Quantize a matrix at that ratio and check the row census.
+        // The pipeline derives the same policy straight from the device.
+        let policy = *QuantPipeline::for_device(device).policy();
+        assert_eq!(policy.bits, 4);
         let mut rng = TensorRng::seed_from(0);
         let w = Tensor::randn(&[30, 16], &mut rng);
-        let policy = MsqPolicy::mixed(ratio, 4);
         let assignment = policy.assignment_for(&w);
         assert_eq!(assignment.count(Scheme::Sp2), ratio.sp2_rows(30));
     }

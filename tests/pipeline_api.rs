@@ -1,0 +1,160 @@
+//! Integration tests for the unified `QuantPipeline` API — the single
+//! device-to-deployment chain replacing the hand-wired
+//! `optimal_design` → `MsqPolicy` → `project_with_policy` → `QuantizedConv`
+//! → `export` sequences.
+
+use mixmatch::data::{BatchIter, ImageDataset, SynthImageConfig};
+use mixmatch::nn::models::{ResNet, ResNetConfig};
+use mixmatch::prelude::*;
+use mixmatch::quant::codes::WeightCode;
+use mixmatch::quant::deploy::conv_parity;
+use mixmatch::quant::export::{pack_nibbles, unpack_nibbles};
+use mixmatch::quant::msq::SchemeChoice;
+use mixmatch::quant::pipeline::DeployForm;
+use mixmatch::quant::qat::QatConfig;
+use mixmatch::quant::schemes::Codebook;
+use proptest::prelude::*;
+
+/// `for_device` on the paper's large part must derive the 1:2 policy
+/// (Table VII's XC7Z045 optimum: 2/3 of rows on SP2, 4-bit weights).
+#[test]
+fn for_device_xc7z045_yields_the_papers_1_to_2_policy() {
+    let pipeline = QuantPipeline::for_device(FpgaDevice::XC7Z045);
+    let policy = *pipeline.policy();
+    assert_eq!(policy.bits, 4);
+    match policy.choice {
+        SchemeChoice::Mixed(ratio) => {
+            assert!(
+                (ratio.sp2_fraction() - 2.0 / 3.0).abs() < 1e-6,
+                "SP2 fraction {}",
+                ratio.sp2_fraction()
+            );
+        }
+        other => panic!("expected the mixed 1:2 policy, got {other:?}"),
+    }
+    // The small part lands on 1:1.5 (0.6 SP2) the same way.
+    let policy20 = *QuantPipeline::for_device(FpgaDevice::XC7Z020).policy();
+    match policy20.choice {
+        SchemeChoice::Mixed(ratio) => {
+            assert!((ratio.sp2_fraction() - 0.6).abs() < 1e-6)
+        }
+        other => panic!("expected the mixed 1:1.5 policy, got {other:?}"),
+    }
+}
+
+/// One `for_device(..).train_and_quantize(..)` chain reproduces what the
+/// quickstart used to hand-wire, and the artifact's integer forward matches
+/// the float-quantized forward bit-exactly on every layer.
+#[test]
+fn quantized_model_integer_forward_is_bit_exact() {
+    let ds = ImageDataset::generate(&SynthImageConfig::tiny());
+    let mut rng = TensorRng::seed_from(11);
+    let mut model = ResNet::new(
+        ResNetConfig::mini(ds.config().classes).with_act_bits(4),
+        &mut rng,
+    );
+    let mut data_rng = rng.fork();
+    let quantized =
+        QuantPipeline::for_device(FpgaTarget::new(FpgaDevice::XC7Z045).with_input_size(8))
+            .with_qat(QatConfig::quantized(MsqPolicy::msq_optimal(), 3, 0.05))
+            .train_and_quantize(&mut model, |_| {
+                BatchIter::shuffled(ds.train_len(), 16, false, &mut data_rng)
+                    .map(|idx| ds.train_batch(&idx))
+                    .collect()
+            })
+            .expect("pipeline");
+    assert!(!quantized.layers().is_empty());
+    let act = *quantized.act_quantizer();
+    let mut convs = 0usize;
+    for layer in quantized.layers() {
+        match &layer.form {
+            DeployForm::Conv(conv) => {
+                convs += 1;
+                let geom = *conv.geometry();
+                let img = Tensor::rand_uniform(&[geom.in_channels, 8, 8], 0.0, act.clip, &mut rng);
+                // Integer im2col datapath vs float reference on the
+                // dequantized weights.
+                let diff = conv_parity(conv, &img);
+                assert!(diff < 1e-3, "{}: divergence {diff}", layer.desc.name);
+            }
+            DeployForm::Matrix(qm) => {
+                let x: Vec<f32> = (0..qm.cols())
+                    .map(|_| rng.uniform_in(0.0, act.clip))
+                    .collect();
+                let xq = act.quantize(&x);
+                let (y, _) = qm.matvec(&xq, &act);
+                let wf = qm.to_float();
+                let xd = act.dequantize(&xq);
+                for (r, &yr) in y.iter().enumerate() {
+                    let expect: f32 = wf.row(r).iter().zip(&xd).map(|(&a, &b)| a * b).sum();
+                    assert!(
+                        (yr - expect).abs() < 1e-3 * (1.0 + expect.abs()),
+                        "{} row {r}",
+                        layer.desc.name
+                    );
+                }
+            }
+        }
+        // Deployment codes dequantize to exactly the projected in-place
+        // weights, so training-time accuracy carries to the device.
+        let param = mixmatch::nn::module::Layer::params(&model)
+            .into_iter()
+            .find(|p| p.name() == layer.desc.name)
+            .expect("param")
+            .value
+            .clone();
+        assert!(layer.matrix().to_float().max_abs_diff(&param) < 1e-5);
+    }
+    assert!(
+        convs > 0,
+        "ResNet must deploy convs through the im2col path"
+    );
+    // The report carries the hardware prediction for this model's shapes.
+    let report = quantized.report();
+    let hw = report.hardware.expect("fpga summary");
+    assert_eq!(hw.ratio_label, "1:2");
+    assert!(hw.gops > 0.0 && hw.latency_ms > 0.0);
+    assert!(quantized.compression_rate() > 4.0);
+}
+
+/// The error path: the pipeline surfaces bad inputs as `QuantError` instead
+/// of panicking.
+#[test]
+fn pipeline_errors_are_typed() {
+    let mut rng = TensorRng::seed_from(3);
+    let mut model = mixmatch::nn::module::Sequential::new();
+    model.push(mixmatch::nn::layers::Linear::new(4, 4, true, &mut rng));
+    let err = QuantPipeline::from_policy(MsqPolicy::single(Scheme::Fixed, 9))
+        .quantize(&mut model)
+        .unwrap_err();
+    assert_eq!(err, QuantError::BitWidth { bits: 9 });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Export pack/unpack round-trips every codebook level of every scheme,
+    /// through random row lengths (odd lengths exercise nibble padding).
+    #[test]
+    fn export_round_trips_across_all_schemes(len in 1usize..33, seed in 0u64..500) {
+        let mut rng = TensorRng::seed_from(seed);
+        for scheme in [Scheme::Fixed, Scheme::Pow2, Scheme::Sp2] {
+            let cb = Codebook::new(scheme, 4);
+            let levels = cb.levels();
+            let codes: Vec<WeightCode> = (0..len)
+                .map(|_| levels[rng.below(levels.len())].code)
+                .collect();
+            let packed = pack_nibbles(&codes);
+            prop_assert_eq!(packed.len(), len.div_ceil(2));
+            let unpacked = unpack_nibbles(&packed, len, scheme).expect("round trip");
+            for (a, b) in codes.iter().zip(&unpacked) {
+                prop_assert!(
+                    (a.value() - b.value()).abs() < 1e-6,
+                    "{scheme}: {} != {}",
+                    a.value(),
+                    b.value()
+                );
+            }
+        }
+    }
+}

@@ -72,6 +72,39 @@ proptest! {
         }
     }
 
+    /// The pipeline's deployment artifact is bit-exact against the model's
+    /// projected weights for any partition ratio — the end-to-end version of
+    /// `deployment_is_bit_exact`, through `QuantPipeline` instead of
+    /// hand-wired projection + encoding.
+    #[test]
+    fn pipeline_artifact_is_bit_exact(seed in 0u64..200, sp2_frac in 0.0f32..1.0) {
+        use mixmatch::nn::layers::Linear;
+        use mixmatch::nn::module::Sequential;
+        let mut rng = TensorRng::seed_from(seed);
+        let mut model = Sequential::new();
+        model.push(Linear::with_name("fc", 16, 6, false, &mut rng));
+        let policy = MsqPolicy::mixed(PartitionRatio::new(sp2_frac), 4);
+        let quantized = QuantPipeline::from_policy(policy)
+            .quantize(&mut model)
+            .expect("pipeline");
+        let layer = quantized.layer("fc.weight").expect("layer");
+        let qm = layer.matrix();
+        // The deployment codes dequantize to exactly the projected weights.
+        let projected = &mixmatch::nn::module::Layer::params(&model)[0].value;
+        prop_assert!(qm.to_float().max_abs_diff(projected) < 1e-5);
+        // And the integer kernel reproduces the float product.
+        let act = *quantized.act_quantizer();
+        let x: Vec<f32> = (0..16).map(|_| rng.uniform_in(0.0, 1.0)).collect();
+        let xq = act.quantize(&x);
+        let (y, _) = qm.matvec(&xq, &act);
+        let wf = qm.to_float();
+        let xd = act.dequantize(&xq);
+        for (r, &yr) in y.iter().enumerate() {
+            let expect: f32 = wf.row(r).iter().zip(&xd).map(|(&a, &b)| a * b).sum();
+            prop_assert!((yr - expect).abs() < 1e-3 * (1.0 + expect.abs()));
+        }
+    }
+
     /// Packing a quantized matrix and unpacking it is the identity on
     /// inference outputs.
     #[test]
@@ -103,17 +136,9 @@ fn starved_memory_bandwidth_degrades_gracefully() {
     // Failure injection: a 100x bandwidth cut must slow the simulator down,
     // not break it — utilization stays in (0, 1].
     let mut params = SimParams::default();
-    let healthy = simulate(
-        &Network::resnet18(),
-        &AcceleratorConfig::d2_3(),
-        &params,
-    );
+    let healthy = simulate(&Network::resnet18(), &AcceleratorConfig::d2_3(), &params);
     params.dram_bytes_per_cycle = 0.128;
-    let starved = simulate(
-        &Network::resnet18(),
-        &AcceleratorConfig::d2_3(),
-        &params,
-    );
+    let starved = simulate(&Network::resnet18(), &AcceleratorConfig::d2_3(), &params);
     assert!(starved.gops() < healthy.gops() / 10.0);
     assert!(starved.gops() > 0.0);
     assert!(starved.pe_utilization() <= 1.0);
@@ -159,7 +184,7 @@ fn admm_epoch_updates_preserve_w_plus_u_decomposition() {
             let names = q.target_names();
             assert_eq!(names.len(), 1, "one target at step {step}");
             let p = fc.params_mut();
-            
+
             p[0].value.clone()
         };
         let _ = target;

@@ -25,12 +25,22 @@ fn lstm_lm_quantizes_without_collapse() {
     let corpus = MarkovTextCorpus::generate(&cfg);
     let mut rng = TensorRng::seed_from(2);
     let mut lm = LstmLanguageModel::new(cfg.vocab, 8, 16, 2, &mut rng);
-    let mut quant = AdmmQuantizer::attach(&lm.params(), AdmmConfig::new(MsqPolicy::msq_half()));
+    // Token-driven training loop → pipeline hands out its quantizer, then
+    // packages the artifact after the custom loop.
+    let pipeline = QuantPipeline::from_policy(MsqPolicy::msq_half());
+    let mut quant = pipeline.admm_quantizer(&lm.params());
     // Both LSTM layers' input and recurrent matrices plus the decoder are
-    // quantization targets; the embedding is not.
+    // quantization targets; the embedding is not — and the model's own layer
+    // enumeration agrees with the quantizer's.
     let names = quant.target_names();
     assert_eq!(names.len(), 5, "targets: {names:?}");
     assert!(names.iter().all(|n| !n.starts_with("embedding")));
+    let desc_names: Vec<String> = lm
+        .quantizable_layers()
+        .into_iter()
+        .map(|d| d.name)
+        .collect();
+    assert_eq!(desc_names, names);
     let mut opt = Adam::new(5e-3);
     for _ in 0..10 {
         quant.epoch_update(&mut lm.params_mut());
@@ -44,7 +54,9 @@ fn lstm_lm_quantizes_without_collapse() {
         }
     }
     let soft_ppl = valid_ppl(&mut lm, &corpus);
-    let reports = quant.project_final(&mut lm.params_mut());
+    drop(quant);
+    let quantized = pipeline.quantize(&mut lm).expect("pipeline");
+    let reports = quantized.reports();
     let hard_ppl = valid_ppl(&mut lm, &corpus);
     // The trained model must beat the uniform-prediction perplexity (= vocab)
     // and the hard projection must not destroy it.

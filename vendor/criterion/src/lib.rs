@@ -1,0 +1,143 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, vendored because this workspace builds without network
+//! access.
+//!
+//! It implements the subset the `mixmatch-bench` benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`black_box`] and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple adaptive wall-clock timer instead
+//! of criterion's statistical machinery. Results print as
+//! `name  ...  <mean time>/iter (<iters> iters)`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(250);
+/// Cap on timed iterations (keeps very cheap benches from spinning).
+const MAX_ITERS: u64 = 10_000;
+
+/// Collects timing for one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up, then iterating until the measurement
+    /// budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < TARGET && iters < MAX_ITERS {
+            black_box(f());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.elapsed = start.elapsed();
+    }
+
+    fn report(&self, name: &str) {
+        let per_iter = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        let (value, unit) = if per_iter >= 1e9 {
+            (per_iter / 1e9, "s")
+        } else if per_iter >= 1e6 {
+            (per_iter / 1e6, "ms")
+        } else if per_iter >= 1e3 {
+            (per_iter / 1e3, "µs")
+        } else {
+            (per_iter, "ns")
+        };
+        println!("{name:<48} {value:>9.2} {unit}/iter ({} iters)", self.iters);
+    }
+}
+
+/// The benchmark driver handed to every registered function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&id.to_string());
+        self
+    }
+
+    /// Opens a named group; member benchmarks print as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.criterion
+            .bench_function(format!("{}/{id}", self.prefix), f);
+        self
+    }
+
+    /// Ends the group (a no-op, for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runner, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` invoking every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("group");
+        g.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
+    }
+}

@@ -1,0 +1,58 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate, vendored because this workspace builds without network access.
+//!
+//! Only [`scope`] is provided (the single API `mixmatch-tensor`'s parallel
+//! GEMM uses), implemented on top of [`std::thread::scope`]. Semantics match
+//! crossbeam's: spawned threads may borrow from the enclosing stack frame and
+//! are joined before `scope` returns. One difference: a panicking child
+//! thread propagates its panic at the end of the scope instead of surfacing
+//! as `Err`, so the returned `Result` is always `Ok`.
+
+use std::thread;
+
+/// Scoped-thread handle mirroring `crossbeam::thread::Scope`.
+///
+/// Spawn closures receive a `&Scope` argument (crossbeam's signature), which
+/// permits nested spawns.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives this scope so it can
+    /// spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Creates a scope in which threads borrowing local data can be spawned; all
+/// threads are joined before it returns.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        super::scope(|scope| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                scope.spawn(move |_| *slot = data[i] * 10);
+            }
+        })
+        .expect("scope");
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+}
