@@ -1,0 +1,145 @@
+//! Serving-throughput benchmark: batched integer inference through
+//! `BatchEngine` at batch 1/8/32, measured wall-clock images/sec next to the
+//! cycle simulator's batched GOPS/fps prediction — the software counterpart
+//! of Table VIII's throughput columns, opened up to serving workloads.
+//!
+//! Writes `BENCH_throughput.json` into the working directory. Pass
+//! `--smoke` for a CI-sized run.
+
+use mixmatch_fpga::bridge::FpgaTarget;
+use mixmatch_fpga::device::FpgaDevice;
+use mixmatch_nn::models::{ResNet, ResNetConfig};
+use mixmatch_quant::engine::{BatchEngine, ModelBatch};
+use mixmatch_quant::pipeline::{DeployForm, QuantPipeline, QuantizedModel};
+use mixmatch_tensor::TensorRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Repeats `pass` until `min_secs` of wall clock have elapsed (at least
+/// twice), returning `(iterations, seconds)`.
+fn time_passes(mut pass: impl FnMut(), min_secs: f64) -> (usize, f64) {
+    let start = Instant::now();
+    let mut iters = 0usize;
+    loop {
+        pass();
+        iters += 1;
+        let secs = start.elapsed().as_secs_f64();
+        if iters >= 2 && secs >= min_secs {
+            return (iters, secs);
+        }
+    }
+}
+
+/// One model pass over a batch through the interpreted single-image kernels
+/// (`forward_image` / `matvec`) — the pre-engine baseline.
+fn single_path_pass(model: &QuantizedModel, batch: &ModelBatch) {
+    let act = *model.act_quantizer();
+    for (layer, inputs) in model.layers().iter().zip(&batch.inputs) {
+        for input in inputs {
+            match &layer.form {
+                DeployForm::Conv(conv) => {
+                    let _ = conv.forward_image(input);
+                }
+                DeployForm::Matrix(matrix) => {
+                    let _ = matrix.matvec(&act.quantize(input.as_slice()), &act);
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (input_hw, min_secs) = if smoke { (8, 0.05) } else { (16, 0.4) };
+    let device = FpgaDevice::XC7Z045;
+    let mut rng = TensorRng::seed_from(7);
+    let mut model = ResNet::new(ResNetConfig::mini(10).with_act_bits(4), &mut rng);
+    let quantized = QuantPipeline::for_device(FpgaTarget::new(device).with_input_size(input_hw))
+        .quantize(&mut model)
+        .expect("quantize resnet-mini");
+    let engine = BatchEngine::new();
+    println!(
+        "=== Batched integer inference throughput (resnet18-mini, {} layers, {} worker threads) ===\n",
+        quantized.layers().len(),
+        engine.threads()
+    );
+
+    // Pre-engine baseline: the interpreted single-image path at batch 1.
+    let base_batch = ModelBatch::sample(&quantized, input_hw, 1, &mut rng);
+    single_path_pass(&quantized, &base_batch); // warmup
+    let (iters, secs) = time_passes(|| single_path_pass(&quantized, &base_batch), min_secs);
+    let single_path_ips = iters as f64 / secs;
+    println!("single-image path (no engine):   {single_path_ips:9.1} images/sec");
+
+    let mut rows = String::new();
+    let mut measured = Vec::new();
+    for &batch in &[1usize, 8, 32] {
+        let model_batch = ModelBatch::sample(&quantized, input_hw, batch, &mut rng);
+        engine
+            .forward_batch(&quantized, &model_batch)
+            .expect("warmup pass");
+        let (iters, secs) = time_passes(
+            || {
+                engine
+                    .forward_batch(&quantized, &model_batch)
+                    .expect("timed pass");
+            },
+            min_secs,
+        );
+        let ips = (batch * iters) as f64 / secs;
+        measured.push((batch, ips));
+        let run = engine
+            .forward_batch(&quantized, &model_batch)
+            .expect("census pass");
+        let sim = quantized
+            .summarize_batched(batch)
+            .expect("fpga target anchors the pipeline");
+        let sim_ips = batch as f64 * 1_000.0 / sim.latency_ms as f64;
+        println!(
+            "engine batch {batch:>2}: {ips:9.1} images/sec measured | sim {:7.1} GOPS, {sim_ips:9.1} images/sec",
+            sim.gops
+        );
+        let _ = write!(
+            rows,
+            r#"{}    {{"batch": {batch}, "images_per_sec": {ips:.1}, "ops": {{"mults": {}, "shifts": {}, "adds": {}}}, "sim_gops": {:.2}, "sim_latency_ms": {:.4}, "sim_images_per_sec": {sim_ips:.1}}}"#,
+            if rows.is_empty() { "" } else { ",\n" },
+            run.ops.mults,
+            run.ops.shifts,
+            run.ops.adds,
+            sim.gops,
+            sim.latency_ms,
+        );
+    }
+
+    let ips_1 = measured
+        .iter()
+        .find(|(b, _)| *b == 1)
+        .map_or(0.0, |(_, i)| *i);
+    let ips_32 = measured
+        .iter()
+        .find(|(b, _)| *b == 32)
+        .map_or(0.0, |(_, i)| *i);
+    let speedup = if ips_1 > 0.0 { ips_32 / ips_1 } else { 0.0 };
+    println!("\nbatch-32 vs batch-1 speedup: {speedup:.2}x");
+
+    let json = format!(
+        r#"{{
+  "bench": "throughput",
+  "model": "resnet18-mini",
+  "device": "{}",
+  "input_hw": {input_hw},
+  "threads": {},
+  "smoke": {smoke},
+  "single_path_images_per_sec": {single_path_ips:.1},
+  "batches": [
+{rows}
+  ],
+  "speedup_batch32_vs_batch1": {speedup:.2}
+}}
+"#,
+        device.name,
+        engine.threads(),
+    );
+    std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
+    println!("wrote BENCH_throughput.json");
+}

@@ -128,6 +128,27 @@ impl FpgaTarget {
             gemms,
         }
     }
+
+    /// Batched lowering: the same layer shapes with `batch` inputs streamed
+    /// back-to-back. GEMM rows per invocation scale with the batch
+    /// (`m_per_call` is "output pixels × batch" per [`GemmOp`]'s contract —
+    /// for recurrent layers the batch is the per-step row count), as do the
+    /// activation streams; weights still load once per layer, which is
+    /// exactly why batching lifts simulated GOPS.
+    pub fn network_for_batch(
+        &self,
+        label: &str,
+        layers: &[QuantLayerDesc],
+        batch: usize,
+    ) -> Network {
+        let mut net = self.network_for(label, layers);
+        for op in &mut net.gemms {
+            op.m_per_call *= batch;
+            op.input_bytes_per_call *= batch as u64;
+            op.output_bytes_per_call *= batch as u64;
+        }
+        net
+    }
 }
 
 impl HardwareTarget for FpgaTarget {
@@ -140,10 +161,14 @@ impl HardwareTarget for FpgaTarget {
     }
 
     fn summarize(&self, layers: &[QuantLayerDesc]) -> Option<HardwareSummary> {
-        if layers.is_empty() {
+        self.summarize_batch(layers, 1)
+    }
+
+    fn summarize_batch(&self, layers: &[QuantLayerDesc], batch: usize) -> Option<HardwareSummary> {
+        if layers.is_empty() || batch == 0 {
             return None;
         }
-        let net = self.network_for("quantized model", layers);
+        let net = self.network_for_batch("quantized model", layers, batch);
         let perf = simulate(&net, &self.design, &self.sim);
         let model = CostModel::for_device(&self.device);
         let usage = model.usage_with_shell(&self.design);
@@ -179,6 +204,10 @@ impl HardwareTarget for FpgaDevice {
 
     fn summarize(&self, layers: &[QuantLayerDesc]) -> Option<HardwareSummary> {
         FpgaTarget::new(*self).summarize(layers)
+    }
+
+    fn summarize_batch(&self, layers: &[QuantLayerDesc], batch: usize) -> Option<HardwareSummary> {
+        FpgaTarget::new(*self).summarize_batch(layers, batch)
     }
 
     fn into_prepared(self) -> Box<dyn HardwareTarget> {
@@ -239,6 +268,35 @@ mod tests {
         assert!(summary.pe_utilization <= 1.0 + 1e-3);
         assert!(summary.lut_utilization > 0.0 && summary.lut_utilization <= 0.8);
         assert!(target.summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn batched_summaries_lift_throughput_and_scale_latency() {
+        let target = FpgaTarget::new(FpgaDevice::XC7Z045).with_input_size(16);
+        let layers = vec![
+            conv_desc("stem.weight", ConvGeometry::new(3, 8, 3, 1, 1)),
+            conv_desc("conv1.weight", ConvGeometry::new(8, 16, 3, 2, 1)),
+        ];
+        let one = target.summarize_batch(&layers, 1).expect("batch 1");
+        let thirty_two = target.summarize_batch(&layers, 32).expect("batch 32");
+        // Weights amortise over the batch while per-layer overheads stay
+        // fixed, so batched GOPS must not drop — and images/sec must rise.
+        assert!(thirty_two.gops >= one.gops);
+        let ips_1 = 1_000.0 / one.latency_ms;
+        let ips_32 = 32.0 * 1_000.0 / thirty_two.latency_ms;
+        assert!(ips_32 > ips_1, "{ips_32} !> {ips_1}");
+        // Batch 1 through the batched path is the unbatched summary.
+        let direct = target.summarize(&layers).expect("direct");
+        assert_eq!(one, direct);
+        assert!(target.summarize_batch(&layers, 0).is_none());
+        // The network scaling itself: m_per_call and streams × batch.
+        let net1 = target.network_for("t", &layers);
+        let net8 = target.network_for_batch("t", &layers, 8);
+        for (a, b) in net1.gemms.iter().zip(&net8.gemms) {
+            assert_eq!(b.m_per_call, 8 * a.m_per_call);
+            assert_eq!(b.input_bytes_per_call, 8 * a.input_bytes_per_call);
+            assert_eq!(b.weight_bytes(4), a.weight_bytes(4));
+        }
     }
 
     #[test]

@@ -91,29 +91,38 @@ pub struct NetworkPerf {
 }
 
 impl NetworkPerf {
-    /// Achieved throughput in GOPS.
+    /// Achieved throughput in GOPS. An empty network (zero cycles) reports
+    /// 0.0 rather than `inf`/`NaN`.
     pub fn gops(&self) -> f32 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
         self.total_ops as f32 / (self.total_cycles as f32 / (self.freq_mhz * 1e6)) / 1e9
     }
 
-    /// End-to-end latency in milliseconds.
+    /// End-to-end latency in milliseconds (0.0 for an empty network).
     pub fn latency_ms(&self) -> f32 {
         self.total_cycles as f32 / (self.freq_mhz * 1e3)
     }
 
-    /// PE utilization: achieved / peak throughput.
+    /// PE utilization: achieved / peak throughput (0.0 when the design has
+    /// no peak or the network is empty).
     pub fn pe_utilization(&self) -> f32 {
+        if self.peak_gops <= 0.0 {
+            return 0.0;
+        }
         self.gops() / self.peak_gops
     }
 
-    /// Frames (or sequences) per second.
+    /// Frames (or sequences) per second. An empty network reports 0.0
+    /// rather than `inf`.
     pub fn fps(&self) -> f32 {
-        1_000.0 / self.latency_ms()
+        let latency = self.latency_ms();
+        if latency <= 0.0 {
+            return 0.0;
+        }
+        1_000.0 / latency
     }
-}
-
-fn div_ceil(a: usize, b: usize) -> u64 {
-    (a.div_ceil(b)) as u64
 }
 
 /// Simulates one layer on a design.
@@ -129,13 +138,13 @@ pub fn simulate_layer(op: &GemmOp, cfg: &AcceleratorConfig, params: &SimParams) 
     let n_fixed = op.n - n_sp2;
     // Per-call tile counts. Depthwise ops read only 9 inputs per output
     // channel: the k-loop underfills Blk_in (one tile at k=9 of 16 lanes).
-    let m_tiles = div_ceil(op.m_per_call, cfg.bat);
-    let k_tiles = div_ceil(op.k, cfg.blk_in);
+    let m_tiles = op.m_per_call.div_ceil(cfg.bat) as u64;
+    let k_tiles = op.k.div_ceil(cfg.blk_in) as u64;
     let core_cycles = |n_core: usize, blk_out: usize| -> u64 {
         if n_core == 0 || blk_out == 0 {
             return 0;
         }
-        let n_tiles = div_ceil(n_core, blk_out);
+        let n_tiles = n_core.div_ceil(blk_out) as u64;
         let ideal = m_tiles * k_tiles * n_tiles * op.calls as u64;
         (ideal as f32 / params.efficiency).ceil() as u64
     };
@@ -298,6 +307,21 @@ mod tests {
         let by_latency = base.latency_ms() / opt.latency_ms();
         let by_gops = opt.gops() / base.gops();
         assert!((by_latency - by_gops).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_network_reports_zero_not_inf_or_nan() {
+        let net = Network {
+            name: "empty".into(),
+            gemms: Vec::new(),
+        };
+        let perf = simulate(&net, &AcceleratorConfig::d1_1(), &params());
+        assert_eq!(perf.total_cycles, 0);
+        assert_eq!(perf.gops(), 0.0);
+        assert_eq!(perf.latency_ms(), 0.0);
+        assert_eq!(perf.fps(), 0.0);
+        assert_eq!(perf.pe_utilization(), 0.0);
+        assert!(perf.gops().is_finite() && perf.fps().is_finite());
     }
 
     #[test]

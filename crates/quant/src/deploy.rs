@@ -156,17 +156,47 @@ impl QuantizedConv {
         self.matrix.to_float()
     }
 
+    /// Validates that `image` is a rank-3 `[C, H, W]` map with this layer's
+    /// channel count, returning the output spatial edges.
+    pub(crate) fn check_image(&self, image: &Tensor) -> Result<(usize, usize), QuantError> {
+        if image.shape().rank() != 3 {
+            return Err(QuantError::ShapeMismatch {
+                context: "conv input must be a rank-3 [C, H, W] image".into(),
+                expected: vec![self.geom.in_channels],
+                got: image.dims().to_vec(),
+            });
+        }
+        let (c, h, w) = (image.dims()[0], image.dims()[1], image.dims()[2]);
+        if c != self.geom.in_channels {
+            return Err(QuantError::ShapeMismatch {
+                context: "conv input channel count mismatch".into(),
+                expected: vec![self.geom.in_channels, h, w],
+                got: image.dims().to_vec(),
+            });
+        }
+        Ok((self.geom.output_size(h), self.geom.output_size(w)))
+    }
+
     /// Runs one image `[C, H, W]` through the integer datapath, returning
     /// the output feature map `[Cout, OH, OW]`.
     ///
     /// # Panics
     ///
-    /// Panics on channel mismatch.
+    /// Panics on a rank or channel mismatch; the non-panicking path is
+    /// [`QuantizedConv::try_forward_image`].
     pub fn forward_image(&self, image: &Tensor) -> Tensor {
-        let h = image.dims()[1];
-        let w = image.dims()[2];
-        let oh = self.geom.output_size(h);
-        let ow = self.geom.output_size(w);
+        self.try_forward_image(image)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`QuantizedConv::forward_image`].
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::ShapeMismatch`] when `image` is not rank-3 or its
+    /// channel count disagrees with the geometry.
+    pub fn try_forward_image(&self, image: &Tensor) -> Result<Tensor, QuantError> {
+        let (oh, ow) = self.check_image(image)?;
         let patches = oh * ow;
         let mut out = Tensor::zeros(&[self.geom.out_channels, oh, ow]);
         if self.geom.groups == 1 {
@@ -184,7 +214,22 @@ impl QuantizedConv {
                 out.as_mut_slice()[g * patches..(g + 1) * patches].copy_from_slice(&y);
             }
         }
-        out
+        Ok(out)
+    }
+
+    /// Sequential batched forward: `images[i]` → output `i`. This is the
+    /// single-threaded reference the pooled engine
+    /// (`mixmatch_quant::engine::BatchEngine`) is pinned bit-identical to.
+    ///
+    /// # Errors
+    ///
+    /// As [`QuantizedConv::try_forward_image`], for the first offending
+    /// image.
+    pub fn forward_batch(&self, images: &[Tensor]) -> Result<Vec<Tensor>, QuantError> {
+        images
+            .iter()
+            .map(|img| self.try_forward_image(img))
+            .collect()
     }
 }
 
@@ -272,6 +317,53 @@ mod tests {
         let img = Tensor::rand_uniform(&[4, 5, 5], 0.0, 1.5, &mut rng);
         let diff = conv_parity(&conv, &img);
         assert!(diff < 1e-3, "depthwise divergence {diff}");
+    }
+
+    #[test]
+    fn forward_image_rejects_bad_rank_and_channels() {
+        let mut rng = TensorRng::seed_from(7);
+        let geom = ConvGeometry::new(3, 4, 3, 1, 1);
+        let w = Tensor::randn(&[4, 27], &mut rng);
+        let conv = QuantizedConv::new(geom, &w, &MsqPolicy::msq_half(), ActQuantizer::new(4, 1.0));
+        // Rank mismatch surfaces as a typed error, not an index panic.
+        let flat = Tensor::zeros(&[3 * 6 * 6]);
+        assert!(matches!(
+            conv.try_forward_image(&flat),
+            Err(crate::error::QuantError::ShapeMismatch { .. })
+        ));
+        // Channel mismatch likewise.
+        let wrong_c = Tensor::zeros(&[2, 6, 6]);
+        assert!(matches!(
+            conv.try_forward_image(&wrong_c),
+            Err(crate::error::QuantError::ShapeMismatch { .. })
+        ));
+        // The panicking wrapper routes through the same validation.
+        let good = Tensor::rand_uniform(&[3, 6, 6], 0.0, 1.0, &mut rng);
+        assert_eq!(conv.forward_image(&good).dims(), &[4, 6, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count mismatch")]
+    fn forward_image_panics_on_channel_mismatch() {
+        let geom = ConvGeometry::new(3, 4, 3, 1, 1);
+        let w = Tensor::zeros(&[4, 27]);
+        let conv = QuantizedConv::new(geom, &w, &MsqPolicy::msq_half(), ActQuantizer::new(4, 1.0));
+        let _ = conv.forward_image(&Tensor::zeros(&[5, 6, 6]));
+    }
+
+    #[test]
+    fn sequential_forward_batch_matches_per_image_calls() {
+        let mut rng = TensorRng::seed_from(8);
+        let geom = ConvGeometry::new(2, 3, 3, 1, 1);
+        let w = Tensor::randn(&[3, 18], &mut rng);
+        let conv = QuantizedConv::new(geom, &w, &MsqPolicy::msq_half(), ActQuantizer::new(4, 1.0));
+        let images: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::rand_uniform(&[2, 5, 5], 0.0, 1.0, &mut rng))
+            .collect();
+        let batch = conv.forward_batch(&images).expect("batch");
+        for (img, out) in images.iter().zip(&batch) {
+            assert_eq!(out.as_slice(), conv.forward_image(img).as_slice());
+        }
     }
 
     #[test]

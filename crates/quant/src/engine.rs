@@ -1,0 +1,516 @@
+//! Batched, multi-threaded integer inference over deployment forms.
+//!
+//! The paper's accelerator streams whole batches through its dual-core GEMM
+//! datapath; [`BatchEngine`] is the software twin of that serving mode. It
+//! runs over a persistent [`WorkerPool`] (the shared process-wide pool by
+//! default, or a private one via [`BatchEngine::with_threads`] — workers
+//! are spawned once and reused for every batch, with no per-call thread
+//! spawning and no hard-coded thread clamp), compiles each
+//! layer's [`GemmPlan`](crate::integer::GemmPlan) once per batch so the
+//! inner loops run on flat integer numerators instead of re-matching
+//! [`WeightCode`](crate::codes::WeightCode) enums per element, and keeps
+//! per-worker im2col/quantization scratch so the inner loops run
+//! allocation-free, with per-call setup amortised across each worker's
+//! share of the batch.
+//!
+//! Outputs are **bit-identical** to the single-image path
+//! ([`QuantizedConv::forward_image`] / [`QuantizedMatrix::matvec`]): integer
+//! accumulation is exact and order-preserving, and the final scaling is the
+//! same `f32` expression. Aggregated [`OpCounts`] match the interpreted
+//! kernels' accounting, so a batch can be handed straight to the cycle
+//! simulator (via [`HardwareTarget::summarize_batch`]) for batched GOPS/fps
+//! next to measured wall-clock throughput.
+//!
+//! [`HardwareTarget::summarize_batch`]: crate::pipeline::HardwareTarget::summarize_batch
+//!
+//! # Example
+//!
+//! ```
+//! use mixmatch_quant::deploy::QuantizedConv;
+//! use mixmatch_quant::engine::BatchEngine;
+//! use mixmatch_quant::integer::ActQuantizer;
+//! use mixmatch_quant::msq::MsqPolicy;
+//! use mixmatch_tensor::im2col::ConvGeometry;
+//! use mixmatch_tensor::{Tensor, TensorRng};
+//!
+//! let mut rng = TensorRng::seed_from(0);
+//! let geom = ConvGeometry::new(3, 8, 3, 1, 1);
+//! let w = Tensor::randn(&[8, 27], &mut rng);
+//! let conv = QuantizedConv::new(geom, &w, &MsqPolicy::msq_half(), ActQuantizer::new(4, 1.0));
+//! let images: Vec<Tensor> = (0..4)
+//!     .map(|_| Tensor::rand_uniform(&[3, 6, 6], 0.0, 1.0, &mut rng))
+//!     .collect();
+//! let engine = BatchEngine::with_threads(2);
+//! let run = engine.forward_conv_batch(&conv, &images).expect("batch");
+//! assert_eq!(run.outputs.len(), 4);
+//! assert_eq!(run.outputs[0].as_slice(), conv.forward_image(&images[0]).as_slice());
+//! ```
+
+use crate::codes::OpCounts;
+use crate::deploy::QuantizedConv;
+use crate::error::QuantError;
+use crate::integer::{ActQuantizer, GemmPlan, QuantizedMatrix};
+use crate::pipeline::{DeployForm, QuantizedLayer, QuantizedModel};
+use mixmatch_nn::quantize::QuantLayerKind;
+use mixmatch_tensor::im2col::{im2col_into, ConvGeometry};
+use mixmatch_tensor::pool::WorkerPool;
+use mixmatch_tensor::{Tensor, TensorRng};
+
+/// Result of one batched pass: per-input outputs plus the aggregate
+/// hardware-operation census across the whole batch.
+#[derive(Debug)]
+pub struct BatchRun {
+    /// `outputs[i]` corresponds to input `i`.
+    pub outputs: Vec<Tensor>,
+    /// Total integer-op counts over the batch (Table I accounting).
+    pub ops: OpCounts,
+}
+
+/// Per-layer inputs for a whole-model batched pass: `inputs[l][i]` feeds
+/// layer `l` with batch element `i`.
+///
+/// Deployment layers are independent GEMM stages (residual adds, pooling and
+/// normalization live between them in the float model), so a model-level
+/// serving workload drives every layer with its own correctly-shaped batch.
+#[derive(Debug)]
+pub struct ModelBatch {
+    /// Batch inputs per layer, in model order.
+    pub inputs: Vec<Vec<Tensor>>,
+}
+
+impl ModelBatch {
+    /// Samples a synthetic serving batch for every layer of `model`:
+    /// convolution layers get `[Cin, H, H]` maps (spatial size composed
+    /// through the strides from `input_hw`, mirroring the cycle simulator's
+    /// lowering), dense/recurrent layers get `[cols]` vectors, all uniform
+    /// in `[0, clip]`.
+    pub fn sample(
+        model: &QuantizedModel,
+        input_hw: usize,
+        batch: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
+        let clip = model.act_quantizer().clip;
+        let mut h = input_hw;
+        let inputs = model
+            .layers()
+            .iter()
+            .map(|layer| {
+                let dims: Vec<usize> = match &layer.desc.kind {
+                    QuantLayerKind::Conv(geom) | QuantLayerKind::DepthwiseConv(geom) => {
+                        let h_in = h.max(geom.kernel);
+                        h = (h_in / geom.stride).max(1);
+                        vec![geom.in_channels, h_in, h_in]
+                    }
+                    QuantLayerKind::Dense | QuantLayerKind::Recurrent => vec![layer.desc.cols],
+                };
+                (0..batch)
+                    .map(|_| Tensor::rand_uniform(&dims, 0.0, clip, rng))
+                    .collect()
+            })
+            .collect();
+        ModelBatch { inputs }
+    }
+
+    /// Number of batch elements (0 for an empty layer list).
+    pub fn batch_size(&self) -> usize {
+        self.inputs.first().map_or(0, Vec::len)
+    }
+}
+
+/// Result of a whole-model batched pass.
+#[derive(Debug)]
+pub struct ModelRun {
+    /// `outputs[l][i]` is layer `l`'s output for batch element `i`.
+    pub outputs: Vec<Vec<Tensor>>,
+    /// Aggregate op counts over every layer and batch element.
+    pub ops: OpCounts,
+}
+
+/// Per-worker scratch: im2col patches, quantized activations and the
+/// transposed-activation buffer, reused across a worker's share of the
+/// batch.
+#[derive(Default)]
+struct ConvScratch {
+    cols: Vec<f32>,
+    quantized: Vec<u32>,
+    transposed: Vec<u32>,
+}
+
+/// The engine's worker pool: the shared process-wide pool by default, or a
+/// privately owned one when the caller pins a thread count.
+enum EnginePool {
+    Global(&'static WorkerPool),
+    Owned(WorkerPool),
+}
+
+/// Batched integer-inference runtime over a persistent worker pool.
+pub struct BatchEngine {
+    pool: EnginePool,
+}
+
+impl Default for BatchEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchEngine {
+    /// Engine on the process-wide pool (one worker per core, shared with
+    /// the parallel GEMM path — no second set of per-core threads).
+    pub fn new() -> Self {
+        BatchEngine {
+            pool: EnginePool::Global(mixmatch_tensor::pool::global()),
+        }
+    }
+
+    /// Engine owning a private pool with an explicit worker count (at least
+    /// one) — for pinned-parallelism runs and tests.
+    pub fn with_threads(threads: usize) -> Self {
+        BatchEngine {
+            pool: EnginePool::Owned(WorkerPool::new(threads)),
+        }
+    }
+
+    fn pool(&self) -> &WorkerPool {
+        match &self.pool {
+            EnginePool::Global(pool) => pool,
+            EnginePool::Owned(pool) => pool,
+        }
+    }
+
+    /// Number of pooled workers.
+    pub fn threads(&self) -> usize {
+        self.pool().threads()
+    }
+
+    /// Batched convolution: `images[i]` → output feature map `i`,
+    /// bit-identical to [`QuantizedConv::forward_image`] per element.
+    /// Images are validated up front, the row plan is compiled once, and
+    /// contiguous image chunks are fanned out over the pool with per-worker
+    /// scratch.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::ShapeMismatch`] when any image is not a rank-3 map
+    /// with the layer's channel count.
+    pub fn forward_conv_batch(
+        &self,
+        conv: &QuantizedConv,
+        images: &[Tensor],
+    ) -> Result<BatchRun, QuantError> {
+        let geom = *conv.geometry();
+        let act = *conv.act_quantizer();
+        let mut outputs = Vec::with_capacity(images.len());
+        for image in images {
+            let (oh, ow) = conv.check_image(image)?;
+            outputs.push(Tensor::zeros(&[geom.out_channels, oh, ow]));
+        }
+        let plan = conv.matrix().plan();
+        let ops = self.dispatch(images, &mut outputs, |image, out, scratch| {
+            conv_image_planned(&plan, &geom, &act, image, out, scratch)
+        });
+        Ok(BatchRun { outputs, ops })
+    }
+
+    /// Batched dense/recurrent product: each rank-1 `[cols]` input maps to
+    /// a rank-1 `[rows]` output, bit-identical to
+    /// [`QuantizedMatrix::matvec`] on that input's quantized activations.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::ShapeMismatch`] when an input is not `[cols]`.
+    pub fn forward_matrix_batch(
+        &self,
+        matrix: &QuantizedMatrix,
+        act: &ActQuantizer,
+        inputs: &[Tensor],
+    ) -> Result<BatchRun, QuantError> {
+        for input in inputs {
+            if input.shape().rank() != 1 || input.dims()[0] != matrix.cols() {
+                return Err(QuantError::ShapeMismatch {
+                    context: "dense layer input must be a rank-1 [cols] vector".into(),
+                    expected: vec![matrix.cols()],
+                    got: input.dims().to_vec(),
+                });
+            }
+        }
+        let act = *act;
+        let rows = matrix.rows();
+        let mut outputs: Vec<Tensor> = inputs.iter().map(|_| Tensor::zeros(&[rows])).collect();
+        let plan = matrix.plan();
+        let ops = self.dispatch(inputs, &mut outputs, |input, out, scratch| {
+            act.quantize_into(input.as_slice(), &mut scratch.quantized);
+            plan.matmul_into(
+                &scratch.quantized,
+                1,
+                &act,
+                out.as_mut_slice(),
+                &mut scratch.transposed,
+            )
+        });
+        Ok(BatchRun { outputs, ops })
+    }
+
+    /// Batched forward through one deployed layer, dispatching on its form
+    /// (`act` is the model-wide activation quantizer, used by the matrix
+    /// form; convolutions carry their own).
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchEngine::forward_conv_batch`] /
+    /// [`BatchEngine::forward_matrix_batch`].
+    pub fn forward_layer_batch(
+        &self,
+        layer: &QuantizedLayer,
+        act: &ActQuantizer,
+        inputs: &[Tensor],
+    ) -> Result<BatchRun, QuantError> {
+        match &layer.form {
+            DeployForm::Conv(conv) => self.forward_conv_batch(conv, inputs),
+            DeployForm::Matrix(matrix) => self.forward_matrix_batch(matrix, act, inputs),
+        }
+    }
+
+    /// Whole-model batched pass: every layer processes its batch from
+    /// `batch.inputs`, outputs land in the same `[layer][element]` layout,
+    /// and op counts aggregate across the model — one serving "tick" of the
+    /// software twin, comparable against
+    /// [`QuantizedModel::summarize_batched`].
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::ShapeMismatch`] when `batch` does not provide inputs
+    /// for every layer, or any input disagrees with its layer.
+    pub fn forward_batch(
+        &self,
+        model: &QuantizedModel,
+        batch: &ModelBatch,
+    ) -> Result<ModelRun, QuantError> {
+        if batch.inputs.len() != model.layers().len() {
+            return Err(QuantError::ShapeMismatch {
+                context: "model batch must provide one input list per layer".into(),
+                expected: vec![model.layers().len()],
+                got: vec![batch.inputs.len()],
+            });
+        }
+        let act = *model.act_quantizer();
+        let mut outputs = Vec::with_capacity(model.layers().len());
+        let mut ops = OpCounts::default();
+        for (layer, inputs) in model.layers().iter().zip(&batch.inputs) {
+            let run = self.forward_layer_batch(layer, &act, inputs)?;
+            ops = ops.merge(run.ops);
+            outputs.push(run.outputs);
+        }
+        Ok(ModelRun { outputs, ops })
+    }
+
+    /// Fans `(input, output)` pairs out over the pool in contiguous chunks
+    /// — one task per worker share, one scratch set per task — and merges
+    /// the per-chunk op counts.
+    fn dispatch<F>(&self, inputs: &[Tensor], outputs: &mut [Tensor], kernel: F) -> OpCounts
+    where
+        F: Fn(&Tensor, &mut Tensor, &mut ConvScratch) -> OpCounts + Send + Sync,
+    {
+        if inputs.is_empty() {
+            return OpCounts::default();
+        }
+        let chunk = inputs.len().div_ceil(self.pool().threads()).max(1);
+        let chunks = inputs.len().div_ceil(chunk);
+        let mut chunk_ops = vec![OpCounts::default(); chunks];
+        {
+            let kernel = &kernel;
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = inputs
+                .chunks(chunk)
+                .zip(outputs.chunks_mut(chunk))
+                .zip(chunk_ops.iter_mut())
+                .map(|((ins, outs), ops_slot)| {
+                    Box::new(move || {
+                        let mut scratch = ConvScratch::default();
+                        let mut ops = OpCounts::default();
+                        for (input, out) in ins.iter().zip(outs) {
+                            ops = ops.merge(kernel(input, out, &mut scratch));
+                        }
+                        *ops_slot = ops;
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            self.pool().run(tasks);
+        }
+        chunk_ops
+            .into_iter()
+            .fold(OpCounts::default(), OpCounts::merge)
+    }
+}
+
+/// One image through the planned conv datapath: im2col into reusable
+/// scratch, quantize, planned integer GEMM (dense) or per-group row GEMM
+/// (depthwise). Mirrors `QuantizedConv::try_forward_image` exactly, minus
+/// the per-call allocations and enum dispatch.
+fn conv_image_planned(
+    plan: &GemmPlan,
+    geom: &ConvGeometry,
+    act: &ActQuantizer,
+    image: &Tensor,
+    out: &mut Tensor,
+    scratch: &mut ConvScratch,
+) -> OpCounts {
+    let (oh, ow) = (out.dims()[1], out.dims()[2]);
+    let patches = oh * ow;
+    let cols_len = geom.gemm_k() * patches;
+    scratch.cols.resize(cols_len, 0.0);
+    if geom.groups == 1 {
+        im2col_into(image, geom, 0, &mut scratch.cols);
+        act.quantize_into(&scratch.cols, &mut scratch.quantized);
+        plan.matmul_into(
+            &scratch.quantized,
+            patches,
+            act,
+            out.as_mut_slice(),
+            &mut scratch.transposed,
+        )
+    } else {
+        let mut ops = OpCounts::default();
+        for g in 0..geom.groups {
+            im2col_into(image, geom, g, &mut scratch.cols);
+            act.quantize_into(&scratch.cols, &mut scratch.quantized);
+            ops = ops.merge(plan.row_matmul_into(
+                g,
+                &scratch.quantized,
+                patches,
+                act,
+                &mut out.as_mut_slice()[g * patches..(g + 1) * patches],
+            ));
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msq::MsqPolicy;
+    use crate::schemes::Scheme;
+
+    fn conv_fixture(seed: u64, geom: ConvGeometry, policy: &MsqPolicy) -> QuantizedConv {
+        let mut rng = TensorRng::seed_from(seed);
+        let w = Tensor::randn(&[geom.out_channels, geom.gemm_k()], &mut rng);
+        if geom.groups == 1 {
+            QuantizedConv::new(geom, &w, policy, ActQuantizer::new(4, 1.2))
+        } else {
+            QuantizedConv::depthwise(geom, &w, policy, ActQuantizer::new(4, 1.2))
+        }
+    }
+
+    #[test]
+    fn dense_conv_batch_is_bit_identical_to_single_path() {
+        let conv = conv_fixture(
+            1,
+            ConvGeometry::new(3, 6, 3, 1, 1),
+            &MsqPolicy::msq_optimal(),
+        );
+        let mut rng = TensorRng::seed_from(2);
+        let images: Vec<Tensor> = (0..5)
+            .map(|_| Tensor::rand_uniform(&[3, 7, 7], 0.0, 1.2, &mut rng))
+            .collect();
+        for threads in [1, 2, 4] {
+            let engine = BatchEngine::with_threads(threads);
+            let run = engine.forward_conv_batch(&conv, &images).expect("batch");
+            for (img, out) in images.iter().zip(&run.outputs) {
+                let single = conv.forward_image(img);
+                assert_eq!(out.dims(), single.dims());
+                assert_eq!(out.as_slice(), single.as_slice(), "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn depthwise_conv_batch_is_bit_identical_to_single_path() {
+        let conv = conv_fixture(
+            3,
+            ConvGeometry::depthwise(4, 3, 1, 1),
+            &MsqPolicy::single(Scheme::Sp2, 4),
+        );
+        let mut rng = TensorRng::seed_from(4);
+        let images: Vec<Tensor> = (0..4)
+            .map(|_| Tensor::rand_uniform(&[4, 6, 6], 0.0, 1.2, &mut rng))
+            .collect();
+        let engine = BatchEngine::with_threads(2);
+        let run = engine.forward_conv_batch(&conv, &images).expect("batch");
+        for (img, out) in images.iter().zip(&run.outputs) {
+            assert_eq!(out.as_slice(), conv.forward_image(img).as_slice());
+        }
+    }
+
+    #[test]
+    fn batch_ops_equal_sum_of_single_image_ops() {
+        let geom = ConvGeometry::new(2, 4, 3, 1, 0);
+        let conv = conv_fixture(5, geom, &MsqPolicy::msq_half());
+        let mut rng = TensorRng::seed_from(6);
+        let images: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::rand_uniform(&[2, 5, 5], 0.0, 1.2, &mut rng))
+            .collect();
+        let engine = BatchEngine::with_threads(2);
+        let run = engine.forward_conv_batch(&conv, &images).expect("batch");
+        // Reference accounting through the interpreted kernels.
+        let act = *conv.act_quantizer();
+        let mut expect = OpCounts::default();
+        for img in &images {
+            let cols = mixmatch_tensor::im2col::im2col(img, &geom, 0);
+            let xq = act.quantize(cols.as_slice());
+            let (_, ops) = conv.matrix().matmul(&xq, cols.dims()[1], &act);
+            expect = expect.merge(ops);
+        }
+        assert_eq!(run.ops, expect);
+    }
+
+    #[test]
+    fn matrix_batch_is_bit_identical_to_matvec() {
+        let mut rng = TensorRng::seed_from(7);
+        let w = Tensor::randn(&[6, 11], &mut rng);
+        let qm = QuantizedMatrix::from_float(&w, &MsqPolicy::msq_optimal());
+        let act = ActQuantizer::new(4, 1.0);
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|_| Tensor::rand_uniform(&[11], 0.0, 1.0, &mut rng))
+            .collect();
+        let engine = BatchEngine::with_threads(3);
+        let run = engine
+            .forward_matrix_batch(&qm, &act, &inputs)
+            .expect("batch");
+        let mut expect_ops = OpCounts::default();
+        for (x, out) in inputs.iter().zip(&run.outputs) {
+            let (y, ops) = qm.matvec(&act.quantize(x.as_slice()), &act);
+            expect_ops = expect_ops.merge(ops);
+            assert_eq!(out.as_slice(), &y[..]);
+        }
+        assert_eq!(run.ops, expect_ops);
+    }
+
+    #[test]
+    fn engine_rejects_malformed_inputs_without_panicking() {
+        let conv = conv_fixture(9, ConvGeometry::new(3, 4, 3, 1, 1), &MsqPolicy::msq_half());
+        let engine = BatchEngine::with_threads(1);
+        let bad = vec![Tensor::zeros(&[2, 5, 5])];
+        assert!(matches!(
+            engine.forward_conv_batch(&conv, &bad),
+            Err(QuantError::ShapeMismatch { .. })
+        ));
+        let mut rng = TensorRng::seed_from(10);
+        let w = Tensor::randn(&[3, 8], &mut rng);
+        let qm = QuantizedMatrix::from_float(&w, &MsqPolicy::msq_half());
+        let act = ActQuantizer::new(4, 1.0);
+        assert!(matches!(
+            engine.forward_matrix_batch(&qm, &act, &[Tensor::zeros(&[7])]),
+            Err(QuantError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_run() {
+        let conv = conv_fixture(11, ConvGeometry::new(2, 2, 3, 1, 1), &MsqPolicy::msq_half());
+        let engine = BatchEngine::with_threads(2);
+        let run = engine.forward_conv_batch(&conv, &[]).expect("empty");
+        assert!(run.outputs.is_empty());
+        assert_eq!(run.ops, OpCounts::default());
+    }
+}

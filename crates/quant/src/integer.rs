@@ -45,14 +45,30 @@ impl ActQuantizer {
         self.clip / self.levels() as f32
     }
 
+    /// Quantizes one activation to its integer level.
+    ///
+    /// `NaN` maps deterministically to level 0 (the hardware treats a
+    /// malformed activation as silence, not saturation): `NaN.clamp` stays
+    /// `NaN` and the `as u32` cast would only *happen* to produce 0, so the
+    /// mapping is made explicit here rather than left to cast semantics.
+    pub fn quantize_one(&self, x: f32) -> u32 {
+        if x.is_nan() {
+            return 0;
+        }
+        let c = x.clamp(0.0, self.clip);
+        (c / self.step()).round() as u32
+    }
+
     /// Quantizes a slice of activations to integers.
     pub fn quantize(&self, xs: &[f32]) -> Vec<u32> {
-        xs.iter()
-            .map(|&x| {
-                let c = x.clamp(0.0, self.clip);
-                (c / self.step()).round() as u32
-            })
-            .collect()
+        xs.iter().map(|&x| self.quantize_one(x)).collect()
+    }
+
+    /// Quantizes into a reusable buffer (cleared first) — the
+    /// allocation-free path batched-inference workers use per image.
+    pub fn quantize_into(&self, xs: &[f32], out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(xs.iter().map(|&x| self.quantize_one(x)));
     }
 
     /// Dequantizes integers back to real values.
@@ -315,6 +331,39 @@ impl QuantizedMatrix {
         }
     }
 
+    /// Compiles the per-row code plans once for batched execution: every
+    /// [`WeightCode`] collapses to its exact integer numerator, so the
+    /// engine's inner loop is a plain integer dot product instead of an enum
+    /// dispatch per element. See [`GemmPlan`].
+    pub fn plan(&self) -> GemmPlan {
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut nums = Vec::with_capacity(row.codes.len());
+                let mut add_mask = Vec::with_capacity(row.codes.len());
+                let mut base_ops = OpCounts::default();
+                for code in &row.codes {
+                    let (num, ops, addable) = plan_code(code);
+                    nums.push(num);
+                    add_mask.push(addable as u8);
+                    base_ops = base_ops.merge(ops);
+                }
+                PlannedRow {
+                    nums,
+                    add_mask,
+                    alpha: row.alpha,
+                    denominator: row.denominator,
+                    base_ops,
+                }
+            })
+            .collect();
+        GemmPlan {
+            rows,
+            cols: self.cols,
+        }
+    }
+
     /// Ops for one full matrix–vector pass, split per scheme — the data behind
     /// the Table I comparison at matrix granularity.
     pub fn op_profile(&self) -> (OpCounts, OpCounts) {
@@ -334,6 +383,213 @@ impl QuantizedMatrix {
         }
         (fixed, shift)
     }
+}
+
+/// Collapses one code to `(numerator, activation-independent ops, add-mask)`
+/// such that `acc += activation × numerator` reproduces
+/// [`WeightCode::mac`]'s accumulator update exactly, and the op counts
+/// reproduce its accounting: the only activation-*dependent* count is the
+/// SP2 two-term add, which `mac` charges iff the activation is non-zero.
+fn plan_code(code: &WeightCode) -> (i64, OpCounts, bool) {
+    match *code {
+        WeightCode::Fixed {
+            sign, magnitude, ..
+        } => (
+            sign as i64 * magnitude as i64,
+            OpCounts {
+                mults: 1,
+                ..OpCounts::default()
+            },
+            false,
+        ),
+        WeightCode::Pow2 {
+            sign,
+            exponent,
+            max_exponent,
+        } => {
+            if sign == 0 {
+                return (0, OpCounts::default(), false);
+            }
+            (
+                sign as i64 * (1i64 << (max_exponent - exponent)),
+                OpCounts {
+                    shifts: 1,
+                    ..OpCounts::default()
+                },
+                false,
+            )
+        }
+        WeightCode::Sp2 { sign, e1, e2, exps } => {
+            if sign == 0 {
+                return (0, OpCounts::default(), false);
+            }
+            let d = exps.denom_log2();
+            let mut num = 0i64;
+            let mut shifts = 0usize;
+            for e in [e1, e2].into_iter().flatten() {
+                num += 1i64 << (d - e);
+                shifts += 1;
+            }
+            (
+                sign as i64 * num,
+                OpCounts {
+                    shifts,
+                    ..OpCounts::default()
+                },
+                e1.is_some() && e2.is_some(),
+            )
+        }
+    }
+}
+
+/// One row of a [`GemmPlan`]: exact integer numerators plus the row scale
+/// inputs and the activation-independent op tally for one pass.
+#[derive(Debug, Clone)]
+struct PlannedRow {
+    nums: Vec<i64>,
+    /// 1 where the code is a two-term SP2 — an add is charged iff the
+    /// activation is non-zero, matching [`WeightCode::mac`].
+    add_mask: Vec<u8>,
+    alpha: f32,
+    denominator: u32,
+    base_ops: OpCounts,
+}
+
+impl PlannedRow {
+    /// The same final scaling expression [`QuantizedMatrix::matvec`] uses,
+    /// evaluated identically so outputs stay bit-identical.
+    fn scale(&self, act: &ActQuantizer) -> f32 {
+        self.alpha * act.step() / self.denominator as f32
+    }
+}
+
+/// A [`QuantizedMatrix`] compiled for batched execution.
+///
+/// Integer accumulation is exact (no rounding, same order), and the final
+/// per-output scaling is the same `f32` expression as
+/// [`QuantizedMatrix::matvec`], so plan execution is **bit-identical** to
+/// the interpreted kernels while replacing the per-element `WeightCode`
+/// match with a flat `i64` multiply.
+#[derive(Debug, Clone)]
+pub struct GemmPlan {
+    rows: Vec<PlannedRow>,
+    cols: usize,
+}
+
+impl GemmPlan {
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Column count (reduction length).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Batched integer GEMM into a caller buffer: `activations` is the
+    /// row-major `[cols, n]` patch matrix, `out` is `[rows, n]`. `scratch`
+    /// holds the transposed activations between calls (grown on demand, so
+    /// steady-state execution is allocation-free). Bit-identical to
+    /// [`QuantizedMatrix::matmul`], op counts included.
+    ///
+    /// # Panics
+    ///
+    /// Panics when slice lengths disagree with `[cols, n]` / `[rows, n]`.
+    pub fn matmul_into(
+        &self,
+        activations: &[u32],
+        n: usize,
+        act: &ActQuantizer,
+        out: &mut [f32],
+        scratch: &mut Vec<u32>,
+    ) -> OpCounts {
+        assert_eq!(
+            activations.len(),
+            self.cols * n,
+            "activation matrix must be cols × n"
+        );
+        assert_eq!(out.len(), self.rows() * n, "output must be rows × n");
+        // Transpose once so each (row, patch) reduction is contiguous. A
+        // single column (`n == 1`, the matvec case) is already contiguous;
+        // otherwise the resize only zero-fills growth — every element is
+        // overwritten below, so no clear is needed.
+        let columns: &[u32] = if n == 1 {
+            activations
+        } else {
+            scratch.resize(self.cols * n, 0);
+            for k in 0..self.cols {
+                for j in 0..n {
+                    scratch[j * self.cols + k] = activations[k * n + j];
+                }
+            }
+            scratch
+        };
+        let mut ops = OpCounts::default();
+        for (r, row) in self.rows.iter().enumerate() {
+            let scale = row.scale(act);
+            for j in 0..n {
+                let col = &columns[j * self.cols..(j + 1) * self.cols];
+                let (acc, adds) = row_dot(row, col);
+                ops = ops.merge(row.base_ops);
+                ops.adds += adds;
+                out[r * n + j] = acc as f32 * scale;
+            }
+        }
+        ops
+    }
+
+    /// Planned counterpart of [`QuantizedMatrix::matmul_row`]: one row
+    /// against a `[cols, n]` activation matrix — the depthwise primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of range or slice lengths disagree.
+    pub fn row_matmul_into(
+        &self,
+        r: usize,
+        activations: &[u32],
+        n: usize,
+        act: &ActQuantizer,
+        out: &mut [f32],
+    ) -> OpCounts {
+        assert!(r < self.rows(), "row index out of range");
+        assert_eq!(
+            activations.len(),
+            self.cols * n,
+            "activation matrix must be cols × n"
+        );
+        assert_eq!(out.len(), n, "output must hold n patches");
+        let row = &self.rows[r];
+        let scale = row.scale(act);
+        let mut ops = OpCounts::default();
+        for (j, slot) in out.iter_mut().enumerate() {
+            let mut acc = 0i64;
+            let mut adds = 0usize;
+            for (k, (&num, &mask)) in row.nums.iter().zip(&row.add_mask).enumerate() {
+                let a = activations[k * n + j] as i64;
+                acc += a * num;
+                adds += (mask & (a != 0) as u8) as usize;
+            }
+            ops = ops.merge(row.base_ops);
+            ops.adds += adds;
+            *slot = acc as f32 * scale;
+        }
+        ops
+    }
+}
+
+/// Contiguous integer reduction for one (row, patch) pair, returning the
+/// exact accumulator and the activation-dependent add count.
+fn row_dot(row: &PlannedRow, col: &[u32]) -> (i64, usize) {
+    let mut acc = 0i64;
+    let mut adds = 0usize;
+    for ((&a, &num), &mask) in col.iter().zip(&row.nums).zip(&row.add_mask) {
+        let a = a as i64;
+        acc += a * num;
+        adds += (mask & (a != 0) as u8) as usize;
+    }
+    (acc, adds)
 }
 
 /// A [`QuantizedMatrix`] in serialized form: packed nibbles plus per-row
@@ -408,6 +664,83 @@ mod tests {
         }
         assert_eq!(act.quantize(&[99.0])[0], 15); // saturation
         assert_eq!(act.quantize(&[-1.0])[0], 0); // floor
+    }
+
+    #[test]
+    fn nan_activations_quantize_to_zero_deterministically() {
+        let act = ActQuantizer::new(4, 1.5);
+        assert_eq!(act.quantize(&[f32::NAN])[0], 0);
+        assert_eq!(act.quantize_one(f32::NAN), 0);
+        // Non-NaN behaviour is unchanged: saturation above, floor below.
+        assert_eq!(act.quantize_one(f32::INFINITY), act.levels());
+        assert_eq!(act.quantize_one(f32::NEG_INFINITY), 0);
+        let mut buf = vec![99u32; 3];
+        act.quantize_into(&[f32::NAN, 0.75, -2.0], &mut buf);
+        assert_eq!(buf, vec![0, act.quantize_one(0.75), 0]);
+    }
+
+    #[test]
+    fn plan_matmul_is_bit_identical_to_interpreted_matmul() {
+        let mut rng = TensorRng::seed_from(21);
+        let w = Tensor::randn(&[9, 17], &mut rng);
+        for policy in [
+            MsqPolicy::single(Scheme::Fixed, 4),
+            MsqPolicy::single(Scheme::Pow2, 4),
+            MsqPolicy::single(Scheme::Sp2, 4),
+            MsqPolicy::msq_half(),
+            MsqPolicy::msq_optimal(),
+        ] {
+            let qm = QuantizedMatrix::from_float(&w, &policy);
+            let act = ActQuantizer::new(4, 1.3);
+            let n = 5;
+            // Include zeros so the SP2 add accounting is exercised on both
+            // branches.
+            let x: Vec<f32> = (0..17 * n)
+                .map(|i| {
+                    if i % 4 == 0 {
+                        0.0
+                    } else {
+                        rng.uniform_in(0.0, 1.3)
+                    }
+                })
+                .collect();
+            let xq = act.quantize(&x);
+            let (y_ref, ops_ref) = qm.matmul(&xq, n, &act);
+            let plan = qm.plan();
+            assert_eq!((plan.rows(), plan.cols()), (9, 17));
+            let mut out = vec![0.0f32; 9 * n];
+            let mut scratch = Vec::new();
+            let ops = plan.matmul_into(&xq, n, &act, &mut out, &mut scratch);
+            assert_eq!(out, y_ref.as_slice(), "outputs must be bit-identical");
+            assert_eq!(ops, ops_ref, "op accounting must match the interpreter");
+        }
+    }
+
+    #[test]
+    fn plan_row_matmul_is_bit_identical_to_matmul_row() {
+        let mut rng = TensorRng::seed_from(22);
+        let w = Tensor::randn(&[4, 9], &mut rng);
+        let qm = QuantizedMatrix::from_float(&w, &MsqPolicy::msq_optimal());
+        let act = ActQuantizer::new(4, 1.0);
+        let n = 6;
+        let x: Vec<f32> = (0..9 * n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    0.0
+                } else {
+                    rng.uniform_in(0.0, 1.0)
+                }
+            })
+            .collect();
+        let xq = act.quantize(&x);
+        let plan = qm.plan();
+        for r in 0..4 {
+            let (y_ref, ops_ref) = qm.matmul_row(r, &xq, n, &act);
+            let mut out = vec![0.0f32; n];
+            let ops = plan.row_matmul_into(r, &xq, n, &act, &mut out);
+            assert_eq!(out, y_ref, "row {r} outputs must be bit-identical");
+            assert_eq!(ops, ops_ref, "row {r} ops must match");
+        }
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`integer`] — deployment-form [`integer::QuantizedMatrix`] running
 //!   entirely in integer arithmetic, validated bit-exact against the float
 //!   path.
+//! * [`engine`] — [`engine::BatchEngine`], the batched multi-threaded
+//!   integer inference runtime (persistent worker pool, precompiled row
+//!   plans, per-worker scratch) bit-identical to the single-image kernels.
 //! * [`baselines`] — DoReFa / PACT comparators and the published reference
 //!   rows of Tables III–IV.
 //! * [`analysis`] — distribution statistics and the Figure 1 data series.
@@ -54,6 +57,7 @@ pub mod analysis;
 pub mod baselines;
 pub mod codes;
 pub mod deploy;
+pub mod engine;
 pub mod error;
 pub mod export;
 pub mod integer;

@@ -61,6 +61,20 @@ pub trait HardwareTarget {
         None
     }
 
+    /// Batched variant of [`HardwareTarget::summarize`]: prediction for
+    /// `batch` inputs streamed back-to-back (`latency_ms` then covers the
+    /// whole batch). The default only handles `batch == 1`; targets with a
+    /// real performance model override it — `mixmatch-fpga`'s target scales
+    /// the GEMM workload so the cycle simulator reports batched GOPS/fps
+    /// next to the engine's measured wall-clock throughput.
+    fn summarize_batch(&self, layers: &[QuantLayerDesc], batch: usize) -> Option<HardwareSummary> {
+        if batch == 1 {
+            self.summarize(layers)
+        } else {
+            None
+        }
+    }
+
     /// One-time hook run when the pipeline takes ownership of the target:
     /// targets whose derivations are expensive resolve them here once (a
     /// bare `FpgaDevice` runs its design-space exploration and hands back
@@ -471,6 +485,18 @@ impl QuantizedModel {
             return 1.0;
         }
         self.packable_float_bytes() as f32 / packed as f32
+    }
+
+    /// Batched hardware prediction from the anchored target: performance
+    /// for `batch` inputs streamed back-to-back, or `None` without a target
+    /// (or when the target cannot model the batch). The batched engine
+    /// (`crate::engine::BatchEngine`) reports its measured throughput next
+    /// to this prediction.
+    pub fn summarize_batched(&self, batch: usize) -> Option<HardwareSummary> {
+        let descs: Vec<QuantLayerDesc> = self.layers.iter().map(|l| l.desc.clone()).collect();
+        self.target
+            .as_ref()
+            .and_then(|t| t.summarize_batch(&descs, batch))
     }
 
     /// Builds the pipeline report: per-layer quantization summary plus, when

@@ -4,8 +4,10 @@
 //! every convolution in `mixmatch-nn` lowers to GEMM via `im2col`, so this is
 //! the hot loop of the whole reproduction. The kernel below is a classic
 //! cache-blocked triple loop with a `k`-major micro-kernel; for large
-//! matrices, rows are fanned out across threads with `crossbeam::scope`.
+//! matrices, rows are fanned out as bands over the persistent
+//! [`pool`](crate::pool) workers (one per core, spawned once per process).
 
+use crate::pool::WorkerPool;
 use crate::tensor::Tensor;
 
 /// Cache block edge (elements). 64×64 f32 blocks fit easily in L1/L2.
@@ -57,6 +59,13 @@ fn gemm_block_range(
     k: usize,
     n: usize,
 ) {
+    // The zero-skip below is only sound when every contribution it drops is
+    // exactly zero. `0.0 × ∞` and `0.0 × NaN` are NaN, so when `b` carries
+    // non-finite values the fast path must stay off or the blocked kernel
+    // silently disagrees with the naive oracle. The finiteness scan is
+    // memoized and runs only on the first zero hit, so GEMMs with dense
+    // non-zero operands never pay for it.
+    let mut zero_skip_ok: Option<bool> = None;
     for i0 in (row_lo..row_hi).step_by(BLOCK) {
         let i1 = (i0 + BLOCK).min(row_hi);
         for k0 in (0..k).step_by(BLOCK) {
@@ -68,7 +77,9 @@ fn gemm_block_range(
                     let c_row = &mut c[i * n..(i + 1) * n];
                     for kk in k0..k1 {
                         let aik = a_row[kk];
-                        if aik == 0.0 {
+                        if aik == 0.0
+                            && *zero_skip_ok.get_or_insert_with(|| b.iter().all(|v| v.is_finite()))
+                        {
                             continue;
                         }
                         let b_row = &b[kk * n..(kk + 1) * n];
@@ -82,29 +93,50 @@ fn gemm_block_range(
     }
 }
 
-/// Fans output rows across threads. Each thread owns a disjoint row band of
-/// `c`, so no synchronisation is needed beyond the scope join.
+/// Fans output rows across the process-wide worker pool. Each task owns a
+/// disjoint row band of `c`, so no synchronisation is needed beyond the
+/// pool's completion latch.
 fn gemm_parallel(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    let threads = std::thread::available_parallelism()
-        .map(|v| v.get())
-        .unwrap_or(1)
-        .clamp(1, 8);
-    let rows_per = m.div_ceil(threads);
-    let bands: Vec<(usize, &mut [f32])> = c
+    gemm_pooled(crate::pool::global(), a, b, c, m, k, n);
+}
+
+/// Row-banded accumulating GEMM (`C += A × B`) on an explicit worker pool —
+/// the backend behind [`gemm`]'s parallel path, exposed so callers (and
+/// tests) can pin the thread count.
+///
+/// # Panics
+///
+/// Panics when slice lengths do not match the given dimensions.
+pub fn gemm_pooled(
+    pool: &WorkerPool,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "lhs slice length must be m*k");
+    assert_eq!(b.len(), k * n, "rhs slice length must be k*n");
+    assert_eq!(c.len(), m * n, "out slice length must be m*n");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let bands = pool.threads().clamp(1, m);
+    let rows_per = m.div_ceil(bands);
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = c
         .chunks_mut(rows_per * n)
         .enumerate()
-        .map(|(t, band)| (t * rows_per, band))
-        .collect();
-    crossbeam::scope(|scope| {
-        for (row_lo, band) in bands {
-            let rows = band.len() / n;
-            scope.spawn(move |_| {
+        .map(|(t, band)| {
+            let row_lo = t * rows_per;
+            Box::new(move || {
+                let rows = band.len() / n;
                 let a_band = &a[row_lo * k..(row_lo + rows) * k];
                 gemm_block_range(a_band, b, band, 0, rows, k, n);
-            });
-        }
-    })
-    .expect("gemm worker thread panicked");
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool.run(tasks);
 }
 
 /// Matrix multiply of two rank-2 tensors.
@@ -208,6 +240,65 @@ mod tests {
         let slow = gemm_naive(a.as_slice(), b.as_slice(), m, k, n);
         let slow = Tensor::from_vec(slow, &[m, n]).unwrap();
         assert!(fast.max_abs_diff(&slow) < 1e-2);
+    }
+
+    /// Pins blocked == naive when `b` carries NaN/Inf: the zero-skip fast
+    /// path must not drop `0.0 × ∞ = NaN` contributions (regression for the
+    /// silently-diverging kernel).
+    #[test]
+    fn blocked_matches_naive_on_nonfinite_rhs() {
+        let mut rng = TensorRng::seed_from(5);
+        let (m, k, n) = (4usize, 6usize, 5usize);
+        let mut a = Tensor::randn(&[m, k], &mut rng);
+        // Zeros in `a` are what the fast path skips on.
+        a.as_mut_slice()[1] = 0.0;
+        a.as_mut_slice()[k + 2] = 0.0;
+        a.as_mut_slice()[2 * k] = -0.0;
+        for poison in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut b = Tensor::randn(&[k, n], &mut rng);
+            b.as_mut_slice()[2 * n + 1] = poison;
+            let fast = matmul(&a, &b);
+            let slow = gemm_naive(a.as_slice(), b.as_slice(), m, k, n);
+            for (i, (&x, &y)) in fast.as_slice().iter().zip(&slow).enumerate() {
+                assert!(
+                    (x.is_nan() && y.is_nan()) || x == y,
+                    "element {i}: blocked {x} vs naive {y} (poison {poison})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_gemm_matches_naive_at_every_thread_count() {
+        let mut rng = TensorRng::seed_from(33);
+        let (m, k, n) = (37, 19, 23);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let slow = gemm_naive(a.as_slice(), b.as_slice(), m, k, n);
+        let host = std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1);
+        for threads in [1, 2, host] {
+            let pool = crate::pool::WorkerPool::new(threads);
+            let mut c = vec![0.0f32; m * n];
+            gemm_pooled(&pool, a.as_slice(), b.as_slice(), &mut c, m, k, n);
+            for (i, (&x, &y)) in c.iter().zip(&slow).enumerate() {
+                assert!(
+                    (x - y).abs() < 1e-3,
+                    "threads {threads}, element {i}: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_gemm_accumulates_like_gemm_accumulate() {
+        let pool = crate::pool::WorkerPool::new(2);
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![2.0, 0.0, 0.0, 2.0];
+        let mut c = vec![1.0; 4];
+        gemm_pooled(&pool, &a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, vec![3.0, 1.0, 1.0, 3.0]);
     }
 
     #[test]

@@ -89,6 +89,24 @@ impl ConvGeometry {
 /// Panics when `input` is not rank-3 or channels disagree with `geom`.
 pub fn im2col(input: &Tensor, geom: &ConvGeometry, group: usize) -> Tensor {
     assert_eq!(input.shape().rank(), 3, "im2col expects [c, h, w] input");
+    let (h, w) = (input.dims()[1], input.dims()[2]);
+    let cg = geom.in_channels / geom.groups;
+    let k = geom.kernel;
+    let mut cols = Tensor::zeros(&[cg * k * k, geom.output_size(h) * geom.output_size(w)]);
+    im2col_into(input, geom, group, cols.as_mut_slice());
+    cols
+}
+
+/// Allocation-free core of [`im2col`]: writes the patch matrix into `dst`
+/// (zeroing it first), so batched-inference workers can reuse one scratch
+/// buffer per thread instead of allocating a fresh matrix per image.
+///
+/// # Panics
+///
+/// Panics when `input` is not rank-3, channels disagree with `geom`, or
+/// `dst` is not exactly `(c/groups)·k²·out_h·out_w` long.
+pub fn im2col_into(input: &Tensor, geom: &ConvGeometry, group: usize, dst: &mut [f32]) {
+    assert_eq!(input.shape().rank(), 3, "im2col expects [c, h, w] input");
     let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
     assert_eq!(c, geom.in_channels, "channel count mismatch");
     assert!(group < geom.groups, "group index out of range");
@@ -96,9 +114,13 @@ pub fn im2col(input: &Tensor, geom: &ConvGeometry, group: usize) -> Tensor {
     let out_h = geom.output_size(h);
     let out_w = geom.output_size(w);
     let k = geom.kernel;
-    let mut cols = Tensor::zeros(&[cg * k * k, out_h * out_w]);
+    assert_eq!(
+        dst.len(),
+        cg * k * k * out_h * out_w,
+        "im2col destination length mismatch"
+    );
+    dst.fill(0.0);
     let src = input.as_slice();
-    let dst = cols.as_mut_slice();
     let patches = out_h * out_w;
     for cc in 0..cg {
         let src_c = (group * cg + cc) * h * w;
@@ -121,7 +143,6 @@ pub fn im2col(input: &Tensor, geom: &ConvGeometry, group: usize) -> Tensor {
             }
         }
     }
-    cols
 }
 
 /// Adjoint of [`im2col`]: scatters a patch-matrix gradient back onto the input

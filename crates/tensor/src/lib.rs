@@ -28,6 +28,7 @@
 pub mod error;
 pub mod gemm;
 pub mod im2col;
+pub mod pool;
 pub mod rng;
 pub mod shape;
 pub mod stats;

@@ -1,0 +1,337 @@
+//! Persistent worker pool for data-parallel kernels.
+//!
+//! The parallel GEMM path and the batched integer-inference engine both fan
+//! work out as closures over a fixed set of worker threads. Historically
+//! every parallel GEMM call spawned fresh `crossbeam::scope` threads and
+//! hard-clamped the count to 8; the pool here spawns its workers once, keeps
+//! them for the life of the process (or engine), and follows the host's
+//! actual parallelism, so per-call cost is one queue push per task instead
+//! of a thread spawn.
+//!
+//! [`WorkerPool::run`] has scoped-thread semantics: tasks may borrow from
+//! the caller's stack frame, and `run` does not return until every task has
+//! finished. The calling thread helps drain the queue while it waits, so
+//! the pool makes progress even when `run` is invoked re-entrantly from a
+//! worker.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A type-erased unit of work owned by the queue.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signalled when jobs are pushed or shutdown is requested.
+    ready: Condvar,
+}
+
+/// Completion latch for one [`WorkerPool::run`] call: counts outstanding
+/// tasks and carries the first panic payload back to the caller.
+struct Latch {
+    state: Mutex<LatchState>,
+    all_done: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            state: Mutex::new(LatchState {
+                remaining: count,
+                panic: None,
+            }),
+            all_done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut st = self.state.lock().expect("latch poisoned");
+        st.remaining -= 1;
+        if st.panic.is_none() {
+            st.panic = panic;
+        }
+        if st.remaining == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.state.lock().expect("latch poisoned").remaining == 0
+    }
+
+    /// Blocks until all tasks have completed (tolerating spurious wakeups —
+    /// the caller's drain loop re-checks [`Latch::done`]).
+    fn wait(&self) {
+        let mut st = self.state.lock().expect("latch poisoned");
+        while st.remaining > 0 {
+            st = self.all_done.wait(st).expect("latch poisoned");
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.state.lock().expect("latch poisoned").panic.take()
+    }
+}
+
+/// A fixed set of worker threads executing borrowed closures to completion.
+///
+/// # Example
+///
+/// ```
+/// use mixmatch_tensor::pool::WorkerPool;
+///
+/// let pool = WorkerPool::new(2);
+/// let mut out = vec![0u32; 4];
+/// let tasks: Vec<Box<dyn FnOnce() + Send>> = out
+///     .iter_mut()
+///     .enumerate()
+///     .map(|(i, slot)| Box::new(move || *slot = i as u32 * 10) as Box<dyn FnOnce() + Send>)
+///     .collect();
+/// pool.run(tasks);
+/// assert_eq!(out, vec![0, 10, 20, 30]);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    threads: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            threads,
+            handles,
+        }
+    }
+
+    /// Number of worker threads (excluding callers helping inside
+    /// [`WorkerPool::run`]).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes every task and blocks until all have finished. Tasks may
+    /// borrow from the caller's stack; disjoint `&mut` borrows across tasks
+    /// are the intended use (row bands of one output buffer, one image per
+    /// task of one batch).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic raised by any task, after all tasks have
+    /// completed or unwound.
+    pub fn run<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let latch = Arc::new(Latch::new(tasks.len()));
+        {
+            let mut st = self.shared.state.lock().expect("pool poisoned");
+            for task in tasks {
+                // SAFETY: `run` does not return until the latch has counted
+                // every task as complete (executed or unwound), so the
+                // closure — and every `'env` borrow it captures — is dropped
+                // before the borrowed frame can go away. Extending the
+                // lifetime to `'static` is therefore never observable.
+                let task: Box<dyn FnOnce() + Send + 'static> = unsafe {
+                    std::mem::transmute::<
+                        Box<dyn FnOnce() + Send + 'env>,
+                        Box<dyn FnOnce() + Send + 'static>,
+                    >(task)
+                };
+                let latch = Arc::clone(&latch);
+                st.jobs.push_back(Box::new(move || {
+                    let result = panic::catch_unwind(AssertUnwindSafe(task));
+                    latch.complete(result.err());
+                }));
+            }
+        }
+        self.shared.ready.notify_all();
+        // Help drain the queue while our tasks are outstanding. Popped jobs
+        // may belong to other `run` scopes — executing them here is equally
+        // correct and prevents starvation under re-entrant use.
+        while !latch.done() {
+            let job = {
+                let mut st = self.shared.state.lock().expect("pool poisoned");
+                st.jobs.pop_front()
+            };
+            match job {
+                Some(job) => job(),
+                None => latch.wait(),
+            }
+        }
+        if let Some(payload) = latch.take_panic() {
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool poisoned");
+            st.shutdown = true;
+        }
+        self.shared.ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool poisoned");
+            loop {
+                if let Some(job) = st.jobs.pop_front() {
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.ready.wait(st).expect("pool poisoned");
+            }
+        };
+        // Jobs wrap user tasks in `catch_unwind`, so a panicking task never
+        // takes the worker down with it.
+        job();
+    }
+}
+
+/// The process-wide pool shared by the parallel GEMM path: one worker per
+/// available core, spawned on first use.
+pub fn global() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        WorkerPool::new(
+            std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(1),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn boxed<'env>(f: impl FnOnce() + Send + 'env) -> Box<dyn FnOnce() + Send + 'env> {
+        Box::new(f)
+    }
+
+    #[test]
+    fn tasks_borrow_disjoint_slots() {
+        let pool = WorkerPool::new(3);
+        let mut out = [0u64; 17];
+        let tasks = out
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| boxed(move || *slot = (i * i) as u64))
+            .collect();
+        pool.run(tasks);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_calls() {
+        let pool = WorkerPool::new(2);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..10 {
+            let tasks = (0..4)
+                .map(|_| {
+                    let counter = &counter;
+                    boxed(move || {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            pool.run(tasks);
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 40);
+    }
+
+    #[test]
+    fn empty_task_list_is_a_no_op() {
+        let pool = WorkerPool::new(1);
+        pool.run(Vec::new());
+    }
+
+    #[test]
+    fn nested_run_from_a_worker_completes() {
+        // A task that itself fans out through the same pool must not
+        // deadlock, even with a single worker: blocked callers help drain.
+        let pool = WorkerPool::new(1);
+        let mut outer = vec![0u32; 2];
+        let pool_ref = &pool;
+        let tasks = outer
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| {
+                boxed(move || {
+                    let mut inner = [0u32; 3];
+                    let subtasks = inner
+                        .iter_mut()
+                        .map(|s| boxed(move || *s = 7))
+                        .collect::<Vec<_>>();
+                    pool_ref.run(subtasks);
+                    *slot = i as u32 + inner.iter().sum::<u32>();
+                })
+            })
+            .collect();
+        pool.run(tasks);
+        assert_eq!(outer, vec![21, 22]);
+    }
+
+    #[test]
+    fn task_panic_propagates_to_caller() {
+        let pool = WorkerPool::new(2);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(vec![boxed(|| panic!("task exploded")), boxed(|| {})]);
+        }));
+        assert!(result.is_err());
+        // The pool stays usable after a task panic.
+        let mut ok = false;
+        pool.run(vec![boxed(|| ok = true)]);
+        assert!(ok);
+    }
+
+    #[test]
+    fn global_pool_matches_available_parallelism() {
+        let expected = std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1);
+        assert_eq!(global().threads(), expected);
+    }
+}

@@ -1,0 +1,176 @@
+//! Integration tests for the batched integer inference engine: the pooled
+//! `BatchEngine` must be **bit-identical** to the single-image deployment
+//! path (`QuantizedConv::forward_image` / `QuantizedMatrix::matvec`) on
+//! every model the pipeline produces, and the batched hardware summary must
+//! sit next to the measured path coherently.
+
+use mixmatch::nn::models::{ResNet, ResNetConfig};
+use mixmatch::prelude::*;
+use mixmatch::quant::deploy::QuantizedConv;
+use mixmatch::quant::engine::{BatchEngine, ModelBatch};
+use mixmatch::quant::integer::{ActQuantizer, QuantizedMatrix};
+use mixmatch::quant::pipeline::DeployForm;
+use mixmatch::tensor::im2col::ConvGeometry;
+use proptest::prelude::*;
+
+fn quantized_resnet(input_hw: usize) -> QuantizedModel {
+    let mut rng = TensorRng::seed_from(5);
+    let mut model = ResNet::new(ResNetConfig::mini(10).with_act_bits(4), &mut rng);
+    QuantPipeline::for_device(FpgaTarget::new(FpgaDevice::XC7Z045).with_input_size(input_hw))
+        .quantize(&mut model)
+        .expect("quantize resnet-mini")
+}
+
+/// The acceptance property: on the pipeline model, every layer's batched
+/// outputs equal the single-image path bit for bit, at several thread
+/// counts, for both deployment forms.
+#[test]
+fn engine_batch_is_bit_identical_to_single_image_path_on_pipeline_model() {
+    let quantized = quantized_resnet(8);
+    let act = *quantized.act_quantizer();
+    let mut rng = TensorRng::seed_from(6);
+    let batch = ModelBatch::sample(&quantized, 8, 4, &mut rng);
+    let host = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    let mut convs = 0usize;
+    let mut dense = 0usize;
+    for threads in [1, 2, host] {
+        let engine = BatchEngine::with_threads(threads);
+        let run = engine.forward_batch(&quantized, &batch).expect("batched");
+        assert_eq!(run.outputs.len(), quantized.layers().len());
+        for ((layer, inputs), outputs) in quantized
+            .layers()
+            .iter()
+            .zip(&batch.inputs)
+            .zip(&run.outputs)
+        {
+            for (input, output) in inputs.iter().zip(outputs) {
+                match &layer.form {
+                    DeployForm::Conv(conv) => {
+                        convs += 1;
+                        let single = conv.forward_image(input);
+                        assert_eq!(
+                            output.as_slice(),
+                            single.as_slice(),
+                            "{} (threads {threads})",
+                            layer.desc.name
+                        );
+                    }
+                    DeployForm::Matrix(matrix) => {
+                        dense += 1;
+                        let (single, _) = matrix.matvec(&act.quantize(input.as_slice()), &act);
+                        assert_eq!(
+                            output.as_slice(),
+                            &single[..],
+                            "{} (threads {threads})",
+                            layer.desc.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+    assert!(convs > 0, "resnet must exercise the conv path");
+    assert!(dense > 0, "resnet must exercise the dense path");
+}
+
+/// The batched cycle-simulator prediction rides along with the engine:
+/// larger batches amortise weight traffic, so simulated images/sec must
+/// grow with the batch while batch 1 matches the unbatched report.
+#[test]
+fn batched_hardware_summary_accompanies_the_engine() {
+    let quantized = quantized_resnet(8);
+    let one = quantized.summarize_batched(1).expect("batch 1 summary");
+    let report = quantized.report();
+    assert_eq!(Some(one.clone()), report.hardware);
+    let thirty_two = quantized.summarize_batched(32).expect("batch 32 summary");
+    let ips_1 = 1_000.0 / one.latency_ms;
+    let ips_32 = 32.0 * 1_000.0 / thirty_two.latency_ms;
+    assert!(
+        ips_32 > ips_1,
+        "batched sim throughput {ips_32} !> single {ips_1}"
+    );
+    assert!(thirty_two.gops >= one.gops);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Satellite property: batched output `i` is bit-identical to
+    /// `forward_image` on input `i` for random **dense** convolutions.
+    #[test]
+    fn dense_conv_forward_batch_bit_identical(
+        seed in 0u64..200,
+        cin in 1usize..4,
+        cout in 1usize..5,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        hw in 5usize..8,
+        threads in 1usize..4,
+    ) {
+        let mut rng = TensorRng::seed_from(seed);
+        let geom = ConvGeometry::new(cin, cout, 3, stride, pad);
+        let w = Tensor::randn(&[cout, geom.gemm_k()], &mut rng);
+        let conv = QuantizedConv::new(geom, &w, &MsqPolicy::msq_optimal(), ActQuantizer::new(4, 1.1));
+        let images: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::rand_uniform(&[cin, hw, hw], -0.2, 1.3, &mut rng))
+            .collect();
+        let engine = BatchEngine::with_threads(threads);
+        let run = engine.forward_conv_batch(&conv, &images).expect("batch");
+        for (img, out) in images.iter().zip(&run.outputs) {
+            let single = conv.forward_image(img);
+            prop_assert_eq!(out.as_slice(), single.as_slice());
+        }
+    }
+
+    /// Same property for random **depthwise** convolutions.
+    #[test]
+    fn depthwise_conv_forward_batch_bit_identical(
+        seed in 0u64..200,
+        channels in 1usize..6,
+        stride in 1usize..3,
+        hw in 5usize..8,
+        threads in 1usize..4,
+    ) {
+        let mut rng = TensorRng::seed_from(seed);
+        let geom = ConvGeometry::depthwise(channels, 3, stride, 1);
+        let w = Tensor::randn(&[channels, 9], &mut rng);
+        let conv = QuantizedConv::depthwise(geom, &w, &MsqPolicy::msq_half(), ActQuantizer::new(4, 1.0));
+        let images: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::rand_uniform(&[channels, hw, hw], 0.0, 1.0, &mut rng))
+            .collect();
+        let engine = BatchEngine::with_threads(threads);
+        let run = engine.forward_conv_batch(&conv, &images).expect("batch");
+        for (img, out) in images.iter().zip(&run.outputs) {
+            let single = conv.forward_image(img);
+            prop_assert_eq!(out.as_slice(), single.as_slice());
+        }
+    }
+
+    /// Dense matrices: batched engine vs `matvec`, including the op census.
+    #[test]
+    fn matrix_forward_batch_bit_identical(
+        seed in 0u64..200,
+        rows in 1usize..8,
+        cols in 1usize..16,
+        batch in 1usize..6,
+    ) {
+        let mut rng = TensorRng::seed_from(seed);
+        let w = Tensor::randn(&[rows, cols], &mut rng);
+        let qm = QuantizedMatrix::from_float(&w, &MsqPolicy::msq_optimal());
+        let act = ActQuantizer::new(4, 1.0);
+        let inputs: Vec<Tensor> = (0..batch)
+            .map(|_| Tensor::rand_uniform(&[cols], 0.0, 1.0, &mut rng))
+            .collect();
+        let engine = BatchEngine::with_threads(2);
+        let run = engine.forward_matrix_batch(&qm, &act, &inputs).expect("batch");
+        let mut ops = mixmatch::quant::codes::OpCounts::default();
+        for (x, out) in inputs.iter().zip(&run.outputs) {
+            let (y, o) = qm.matvec(&act.quantize(x.as_slice()), &act);
+            ops = ops.merge(o);
+            prop_assert_eq!(out.as_slice(), &y[..]);
+        }
+        prop_assert_eq!(run.ops, ops);
+    }
+}
