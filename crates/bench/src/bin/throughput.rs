@@ -1,7 +1,10 @@
 //! Serving-throughput benchmark: batched integer inference through
-//! `BatchEngine` at batch 1/8/32, measured wall-clock images/sec next to the
-//! cycle simulator's batched GOPS/fps prediction — the software counterpart
-//! of Table VIII's throughput columns, opened up to serving workloads.
+//! `BatchEngine` at batch 1/8/32 — the per-layer series (`forward_batch`
+//! over a `ModelBatch`, kept for trend continuity) next to the end-to-end
+//! series (`run_plan_batch`: raw images → logits through the compiled
+//! `ExecutionPlan`), each beside the cycle simulator's batched GOPS/fps
+//! prediction — the software counterpart of Table VIII's throughput
+//! columns, opened up to serving workloads.
 //!
 //! Writes `BENCH_throughput.json` into the working directory. Pass
 //! `--smoke` for a CI-sized run.
@@ -10,8 +13,8 @@ use mixmatch_fpga::bridge::FpgaTarget;
 use mixmatch_fpga::device::FpgaDevice;
 use mixmatch_nn::models::{ResNet, ResNetConfig};
 use mixmatch_quant::engine::{BatchEngine, ModelBatch};
-use mixmatch_quant::pipeline::{DeployForm, QuantPipeline, QuantizedModel};
-use mixmatch_tensor::TensorRng;
+use mixmatch_quant::pipeline::{CompiledModel, DeployForm, QuantizedModel};
+use mixmatch_tensor::{Tensor, TensorRng};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -31,14 +34,16 @@ fn time_passes(mut pass: impl FnMut(), min_secs: f64) -> (usize, f64) {
 }
 
 /// One model pass over a batch through the interpreted single-image kernels
-/// (`forward_image` / `matvec`) — the pre-engine baseline.
-fn single_path_pass(model: &QuantizedModel, batch: &ModelBatch) {
+/// (`try_forward_image` / `matvec`) — the pre-engine baseline. Shape
+/// errors surface as a report instead of a panic.
+fn single_path_pass(model: &QuantizedModel, batch: &ModelBatch) -> Result<(), String> {
     let act = *model.act_quantizer();
     for (layer, inputs) in model.layers().iter().zip(&batch.inputs) {
         for input in inputs {
             match &layer.form {
                 DeployForm::Conv(conv) => {
-                    let _ = conv.forward_image(input);
+                    conv.try_forward_image(input)
+                        .map_err(|e| format!("layer {}: {e}", layer.desc.name))?;
                 }
                 DeployForm::Matrix(matrix) => {
                     let _ = matrix.matvec(&act.quantize(input.as_slice()), &act);
@@ -46,6 +51,7 @@ fn single_path_pass(model: &QuantizedModel, batch: &ModelBatch) {
             }
         }
     }
+    Ok(())
 }
 
 fn main() {
@@ -54,23 +60,37 @@ fn main() {
     let device = FpgaDevice::XC7Z045;
     let mut rng = TensorRng::seed_from(7);
     let mut model = ResNet::new(ResNetConfig::mini(10).with_act_bits(4), &mut rng);
-    let quantized = QuantPipeline::for_device(FpgaTarget::new(device).with_input_size(input_hw))
-        .quantize(&mut model)
-        .expect("quantize resnet-mini");
+    let quantized: CompiledModel = mixmatch_quant::pipeline::QuantPipeline::for_device(
+        FpgaTarget::new(device).with_input_size(input_hw),
+    )
+    .quantize(&mut model)
+    .expect("quantize resnet-mini");
+    let plan = quantized.plan().expect("resnet compiles to a plan");
     let engine = BatchEngine::new();
     println!(
-        "=== Batched integer inference throughput (resnet18-mini, {} layers, {} worker threads) ===\n",
+        "=== Batched integer inference throughput (resnet18-mini, {} layers, {} plan steps, {} worker threads) ===\n",
         quantized.layers().len(),
+        plan.steps().len(),
         engine.threads()
     );
 
     // Pre-engine baseline: the interpreted single-image path at batch 1.
     let base_batch = ModelBatch::sample(&quantized, input_hw, 1, &mut rng);
-    single_path_pass(&quantized, &base_batch); // warmup
-    let (iters, secs) = time_passes(|| single_path_pass(&quantized, &base_batch), min_secs);
+    if let Err(e) = single_path_pass(&quantized, &base_batch) {
+        eprintln!("single-image baseline failed: {e}");
+        std::process::exit(1);
+    }
+    let (iters, secs) = time_passes(
+        || {
+            single_path_pass(&quantized, &base_batch).expect("validated above");
+        },
+        min_secs,
+    );
     let single_path_ips = iters as f64 / secs;
     println!("single-image path (no engine):   {single_path_ips:9.1} images/sec");
 
+    // Per-layer series: every layer fed its own synthetic batch (the
+    // pre-plan serving mode, kept for trend continuity).
     let mut rows = String::new();
     let mut measured = Vec::new();
     for &batch in &[1usize, 8, 32] {
@@ -96,7 +116,7 @@ fn main() {
             .expect("fpga target anchors the pipeline");
         let sim_ips = batch as f64 * 1_000.0 / sim.latency_ms as f64;
         println!(
-            "engine batch {batch:>2}: {ips:9.1} images/sec measured | sim {:7.1} GOPS, {sim_ips:9.1} images/sec",
+            "per-layer batch {batch:>2}:   {ips:9.1} images/sec measured | sim {:7.1} GOPS, {sim_ips:9.1} images/sec",
             sim.gops
         );
         let _ = write!(
@@ -111,16 +131,68 @@ fn main() {
         );
     }
 
-    let ips_1 = measured
-        .iter()
-        .find(|(b, _)| *b == 1)
-        .map_or(0.0, |(_, i)| *i);
-    let ips_32 = measured
-        .iter()
-        .find(|(b, _)| *b == 32)
-        .map_or(0.0, |(_, i)| *i);
-    let speedup = if ips_1 > 0.0 { ips_32 / ips_1 } else { 0.0 };
-    println!("\nbatch-32 vs batch-1 speedup: {speedup:.2}x");
+    // End-to-end series: raw images → logits through the compiled plan —
+    // one artifact drives the engine and the plan-scheduled cycle sim.
+    let mut e2e_rows = String::new();
+    let mut e2e_measured = Vec::new();
+    for &batch in &[1usize, 8, 32] {
+        let images: Vec<Tensor> = (0..batch)
+            .map(|_| Tensor::rand_uniform(&[3, input_hw, input_hw], 0.0, 1.0, &mut rng))
+            .collect();
+        engine
+            .run_plan_batch(&quantized, &images)
+            .expect("warmup pass");
+        let (iters, secs) = time_passes(
+            || {
+                engine
+                    .run_plan_batch(&quantized, &images)
+                    .expect("timed pass");
+            },
+            min_secs,
+        );
+        let ips = (batch * iters) as f64 / secs;
+        e2e_measured.push((batch, ips));
+        let run = engine
+            .run_plan_batch(&quantized, &images)
+            .expect("census pass");
+        let sim = quantized
+            .summarize_batched(batch)
+            .expect("plan-scheduled summary");
+        let sim_ips = batch as f64 * 1_000.0 / sim.latency_ms as f64;
+        println!(
+            "end-to-end batch {batch:>2}: {ips:9.1} images/sec measured | sim {:7.1} GOPS, {sim_ips:9.1} images/sec",
+            sim.gops
+        );
+        let _ = write!(
+            e2e_rows,
+            r#"{}    {{"batch": {batch}, "images_per_sec": {ips:.1}, "ops": {{"mults": {}, "shifts": {}, "adds": {}}}, "sim_gops": {:.2}, "sim_latency_ms": {:.4}, "sim_images_per_sec": {sim_ips:.1}}}"#,
+            if e2e_rows.is_empty() { "" } else { ",\n" },
+            run.ops.mults,
+            run.ops.shifts,
+            run.ops.adds,
+            sim.gops,
+            sim.latency_ms,
+        );
+    }
+
+    let speedup_of = |series: &[(usize, f64)]| {
+        let at = |b: usize| {
+            series
+                .iter()
+                .find(|(bb, _)| *bb == b)
+                .map_or(0.0, |(_, i)| *i)
+        };
+        if at(1) > 0.0 {
+            at(32) / at(1)
+        } else {
+            0.0
+        }
+    };
+    let speedup = speedup_of(&measured);
+    let e2e_speedup = speedup_of(&e2e_measured);
+    println!(
+        "\nbatch-32 vs batch-1 speedup: per-layer {speedup:.2}x, end-to-end {e2e_speedup:.2}x"
+    );
 
     let json = format!(
         r#"{{
@@ -129,16 +201,26 @@ fn main() {
   "device": "{}",
   "input_hw": {input_hw},
   "threads": {},
+  "host": {{"os": "{}", "arch": "{}", "parallelism": {}}},
+  "plan_steps": {},
   "smoke": {smoke},
   "single_path_images_per_sec": {single_path_ips:.1},
   "batches": [
 {rows}
   ],
-  "speedup_batch32_vs_batch1": {speedup:.2}
+  "end_to_end_images_per_sec": [
+{e2e_rows}
+  ],
+  "speedup_batch32_vs_batch1": {speedup:.2},
+  "end_to_end_speedup_batch32_vs_batch1": {e2e_speedup:.2}
 }}
 "#,
         device.name,
         engine.threads(),
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        std::thread::available_parallelism().map_or(1, |v| v.get()),
+        plan.steps().len(),
     );
     std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
     println!("wrote BENCH_throughput.json");

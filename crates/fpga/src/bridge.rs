@@ -15,6 +15,7 @@ use crate::explore::{optimal_design, ExploreConfig};
 use crate::sim::{simulate, SimParams};
 use crate::workload::{GemmOp, Network};
 use mixmatch_nn::quantize::{QuantLayerDesc, QuantLayerKind};
+use mixmatch_quant::graph::{ExecutionPlan, StepOp};
 use mixmatch_quant::msq::MsqPolicy;
 use mixmatch_quant::pipeline::{HardwareSummary, HardwareTarget};
 
@@ -129,6 +130,80 @@ impl FpgaTarget {
         }
     }
 
+    /// Lowers a compiled [`ExecutionPlan`] into a simulator [`Network`] —
+    /// the plan-driven twin of [`FpgaTarget::network_for`]. Where the
+    /// descriptor path *estimates* spatial sizes by composing conv strides
+    /// in list order (ignoring pooling, padding and residual topology),
+    /// the plan carries every step's exact compile-time shape, so GEMM
+    /// rows (`m_per_call`) and activation streams here are exact. For
+    /// plain conv/dense stacks the two lowerings agree; for networks with
+    /// pooling or downsample shortcuts the plan numbers are the correct
+    /// ones.
+    ///
+    /// Weight-free steps (pool/add/activation/requantize) contribute no
+    /// GEMM work, matching the descriptor path, which never saw them at
+    /// all.
+    pub fn network_for_plan(
+        &self,
+        label: &str,
+        layers: &[QuantLayerDesc],
+        plan: &ExecutionPlan,
+    ) -> Network {
+        // Walk steps tracking each buffer's current dims so conv inputs
+        // are exact.
+        let mut dims: Vec<Vec<usize>> = vec![Vec::new(); plan.buffer_sizes().len()];
+        dims[plan.input_buffer()] = plan.input_dims().to_vec();
+        let mut gemms = Vec::new();
+        for step in plan.steps() {
+            match step.op {
+                StepOp::Conv { layer } => {
+                    let desc = &layers[layer];
+                    let in_dims = &dims[step.srcs[0]];
+                    let (h_out, w_out) = (step.dims[1], step.dims[2]);
+                    gemms.push(GemmOp {
+                        name: desc.name.clone(),
+                        m_per_call: h_out * w_out,
+                        calls: 1,
+                        k: desc.cols,
+                        n: desc.rows,
+                        depthwise: matches!(desc.kind, QuantLayerKind::DepthwiseConv(_)),
+                        input_bytes_per_call: in_dims.iter().product::<usize>() as u64 * ACT_BITS
+                            / 8,
+                        output_bytes_per_call: step.dims.iter().product::<usize>() as u64
+                            * ACT_BITS
+                            / 8,
+                        alu_ops_per_output: 0,
+                    });
+                }
+                StepOp::Gemm { layer } => {
+                    let desc = &layers[layer];
+                    let (calls, alu) = match desc.kind {
+                        QuantLayerKind::Recurrent => (RECURRENT_STEPS, 10),
+                        _ => (1, 0),
+                    };
+                    gemms.push(GemmOp {
+                        name: desc.name.clone(),
+                        m_per_call: 1,
+                        calls,
+                        k: desc.cols,
+                        n: desc.rows,
+                        depthwise: false,
+                        input_bytes_per_call: desc.cols as u64 * ACT_BITS / 8,
+                        output_bytes_per_call: desc.rows as u64 * ACT_BITS / 8,
+                        alu_ops_per_output: alu,
+                    });
+                }
+                // Weight-free steps: no GEMM invocation.
+                _ => {}
+            }
+            dims[step.dst] = step.dims.clone();
+        }
+        Network {
+            name: label.into(),
+            gemms,
+        }
+    }
+
     /// Batched lowering: the same layer shapes with `batch` inputs streamed
     /// back-to-back. GEMM rows per invocation scale with the batch
     /// (`m_per_call` is "output pixels × batch" per [`GemmOp`]'s contract —
@@ -142,12 +217,40 @@ impl FpgaTarget {
         batch: usize,
     ) -> Network {
         let mut net = self.network_for(label, layers);
-        for op in &mut net.gemms {
-            op.m_per_call *= batch;
-            op.input_bytes_per_call *= batch as u64;
-            op.output_bytes_per_call *= batch as u64;
-        }
+        scale_to_batch(&mut net, batch);
         net
+    }
+
+    /// Runs the cycle simulator + cost model over an already-lowered
+    /// network — the shared tail of the descriptor- and plan-driven
+    /// summaries.
+    fn summarize_network(&self, net: &Network) -> HardwareSummary {
+        let perf = simulate(net, &self.design, &self.sim);
+        let model = CostModel::for_device(&self.device);
+        let usage = model.usage_with_shell(&self.design);
+        let util = usage.utilization(&self.device);
+        HardwareSummary {
+            device: self.device.name.to_string(),
+            ratio_label: self.design.ratio_label(),
+            gops: perf.gops(),
+            latency_ms: perf.latency_ms(),
+            pe_utilization: perf.pe_utilization(),
+            lut: usage.lut,
+            ff: usage.ff,
+            bram36: usage.bram36,
+            dsp: usage.dsp,
+            lut_utilization: util.lut,
+        }
+    }
+}
+
+/// Streams `batch` inputs back-to-back: GEMM rows and activation bytes
+/// scale with the batch while weights still load once per layer.
+fn scale_to_batch(net: &mut Network, batch: usize) {
+    for op in &mut net.gemms {
+        op.m_per_call *= batch;
+        op.input_bytes_per_call *= batch as u64;
+        op.output_bytes_per_call *= batch as u64;
     }
 }
 
@@ -169,22 +272,27 @@ impl HardwareTarget for FpgaTarget {
             return None;
         }
         let net = self.network_for_batch("quantized model", layers, batch);
-        let perf = simulate(&net, &self.design, &self.sim);
-        let model = CostModel::for_device(&self.device);
-        let usage = model.usage_with_shell(&self.design);
-        let util = usage.utilization(&self.device);
-        Some(HardwareSummary {
-            device: self.device.name.to_string(),
-            ratio_label: self.design.ratio_label(),
-            gops: perf.gops(),
-            latency_ms: perf.latency_ms(),
-            pe_utilization: perf.pe_utilization(),
-            lut: usage.lut,
-            ff: usage.ff,
-            bram36: usage.bram36,
-            dsp: usage.dsp,
-            lut_utilization: util.lut,
-        })
+        Some(self.summarize_network(&net))
+    }
+
+    /// Plan-scheduled summary: cycles come from the same compiled steps
+    /// the engine executes (exact shapes), not a re-derived layer list.
+    fn summarize_plan(
+        &self,
+        layers: &[QuantLayerDesc],
+        plan: &ExecutionPlan,
+        batch: usize,
+    ) -> Option<HardwareSummary> {
+        if layers.is_empty() || batch == 0 {
+            return None;
+        }
+        let mut net = self.network_for_plan("compiled model", layers, plan);
+        scale_to_batch(&mut net, batch);
+        Some(self.summarize_network(&net))
+    }
+
+    fn input_edge(&self) -> Option<usize> {
+        Some(self.input_hw)
     }
 }
 

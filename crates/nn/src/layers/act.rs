@@ -1,10 +1,29 @@
 //! Elementwise activation layers.
 
+use crate::lower::{ActKind, LayerLowering, LoweredOp};
 use crate::module::Layer;
 use mixmatch_tensor::Tensor;
 
 macro_rules! activation {
+    // Lowerable activations: the integer execution plan runs them as
+    // `Activation($kind)` steps.
+    ($(#[$doc:meta])* $name:ident, fwd = $fwd:expr, bwd = $bwd:expr, lowered = $kind:expr) => {
+        activation!(@define $(#[$doc])* $name, $fwd, $bwd,
+            LayerLowering::Step(LoweredOp::Activation($kind)));
+
+        impl $name {
+            /// The lowered-step kind this activation executes as.
+            pub fn act_kind(&self) -> ActKind {
+                $kind
+            }
+        }
+    };
+    // Activations the integer datapath has no step for (their containing
+    // model stays plan-free).
     ($(#[$doc:meta])* $name:ident, fwd = $fwd:expr, bwd = $bwd:expr) => {
+        activation!(@define $(#[$doc])* $name, $fwd, $bwd, LayerLowering::Opaque);
+    };
+    (@define $(#[$doc:meta])* $name:ident, $fwd:expr, $bwd:expr, $low:expr) => {
         $(#[$doc])*
         #[derive(Debug, Default)]
         pub struct $name {
@@ -35,6 +54,10 @@ macro_rules! activation {
                 let d: fn(f32) -> f32 = $bwd;
                 grad_output.zip(&x, |g, xi| g * d(xi))
             }
+
+            fn lowering(&self) -> LayerLowering {
+                $low
+            }
         }
     };
 }
@@ -43,7 +66,8 @@ activation!(
     /// Rectified linear unit `max(0, x)`.
     Relu,
     fwd = |x| x.max(0.0),
-    bwd = |x| if x > 0.0 { 1.0 } else { 0.0 }
+    bwd = |x| if x > 0.0 { 1.0 } else { 0.0 },
+    lowered = ActKind::Relu
 );
 
 activation!(
@@ -52,14 +76,16 @@ activation!(
     /// well-behaved on lightweight models.
     Relu6,
     fwd = |x| x.clamp(0.0, 6.0),
-    bwd = |x| if x > 0.0 && x < 6.0 { 1.0 } else { 0.0 }
+    bwd = |x| if x > 0.0 && x < 6.0 { 1.0 } else { 0.0 },
+    lowered = ActKind::Relu6
 );
 
 activation!(
     /// Leaky ReLU with slope 0.1 on the negative side (YOLO backbones).
     LeakyRelu,
     fwd = |x| if x > 0.0 { x } else { 0.1 * x },
-    bwd = |x| if x > 0.0 { 1.0 } else { 0.1 }
+    bwd = |x| if x > 0.0 { 1.0 } else { 0.1 },
+    lowered = ActKind::LeakyRelu
 );
 
 activation!(

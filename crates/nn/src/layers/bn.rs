@@ -77,6 +77,15 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    /// Skipped on the lowered integer path: the deployed artifact exposes
+    /// only GEMM weights, and folding BN scale/shift into conv weights
+    /// (via [`BatchNorm2d::fold_factors`]) is future work — this matches
+    /// the existing per-layer deployment path, which likewise runs without
+    /// normalization.
+    fn lowering(&self) -> crate::lower::LayerLowering {
+        crate::lower::LayerLowering::Transparent
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert_eq!(input.shape().rank(), 4, "BatchNorm2d expects [B,C,H,W]");
         let (b, c, h, w) = (

@@ -115,6 +115,12 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn lowering(&self) -> crate::lower::LayerLowering {
+        crate::lower::LayerLowering::Step(crate::lower::LoweredOp::Conv {
+            name: self.weight.name().to_string(),
+        })
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert_eq!(input.shape().rank(), 4, "Conv2d expects [B, C, H, W] input");
         let (batch, c, h, w) = (

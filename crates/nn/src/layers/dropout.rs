@@ -30,6 +30,11 @@ impl Dropout {
 }
 
 impl Layer for Dropout {
+    /// Identity at inference, so the lowered integer path skips it.
+    fn lowering(&self) -> crate::lower::LayerLowering {
+        crate::lower::LayerLowering::Transparent
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         if !train || self.p_drop == 0.0 {
             self.mask = None;

@@ -104,6 +104,16 @@ impl FakeQuant {
 }
 
 impl Layer for FakeQuant {
+    /// Lowers to a `Requantize` step when enabled (the deployed
+    /// `ActQuantizer` round trip), and is skipped when disabled.
+    fn lowering(&self) -> crate::lower::LayerLowering {
+        if self.enabled {
+            crate::lower::LayerLowering::Step(crate::lower::LoweredOp::Requantize)
+        } else {
+            crate::lower::LayerLowering::Transparent
+        }
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         if !self.enabled {
             if train {

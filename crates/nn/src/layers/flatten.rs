@@ -18,6 +18,10 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
+    fn lowering(&self) -> crate::lower::LayerLowering {
+        crate::lower::LayerLowering::Step(crate::lower::LoweredOp::Flatten)
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let b = input.dims()[0];
         let rest: usize = input.dims()[1..].iter().product();

@@ -68,6 +68,15 @@ impl Linear {
 }
 
 impl Layer for Linear {
+    /// Lowers as an integer matrix–vector step. The integer datapath has
+    /// no bias adder (the accelerator folds biases into requantization,
+    /// which is future work), matching the per-layer deployment path.
+    fn lowering(&self) -> crate::lower::LayerLowering {
+        crate::lower::LayerLowering::Step(crate::lower::LoweredOp::Gemm {
+            name: self.weight.name().to_string(),
+        })
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert_eq!(input.shape().rank(), 2, "Linear expects [batch, in] input");
         assert_eq!(

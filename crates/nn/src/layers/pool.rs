@@ -24,9 +24,22 @@ impl MaxPool2d {
             cache: None,
         }
     }
+
+    /// The square window edge (== stride).
+    pub fn window(&self) -> usize {
+        self.window
+    }
 }
 
 impl Layer for MaxPool2d {
+    fn lowering(&self) -> crate::lower::LayerLowering {
+        crate::lower::LayerLowering::Step(crate::lower::LoweredOp::Pool(
+            crate::lower::PoolKind::Max {
+                window: self.window,
+            },
+        ))
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert_eq!(input.shape().rank(), 4, "MaxPool2d expects [B,C,H,W]");
         let (b, c, h, w) = (
@@ -105,9 +118,22 @@ impl AvgPool2d {
             cached_dims: None,
         }
     }
+
+    /// The square window edge (== stride).
+    pub fn window(&self) -> usize {
+        self.window
+    }
 }
 
 impl Layer for AvgPool2d {
+    fn lowering(&self) -> crate::lower::LayerLowering {
+        crate::lower::LayerLowering::Step(crate::lower::LoweredOp::Pool(
+            crate::lower::PoolKind::Avg {
+                window: self.window,
+            },
+        ))
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert_eq!(input.shape().rank(), 4, "AvgPool2d expects [B,C,H,W]");
         let (b, c, h, w) = (
@@ -194,6 +220,12 @@ impl GlobalAvgPool {
 }
 
 impl Layer for GlobalAvgPool {
+    fn lowering(&self) -> crate::lower::LayerLowering {
+        crate::lower::LayerLowering::Step(crate::lower::LoweredOp::Pool(
+            crate::lower::PoolKind::GlobalAvg,
+        ))
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert_eq!(input.shape().rank(), 4, "GlobalAvgPool expects [B,C,H,W]");
         let (b, c, h, w) = (

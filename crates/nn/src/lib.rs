@@ -40,6 +40,7 @@ pub mod gradcheck;
 pub mod init;
 pub mod layers;
 pub mod loss;
+pub mod lower;
 pub mod metrics;
 pub mod models;
 pub mod module;
@@ -47,5 +48,6 @@ pub mod optim;
 pub mod quantize;
 pub mod rnn;
 
+pub use lower::{ActKind, GraphBuilder, LoweredGraph, LoweredOp, PoolKind};
 pub use module::{Layer, Param};
 pub use quantize::{QuantLayerDesc, QuantLayerKind, QuantizableModel};

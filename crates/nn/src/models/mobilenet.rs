@@ -382,6 +382,40 @@ impl QuantizableModel for MobileNetV2 {
         v.extend(QuantLayerDesc::for_param(self.fc.weight()));
         v
     }
+
+    /// Lowers the inverted-residual dataflow: stem conv → ReLU6, then per
+    /// block `expand → ReLU6 → depthwise → ReLU6 → project` (the project
+    /// output is linear) with a residual add where the skip applies,
+    /// finished by global average pooling, flatten and the classifier
+    /// GEMM. Batch-norm is skipped on the integer path (folding is future
+    /// work).
+    fn lower(&self) -> Option<crate::lower::LoweredGraph> {
+        use crate::lower::{ActKind, GraphBuilder, PoolKind};
+        let mut g = GraphBuilder::new();
+        let mut x = g.input();
+        x = g.conv(self.stem_conv.weight().name(), x);
+        x = g.activation(ActKind::Relu6, x);
+        for b in &self.blocks {
+            let block_in = x;
+            let mut y = block_in;
+            if let Some((conv, _, _)) = &b.expand {
+                y = g.conv(conv.weight().name(), y);
+                y = g.activation(ActKind::Relu6, y);
+            }
+            y = g.conv(b.depthwise.weight().name(), y);
+            y = g.activation(ActKind::Relu6, y);
+            y = g.conv(b.project.weight().name(), y);
+            x = if b.use_skip {
+                g.residual_add(y, block_in)
+            } else {
+                y
+            };
+        }
+        x = g.pool(PoolKind::GlobalAvg, x);
+        x = g.flatten(x);
+        x = g.gemm(self.fc.weight().name(), x);
+        Some(g.finish(x))
+    }
 }
 
 #[cfg(test)]

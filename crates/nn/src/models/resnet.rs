@@ -363,6 +363,43 @@ impl QuantizableModel for ResNet {
         v.extend(QuantLayerDesc::for_param(self.fc.weight()));
         v
     }
+
+    /// Lowers the residual dataflow: stem conv → ReLU, then per block
+    /// `conv1 → ReLU → conv2` joined to the (possibly projected) shortcut
+    /// by a residual add and a trailing ReLU, finished by global average
+    /// pooling, flatten and the classifier GEMM. Batch-norm is skipped on
+    /// the integer path (folding is future work); a `Requantize` step
+    /// follows the stem and each block when the model was built with
+    /// `act_bits`, mirroring its `FakeQuant` layers.
+    fn lower(&self) -> Option<crate::lower::LoweredGraph> {
+        use crate::lower::{ActKind, GraphBuilder, PoolKind};
+        let mut g = GraphBuilder::new();
+        let mut x = g.input();
+        x = g.conv(self.stem_conv.weight().name(), x);
+        x = g.activation(ActKind::Relu, x);
+        if !self.act_quants.is_empty() {
+            x = g.requantize(x);
+        }
+        for b in &self.blocks {
+            let block_in = x;
+            let mut y = g.conv(b.conv1.weight().name(), block_in);
+            y = g.activation(ActKind::Relu, y);
+            y = g.conv(b.conv2.weight().name(), y);
+            let shortcut = match &b.shortcut {
+                Some((conv, _)) => g.conv(conv.weight().name(), block_in),
+                None => block_in,
+            };
+            x = g.residual_add(y, shortcut);
+            x = g.activation(ActKind::Relu, x);
+            if !self.act_quants.is_empty() {
+                x = g.requantize(x);
+            }
+        }
+        x = g.pool(PoolKind::GlobalAvg, x);
+        x = g.flatten(x);
+        x = g.gemm(self.fc.weight().name(), x);
+        Some(g.finish(x))
+    }
 }
 
 #[cfg(test)]

@@ -360,6 +360,28 @@ impl QuantizableModel for YoloDetector {
         v.push(QuantLayerDesc::for_conv(&self.head));
         v
     }
+
+    /// Lowers the detector dataflow: per backbone stage
+    /// `conv → LeakyReLU → 2× max-pool`, then the 1×1 detection-head conv.
+    /// The output is the raw `[5+C, S, S]` prediction map; batch-norm is
+    /// skipped on the integer path (folding is future work).
+    fn lower(&self) -> Option<crate::lower::LoweredGraph> {
+        use crate::lower::{ActKind, GraphBuilder, PoolKind};
+        let mut g = GraphBuilder::new();
+        let mut x = g.input();
+        for (conv, _, _, pool) in &self.stages {
+            x = g.conv(conv.weight().name(), x);
+            x = g.activation(ActKind::LeakyRelu, x);
+            x = g.pool(
+                PoolKind::Max {
+                    window: pool.window(),
+                },
+                x,
+            );
+        }
+        x = g.conv(self.head.weight().name(), x);
+        Some(g.finish(x))
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Layer trait and named parameters.
 
+use crate::lower::LayerLowering;
 use mixmatch_tensor::Tensor;
 
 /// A trainable parameter: value, gradient accumulator and a stable name.
@@ -86,6 +87,16 @@ pub trait Layer {
             p.zero_grad();
         }
     }
+
+    /// How this layer participates in dataflow lowering
+    /// (see [`crate::lower`]): one lowered step, transparent (skipped on
+    /// the integer path), or opaque. The default is
+    /// [`LayerLowering::Opaque`] — layers the compiled integer path cannot
+    /// express keep their containing model plan-free rather than silently
+    /// changing semantics.
+    fn lowering(&self) -> LayerLowering {
+        LayerLowering::Opaque
+    }
 }
 
 /// A sequence of layers applied in order.
@@ -125,6 +136,23 @@ impl Sequential {
     /// Number of layers.
     pub fn len(&self) -> usize {
         self.layers.len()
+    }
+
+    /// Lowers the pipeline into a dataflow graph by chaining each layer's
+    /// [`Layer::lowering`]: `Step` layers append a node, `Transparent`
+    /// layers are skipped, and any `Opaque` layer makes the whole pipeline
+    /// unlowerable (`None`).
+    pub fn lower_graph(&self) -> Option<crate::lower::LoweredGraph> {
+        let mut g = crate::lower::GraphBuilder::new();
+        let mut x = g.input();
+        for layer in &self.layers {
+            match layer.lowering() {
+                LayerLowering::Step(op) => x = g.push(op, vec![x]),
+                LayerLowering::Transparent => {}
+                LayerLowering::Opaque => return None,
+            }
+        }
+        Some(g.finish(x))
     }
 
     /// `true` when the pipeline holds no layers.

@@ -149,6 +149,17 @@ pub trait QuantizableModel {
         let _ = inputs;
         None
     }
+
+    /// Lowers the model into the dataflow graph the compiled integer
+    /// [`ExecutionPlan`] is built from (see [`crate::lower`]): a
+    /// topologically-ordered step list covering convolutions, GEMMs,
+    /// pooling, residual adds, activations, flatten and requantization.
+    /// `None` for models the plan compiler cannot express (the token-driven
+    /// RNN families); the structured CNN families and [`Sequential`]
+    /// override this.
+    fn lower(&self) -> Option<crate::lower::LoweredGraph> {
+        None
+    }
 }
 
 impl QuantizableModel for Sequential {
@@ -162,6 +173,10 @@ impl QuantizableModel for Sequential {
 
     fn forward_batch(&mut self, inputs: &[Tensor]) -> Option<Vec<Tensor>> {
         Some(layer_forward_batch(self, inputs))
+    }
+
+    fn lower(&self) -> Option<crate::lower::LoweredGraph> {
+        self.lower_graph()
     }
 }
 

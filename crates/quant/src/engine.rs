@@ -49,9 +49,11 @@
 use crate::codes::OpCounts;
 use crate::deploy::QuantizedConv;
 use crate::error::QuantError;
+use crate::graph::{self, ExecutionPlan, StepOp};
 use crate::integer::{ActQuantizer, GemmPlan, QuantizedMatrix};
-use crate::pipeline::{DeployForm, QuantizedLayer, QuantizedModel};
+use crate::pipeline::{CompiledModel, DeployForm, QuantizedLayer, QuantizedModel};
 use mixmatch_nn::quantize::QuantLayerKind;
+use mixmatch_tensor::arena::BufferArena;
 use mixmatch_tensor::im2col::{im2col_into, ConvGeometry};
 use mixmatch_tensor::pool::WorkerPool;
 use mixmatch_tensor::{Tensor, TensorRng};
@@ -160,7 +162,7 @@ impl BatchEngine {
     /// the parallel GEMM path — no second set of per-core threads).
     pub fn new() -> Self {
         BatchEngine {
-            pool: EnginePool::Global(mixmatch_tensor::pool::global()),
+            pool: EnginePool::Global(WorkerPool::global()),
         }
     }
 
@@ -305,6 +307,158 @@ impl BatchEngine {
         Ok(ModelRun { outputs, ops })
     }
 
+    /// End-to-end batched inference through a [`CompiledModel`]'s plan:
+    /// raw images in, network outputs (logits / prediction maps) out — no
+    /// per-layer input feeding. See [`BatchEngine::run_plan`].
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::NoLoweredGraph`] for plan-free artifacts, plus
+    /// everything [`BatchEngine::run_plan`] can return.
+    pub fn run_plan_batch(
+        &self,
+        compiled: &CompiledModel,
+        images: &[Tensor],
+    ) -> Result<BatchRun, QuantError> {
+        self.run_plan(compiled.model(), compiled.require_plan()?, images)
+    }
+
+    /// Runs `images` through every step of `plan` against `model`'s
+    /// deployment forms: each worker owns one [`BufferArena`] sized to the
+    /// plan's buffer high-water marks plus one scratch set, so a whole
+    /// forward pass does zero shape inference and near-zero allocation.
+    /// Per-layer results are bit-identical to
+    /// [`BatchEngine::forward_layer_batch`] on the same inputs (same
+    /// compiled GEMM plans, same kernels); `ops` aggregates the GEMM steps'
+    /// Table I accounting (pool/add/activation steps are ALU work the GEMM
+    /// census does not count).
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::ShapeMismatch`] when an image is not the plan's input
+    /// shape, [`QuantError::MissingParam`] when the plan references a layer
+    /// index the model does not have (a plan compiled from a different
+    /// model).
+    pub fn run_plan(
+        &self,
+        model: &QuantizedModel,
+        plan: &ExecutionPlan,
+        images: &[Tensor],
+    ) -> Result<BatchRun, QuantError> {
+        for image in images {
+            if image.dims() != plan.input_dims() {
+                return Err(QuantError::ShapeMismatch {
+                    context: "plan input shape mismatch".into(),
+                    expected: plan.input_dims().to_vec(),
+                    got: image.dims().to_vec(),
+                });
+            }
+        }
+        // Resolve and validate every GEMM step once (including its shape
+        // flow against this model's geometry — a plan paired with the
+        // wrong model must fail typed here, not panic in a worker),
+        // compiling each referenced layer's row plan a single time for the
+        // whole batch.
+        let mut gemm_plans: Vec<Option<GemmPlan>> = vec![None; model.layers().len()];
+        let mut dims: Vec<Option<&[usize]>> = vec![None; plan.buffer_sizes().len()];
+        dims[plan.input_buffer()] = Some(plan.input_dims());
+        for step in plan.steps() {
+            let resolved = match step.op {
+                StepOp::Conv { layer } => Some((layer, true)),
+                StepOp::Gemm { layer } => Some((layer, false)),
+                _ => None,
+            };
+            if let Some((layer, want_conv)) = resolved {
+                let l = model
+                    .layers()
+                    .get(layer)
+                    .ok_or_else(|| QuantError::MissingParam {
+                        name: format!("plan layer #{layer}"),
+                    })?;
+                let src = dims[step.srcs[0]].unwrap_or(&[]);
+                let flow_ok = match (&l.form, want_conv) {
+                    (DeployForm::Conv(conv), true) => {
+                        let geom = conv.geometry();
+                        src.len() == 3
+                            && src[0] == geom.in_channels
+                            && step.dims
+                                == [
+                                    geom.out_channels,
+                                    geom.output_size(src[1]),
+                                    geom.output_size(src[2]),
+                                ]
+                    }
+                    (DeployForm::Matrix(m), false) => src == [m.cols()] && step.dims == [m.rows()],
+                    _ => false,
+                };
+                if !flow_ok {
+                    return Err(QuantError::Geometry {
+                        context: format!(
+                            "plan step disagrees with layer {} (form or shapes)",
+                            l.desc.name
+                        ),
+                    });
+                }
+                if gemm_plans[layer].is_none() {
+                    gemm_plans[layer] = Some(l.matrix().plan());
+                }
+            }
+            dims[step.dst] = Some(&step.dims);
+        }
+        let act = *model.act_quantizer();
+        let mut outputs: Vec<Tensor> = images
+            .iter()
+            .map(|_| Tensor::zeros(plan.output_dims()))
+            .collect();
+        if images.is_empty() {
+            return Ok(BatchRun {
+                outputs,
+                ops: OpCounts::default(),
+            });
+        }
+        let chunk = images.len().div_ceil(self.pool().threads()).max(1);
+        let chunks = images.len().div_ceil(chunk);
+        let mut chunk_ops = vec![OpCounts::default(); chunks];
+        {
+            let gemm_plans = &gemm_plans;
+            // Workers capture only the layer forms — the model itself holds
+            // a (non-`Sync`) hardware-target box they never touch.
+            let layers = model.layers();
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = images
+                .chunks(chunk)
+                .zip(outputs.chunks_mut(chunk))
+                .zip(chunk_ops.iter_mut())
+                .map(|((ins, outs), ops_slot)| {
+                    Box::new(move || {
+                        let mut arena = BufferArena::with_sizes(plan.buffer_sizes());
+                        let mut scratch = ConvScratch::default();
+                        let mut ops = OpCounts::default();
+                        for (image, out) in ins.iter().zip(outs) {
+                            ops = ops.merge(run_plan_single(
+                                layers,
+                                plan,
+                                gemm_plans,
+                                &act,
+                                image,
+                                out,
+                                &mut arena,
+                                &mut scratch,
+                            ));
+                        }
+                        *ops_slot = ops;
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            self.pool().run(tasks);
+        }
+        Ok(BatchRun {
+            outputs,
+            ops: chunk_ops
+                .into_iter()
+                .fold(OpCounts::default(), OpCounts::merge),
+        })
+    }
+
     /// Fans `(input, output)` pairs out over the pool in contiguous chunks
     /// — one task per worker share, one scratch set per task — and merges
     /// the per-chunk op counts.
@@ -384,6 +538,82 @@ fn conv_image_planned(
         }
         ops
     }
+}
+
+/// One image through every plan step: load the input buffer, execute steps
+/// over the arena's split borrows, copy the output buffer out. All layer
+/// indices and shapes were validated before the fan-out, so this path is
+/// infallible.
+#[allow(clippy::too_many_arguments)]
+fn run_plan_single(
+    layers: &[QuantizedLayer],
+    plan: &ExecutionPlan,
+    gemm_plans: &[Option<GemmPlan>],
+    act: &ActQuantizer,
+    image: &Tensor,
+    out: &mut Tensor,
+    arena: &mut BufferArena,
+    scratch: &mut ConvScratch,
+) -> OpCounts {
+    arena
+        .buffer_mut(plan.input_buffer(), image.dims())
+        .as_mut_slice()
+        .copy_from_slice(image.as_slice());
+    let mut ops = OpCounts::default();
+    for step in plan.steps() {
+        match step.op {
+            StepOp::Conv { layer } => {
+                let conv = match &layers[layer].form {
+                    DeployForm::Conv(c) => c,
+                    DeployForm::Matrix(_) => unreachable!("validated before fan-out"),
+                };
+                let (src, dst) = arena.src_dst(step.srcs[0], step.dst, &step.dims);
+                ops = ops.merge(conv_image_planned(
+                    gemm_plans[layer].as_ref().expect("compiled before fan-out"),
+                    conv.geometry(),
+                    conv.act_quantizer(),
+                    src,
+                    dst,
+                    scratch,
+                ));
+            }
+            StepOp::Gemm { layer } => {
+                let gemm = gemm_plans[layer].as_ref().expect("compiled before fan-out");
+                let (src, dst) = arena.src_dst(step.srcs[0], step.dst, &step.dims);
+                act.quantize_into(src.as_slice(), &mut scratch.quantized);
+                ops = ops.merge(gemm.matmul_into(
+                    &scratch.quantized,
+                    1,
+                    act,
+                    dst.as_mut_slice(),
+                    &mut scratch.transposed,
+                ));
+            }
+            StepOp::Pool(kind) => {
+                let (src, dst) = arena.src_dst(step.srcs[0], step.dst, &step.dims);
+                graph::pool_into(kind, src, dst);
+            }
+            StepOp::Activation(kind) => {
+                let (src, dst) = arena.src_dst(step.srcs[0], step.dst, &step.dims);
+                graph::activation_into(kind, src, dst);
+            }
+            StepOp::ResidualAdd => {
+                let (a, b, dst) = arena.src2_dst(step.srcs[0], step.srcs[1], step.dst, &step.dims);
+                graph::residual_add_into(a, b, dst);
+            }
+            StepOp::Flatten => {
+                let (src, dst) = arena.src_dst(step.srcs[0], step.dst, &step.dims);
+                graph::flatten_into(src, dst);
+            }
+            StepOp::Requantize => {
+                let (src, dst) = arena.src_dst(step.srcs[0], step.dst, &step.dims);
+                graph::requantize_into(act, src, dst);
+            }
+        }
+    }
+    out.as_mut_slice()
+        .copy_from_slice(arena.buffer(plan.output_buffer()).as_slice());
+    ops
 }
 
 #[cfg(test)]

@@ -42,6 +42,14 @@ pub enum QuantError {
     },
     /// The model exposes no quantizable layers at all.
     NoQuantizableLayers,
+    /// The model did not lower to a dataflow graph, so no execution plan
+    /// can be compiled (`QuantizableModel::lower` returned `None`).
+    NoLoweredGraph,
+    /// A serialized compiled-model artifact is malformed.
+    Artifact {
+        /// Human-readable description of the corruption.
+        context: String,
+    },
     /// A packed weight stream failed to decode.
     Unpack(UnpackError),
 }
@@ -62,6 +70,10 @@ impl fmt::Display for QuantError {
                 write!(f, "model exposes no parameter named {name:?}")
             }
             QuantError::NoQuantizableLayers => f.write_str("model has no quantizable layers"),
+            QuantError::NoLoweredGraph => f.write_str("model does not lower to a dataflow graph"),
+            QuantError::Artifact { context } => {
+                write!(f, "compiled-model artifact corrupt: {context}")
+            }
             QuantError::Unpack(e) => write!(f, "packed stream corrupt: {e}"),
         }
     }

@@ -603,6 +603,55 @@ pub struct PackedMatrix {
 }
 
 impl PackedMatrix {
+    /// Reassembles a packed matrix from serialized parts (the export
+    /// import path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnpackError::Truncated`](crate::export::UnpackError) when
+    /// `row_meta` does not hold `rows` entries or `data` is shorter than
+    /// `rows · ⌈cols/2⌉` bytes.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        row_meta: Vec<(Scheme, f32)>,
+        data: Vec<u8>,
+    ) -> Result<Self, crate::export::UnpackError> {
+        let need = rows * cols.div_ceil(2);
+        if row_meta.len() != rows || data.len() < need {
+            return Err(crate::export::UnpackError::Truncated {
+                expected: rows * cols,
+                available: data.len() * 2,
+            });
+        }
+        Ok(PackedMatrix {
+            rows,
+            cols,
+            row_meta,
+            data,
+        })
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Per-row `(scheme, α)` metadata.
+    pub fn row_meta(&self) -> &[(Scheme, f32)] {
+        &self.row_meta
+    }
+
+    /// Packed nibble stream (`⌈cols/2⌉` bytes per row).
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
     /// Packed weight bytes (excluding metadata).
     pub fn data_len(&self) -> usize {
         self.data.len()

@@ -60,6 +60,7 @@ pub mod deploy;
 pub mod engine;
 pub mod error;
 pub mod export;
+pub mod graph;
 pub mod integer;
 pub mod msq;
 pub mod pipeline;
@@ -69,9 +70,10 @@ pub mod schemes;
 
 pub use admm::{AdmmConfig, AdmmQuantizer};
 pub use error::QuantError;
+pub use graph::{ExecutionPlan, PlanStep, StepOp};
 pub use msq::{MsqPolicy, SchemeChoice};
 pub use pipeline::{
-    HardwareSummary, HardwareTarget, PipelineReport, QuantPipeline, QuantizedModel,
+    CompiledModel, HardwareSummary, HardwareTarget, PipelineReport, QuantPipeline, QuantizedModel,
 };
 pub use rowwise::{PartitionRatio, RowAssignment};
 pub use schemes::{Codebook, Scheme};

@@ -18,7 +18,9 @@
 //! The builder is typestate-flavored: a pipeline can only be obtained with a
 //! resolved policy (from a [`HardwareTarget`] or an explicit [`MsqPolicy`]),
 //! every stage consumes and returns the builder, and the terminal
-//! `quantize*` calls consume it into a [`QuantizedModel`] artifact — there
+//! `quantize*` calls consume it into a [`CompiledModel`] artifact (the
+//! [`QuantizedModel`] plus the compiled
+//! [`ExecutionPlan`](crate::graph::ExecutionPlan) lowered from it) — there
 //! is no orderable-but-invalid call sequence to misuse.
 //!
 //! The hardware side stays decoupled through the [`HardwareTarget`] trait:
@@ -30,15 +32,22 @@
 use crate::admm::{AdmmConfig, AdmmQuantizer, LayerOverride, LayerQuantReport};
 use crate::deploy::QuantizedConv;
 use crate::error::QuantError;
+use crate::graph::ExecutionPlan;
 use crate::integer::{ActQuantizer, PackedMatrix, QuantizedMatrix};
 use crate::msq::MsqPolicy;
 use crate::qat::{train_classifier_with_quantizer, EpochLog, QatConfig};
 use crate::rowwise::RowAssignment;
 use crate::schemes::Codebook;
+use mixmatch_nn::lower::{LoweredGraph, LoweredOp};
 use mixmatch_nn::module::{Layer, Param};
 use mixmatch_nn::quantize::{QuantLayerDesc, QuantLayerKind, QuantizableModel};
 use mixmatch_tensor::{stats, Tensor};
 use std::fmt;
+use std::ops::Deref;
+
+/// Input feature-map edge assumed when neither the pipeline nor its
+/// hardware target pins one (matches `FpgaTarget`'s default).
+const DEFAULT_INPUT_EDGE: usize = 32;
 
 /// A deployment substrate that can anchor a pipeline: it derives the
 /// quantization policy from its resource model and (optionally) predicts
@@ -73,6 +82,29 @@ pub trait HardwareTarget {
         } else {
             None
         }
+    }
+
+    /// Batched prediction scheduled from a compiled [`ExecutionPlan`]
+    /// rather than a bare layer list: plan steps carry the exact
+    /// compile-time spatial shapes (pooling, strides and residual topology
+    /// included), so targets with a real performance model override this
+    /// to schedule cycles from the same artifact the engine executes. The
+    /// default falls back to the layer-derived estimate.
+    fn summarize_plan(
+        &self,
+        layers: &[QuantLayerDesc],
+        plan: &ExecutionPlan,
+        batch: usize,
+    ) -> Option<HardwareSummary> {
+        let _ = plan;
+        self.summarize_batch(layers, batch)
+    }
+
+    /// The square input feature-map edge this target assumes for
+    /// convolutional workloads, when it models one — the pipeline uses it
+    /// to pick the plan-compilation input shape. The default declines.
+    fn input_edge(&self) -> Option<usize> {
+        None
     }
 
     /// One-time hook run when the pipeline takes ownership of the target:
@@ -122,6 +154,7 @@ pub struct QuantPipeline {
     qat: Option<QatConfig>,
     act: ActQuantizer,
     overrides: Vec<LayerOverride>,
+    input_shape: Option<Vec<usize>>,
 }
 
 impl QuantPipeline {
@@ -137,6 +170,7 @@ impl QuantPipeline {
             qat: None,
             act: ActQuantizer::new(4, 1.0),
             overrides: Vec::new(),
+            input_shape: None,
         }
     }
 
@@ -150,7 +184,19 @@ impl QuantPipeline {
             qat: None,
             act: ActQuantizer::new(4, 1.0),
             overrides: Vec::new(),
+            input_shape: None,
         }
+    }
+
+    /// Stage: pins the input shape the execution plan is compiled for
+    /// (`[C, H, W]` for convolutional models, `[features]` for dense ones).
+    /// Without this stage the pipeline infers a shape from the lowered
+    /// graph and the target's [`HardwareTarget::input_edge`] hint; with it,
+    /// plan compilation failures become hard errors instead of a plan-free
+    /// artifact.
+    pub fn with_input_shape(mut self, dims: &[usize]) -> Self {
+        self.input_shape = Some(dims.to_vec());
+        self
     }
 
     /// Stage: overrides the derived policy.
@@ -235,10 +281,7 @@ impl QuantPipeline {
     /// [`QuantError::NoQuantizableLayers`] for models without GEMM weights,
     /// [`QuantError::BitWidth`] / [`QuantError::ShapeMismatch`] /
     /// [`QuantError::Geometry`] when a layer cannot be encoded.
-    pub fn quantize<M: QuantizableModel>(
-        self,
-        model: &mut M,
-    ) -> Result<QuantizedModel, QuantError> {
+    pub fn quantize<M: QuantizableModel>(self, model: &mut M) -> Result<CompiledModel, QuantError> {
         self.validate_bits()?;
         let mut quantizer = self.admm_quantizer(&model.model_params());
         let reports = quantizer.project_final(&mut model.model_params_mut());
@@ -268,7 +311,7 @@ impl QuantPipeline {
         self,
         model: &mut M,
         batches: F,
-    ) -> Result<QuantizedModel, QuantError>
+    ) -> Result<CompiledModel, QuantError>
     where
         M: QuantizableModel + Layer,
         F: FnMut(usize) -> Vec<(Tensor, Vec<usize>)>,
@@ -284,14 +327,18 @@ impl QuantPipeline {
         self.package(model, outcome.reports, outcome.logs)
     }
 
-    /// Validates the policy and encodes every quantizable layer into its
-    /// deployment form, preserving the training-time row assignments.
+    /// Validates the policy, encodes every quantizable layer into its
+    /// deployment form (preserving the training-time row assignments),
+    /// captures the model's lowered dataflow graph and compiles it into an
+    /// [`ExecutionPlan`] — one artifact for the engine, the cycle
+    /// simulator and export.
     fn package<M: QuantizableModel>(
         self,
         model: &M,
         reports: Vec<LayerQuantReport>,
         logs: Vec<EpochLog>,
-    ) -> Result<QuantizedModel, QuantError> {
+    ) -> Result<CompiledModel, QuantError> {
+        let graph = model.lower();
         let descs = model.quantizable_layers();
         if descs.is_empty() {
             return Err(QuantError::NoQuantizableLayers);
@@ -346,15 +393,65 @@ impl QuantPipeline {
                 packed,
             });
         }
-        Ok(QuantizedModel {
+        let input_shape = self.input_shape.clone();
+        let edge = self
+            .target
+            .as_ref()
+            .and_then(|t| t.input_edge())
+            .unwrap_or(DEFAULT_INPUT_EDGE);
+        let quantized = QuantizedModel {
             label: self.label,
             policy: self.policy,
             act: self.act,
             target: self.target,
             layers,
             logs,
+            graph,
+        };
+        let plan = match (&quantized.graph, &input_shape) {
+            // Explicit input shape: compilation failures are hard errors.
+            (Some(_), Some(dims)) => Some(quantized.compile(dims)?),
+            // Inferred shape: best effort — a model whose graph cannot
+            // compile at the guessed shape still quantizes, it just ships
+            // without a plan.
+            (Some(graph), None) => infer_input_dims(graph, &quantized.layers, edge)
+                .and_then(|dims| quantized.compile(&dims).ok()),
+            (None, Some(_)) => return Err(QuantError::NoLoweredGraph),
+            (None, None) => None,
+        };
+        Ok(CompiledModel {
+            model: quantized,
+            plan,
         })
     }
+}
+
+/// Guesses the plan-compilation input shape from the first *shape-fixing*
+/// consumer of the network input: `[Cin, edge, edge]` when it is a
+/// convolution, `[cols]` when it is a GEMM. Shape-preserving ops in
+/// between (activations, requantize — e.g. a leading `FakeQuant` in a QAT
+/// stack) are walked through; anything else (pooling, flatten) leaves the
+/// shape underdetermined → `None`.
+fn infer_input_dims(
+    graph: &LoweredGraph,
+    layers: &[QuantizedLayer],
+    edge: usize,
+) -> Option<Vec<usize>> {
+    let desc_of = |name: &str| layers.iter().find(|l| l.desc.name == name).map(|l| &l.desc);
+    let mut value = 0;
+    for _ in 0..=graph.nodes().len() {
+        let node = graph.nodes().iter().find(|n| n.inputs.contains(&value))?;
+        match &node.op {
+            LoweredOp::Conv { name } => {
+                let geom = *desc_of(name)?.geometry()?;
+                return Some(vec![geom.in_channels, edge, edge]);
+            }
+            LoweredOp::Gemm { name } => return Some(vec![desc_of(name)?.cols]),
+            LoweredOp::Activation(_) | LoweredOp::Requantize => value = node.output,
+            _ => return None,
+        }
+    }
+    None
 }
 
 /// One layer of a [`QuantizedModel`]: descriptor, training-time report and
@@ -403,6 +500,7 @@ pub struct QuantizedModel {
     target: Option<Box<dyn HardwareTarget>>,
     layers: Vec<QuantizedLayer>,
     logs: Vec<EpochLog>,
+    graph: Option<LoweredGraph>,
 }
 
 impl fmt::Debug for QuantizedModel {
@@ -499,6 +597,55 @@ impl QuantizedModel {
             .and_then(|t| t.summarize_batch(&descs, batch))
     }
 
+    /// Batched hardware prediction scheduled from a compiled plan (see
+    /// [`HardwareTarget::summarize_plan`]), or `None` without a target.
+    pub fn summarize_plan(&self, plan: &ExecutionPlan, batch: usize) -> Option<HardwareSummary> {
+        let descs: Vec<QuantLayerDesc> = self.layers.iter().map(|l| l.desc.clone()).collect();
+        self.target
+            .as_ref()
+            .and_then(|t| t.summarize_plan(&descs, plan, batch))
+    }
+
+    /// The lowered dataflow graph captured at packaging time, when the
+    /// model implements `QuantizableModel::lower` (imported artifacts and
+    /// RNN families carry none).
+    pub fn lowered_graph(&self) -> Option<&LoweredGraph> {
+        self.graph.as_ref()
+    }
+
+    /// Compiles the captured dataflow graph into an [`ExecutionPlan`] for
+    /// a concrete input shape — recompile at will for other shapes; the
+    /// weights stay here, the plan is a pure schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::NoLoweredGraph`] when no graph was captured, plus any
+    /// [`ExecutionPlan::compile`] shape/geometry error.
+    pub fn compile(&self, input_dims: &[usize]) -> Result<ExecutionPlan, QuantError> {
+        let graph = self.graph.as_ref().ok_or(QuantError::NoLoweredGraph)?;
+        let descs: Vec<QuantLayerDesc> = self.layers.iter().map(|l| l.desc.clone()).collect();
+        ExecutionPlan::compile(graph, &descs, input_dims)
+    }
+
+    /// Reassembles a model from deserialized parts (the export/import
+    /// path; no hardware target, no training logs, no dataflow graph).
+    pub(crate) fn from_parts(
+        label: String,
+        policy: MsqPolicy,
+        act: ActQuantizer,
+        layers: Vec<QuantizedLayer>,
+    ) -> Self {
+        QuantizedModel {
+            label,
+            policy,
+            act,
+            target: None,
+            layers,
+            logs: Vec::new(),
+            graph: None,
+        }
+    }
+
     /// Builds the pipeline report: per-layer quantization summary plus, when
     /// a hardware target anchors the pipeline, the cycle-simulator
     /// latency/resource prediction for this model's layer shapes.
@@ -523,6 +670,94 @@ impl QuantizedModel {
             float_bytes: self.float_bytes(),
             packable_float_bytes: self.packable_float_bytes(),
         }
+    }
+}
+
+/// The pipeline's terminal artifact: the quantized model plus the compiled
+/// [`ExecutionPlan`] lowered from it. One `CompiledModel` drives all three
+/// deployment consumers — `BatchEngine::run_plan_batch` (end-to-end integer
+/// inference), the hardware target's plan-scheduled cycle summaries, and
+/// the serialized export artifact.
+///
+/// Derefs to [`QuantizedModel`], so every per-layer accessor and report
+/// keeps working on the compiled artifact.
+pub struct CompiledModel {
+    model: QuantizedModel,
+    plan: Option<ExecutionPlan>,
+}
+
+impl Deref for CompiledModel {
+    type Target = QuantizedModel;
+
+    fn deref(&self) -> &QuantizedModel {
+        &self.model
+    }
+}
+
+impl fmt::Debug for CompiledModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledModel")
+            .field("model", &self.model)
+            .field("plan_steps", &self.plan.as_ref().map(|p| p.steps().len()))
+            .finish()
+    }
+}
+
+impl CompiledModel {
+    /// Wraps an already-quantized model with an explicitly compiled plan
+    /// (the import path, and tests that compile at custom shapes).
+    pub fn from_parts(model: QuantizedModel, plan: Option<ExecutionPlan>) -> Self {
+        CompiledModel { model, plan }
+    }
+
+    /// The quantized model.
+    pub fn model(&self) -> &QuantizedModel {
+        &self.model
+    }
+
+    /// Unwraps the quantized model, dropping the plan.
+    pub fn into_model(self) -> QuantizedModel {
+        self.model
+    }
+
+    /// The compiled execution plan — `None` when the model did not lower
+    /// (RNN families) or no input shape could be inferred; compile one
+    /// explicitly with [`QuantizedModel::compile`].
+    pub fn plan(&self) -> Option<&ExecutionPlan> {
+        self.plan.as_ref()
+    }
+
+    /// The plan, or a typed error for plan-free artifacts.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::NoLoweredGraph`] when the artifact carries no plan.
+    pub fn require_plan(&self) -> Result<&ExecutionPlan, QuantError> {
+        self.plan.as_ref().ok_or(QuantError::NoLoweredGraph)
+    }
+
+    /// Batched hardware prediction: scheduled from the compiled plan when
+    /// one exists (exact compile-time shapes), falling back to the
+    /// layer-derived estimate otherwise. Shadows the deref'd
+    /// [`QuantizedModel::summarize_batched`] so the compiled artifact
+    /// always reports plan-consistent numbers.
+    pub fn summarize_batched(&self, batch: usize) -> Option<HardwareSummary> {
+        match &self.plan {
+            Some(plan) => self.model.summarize_plan(plan, batch),
+            None => self.model.summarize_batched(batch),
+        }
+    }
+
+    /// The pipeline report with its hardware prediction scheduled from the
+    /// compiled plan when one exists — shadows the deref'd
+    /// [`QuantizedModel::report`] so every number the artifact prints comes
+    /// from the same compiled steps the engine executes.
+    pub fn report(&self) -> PipelineReport {
+        let mut report = self.model.report();
+        if let Some(hw) = self.summarize_batched(1) {
+            report.hardware = Some(hw);
+        }
+        report
     }
 }
 
@@ -756,6 +991,22 @@ mod tests {
             "rate {} exceeds the 4-bit bound",
             quantized.compression_rate()
         );
+    }
+
+    #[test]
+    fn input_inference_walks_past_leading_requantize() {
+        use mixmatch_nn::layers::{FakeQuant, FakeQuantConfig};
+        let mut rng = TensorRng::seed_from(5);
+        let mut model = Sequential::new();
+        // A QAT-style stack: fake-quant on the input, then the GEMM.
+        model.push(FakeQuant::new(FakeQuantConfig::act4()));
+        model.push(Linear::with_name("fc", 6, 3, false, &mut rng));
+        let compiled = QuantPipeline::from_policy(MsqPolicy::msq_half())
+            .quantize(&mut model)
+            .expect("quantize");
+        let plan = compiled.plan().expect("shape inferred through requantize");
+        assert_eq!(plan.input_dims(), &[6]);
+        assert_eq!(plan.output_dims(), &[3]);
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Buffer arena for compiled-plan execution.
+//!
+//! A lowered network runs as a fixed sequence of steps writing into a small
+//! set of ping-pong buffers whose shapes are known at plan-compile time. The
+//! [`BufferArena`] owns one tensor per planned buffer id and hands out
+//! split borrows (`sources + destination`) so a step can read its inputs
+//! while writing its output without any per-step allocation: storage is
+//! grown once to each buffer's high-water mark and then only *reshaped*
+//! between steps.
+
+use crate::tensor::Tensor;
+
+/// A fixed set of reusable tensor buffers addressed by plan buffer id.
+///
+/// # Example
+///
+/// ```
+/// use mixmatch_tensor::arena::BufferArena;
+///
+/// let mut arena = BufferArena::with_sizes(&[4, 6]);
+/// arena.buffer_mut(0, &[2, 2]).as_mut_slice().fill(1.0);
+/// let (src, dst) = arena.src_dst(0, 1, &[2, 3]);
+/// assert_eq!(src.len(), 4);
+/// assert_eq!(dst.len(), 6);
+/// ```
+#[derive(Debug)]
+pub struct BufferArena {
+    slots: Vec<Tensor>,
+}
+
+impl BufferArena {
+    /// Creates an arena with one buffer per entry of `sizes`, each
+    /// preallocated to that element count (the planner's high-water mark
+    /// for the slot).
+    pub fn with_sizes(sizes: &[usize]) -> Self {
+        BufferArena {
+            slots: sizes.iter().map(|&n| Tensor::zeros(&[n.max(1)])).collect(),
+        }
+    }
+
+    /// Number of buffers.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when the arena holds no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Read access to buffer `id` in whatever shape it was last written.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    pub fn buffer(&self, id: usize) -> &Tensor {
+        &self.slots[id]
+    }
+
+    /// Mutable access to buffer `id`, reshaped to `dims` (storage is reused;
+    /// contents are unspecified after a size-changing reshape).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    pub fn buffer_mut(&mut self, id: usize, dims: &[usize]) -> &mut Tensor {
+        self.slots[id].reset_to(dims);
+        &mut self.slots[id]
+    }
+
+    /// Splits the arena into one source and one destination buffer, the
+    /// destination reshaped to `dst_dims`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `src == dst` (the plan compiler never aliases a step's
+    /// output onto a live input) or either id is out of range.
+    pub fn src_dst(
+        &mut self,
+        src: usize,
+        dst: usize,
+        dst_dims: &[usize],
+    ) -> (&Tensor, &mut Tensor) {
+        assert_ne!(src, dst, "step output must not alias its input");
+        let (a, _, d) = self.src2_dst(src, src, dst, dst_dims);
+        // `src2_dst` returns the same slot twice for equal sources; drop the
+        // duplicate.
+        (a, d)
+    }
+
+    /// Splits the arena into two sources and one destination buffer
+    /// (`src_a == src_b` is allowed — e.g. `x + x`), the destination
+    /// reshaped to `dst_dims`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dst` aliases either source or any id is out of range.
+    pub fn src2_dst(
+        &mut self,
+        src_a: usize,
+        src_b: usize,
+        dst: usize,
+        dst_dims: &[usize],
+    ) -> (&Tensor, &Tensor, &mut Tensor) {
+        assert!(
+            dst != src_a && dst != src_b,
+            "step output must not alias its inputs"
+        );
+        self.slots[dst].reset_to(dst_dims);
+        let (lo, rest) = self.slots.split_at_mut(dst);
+        let (mid, hi) = rest.split_at_mut(1);
+        let a = if src_a < dst {
+            &lo[src_a]
+        } else {
+            &hi[src_a - dst - 1]
+        };
+        let b = if src_b < dst {
+            &lo[src_b]
+        } else {
+            &hi[src_b - dst - 1]
+        };
+        (a, b, &mut mid[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_preallocate_and_reshape_in_place() {
+        let mut arena = BufferArena::with_sizes(&[12, 4]);
+        assert_eq!(arena.len(), 2);
+        let b = arena.buffer_mut(0, &[3, 4]);
+        assert_eq!(b.dims(), &[3, 4]);
+        b.as_mut_slice().fill(2.0);
+        // Shrinking reshape keeps the storage.
+        let b = arena.buffer_mut(0, &[2, 2]);
+        assert_eq!(b.dims(), &[2, 2]);
+        assert_eq!(b.as_slice(), &[2.0; 4]);
+    }
+
+    #[test]
+    fn split_borrows_cover_both_orders() {
+        let mut arena = BufferArena::with_sizes(&[2, 2, 2]);
+        arena.buffer_mut(0, &[2]).as_mut_slice().fill(1.0);
+        arena.buffer_mut(2, &[2]).as_mut_slice().fill(3.0);
+        {
+            let (src, dst) = arena.src_dst(0, 1, &[2]);
+            dst.as_mut_slice().copy_from_slice(src.as_slice());
+        }
+        assert_eq!(arena.buffer(1).as_slice(), &[1.0, 1.0]);
+        {
+            let (a, b, d) = arena.src2_dst(2, 1, 0, &[2]);
+            for ((x, y), o) in a.as_slice().iter().zip(b.as_slice()).zip(d.as_mut_slice()) {
+                *o = x + y;
+            }
+        }
+        assert_eq!(arena.buffer(0).as_slice(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not alias")]
+    fn aliasing_destination_panics() {
+        let mut arena = BufferArena::with_sizes(&[2, 2]);
+        let _ = arena.src_dst(1, 1, &[2]);
+    }
+}

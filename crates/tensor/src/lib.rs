@@ -25,6 +25,7 @@
 #![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod error;
 pub mod gemm;
 pub mod im2col;

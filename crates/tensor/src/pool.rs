@@ -133,6 +133,14 @@ impl WorkerPool {
         }
     }
 
+    /// The process-wide shared pool: one worker per available core, spawned
+    /// once on first use (`OnceLock`) and reused by every engine, example
+    /// and bench in the process — never a second per-core thread set.
+    /// Equivalent to the free function [`global`].
+    pub fn global() -> &'static WorkerPool {
+        global()
+    }
+
     /// Number of worker threads (excluding callers helping inside
     /// [`WorkerPool::run`]).
     pub fn threads(&self) -> usize {

@@ -182,6 +182,23 @@ impl Tensor {
         }
     }
 
+    /// In-place storage-reusing reshape: sets the tensor's shape to `dims`,
+    /// resizing the backing vector only when the element count changes
+    /// (growth reuses spare capacity — the buffer-arena fast path). Newly
+    /// exposed elements are zeroed; surviving elements keep their values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dims` is empty.
+    pub fn reset_to(&mut self, dims: &[usize]) {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        if len != self.data.len() {
+            self.data.resize(len, 0.0);
+        }
+        self.shape = shape;
+    }
+
     /// 2-D transpose.
     ///
     /// # Panics

@@ -6,8 +6,10 @@
 //!    → `MsqPolicy` (§V-A).
 //! 2. `train_and_quantize` runs MSQ quantization-aware training (ADMM weight
 //!    quantization + 4-bit STE activations) at that ratio (Algorithms 1–2).
-//! 3. The returned `QuantizedModel` owns the bit-exact integer deployment
-//!    forms and packed weights; `.report()` feeds the cycle simulator.
+//! 3. The returned `CompiledModel` owns the bit-exact integer deployment
+//!    forms, packed weights *and* the compiled `ExecutionPlan`; `.report()`
+//!    feeds the cycle simulator and `BatchEngine::run_plan_batch` serves
+//!    raw images end-to-end from the same artifact.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -17,8 +19,10 @@ use mixmatch::fpga::sim::{simulate, SimParams};
 use mixmatch::fpga::workload::Network;
 use mixmatch::nn::models::{ResNet, ResNetConfig};
 use mixmatch::prelude::*;
+use mixmatch::quant::engine::BatchEngine;
 use mixmatch::quant::integer::ActQuantizer;
 use mixmatch::quant::qat::evaluate_classifier;
+use mixmatch::tensor::Tensor;
 
 fn main() {
     // ------------------------------------------------------------------
@@ -88,5 +92,33 @@ fn main() {
         perf.latency_ms(),
         perf.pe_utilization() * 100.0
     );
+    // ------------------------------------------------------------------
+    // End-to-end serving: raw images -> logits through the compiled plan.
+    // ------------------------------------------------------------------
+    let plan = quantized.plan().expect("resnet compiles to a plan");
+    let chw: usize = plan.input_dims().iter().product();
+    let images: Vec<Tensor> = (0..4)
+        .map(|i| {
+            Tensor::from_vec(
+                x_test.as_slice()[i * chw..(i + 1) * chw].to_vec(),
+                plan.input_dims(),
+            )
+            .expect("test image shape")
+        })
+        .collect();
+    let engine = BatchEngine::new();
+    let run = engine
+        .run_plan_batch(&quantized, &images)
+        .expect("plan batch");
+    let predictions: Vec<usize> = run.outputs.iter().map(|o| o.argmax()).collect();
+    println!(
+        "[4] compiled-plan serving: {} steps over {} arena buffers, {} images -> predicted classes {:?} (labels {:?})",
+        plan.steps().len(),
+        plan.buffer_count(),
+        images.len(),
+        predictions,
+        &y_test[..4],
+    );
+
     println!("\nDone: ratio from hardware, accuracy from training, speed from both.");
 }

@@ -60,9 +60,11 @@ pub mod prelude {
     pub use mixmatch_nn::quantize::{QuantLayerDesc, QuantLayerKind, QuantizableModel};
     pub use mixmatch_quant::admm::{AdmmConfig, AdmmQuantizer};
     pub use mixmatch_quant::error::QuantError;
+    pub use mixmatch_quant::graph::ExecutionPlan;
     pub use mixmatch_quant::msq::MsqPolicy;
     pub use mixmatch_quant::pipeline::{
-        HardwareSummary, HardwareTarget, PipelineReport, QuantPipeline, QuantizedModel,
+        CompiledModel, HardwareSummary, HardwareTarget, PipelineReport, QuantPipeline,
+        QuantizedModel,
     };
     pub use mixmatch_quant::qat::QatConfig;
     pub use mixmatch_quant::rowwise::PartitionRatio;

@@ -21,7 +21,7 @@ fn train<M>(
     policy: Option<MsqPolicy>,
     epochs: usize,
     seed: u64,
-) -> Option<QuantizedModel>
+) -> Option<CompiledModel>
 where
     M: Layer + QuantizableModel,
 {

@@ -13,7 +13,7 @@ use mixmatch::quant::pipeline::DeployForm;
 use mixmatch::tensor::im2col::ConvGeometry;
 use proptest::prelude::*;
 
-fn quantized_resnet(input_hw: usize) -> QuantizedModel {
+fn quantized_resnet(input_hw: usize) -> CompiledModel {
     let mut rng = TensorRng::seed_from(5);
     let mut model = ResNet::new(ResNetConfig::mini(10).with_act_bits(4), &mut rng);
     QuantPipeline::for_device(FpgaTarget::new(FpgaDevice::XC7Z045).with_input_size(input_hw))
