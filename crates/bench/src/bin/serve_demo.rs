@@ -1,0 +1,142 @@
+//! Serving benchmark: an open-loop synthetic arrival process replayed
+//! against `ModelServer` — the traffic-shaped counterpart of the
+//! closed-loop `throughput` bench.
+//!
+//! Requests arrive with exponential inter-arrival times (a Poisson
+//! process) at several offered rates, each a fraction of the engine's
+//! measured closed-loop capacity. The server coalesces them dynamically
+//! (`max_batch` / `max_wait`) and the run reports achieved throughput,
+//! admission rejections and queue-to-reply latency percentiles per rate.
+//!
+//! Writes `BENCH_serving.json` into the working directory. Pass `--smoke`
+//! for a CI-sized run.
+
+use mixmatch_fpga::bridge::FpgaTarget;
+use mixmatch_fpga::device::FpgaDevice;
+use mixmatch_nn::models::{ResNet, ResNetConfig};
+use mixmatch_quant::engine::BatchEngine;
+use mixmatch_quant::export::{export_compiled, import_compiled};
+use mixmatch_serve::{ModelServer, Pending, ServeConfig, ServeError};
+use mixmatch_tensor::{Tensor, TensorRng};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (input_hw, secs_per_rate) = if smoke { (8usize, 0.3f64) } else { (16, 2.0) };
+    let device = FpgaDevice::XC7Z045;
+    let mut rng = TensorRng::seed_from(9);
+    let mut model = ResNet::new(ResNetConfig::mini(10).with_act_bits(4), &mut rng);
+    let compiled = mixmatch_quant::pipeline::QuantPipeline::for_device(
+        FpgaTarget::new(device).with_input_size(input_hw),
+    )
+    .quantize(&mut model)
+    .expect("quantize resnet-mini");
+    // Round-trip through the artifact: servers load what deployments ship.
+    let artifact = export_compiled(&compiled).expect("export");
+    let served = import_compiled(&artifact).expect("import");
+
+    // Closed-loop capacity: batch-32 plan throughput on the shared pool —
+    // the ceiling the open-loop rates are scaled against.
+    let engine = BatchEngine::new();
+    let warm: Vec<Tensor> = (0..32)
+        .map(|_| Tensor::rand_uniform(&[3, input_hw, input_hw], 0.0, 1.0, &mut rng))
+        .collect();
+    engine.run_plan_batch(&served, &warm).expect("warmup");
+    let start = Instant::now();
+    let mut iters = 0usize;
+    while start.elapsed().as_secs_f64() < secs_per_rate.min(0.5) || iters < 2 {
+        engine.run_plan_batch(&served, &warm).expect("capacity run");
+        iters += 1;
+    }
+    let capacity_ips = (32 * iters) as f64 / start.elapsed().as_secs_f64();
+    println!(
+        "=== Open-loop serving (resnet18-mini @ {input_hw}px, {} worker threads) ===",
+        engine.threads()
+    );
+    println!("closed-loop capacity (batch 32): {capacity_ips:9.1} images/sec\n");
+    drop(engine);
+
+    let config = ServeConfig::default()
+        .with_max_batch(32)
+        .with_max_wait(Duration::from_millis(2))
+        .with_queue_depth(256);
+    let mut rows = String::new();
+    for &fraction in &[0.25f64, 0.5, 0.8] {
+        let offered = (capacity_ips * fraction).max(1.0);
+        // Fresh server per rate: counters start clean.
+        let server = ModelServer::start(config.clone());
+        server.load_artifact("resnet", &artifact).expect("load");
+        let n_requests = ((offered * secs_per_rate) as usize).max(8);
+        let mut arrival_rng = TensorRng::seed_from(1000 + (fraction * 100.0) as u64);
+        let run_start = Instant::now();
+        let mut next_at = Duration::ZERO;
+        let mut pending: Vec<Pending> = Vec::with_capacity(n_requests);
+        let mut rejected = 0usize;
+        for _ in 0..n_requests {
+            // Exponential inter-arrival at the offered rate.
+            let u = arrival_rng.uniform().clamp(1e-6, 1.0 - 1e-6);
+            next_at += Duration::from_secs_f64(-(1.0 - u as f64).ln() / offered);
+            if let Some(sleep) = next_at.checked_sub(run_start.elapsed()) {
+                std::thread::sleep(sleep);
+            }
+            let image = Tensor::rand_uniform(&[3, input_hw, input_hw], 0.0, 1.0, &mut arrival_rng);
+            match server.infer("resnet", image) {
+                Ok(p) => pending.push(p),
+                Err(ServeError::Overloaded { .. }) => rejected += 1,
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+        }
+        for p in pending {
+            p.wait().expect("admitted request completes");
+        }
+        let elapsed = run_start.elapsed().as_secs_f64();
+        let stats = server.stats("resnet").expect("stats");
+        assert_eq!(stats.completed + stats.rejected, n_requests as u64);
+        assert_eq!(stats.rejected, rejected as u64);
+        let achieved = stats.completed as f64 / elapsed;
+        println!(
+            "offered {offered:8.1} img/s ({:>3.0}% of capacity): achieved {achieved:8.1} img/s, \
+             rejected {rejected:>4}, mean batch {:5.2}, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
+            fraction * 100.0,
+            stats.mean_batch,
+            stats.p50.as_secs_f64() * 1e3,
+            stats.p95.as_secs_f64() * 1e3,
+            stats.p99.as_secs_f64() * 1e3,
+        );
+        let _ = write!(
+            rows,
+            r#"{}    {{"offered_images_per_sec": {offered:.1}, "capacity_fraction": {fraction}, "requests": {n_requests}, "achieved_images_per_sec": {achieved:.1}, "completed": {}, "rejected": {rejected}, "mean_batch": {:.2}, "p50_ms": {:.3}, "p95_ms": {:.3}, "p99_ms": {:.3}}}"#,
+            if rows.is_empty() { "" } else { ",\n" },
+            stats.completed,
+            stats.mean_batch,
+            stats.p50.as_secs_f64() * 1e3,
+            stats.p95.as_secs_f64() * 1e3,
+            stats.p99.as_secs_f64() * 1e3,
+        );
+        server.shutdown();
+    }
+
+    let json = format!(
+        r#"{{
+  "bench": "serving",
+  "model": "resnet18-mini",
+  "device": "{}",
+  "input_hw": {input_hw},
+  "smoke": {smoke},
+  "host": {{"os": "{}", "arch": "{}", "parallelism": {}}},
+  "server": {{"max_batch": 32, "max_wait_ms": 2, "queue_depth": 256}},
+  "closed_loop_capacity_images_per_sec": {capacity_ips:.1},
+  "rates": [
+{rows}
+  ]
+}}
+"#,
+        device.name,
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        std::thread::available_parallelism().map_or(1, |v| v.get()),
+    );
+    std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
+    println!("\nwrote BENCH_serving.json");
+}

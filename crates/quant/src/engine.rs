@@ -379,14 +379,14 @@ impl BatchEngine {
                 let flow_ok = match (&l.form, want_conv) {
                     (DeployForm::Conv(conv), true) => {
                         let geom = conv.geometry();
+                        // `checked_output_size` so a plan whose flow shrank
+                        // a map below the kernel fails typed, not by panic.
                         src.len() == 3
                             && src[0] == geom.in_channels
-                            && step.dims
-                                == [
-                                    geom.out_channels,
-                                    geom.output_size(src[1]),
-                                    geom.output_size(src[2]),
-                                ]
+                            && geom
+                                .checked_output_size(src[1])
+                                .zip(geom.checked_output_size(src[2]))
+                                .is_some_and(|(oh, ow)| step.dims == [geom.out_channels, oh, ow])
                     }
                     (DeployForm::Matrix(m), false) => src == [m.cols()] && step.dims == [m.rows()],
                     _ => false,
@@ -421,8 +421,8 @@ impl BatchEngine {
         let mut chunk_ops = vec![OpCounts::default(); chunks];
         {
             let gemm_plans = &gemm_plans;
-            // Workers capture only the layer forms — the model itself holds
-            // a (non-`Sync`) hardware-target box they never touch.
+            // Workers capture only the layer forms — the model's hardware
+            // target box is never touched on this path.
             let layers = model.layers();
             let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = images
                 .chunks(chunk)
@@ -742,5 +742,44 @@ mod tests {
         let run = engine.forward_conv_batch(&conv, &[]).expect("empty");
         assert!(run.outputs.is_empty());
         assert_eq!(run.ops, OpCounts::default());
+    }
+
+    #[test]
+    fn run_plan_batch_handles_batch_sizes_zero_and_one() {
+        use mixmatch_nn::layers::{Linear, Relu};
+        use mixmatch_nn::module::Sequential;
+
+        let mut rng = TensorRng::seed_from(12);
+        let mut model = Sequential::new();
+        model.push(Linear::with_name("fc1", 6, 9, true, &mut rng));
+        model.push(Relu::new());
+        model.push(Linear::with_name("fc2", 9, 4, false, &mut rng));
+        let compiled = crate::pipeline::QuantPipeline::from_policy(MsqPolicy::msq_half())
+            .with_input_shape(&[6])
+            .quantize(&mut model)
+            .expect("quantize mlp");
+
+        for threads in [1, 2] {
+            let engine = BatchEngine::with_threads(threads);
+            // Batch 0: empty result, zero ops — consistently across the
+            // plan path and the per-layer paths (no error, no panic).
+            let run = engine.run_plan_batch(&compiled, &[]).expect("empty batch");
+            assert!(run.outputs.is_empty());
+            assert_eq!(run.ops, OpCounts::default());
+
+            // Batch 1: one output, bit-identical to the same image run in
+            // a larger batch.
+            let image = Tensor::rand_uniform(&[6], 0.0, 1.0, &mut rng);
+            let one = engine
+                .run_plan_batch(&compiled, std::slice::from_ref(&image))
+                .expect("batch of one");
+            assert_eq!(one.outputs.len(), 1);
+            assert_eq!(one.outputs[0].dims(), &[4]);
+            let pair = engine
+                .run_plan_batch(&compiled, &[image.clone(), image.clone()])
+                .expect("batch of two");
+            assert_eq!(pair.outputs[0].as_slice(), one.outputs[0].as_slice());
+            assert_eq!(pair.outputs[1].as_slice(), one.outputs[0].as_slice());
+        }
     }
 }

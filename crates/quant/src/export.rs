@@ -240,8 +240,11 @@ pub fn export_compiled(compiled: &CompiledModel) -> Result<Vec<u8>, QuantError> 
 ///
 /// # Errors
 ///
-/// [`QuantError::Artifact`] on a malformed stream, [`QuantError::Unpack`]
-/// when a packed weight row fails to decode.
+/// [`QuantError::Artifact`] on **any** malformed stream — truncation,
+/// corrupt section lengths or counts, undecodable weight rows, degenerate
+/// geometry, inconsistent plans. The parser never panics and never
+/// allocates from an untrusted count, so arbitrary bytes are safe to feed
+/// here (the serving stack loads artifacts from callers).
 pub fn import_compiled(bytes: &[u8]) -> Result<CompiledModel, QuantError> {
     let mut r = Reader { bytes, pos: 0 };
     if r.take(4)? != ARTIFACT_MAGIC {
@@ -258,6 +261,12 @@ pub fn import_compiled(bytes: &[u8]) -> Result<CompiledModel, QuantError> {
     let label = r.str()?;
     let act_bits = r.u32()?;
     let act_clip = r.f32()?;
+    // `ActQuantizer::new` asserts on these; an artifact must fail typed.
+    if !(2..=16).contains(&act_bits) || act_clip <= 0.0 || !act_clip.is_finite() {
+        return Err(QuantError::Artifact {
+            context: format!("bad activation quantizer ({act_bits} bits, clip {act_clip})"),
+        });
+    }
     let policy = read_policy(&mut r)?;
     let plan = read_plan(&mut r)?;
     let n_layers = r.u32()? as usize;
@@ -517,8 +526,15 @@ fn read_layer(
     }
     let data_len = r.u32()? as usize;
     let data = r.take(data_len)?.to_vec();
-    let packed = PackedMatrix::from_parts(rows, cols, row_meta, data)?;
-    let matrix = packed.unpack()?;
+    // Decode failures inside an artifact are artifact corruption: fold them
+    // into `Artifact` so `import_compiled` has a single error contract.
+    let packed =
+        PackedMatrix::from_parts(rows, cols, row_meta, data).map_err(|e| QuantError::Artifact {
+            context: format!("layer {name}: {e}"),
+        })?;
+    let matrix = packed.unpack().map_err(|e| QuantError::Artifact {
+        context: format!("layer {name}: {e}"),
+    })?;
     let desc = QuantLayerDesc {
         name: name.clone(),
         rows,
@@ -526,9 +542,11 @@ fn read_layer(
         kind,
     };
     let form = match &desc.kind {
-        QuantLayerKind::Conv(geom) | QuantLayerKind::DepthwiseConv(geom) => {
-            DeployForm::Conv(QuantizedConv::from_matrix(*geom, matrix, *act)?)
-        }
+        QuantLayerKind::Conv(geom) | QuantLayerKind::DepthwiseConv(geom) => DeployForm::Conv(
+            QuantizedConv::from_matrix(*geom, matrix, *act).map_err(|e| QuantError::Artifact {
+                context: format!("layer {name}: {e}"),
+            })?,
+        ),
         QuantLayerKind::Dense | QuantLayerKind::Recurrent => DeployForm::Matrix(matrix),
     };
     Ok(QuantizedLayer {
@@ -660,10 +678,15 @@ impl<'a> Reader<'a> {
     }
 
     fn geom(&mut self) -> Result<ConvGeometry, QuantError> {
+        /// Per-field sanity bound. Real conv dimensions sit far below this,
+        /// and bounding every field keeps derived products
+        /// (`gemm_k = (Cin/groups)·k·k`, output maps) far from `usize`
+        /// overflow when the artifact is corrupt.
+        const MAX_DIM: usize = 1 << 20;
         let v: Vec<usize> = (0..6)
             .map(|_| Ok(self.u32()? as usize))
             .collect::<Result<_, QuantError>>()?;
-        if v[2] == 0 || v[3] == 0 || v[5] == 0 {
+        if v[2] == 0 || v[3] == 0 || v[5] == 0 || v.iter().any(|&x| x > MAX_DIM) {
             return Err(QuantError::Artifact {
                 context: format!("degenerate conv geometry {v:?}"),
             });

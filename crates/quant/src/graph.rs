@@ -236,8 +236,21 @@ impl ExecutionPlan {
         }
         // Track each buffer's dims through the step list so shape-flow
         // violations surface here, not as slice-length panics at run time.
+        // Element counts go through checked multiplication (artifact dims
+        // are untrusted u32s — a corrupt step must not overflow-panic), and
+        // every buffer's high-water mark is recomputed so a corrupt
+        // `buffer_sizes` section can neither under-allocate (slice panics
+        // mid-execution) nor over-allocate (a multi-gigabyte arena per
+        // worker at run time).
+        let count = |d: &[usize]| -> Result<usize, String> {
+            d.iter()
+                .try_fold(1usize, |acc, &x| acc.checked_mul(x))
+                .ok_or_else(|| format!("dims {d:?} overflow the element count"))
+        };
         let mut dims: Vec<Option<&[usize]>> = vec![None; buffers];
+        let mut high_water = vec![0usize; buffers];
         dims[input_buffer] = Some(&input_dims);
+        high_water[input_buffer] = count(&input_dims)?;
         for (i, step) in steps.iter().enumerate() {
             let arity = match step.op {
                 StepOp::ResidualAdd => 2,
@@ -262,7 +275,6 @@ impl ExecutionPlan {
                     dims[s].ok_or_else(|| format!("step {i} reads buffer {s} before any write"))
                 })
                 .collect::<Result<_, String>>()?;
-            let count = |d: &[usize]| d.iter().product::<usize>();
             match step.op {
                 StepOp::Activation(_) | StepOp::Requantize => {
                     if src_dims[0] != step.dims {
@@ -275,7 +287,7 @@ impl ExecutionPlan {
                     }
                 }
                 StepOp::Flatten => {
-                    if count(src_dims[0]) != count(&step.dims) {
+                    if count(src_dims[0])? != count(&step.dims)? {
                         return Err(format!("step {i} flatten changes the element count"));
                     }
                 }
@@ -300,6 +312,7 @@ impl ExecutionPlan {
                 // geometry.
                 StepOp::Conv { .. } | StepOp::Gemm { .. } => {}
             }
+            high_water[step.dst] = high_water[step.dst].max(count(&step.dims)?);
             dims[step.dst] = Some(&step.dims);
         }
         let final_dims = dims[output_buffer].unwrap_or(&input_dims);
@@ -307,6 +320,15 @@ impl ExecutionPlan {
             return Err(format!(
                 "output buffer ends as {final_dims:?}, plan claims {output_dims:?}"
             ));
+        }
+        // The compiler sets each buffer's size to exactly the largest value
+        // it ever holds; a deserialized plan must agree.
+        for (b, (&claimed, &needed)) in buffer_sizes.iter().zip(&high_water).enumerate() {
+            if claimed != needed {
+                return Err(format!(
+                    "buffer {b} claims {claimed} elements, steps need {needed}"
+                ));
+            }
         }
         Ok(ExecutionPlan {
             input_dims,

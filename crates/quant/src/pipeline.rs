@@ -55,7 +55,13 @@ const DEFAULT_INPUT_EDGE: usize = 32;
 ///
 /// `mixmatch-fpga` implements this for `FpgaDevice` and its `FpgaTarget`;
 /// tests can implement it with a stub.
-pub trait HardwareTarget {
+///
+/// Targets must be `Send + Sync`: the [`QuantizedModel`] that owns one is
+/// shared across threads by the serving stack (`mixmatch-serve` keeps
+/// hot-swappable `Arc<CompiledModel>`s in a registry read by the batcher
+/// and every caller). Targets are plain resource/calibration data, so this
+/// costs implementors nothing.
+pub trait HardwareTarget: Send + Sync {
     /// Human-readable name (device + design ratio).
     fn label(&self) -> String;
 

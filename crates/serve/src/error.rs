@@ -1,0 +1,84 @@
+//! Typed serving errors.
+
+use mixmatch_quant::error::QuantError;
+use std::error::Error;
+use std::fmt;
+
+/// Everything a serving call can fail with. Admission failures
+/// ([`ServeError::Overloaded`], [`ServeError::UnknownModel`],
+/// [`ServeError::ShuttingDown`]) surface synchronously from
+/// [`ModelServer::infer`](crate::ModelServer::infer); inference failures
+/// arrive through the [`Pending`](crate::Pending) handle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded admission queue is full — the server is shedding load.
+    /// Back off and retry; admitted requests are unaffected.
+    Overloaded {
+        /// The configured queue depth that was exhausted.
+        queue_depth: usize,
+    },
+    /// No model is registered under the requested name.
+    UnknownModel {
+        /// The name looked up.
+        model: String,
+    },
+    /// The server is draining and accepts no new requests.
+    ShuttingDown,
+    /// The engine rejected the request (shape mismatch, plan/model
+    /// disagreement, …).
+    Inference(QuantError),
+    /// The server dropped the reply channel without answering — only
+    /// possible when the server is torn down while the request is in
+    /// flight.
+    Dropped,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { queue_depth } => {
+                write!(f, "server overloaded (queue depth {queue_depth} exhausted)")
+            }
+            ServeError::UnknownModel { model } => {
+                write!(f, "no model registered under {model:?}")
+            }
+            ServeError::ShuttingDown => f.write_str("server is shutting down"),
+            ServeError::Inference(e) => write!(f, "inference failed: {e}"),
+            ServeError::Dropped => f.write_str("request dropped during server teardown"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Inference(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QuantError> for ServeError {
+    fn from(e: QuantError) -> Self {
+        ServeError::Inference(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_carry_context() {
+        let e = ServeError::Overloaded { queue_depth: 64 };
+        assert!(e.to_string().contains("64"));
+        assert!(e.source().is_none());
+        let e = ServeError::UnknownModel {
+            model: "resnet".into(),
+        };
+        assert!(e.to_string().contains("resnet"));
+        let e: ServeError = QuantError::NoLoweredGraph.into();
+        assert!(matches!(e, ServeError::Inference(_)));
+        assert!(e.source().is_some());
+    }
+}

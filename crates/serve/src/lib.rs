@@ -1,0 +1,69 @@
+//! # mixmatch-serve
+//!
+//! Async model server with **dynamic request batching** over compiled
+//! execution plans — the serving layer that turns independent single-image
+//! requests into the large batches where `BatchEngine`'s throughput lives.
+//!
+//! The paper's accelerator (and its software twin, the
+//! [`BatchEngine`](mixmatch_quant::engine::BatchEngine)) is a deep GEMM
+//! pipeline: per-call setup amortises across a batch, so batch-32 far
+//! outruns batch-1 (`BENCH_throughput.json`). Real traffic arrives one
+//! image at a time, though. [`ModelServer`] closes that gap:
+//!
+//! * a **registry** of named [`CompiledModel`]s, loadable from serialized
+//!   `MMCM` artifacts and hot-swappable behind an `Arc` swap,
+//! * a **bounded admission queue** — a full queue rejects with
+//!   [`ServeError::Overloaded`] instead of growing an unbounded backlog,
+//! * a **dynamic batcher** that coalesces queued requests up to
+//!   `max_batch` or a `max_wait` deadline (whichever first) and drives
+//!   `BatchEngine::run_plan_batch` on the shared process-wide worker pool,
+//! * per-request **reply channels + ids**, so a response can never reach a
+//!   neighboring caller, and
+//! * per-model **latency/throughput counters** (p50/p95/p99 from a
+//!   fixed-bucket histogram; no wall-clock reads in the hot path beyond
+//!   the two `Instant` stamps).
+//!
+//! [`CompiledModel`]: mixmatch_quant::pipeline::CompiledModel
+//!
+//! # Example
+//!
+//! ```
+//! use mixmatch_serve::{ModelServer, ServeConfig};
+//! use mixmatch_quant::msq::MsqPolicy;
+//! use mixmatch_quant::pipeline::QuantPipeline;
+//! use mixmatch_nn::layers::Linear;
+//! use mixmatch_nn::module::Sequential;
+//! use mixmatch_tensor::{Tensor, TensorRng};
+//! use std::time::Duration;
+//!
+//! // Quantize a model (any pipeline output with a compiled plan works).
+//! let mut rng = TensorRng::seed_from(0);
+//! let mut model = Sequential::new();
+//! model.push(Linear::with_name("fc", 8, 4, true, &mut rng));
+//! let compiled = QuantPipeline::from_policy(MsqPolicy::msq_half())
+//!     .with_input_shape(&[8])
+//!     .quantize(&mut model)
+//!     .expect("quantize");
+//!
+//! // Serve it: submit asynchronously, join the handle for the logits.
+//! let server = ModelServer::start(
+//!     ServeConfig::default()
+//!         .with_max_batch(8)
+//!         .with_max_wait(Duration::from_millis(1)),
+//! );
+//! server.load("mlp", compiled).expect("load");
+//! let pending = server.infer("mlp", Tensor::zeros(&[8])).expect("admit");
+//! let logits = pending.wait().expect("inference");
+//! assert_eq!(logits.dims(), &[4]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod error;
+pub mod metrics;
+pub mod server;
+
+pub use error::ServeError;
+pub use metrics::{LatencyHistogram, ModelStats};
+pub use server::{ModelServer, Pending, ServeConfig};

@@ -1,0 +1,168 @@
+//! Lock-free per-model serving counters and a fixed-bucket latency
+//! histogram.
+//!
+//! The hot path touches only relaxed atomics: one [`Instant`] stamp at
+//! admission, one `elapsed()` at completion, one bucket increment — no
+//! locks, no allocation, no wall-clock reads beyond the two stamps. The
+//! histogram's buckets are powers of two microseconds, so percentile
+//! queries resolve to a bucket upper bound (≤ 2× relative error) without
+//! retaining any per-request state.
+//!
+//! [`Instant`]: std::time::Instant
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two microsecond buckets: bucket `i` counts latencies
+/// in `[2^(i-1), 2^i)` µs (bucket 0 is "< 1 µs"), so the top bucket absorbs
+/// everything from ~67 s up.
+const BUCKETS: usize = 27;
+
+/// Fixed-bucket latency histogram over relaxed atomics.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Records one latency observation.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-th percentile (`0 < q ≤ 100`) as the matching bucket's upper
+    /// bound, or [`Duration::ZERO`] when nothing was recorded.
+    pub fn percentile(&self, q: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((total as f64) * (q / 100.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Duration::from_micros(1u64 << i);
+            }
+        }
+        Duration::from_micros(1u64 << (BUCKETS - 1))
+    }
+}
+
+/// Live counters for one registered model. Swapping the model artifact
+/// keeps its counters (they describe the serving *name*, not one weight
+/// set).
+#[derive(Debug, Default)]
+pub struct ModelMetrics {
+    /// Requests answered successfully.
+    pub completed: AtomicU64,
+    /// Requests refused at admission (queue full).
+    pub rejected: AtomicU64,
+    /// Requests answered with an inference error.
+    pub failed: AtomicU64,
+    /// Batches dispatched to the engine.
+    pub batches: AtomicU64,
+    /// Images across all dispatched batches (`/ batches` = mean batch).
+    pub batched_images: AtomicU64,
+    /// Queue-to-reply latency of completed requests.
+    pub latency: LatencyHistogram,
+}
+
+impl ModelMetrics {
+    /// Immutable snapshot for reporting.
+    pub fn snapshot(&self, model: &str) -> ModelStats {
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched_images = self.batched_images.load(Ordering::Relaxed);
+        ModelStats {
+            model: model.to_string(),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches,
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                batched_images as f64 / batches as f64
+            },
+            p50: self.latency.percentile(50.0),
+            p95: self.latency.percentile(95.0),
+            p99: self.latency.percentile(99.0),
+        }
+    }
+}
+
+/// Point-in-time serving statistics for one model name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelStats {
+    /// The registry name.
+    pub model: String,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests refused at admission (queue full).
+    pub rejected: u64,
+    /// Requests answered with an inference error.
+    pub failed: u64,
+    /// Batches dispatched to the engine.
+    pub batches: u64,
+    /// Mean images per dispatched batch.
+    pub mean_batch: f64,
+    /// Median queue-to-reply latency (bucket upper bound).
+    pub p50: Duration,
+    /// 95th-percentile latency (bucket upper bound).
+    pub p95: Duration,
+    /// 99th-percentile latency (bucket upper bound).
+    pub p99: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_resolve_to_bucket_upper_bounds() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.percentile(50.0), Duration::ZERO);
+        // 99 observations at ~3 µs, one at ~1 ms.
+        for _ in 0..99 {
+            h.record(Duration::from_micros(3));
+        }
+        h.record(Duration::from_micros(1000));
+        assert_eq!(h.count(), 100);
+        // 3 µs lands in [2, 4) → upper bound 4 µs.
+        assert_eq!(h.percentile(50.0), Duration::from_micros(4));
+        assert_eq!(h.percentile(99.0), Duration::from_micros(4));
+        // 1000 µs lands in [512, 1024) → upper bound 1024 µs.
+        assert_eq!(h.percentile(100.0), Duration::from_micros(1024));
+    }
+
+    #[test]
+    fn extreme_latencies_clamp_to_the_edge_buckets() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(3600));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile(1.0), Duration::from_micros(1));
+        assert_eq!(
+            h.percentile(100.0),
+            Duration::from_micros(1 << (BUCKETS - 1))
+        );
+    }
+
+    #[test]
+    fn snapshot_computes_mean_batch() {
+        let m = ModelMetrics::default();
+        assert_eq!(m.snapshot("x").mean_batch, 0.0);
+        m.batches.store(4, Ordering::Relaxed);
+        m.batched_images.store(10, Ordering::Relaxed);
+        let s = m.snapshot("x");
+        assert_eq!(s.mean_batch, 2.5);
+        assert_eq!(s.model, "x");
+    }
+}

@@ -76,6 +76,18 @@ impl ConvGeometry {
     pub fn gemm_k(&self) -> usize {
         (self.in_channels / self.groups) * self.kernel * self.kernel
     }
+
+    /// Non-panicking [`ConvGeometry::output_size`]: `None` when the kernel
+    /// does not fit in the padded input (or the stride is zero). Validation
+    /// paths that handle untrusted geometry — deserialized execution plans,
+    /// serving-time shape checks — use this instead of the asserting form.
+    pub fn checked_output_size(&self, input: usize) -> Option<usize> {
+        let padded = input.checked_add(2usize.checked_mul(self.padding)?)?;
+        if padded < self.kernel || self.stride == 0 {
+            return None;
+        }
+        Some((padded - self.kernel) / self.stride + 1)
+    }
 }
 
 /// Unrolls an input feature map `[c, h, w]` into the patch matrix

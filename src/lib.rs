@@ -13,6 +13,7 @@
 //! | [`quant`] | `mixmatch-quant` | **the core**: SP2 scheme, MSQ row-wise mixing, ADMM+STE training, bit-exact integer kernels, [`QuantPipeline`](quant::QuantPipeline) |
 //! | [`data`] | `mixmatch-data` | synthetic stand-ins for CIFAR/ImageNet/COCO/PTB/TIMIT/IMDB |
 //! | [`fpga`] | `mixmatch-fpga` | device DB, resource cost model, heterogeneous-GEMM cycle simulator, DSE |
+//! | [`serve`] | `mixmatch-serve` | async [`ModelServer`](serve::ModelServer): dynamic request batching, model registry, admission control, latency metrics |
 //!
 //! # Quickstart
 //!
@@ -49,6 +50,7 @@ pub use mixmatch_data as data;
 pub use mixmatch_fpga as fpga;
 pub use mixmatch_nn as nn;
 pub use mixmatch_quant as quant;
+pub use mixmatch_serve as serve;
 pub use mixmatch_tensor as tensor;
 
 /// The most common imports, for examples and downstream experiments.
@@ -69,5 +71,6 @@ pub mod prelude {
     pub use mixmatch_quant::qat::QatConfig;
     pub use mixmatch_quant::rowwise::PartitionRatio;
     pub use mixmatch_quant::schemes::Scheme;
+    pub use mixmatch_serve::{ModelServer, ModelStats, Pending, ServeConfig, ServeError};
     pub use mixmatch_tensor::{Tensor, TensorRng};
 }
