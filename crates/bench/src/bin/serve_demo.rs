@@ -8,6 +8,11 @@
 //! (`max_batch` / `max_wait`) and the run reports achieved throughput,
 //! admission rejections and queue-to-reply latency percentiles per rate.
 //!
+//! A second sweep replays the same traffic shape against a [`FleetServer`]
+//! of 1, 2 and 4 heterogeneous replicas **over real TCP sockets** (one
+//! blocking [`FleetClient`] per submitter thread), reporting client-side
+//! tail latency versus fleet size and each replica's share of the work.
+//!
 //! Writes `BENCH_serving.json` into the working directory. Pass `--smoke`
 //! for a CI-sized run.
 
@@ -16,10 +21,23 @@ use mixmatch_fpga::device::FpgaDevice;
 use mixmatch_nn::models::{ResNet, ResNetConfig};
 use mixmatch_quant::engine::BatchEngine;
 use mixmatch_quant::export::{export_compiled, import_compiled};
-use mixmatch_serve::{ModelServer, Pending, ServeConfig, ServeError};
+use mixmatch_serve::{
+    FleetClient, FleetConfig, FleetServer, ModelServer, Pending, ReplicaSpec, ServeConfig,
+    ServeError, WireServer,
+};
 use mixmatch_tensor::{Tensor, TensorRng};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Client-side percentile over measured round-trip latencies.
+fn percentile_ms(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64) * (q / 100.0)).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1].as_secs_f64() * 1e3
+}
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -97,24 +115,154 @@ fn main() {
         let achieved = stats.completed as f64 / elapsed;
         println!(
             "offered {offered:8.1} img/s ({:>3.0}% of capacity): achieved {achieved:8.1} img/s, \
-             rejected {rejected:>4}, mean batch {:5.2}, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
+             rejected {rejected:>4}, mean batch {:5.2}, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, \
+             p99.9 {:.2} ms",
             fraction * 100.0,
             stats.mean_batch,
             stats.p50.as_secs_f64() * 1e3,
             stats.p95.as_secs_f64() * 1e3,
             stats.p99.as_secs_f64() * 1e3,
+            stats.p999.as_secs_f64() * 1e3,
         );
         let _ = write!(
             rows,
-            r#"{}    {{"offered_images_per_sec": {offered:.1}, "capacity_fraction": {fraction}, "requests": {n_requests}, "achieved_images_per_sec": {achieved:.1}, "completed": {}, "rejected": {rejected}, "mean_batch": {:.2}, "p50_ms": {:.3}, "p95_ms": {:.3}, "p99_ms": {:.3}}}"#,
+            r#"{}    {{"offered_images_per_sec": {offered:.1}, "capacity_fraction": {fraction}, "requests": {n_requests}, "achieved_images_per_sec": {achieved:.1}, "completed": {}, "rejected": {rejected}, "mean_batch": {:.2}, "p50_ms": {:.3}, "p95_ms": {:.3}, "p99_ms": {:.3}, "p999_ms": {:.3}}}"#,
             if rows.is_empty() { "" } else { ",\n" },
             stats.completed,
             stats.mean_batch,
             stats.p50.as_secs_f64() * 1e3,
             stats.p95.as_secs_f64() * 1e3,
             stats.p99.as_secs_f64() * 1e3,
+            stats.p999.as_secs_f64() * 1e3,
         );
         server.shutdown();
+    }
+
+    // ---- Fleet sweep: tail latency vs fleet size, over real sockets ----
+    //
+    // The same arrival shape, now crossing the TCP wire protocol into a
+    // FleetServer of heterogeneous replicas. Clients are blocking (one
+    // in-flight request each), so this measures the full stack: framing,
+    // routing, per-replica batching, and the reply path.
+    println!("\n=== Fleet serving over TCP (heterogeneous replicas) ===");
+    let catalog = [
+        FpgaDevice::XC7Z045,
+        FpgaDevice::XC7Z020,
+        FpgaDevice::XCZU3CG,
+        FpgaDevice::XCZU5CG,
+    ];
+    const CLIENTS: usize = 4;
+    let per_client = if smoke { 25usize } else { 150 };
+    let client_rate = (capacity_ips * 0.5 / CLIENTS as f64).max(1.0);
+    let mut fleet_rows = String::new();
+    for &size in &[1usize, 2, 4] {
+        let specs: Vec<ReplicaSpec> = catalog[..size]
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                ReplicaSpec::new(
+                    format!("r{i}"),
+                    FpgaTarget::new(d).with_input_size(input_hw),
+                )
+            })
+            .collect();
+        let fleet = Arc::new(FleetServer::start(
+            FleetConfig::default()
+                .with_max_batch(32)
+                .with_max_wait(Duration::from_millis(2))
+                .with_replica_config(config.clone()),
+            specs,
+        ));
+        let wire = WireServer::bind("127.0.0.1:0", Arc::clone(&fleet)).expect("bind wire");
+        let addr = wire.local_addr();
+        FleetClient::connect(addr)
+            .expect("connect loader")
+            .load("resnet", &artifact)
+            .expect("load over tcp");
+
+        let run_start = Instant::now();
+        let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    scope.spawn(move || {
+                        let mut client = FleetClient::connect(addr).expect("connect client");
+                        let mut rng = TensorRng::seed_from(7_000 + c as u64);
+                        let start = Instant::now();
+                        let mut next_at = Duration::ZERO;
+                        let mut measured = Vec::with_capacity(per_client);
+                        for _ in 0..per_client {
+                            let u = rng.uniform().clamp(1e-6, 1.0 - 1e-6);
+                            next_at +=
+                                Duration::from_secs_f64(-(1.0 - u as f64).ln() / client_rate);
+                            if let Some(sleep) = next_at.checked_sub(start.elapsed()) {
+                                std::thread::sleep(sleep);
+                            }
+                            let image =
+                                Tensor::rand_uniform(&[3, input_hw, input_hw], 0.0, 1.0, &mut rng);
+                            let sent = Instant::now();
+                            client.infer("resnet", &image).expect("infer over tcp");
+                            measured.push(sent.elapsed());
+                        }
+                        measured
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let elapsed = run_start.elapsed().as_secs_f64();
+        latencies.sort();
+        let total = latencies.len();
+        let achieved = total as f64 / elapsed;
+        let stats = fleet.stats();
+        let completed_total: u64 = stats
+            .replicas
+            .iter()
+            .flat_map(|r| r.models.iter())
+            .map(|m| m.completed)
+            .sum();
+        let mut replica_rows = String::new();
+        for replica in &stats.replicas {
+            let completed: u64 = replica.models.iter().map(|m| m.completed).sum();
+            let share = completed as f64 / completed_total.max(1) as f64;
+            println!(
+                "  {} ({}): {completed:>5} images ({:>4.1}% of fleet)",
+                replica.label,
+                replica.target,
+                share * 100.0
+            );
+            let _ = write!(
+                replica_rows,
+                r#"{}        {{"label": "{}", "target": "{}", "completed": {completed}, "share": {share:.4}}}"#,
+                if replica_rows.is_empty() { "" } else { ",\n" },
+                replica.label,
+                replica.target,
+            );
+        }
+        println!(
+            "fleet of {size}: achieved {achieved:8.1} img/s over TCP, p50 {:.2} ms, p95 {:.2} ms, \
+             p99 {:.2} ms, p99.9 {:.2} ms",
+            percentile_ms(&latencies, 50.0),
+            percentile_ms(&latencies, 95.0),
+            percentile_ms(&latencies, 99.0),
+            percentile_ms(&latencies, 99.9),
+        );
+        let _ = write!(
+            fleet_rows,
+            r#"{}    {{"replicas": {size}, "clients": {CLIENTS}, "requests": {total}, "offered_images_per_sec": {:.1}, "achieved_images_per_sec": {achieved:.1}, "p50_ms": {:.3}, "p95_ms": {:.3}, "p99_ms": {:.3}, "p999_ms": {:.3}, "replica_utilization": [
+{replica_rows}
+    ]}}"#,
+            if fleet_rows.is_empty() { "" } else { ",\n" },
+            client_rate * CLIENTS as f64,
+            percentile_ms(&latencies, 50.0),
+            percentile_ms(&latencies, 95.0),
+            percentile_ms(&latencies, 99.0),
+            percentile_ms(&latencies, 99.9),
+        );
+        wire.stop();
+        fleet.shutdown();
     }
 
     let json = format!(
@@ -129,6 +277,9 @@ fn main() {
   "closed_loop_capacity_images_per_sec": {capacity_ips:.1},
   "rates": [
 {rows}
+  ],
+  "fleet": [
+{fleet_rows}
   ]
 }}
 "#,

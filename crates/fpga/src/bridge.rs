@@ -318,6 +318,19 @@ impl HardwareTarget for FpgaDevice {
         FpgaTarget::new(*self).summarize_batch(layers, batch)
     }
 
+    fn summarize_plan(
+        &self,
+        layers: &[QuantLayerDesc],
+        plan: &ExecutionPlan,
+        batch: usize,
+    ) -> Option<HardwareSummary> {
+        FpgaTarget::new(*self).summarize_plan(layers, plan, batch)
+    }
+
+    fn input_edge(&self) -> Option<usize> {
+        FpgaTarget::new(*self).input_edge()
+    }
+
     fn into_prepared(self) -> Box<dyn HardwareTarget> {
         Box::new(FpgaTarget::new(self))
     }

@@ -591,13 +591,19 @@ impl QuantizedModel {
         self.packable_float_bytes() as f32 / packed as f32
     }
 
+    /// The per-layer quantization descriptors in model order — the layer
+    /// shapes every [`HardwareTarget`] performance model schedules from.
+    pub fn layer_descs(&self) -> Vec<QuantLayerDesc> {
+        self.layers.iter().map(|l| l.desc.clone()).collect()
+    }
+
     /// Batched hardware prediction from the anchored target: performance
     /// for `batch` inputs streamed back-to-back, or `None` without a target
     /// (or when the target cannot model the batch). The batched engine
     /// (`crate::engine::BatchEngine`) reports its measured throughput next
     /// to this prediction.
     pub fn summarize_batched(&self, batch: usize) -> Option<HardwareSummary> {
-        let descs: Vec<QuantLayerDesc> = self.layers.iter().map(|l| l.desc.clone()).collect();
+        let descs = self.layer_descs();
         self.target
             .as_ref()
             .and_then(|t| t.summarize_batch(&descs, batch))
@@ -606,7 +612,7 @@ impl QuantizedModel {
     /// Batched hardware prediction scheduled from a compiled plan (see
     /// [`HardwareTarget::summarize_plan`]), or `None` without a target.
     pub fn summarize_plan(&self, plan: &ExecutionPlan, batch: usize) -> Option<HardwareSummary> {
-        let descs: Vec<QuantLayerDesc> = self.layers.iter().map(|l| l.desc.clone()).collect();
+        let descs = self.layer_descs();
         self.target
             .as_ref()
             .and_then(|t| t.summarize_plan(&descs, plan, batch))
@@ -629,8 +635,7 @@ impl QuantizedModel {
     /// [`ExecutionPlan::compile`] shape/geometry error.
     pub fn compile(&self, input_dims: &[usize]) -> Result<ExecutionPlan, QuantError> {
         let graph = self.graph.as_ref().ok_or(QuantError::NoLoweredGraph)?;
-        let descs: Vec<QuantLayerDesc> = self.layers.iter().map(|l| l.desc.clone()).collect();
-        ExecutionPlan::compile(graph, &descs, input_dims)
+        ExecutionPlan::compile(graph, &self.layer_descs(), input_dims)
     }
 
     /// Reassembles a model from deserialized parts (the export/import
@@ -656,7 +661,7 @@ impl QuantizedModel {
     /// a hardware target anchors the pipeline, the cycle-simulator
     /// latency/resource prediction for this model's layer shapes.
     pub fn report(&self) -> PipelineReport {
-        let descs: Vec<QuantLayerDesc> = self.layers.iter().map(|l| l.desc.clone()).collect();
+        let descs = self.layer_descs();
         PipelineReport {
             label: self.label.clone(),
             layers: self
@@ -751,6 +756,23 @@ impl CompiledModel {
         match &self.plan {
             Some(plan) => self.model.summarize_plan(plan, batch),
             None => self.model.summarize_batched(batch),
+        }
+    }
+
+    /// Batched prediction against an *external* target — the fleet-serving
+    /// path, where one imported artifact (which carries no target of its
+    /// own) is replicated across heterogeneous devices and each replica
+    /// prices the same plan on its own hardware model. Plan-scheduled when
+    /// the artifact carries a plan, layer-derived otherwise.
+    pub fn predict_with(
+        &self,
+        target: &dyn HardwareTarget,
+        batch: usize,
+    ) -> Option<HardwareSummary> {
+        let descs = self.model.layer_descs();
+        match &self.plan {
+            Some(plan) => target.summarize_plan(&descs, plan, batch),
+            None => target.summarize_batch(&descs, batch),
         }
     }
 

@@ -3,6 +3,7 @@
 use mixmatch_quant::error::QuantError;
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
 /// Everything a serving call can fail with. Admission failures
 /// ([`ServeError::Overloaded`], [`ServeError::UnknownModel`],
@@ -31,6 +32,33 @@ pub enum ServeError {
     /// possible when the server is torn down while the request is in
     /// flight.
     Dropped,
+    /// [`Pending::wait_timeout`](crate::Pending::wait_timeout) gave up
+    /// before a reply arrived — the replica may have died mid-batch. The
+    /// request itself may still complete server-side; its reply is
+    /// discarded.
+    Timeout {
+        /// How long the caller waited before giving up.
+        waited: Duration,
+    },
+    /// The wire protocol failed: a malformed/truncated frame, an oversized
+    /// length prefix, an unknown verb, or a transport I/O error. The
+    /// connection is unusable afterwards.
+    Wire {
+        /// What the codec or transport rejected.
+        reason: String,
+    },
+    /// A remote server answered with an inference error. The structured
+    /// [`QuantError`] does not cross the wire; its rendering does.
+    RemoteInference {
+        /// The remote error's display form.
+        detail: String,
+    },
+    /// Every fleet replica is evicted or refused the request — the router
+    /// has no placement for this model right now.
+    NoReplica {
+        /// The model the fleet could not place.
+        model: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -45,6 +73,16 @@ impl fmt::Display for ServeError {
             ServeError::ShuttingDown => f.write_str("server is shutting down"),
             ServeError::Inference(e) => write!(f, "inference failed: {e}"),
             ServeError::Dropped => f.write_str("request dropped during server teardown"),
+            ServeError::Timeout { waited } => {
+                write!(f, "no reply within {:.3} s", waited.as_secs_f64())
+            }
+            ServeError::Wire { reason } => write!(f, "wire protocol failed: {reason}"),
+            ServeError::RemoteInference { detail } => {
+                write!(f, "remote inference failed: {detail}")
+            }
+            ServeError::NoReplica { model } => {
+                write!(f, "no healthy replica can place {model:?}")
+            }
         }
     }
 }

@@ -1,0 +1,752 @@
+//! [`FleetServer`]: N serving replicas over heterogeneous simulated FPGA
+//! devices, behind one cost-and-load-aware router.
+//!
+//! ```text
+//! callers ── infer(name, image) ──▶ fleet queue ──▶ fleet batcher
+//!    ▲                                               │ coalesce ≤ max_batch
+//!    │                                               │ group by model
+//!    │                                               ▼
+//!    │                       router::place(cost_us × queue_depth, batch)
+//!    │                        │ probe?         │ best healthy    │ failover
+//!    │                        ▼                ▼                 ▼
+//!    │                   replica 0        replica 1   …     replica N-1
+//!    │                  (ModelServer     (ModelServer       (evicted —
+//!    │                   on 7Z045)        on ZU5CG)          skipped)
+//!    └──── FleetPending::wait ◀─ per-replica dynamic batcher + engine
+//! ```
+//!
+//! Each replica is a full [`ModelServer`] bound to its own
+//! [`HardwareTarget`] (a device from the `FpgaDevice` catalog, typically):
+//! the target prices the served plan through the cycle simulator once per
+//! load, and the router places every *coalesced batch* on the replica with
+//! the lowest estimated completion time — predicted per-image device
+//! latency times (live queue depth + batch size). Replica failures trip a
+//! per-replica circuit breaker ([`crate::health`]): consecutive failures
+//! evict, a timed half-open probe re-admits. Loading an artifact rolls it
+//! across the fleet replica by replica; in-flight requests finish on the
+//! weights they were admitted under (each replica's swap lands on its next
+//! batch boundary), so a fleet-wide hot-swap drops nothing.
+
+use crate::batcher::coalesce;
+use crate::error::ServeError;
+use crate::health::{Health, HealthPolicy, HealthSnapshot};
+use crate::metrics::ModelStats;
+use crate::router;
+use crate::server::{ModelServer, Pending, ServeConfig};
+use mixmatch_quant::export::import_compiled;
+use mixmatch_quant::pipeline::HardwareTarget;
+use mixmatch_tensor::Tensor;
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Per-image cost assumed for a replica whose target cannot price the
+/// model (µs) — keeps the router total-ordered instead of special-casing.
+const DEFAULT_COST_US: f64 = 1_000.0;
+
+/// One replica to be enrolled in a fleet: a display label plus the
+/// hardware target that prices plans for the router.
+pub struct ReplicaSpec {
+    label: String,
+    target: Box<dyn HardwareTarget>,
+}
+
+impl ReplicaSpec {
+    /// A replica named `label` bound to `target`. The target is prepared
+    /// once at enrollment (a bare `FpgaDevice` runs its design-space
+    /// exploration here, not per request).
+    pub fn new(label: impl Into<String>, target: impl HardwareTarget + 'static) -> Self {
+        ReplicaSpec {
+            label: label.into(),
+            target: target.into_prepared(),
+        }
+    }
+}
+
+/// Fleet-level knobs. Per-replica serving knobs (engine batch size,
+/// replica queue depth, worker threads) ride in [`FleetConfig::replica`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Largest coalesced batch the router places at once (≥ 1).
+    pub max_batch: usize,
+    /// Longest the fleet batcher holds a batch open.
+    pub max_wait: Duration,
+    /// Bounded fleet admission-queue depth.
+    pub queue_depth: usize,
+    /// Knobs for each replica's own [`ModelServer`].
+    pub replica: ServeConfig,
+    /// Eviction/re-admission policy for every replica.
+    pub health: HealthPolicy,
+    /// How long a blocking caller (and the wire front end) waits for a
+    /// reply before failing with [`ServeError::Timeout`].
+    pub reply_timeout: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            max_batch: 32,
+            max_wait: Duration::from_millis(2),
+            queue_depth: 1024,
+            replica: ServeConfig::default(),
+            health: HealthPolicy::default(),
+            reply_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Sets the router's largest coalesced batch (clamped to ≥ 1).
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Sets the fleet batch-coalescing deadline.
+    pub fn with_max_wait(mut self, max_wait: Duration) -> Self {
+        self.max_wait = max_wait;
+        self
+    }
+
+    /// Sets the bounded fleet admission-queue depth (clamped to ≥ 1).
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth.max(1);
+        self
+    }
+
+    /// Sets every replica's [`ModelServer`] knobs.
+    pub fn with_replica_config(mut self, replica: ServeConfig) -> Self {
+        self.replica = replica;
+        self
+    }
+
+    /// Sets the eviction/re-admission policy.
+    pub fn with_health(mut self, health: HealthPolicy) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// Sets the blocking-caller reply timeout.
+    pub fn with_reply_timeout(mut self, reply_timeout: Duration) -> Self {
+        self.reply_timeout = reply_timeout;
+        self
+    }
+}
+
+/// One enrolled replica: its server, its pricing target, its breaker.
+pub(crate) struct Replica {
+    label: String,
+    target: Box<dyn HardwareTarget>,
+    server: ModelServer,
+    health: Health,
+    /// Model name → predicted µs per image on this replica's device,
+    /// refreshed at every (re)load.
+    costs: RwLock<HashMap<String, f64>>,
+}
+
+impl Replica {
+    fn cost_us(&self, model: &str) -> f64 {
+        self.costs
+            .read()
+            .expect("costs poisoned")
+            .get(model)
+            .copied()
+            .unwrap_or(DEFAULT_COST_US)
+    }
+}
+
+/// One queued fleet request, waiting for the router.
+struct FleetRequest {
+    model: String,
+    image: Tensor,
+    reply: mpsc::Sender<RoutedReply>,
+}
+
+/// What the router sends back through the caller's channel: either the
+/// replica-level [`Pending`] to join, or a terminal placement failure.
+enum RoutedReply {
+    Routed {
+        replica: Arc<Replica>,
+        pending: Pending,
+    },
+    Failed(ServeError),
+}
+
+/// Handle to one in-flight fleet request. Joining it also reports the
+/// outcome to the serving replica's health cell.
+#[derive(Debug)]
+pub struct FleetPending {
+    rx: mpsc::Receiver<RoutedReply>,
+}
+
+impl FleetPending {
+    /// Blocks until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Pending::wait`] returns, plus
+    /// [`ServeError::NoReplica`] when no replica could take the request.
+    pub fn wait(self) -> Result<Tensor, ServeError> {
+        match self.rx.recv() {
+            Err(_) => Err(ServeError::Dropped),
+            Ok(RoutedReply::Failed(e)) => Err(e),
+            Ok(RoutedReply::Routed { replica, pending }) => settle(&replica, pending.wait()),
+        }
+    }
+
+    /// Blocks until the response arrives or `timeout` elapses — the
+    /// deadline spans routing *and* the replica's reply, so a replica
+    /// dying mid-batch cannot park the caller forever.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Timeout`] when the deadline passes first, plus
+    /// everything [`FleetPending::wait`] can return.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Tensor, ServeError> {
+        let start = Instant::now();
+        let routed = match self.rx.recv_timeout(timeout) {
+            Ok(routed) => routed,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                return Err(ServeError::Timeout { waited: timeout })
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return Err(ServeError::Dropped),
+        };
+        match routed {
+            RoutedReply::Failed(e) => Err(e),
+            RoutedReply::Routed { replica, pending } => {
+                let remaining = timeout.saturating_sub(start.elapsed());
+                settle(&replica, pending.wait_timeout(remaining))
+            }
+        }
+    }
+}
+
+/// Reports a joined result to the replica's breaker. Only replica faults
+/// count against health — a caller's own bad payload
+/// ([`ServeError::Inference`]) is not the replica's fault.
+fn settle(replica: &Replica, result: Result<Tensor, ServeError>) -> Result<Tensor, ServeError> {
+    match &result {
+        Ok(_) => replica.health.record_success(),
+        Err(ServeError::Dropped) | Err(ServeError::Timeout { .. }) => {
+            replica.health.record_failure();
+        }
+        Err(_) => {}
+    }
+    result
+}
+
+/// Health/load/traffic snapshot for one replica.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaStats {
+    /// The replica's enrollment label.
+    pub label: String,
+    /// Its hardware target's label (device + design ratio).
+    pub target: String,
+    /// Breaker state and eviction history.
+    pub health: HealthSnapshot,
+    /// Requests admitted to the replica but not yet answered.
+    pub queue_depth: u64,
+    /// Predicted per-image cost per model (router inputs), sorted by name.
+    pub costs: Vec<ModelCost>,
+    /// Per-model serving counters, sorted by name.
+    pub models: Vec<ModelStats>,
+}
+
+/// The router's predicted cost for one model on one replica.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelCost {
+    /// The model name.
+    pub model: String,
+    /// Predicted device latency per image, microseconds.
+    pub cost_per_image_us: f64,
+}
+
+/// Point-in-time fleet snapshot: one entry per replica, enrollment order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStats {
+    /// Per-replica snapshots.
+    pub replicas: Vec<ReplicaStats>,
+}
+
+/// Multi-replica serving fleet. See the module docs for the dataflow.
+pub struct FleetServer {
+    config: FleetConfig,
+    replicas: Vec<Arc<Replica>>,
+    /// Admission side of the fleet queue; `None` once shutdown started.
+    queue: Mutex<Option<SyncSender<FleetRequest>>>,
+    batcher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl FleetServer {
+    /// Starts a fleet with one replica per spec (and the fleet's router
+    /// thread). Panics on an empty spec list — a fleet of zero replicas
+    /// can never serve.
+    pub fn start(config: FleetConfig, specs: Vec<ReplicaSpec>) -> Self {
+        assert!(!specs.is_empty(), "a fleet needs at least one replica");
+        let config = FleetConfig {
+            max_batch: config.max_batch.max(1),
+            queue_depth: config.queue_depth.max(1),
+            ..config
+        };
+        let replicas: Vec<Arc<Replica>> = specs
+            .into_iter()
+            .map(|spec| {
+                Arc::new(Replica {
+                    label: spec.label,
+                    target: spec.target,
+                    server: ModelServer::start(config.replica.clone()),
+                    health: Health::new(config.health.clone()),
+                    costs: RwLock::new(HashMap::new()),
+                })
+            })
+            .collect();
+        let (tx, rx) = mpsc::sync_channel(config.queue_depth);
+        let router_replicas = replicas.clone();
+        let (max_batch, max_wait) = (config.max_batch, config.max_wait);
+        let batcher = std::thread::Builder::new()
+            .name("mixmatch-fleet-router".into())
+            .spawn(move || router_loop(&rx, &router_replicas, max_batch, max_wait))
+            .expect("spawn fleet router thread");
+        FleetServer {
+            config,
+            replicas,
+            queue: Mutex::new(Some(tx)),
+            batcher: Mutex::new(Some(batcher)),
+        }
+    }
+
+    /// The knobs this fleet runs with.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Number of enrolled replicas (evicted ones included).
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Restores a serialized `MMCM` artifact and rolls it across the whole
+    /// fleet under `name` — each replica imports its own copy, prices it
+    /// on its own hardware target (the router's cost input), and
+    /// hot-swaps at its next batch boundary. In-flight requests finish on
+    /// the weights they were admitted under; nothing is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ModelServer::load_artifact`] rejects. The artifact
+    /// bytes are validated on the first replica before any replica swaps,
+    /// so a malformed artifact cannot leave the fleet half-rolled.
+    pub fn load_artifact(&self, name: &str, bytes: &[u8]) -> Result<(), ServeError> {
+        for replica in &self.replicas {
+            let compiled = import_compiled(bytes)?;
+            let cost = compiled
+                .predict_with(replica.target.as_ref(), 1)
+                .map_or(DEFAULT_COST_US, |s| f64::from(s.latency_ms) * 1_000.0);
+            replica.server.load(name, compiled)?;
+            replica
+                .costs
+                .write()
+                .expect("costs poisoned")
+                .insert(name.to_string(), cost);
+        }
+        Ok(())
+    }
+
+    /// Submits one image against `model` without blocking on the result.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`], [`ServeError::Overloaded`],
+    /// [`ServeError::ShuttingDown`].
+    pub fn infer(&self, model: &str, image: Tensor) -> Result<FleetPending, ServeError> {
+        if !self
+            .replicas
+            .iter()
+            .any(|r| r.server.stats(model).is_some())
+        {
+            return Err(ServeError::UnknownModel {
+                model: model.to_string(),
+            });
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let request = FleetRequest {
+            model: model.to_string(),
+            image,
+            reply: reply_tx,
+        };
+        let queue = self.queue.lock().expect("fleet queue poisoned");
+        let tx = queue.as_ref().ok_or(ServeError::ShuttingDown)?;
+        match tx.try_send(request) {
+            Ok(()) => Ok(FleetPending { rx: reply_rx }),
+            Err(TrySendError::Full(_)) => Err(ServeError::Overloaded {
+                queue_depth: self.config.queue_depth,
+            }),
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// [`FleetServer::infer`] + [`FleetPending::wait_timeout`] at the
+    /// configured [`FleetConfig::reply_timeout`].
+    ///
+    /// # Errors
+    ///
+    /// Everything either half can return.
+    pub fn infer_blocking(&self, model: &str, image: Tensor) -> Result<Tensor, ServeError> {
+        self.infer(model, image)?
+            .wait_timeout(self.config.reply_timeout)
+    }
+
+    /// The fleet snapshot: per-replica health, load, costs and counters.
+    pub fn stats(&self) -> FleetStats {
+        FleetStats {
+            replicas: self
+                .replicas
+                .iter()
+                .map(|r| {
+                    let mut costs: Vec<ModelCost> = r
+                        .costs
+                        .read()
+                        .expect("costs poisoned")
+                        .iter()
+                        .map(|(model, &cost_per_image_us)| ModelCost {
+                            model: model.clone(),
+                            cost_per_image_us,
+                        })
+                        .collect();
+                    costs.sort_by(|a, b| a.model.cmp(&b.model));
+                    let mut models = r.server.all_stats();
+                    models.sort_by(|a, b| a.model.cmp(&b.model));
+                    ReplicaStats {
+                        label: r.label.clone(),
+                        target: r.target.label(),
+                        health: r.health.snapshot(),
+                        queue_depth: r.server.queue_len(),
+                        costs,
+                        models,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Fault injection (tests, chaos drills): tears replica `index`'s
+    /// server down. Its queued requests drain to completion first; every
+    /// placement attempted afterwards fails, so the breaker evicts it
+    /// while the rest of the fleet keeps serving. Returns `false` for an
+    /// out-of-range index.
+    pub fn kill_replica(&self, index: usize) -> bool {
+        match self.replicas.get(index) {
+            Some(replica) => {
+                replica.server.shutdown();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Stops fleet admission, drains the router and every replica, and
+    /// joins their threads. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        drop(self.queue.lock().expect("fleet queue poisoned").take());
+        if let Some(handle) = self.batcher.lock().expect("fleet batcher poisoned").take() {
+            let _ = handle.join();
+        }
+        for replica in &self.replicas {
+            replica.server.shutdown();
+        }
+    }
+}
+
+impl Drop for FleetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The fleet router thread: block for one request, coalesce a batch,
+/// place it group-by-group, repeat until shutdown drains the queue.
+fn router_loop(
+    rx: &Receiver<FleetRequest>,
+    replicas: &[Arc<Replica>],
+    max_batch: usize,
+    max_wait: Duration,
+) {
+    while let Ok(first) = rx.recv() {
+        let batch = coalesce(rx, first, max_batch, max_wait);
+        // Group by model, preserving arrival order within each group.
+        let mut groups: Vec<(String, Vec<FleetRequest>)> = Vec::new();
+        for request in batch {
+            match groups.iter_mut().find(|(model, _)| *model == request.model) {
+                Some((_, members)) => members.push(request),
+                None => groups.push((request.model.clone(), vec![request])),
+            }
+        }
+        for (model, members) in groups {
+            place_group(replicas, &model, members);
+        }
+    }
+}
+
+/// Places one coalesced model-group: divert at most one request to a
+/// probe-due replica, rank the healthy replicas once for the whole group,
+/// forward down the ranking with per-request failover.
+fn place_group(replicas: &[Arc<Replica>], model: &str, members: Vec<FleetRequest>) {
+    let mut remaining: VecDeque<FleetRequest> = members.into();
+
+    // Half-open re-admission: one request probes an evicted replica whose
+    // cooldown elapsed. A probe that fails at admission rejoins the
+    // regular path (its failure already re-armed the breaker).
+    for replica in replicas {
+        if remaining.is_empty() {
+            break;
+        }
+        if replica.health.try_begin_probe() {
+            if let Some(request) = remaining.pop_front() {
+                if let Err(request) = forward(replica, request) {
+                    remaining.push_front(request);
+                }
+            }
+            break;
+        }
+    }
+
+    // One placement decision per coalesced batch: snapshot cost × load,
+    // rank, then stream the group to the head of the ranking.
+    let candidates: Vec<router::Candidate> = replicas
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.health.is_healthy())
+        .map(|(index, r)| router::Candidate {
+            replica: index,
+            cost_per_image_us: r.cost_us(model),
+            queue_depth: r.server.queue_len(),
+        })
+        .collect();
+    let order: Vec<usize> = router::place(&candidates, remaining.len())
+        .into_iter()
+        .map(|i| candidates[i].replica)
+        .collect();
+
+    'requests: for mut request in remaining {
+        for &index in &order {
+            let replica = &replicas[index];
+            // A replica evicted mid-group (earlier failover) is skipped.
+            if !replica.health.is_healthy() {
+                continue;
+            }
+            match forward(replica, request) {
+                Ok(()) => continue 'requests,
+                Err(returned) => request = returned,
+            }
+        }
+        let _ = request
+            .reply
+            .send(RoutedReply::Failed(ServeError::NoReplica {
+                model: model.to_string(),
+            }));
+    }
+}
+
+/// Forwards one request to one replica. On admission failure the request
+/// comes back for failover; replica faults (shutdown, missing model) count
+/// against its breaker, plain backpressure ([`ServeError::Overloaded`])
+/// does not.
+fn forward(replica: &Arc<Replica>, request: FleetRequest) -> Result<(), FleetRequest> {
+    let FleetRequest {
+        model,
+        image,
+        reply,
+    } = request;
+    match replica.server.infer_reclaim(&model, image) {
+        Ok(pending) => {
+            let _ = reply.send(RoutedReply::Routed {
+                replica: Arc::clone(replica),
+                pending,
+            });
+            Ok(())
+        }
+        Err((error, image)) => {
+            if !matches!(error, ServeError::Overloaded { .. }) {
+                replica.health.record_failure();
+            }
+            Err(FleetRequest {
+                model,
+                image,
+                reply,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::HealthState;
+    use mixmatch_nn::quantize::QuantLayerDesc;
+    use mixmatch_quant::export::export_compiled;
+    use mixmatch_quant::graph::ExecutionPlan;
+    use mixmatch_quant::msq::MsqPolicy;
+    use mixmatch_quant::pipeline::{HardwareSummary, QuantPipeline};
+    use mixmatch_tensor::TensorRng;
+
+    /// A stub target whose only job is a fixed per-image latency — the
+    /// fleet never needs a real device to route.
+    struct FixedLatency {
+        label: &'static str,
+        latency_ms: f32,
+    }
+
+    impl HardwareTarget for FixedLatency {
+        fn label(&self) -> String {
+            self.label.to_string()
+        }
+
+        fn derive_policy(&self) -> MsqPolicy {
+            MsqPolicy::msq_half()
+        }
+
+        fn summarize_plan(
+            &self,
+            layers: &[QuantLayerDesc],
+            _plan: &ExecutionPlan,
+            _batch: usize,
+        ) -> Option<HardwareSummary> {
+            if layers.is_empty() {
+                return None;
+            }
+            Some(HardwareSummary {
+                device: self.label.to_string(),
+                ratio_label: "1:1".into(),
+                gops: 1.0,
+                latency_ms: self.latency_ms,
+                pe_utilization: 1.0,
+                lut: 0.0,
+                ff: 0.0,
+                bram36: 0.0,
+                dsp: 0.0,
+                lut_utilization: 0.0,
+            })
+        }
+    }
+
+    fn mlp_artifact(seed: u64) -> Vec<u8> {
+        let mut rng = TensorRng::seed_from(seed);
+        let mut model = mixmatch_nn::module::Sequential::new();
+        model.push(mixmatch_nn::layers::Linear::with_name(
+            "fc1", 6, 8, true, &mut rng,
+        ));
+        model.push(mixmatch_nn::layers::Linear::with_name(
+            "fc2", 8, 3, false, &mut rng,
+        ));
+        let compiled = QuantPipeline::from_policy(MsqPolicy::msq_half())
+            .with_input_shape(&[6])
+            .quantize(&mut model)
+            .expect("quantize fixture");
+        export_compiled(&compiled).expect("export fixture")
+    }
+
+    fn two_replica_fleet(config: FleetConfig) -> FleetServer {
+        FleetServer::start(
+            config,
+            vec![
+                ReplicaSpec::new(
+                    "r0",
+                    FixedLatency {
+                        label: "fast",
+                        latency_ms: 0.1,
+                    },
+                ),
+                ReplicaSpec::new(
+                    "r1",
+                    FixedLatency {
+                        label: "slow",
+                        latency_ms: 0.4,
+                    },
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn fleet_serves_and_prices_replicas_from_their_targets() {
+        let fleet = two_replica_fleet(
+            FleetConfig::default().with_replica_config(ServeConfig::default().with_threads(1)),
+        );
+        fleet
+            .load_artifact("mlp", &mlp_artifact(1))
+            .expect("roll artifact");
+        let stats = fleet.stats();
+        assert_eq!(stats.replicas.len(), 2);
+        assert!((stats.replicas[0].costs[0].cost_per_image_us - 100.0).abs() < 1e-3);
+        assert!((stats.replicas[1].costs[0].cost_per_image_us - 400.0).abs() < 1e-3);
+        let mut rng = TensorRng::seed_from(2);
+        let image = Tensor::rand_uniform(&[6], 0.0, 1.0, &mut rng);
+        let out = fleet.infer_blocking("mlp", image).expect("infer");
+        assert_eq!(out.dims(), &[3]);
+        let total: u64 = fleet
+            .stats()
+            .replicas
+            .iter()
+            .flat_map(|r| r.models.iter())
+            .map(|m| m.completed)
+            .sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn unknown_model_and_shutdown_are_typed() {
+        let fleet = two_replica_fleet(FleetConfig::default());
+        let err = fleet.infer("ghost", Tensor::zeros(&[6])).unwrap_err();
+        assert!(matches!(err, ServeError::UnknownModel { .. }));
+        fleet
+            .load_artifact("mlp", &mlp_artifact(3))
+            .expect("roll artifact");
+        fleet.shutdown();
+        let err = fleet.infer("mlp", Tensor::zeros(&[6])).unwrap_err();
+        assert_eq!(err, ServeError::ShuttingDown);
+    }
+
+    #[test]
+    fn killed_replica_is_evicted_and_the_fleet_keeps_answering() {
+        let fleet = two_replica_fleet(
+            FleetConfig::default()
+                .with_health(
+                    HealthPolicy::default()
+                        .with_evict_after(2)
+                        .with_probe_after(Duration::from_secs(60)),
+                )
+                .with_replica_config(ServeConfig::default().with_threads(1)),
+        );
+        fleet
+            .load_artifact("mlp", &mlp_artifact(4))
+            .expect("roll artifact");
+        assert!(fleet.kill_replica(0));
+        assert!(!fleet.kill_replica(9));
+        let mut rng = TensorRng::seed_from(5);
+        for _ in 0..6 {
+            let image = Tensor::rand_uniform(&[6], 0.0, 1.0, &mut rng);
+            let out = fleet.infer_blocking("mlp", image).expect("failover");
+            assert_eq!(out.dims(), &[3]);
+        }
+        let stats = fleet.stats();
+        assert_eq!(stats.replicas[0].health.state, HealthState::Evicted);
+        assert_eq!(stats.replicas[1].health.state, HealthState::Healthy);
+        let survivor: u64 = stats.replicas[1].models.iter().map(|m| m.completed).sum();
+        assert_eq!(survivor, 6);
+    }
+
+    #[test]
+    fn malformed_artifact_rolls_nothing() {
+        let fleet = two_replica_fleet(FleetConfig::default());
+        let mut bytes = mlp_artifact(6);
+        bytes.truncate(bytes.len() / 2);
+        assert!(fleet.load_artifact("mlp", &bytes).is_err());
+        assert!(fleet
+            .stats()
+            .replicas
+            .iter()
+            .all(|r| r.models.is_empty() && r.costs.is_empty()));
+    }
+}

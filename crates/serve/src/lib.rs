@@ -19,9 +19,18 @@
 //!   `BatchEngine::run_plan_batch` on the shared process-wide worker pool,
 //! * per-request **reply channels + ids**, so a response can never reach a
 //!   neighboring caller, and
-//! * per-model **latency/throughput counters** (p50/p95/p99 from a
+//! * per-model **latency/throughput counters** (p50/p95/p99/p99.9 from a
 //!   fixed-bucket histogram; no wall-clock reads in the hot path beyond
 //!   the two `Instant` stamps).
+//!
+//! On top of the single server sits the **fleet layer** ([`fleet`]): N
+//! replicas, each a full [`ModelServer`] bound to its own simulated FPGA
+//! [`HardwareTarget`](mixmatch_quant::pipeline::HardwareTarget), behind a
+//! router that places every coalesced batch by predicted device cost ×
+//! live queue depth ([`router`]), evicts failing replicas through a
+//! per-replica circuit breaker ([`health`]), and speaks a hand-rolled
+//! length-prefixed TCP protocol ([`wire`]) so callers on real sockets get
+//! bit-identical answers and typed errors.
 //!
 //! [`CompiledModel`]: mixmatch_quant::pipeline::CompiledModel
 //!
@@ -61,9 +70,18 @@
 
 pub mod batcher;
 pub mod error;
+pub mod fleet;
+pub mod health;
 pub mod metrics;
+pub mod router;
 pub mod server;
+pub mod wire;
 
 pub use error::ServeError;
+pub use fleet::{
+    FleetConfig, FleetPending, FleetServer, FleetStats, ModelCost, ReplicaSpec, ReplicaStats,
+};
+pub use health::{Health, HealthPolicy, HealthSnapshot, HealthState};
 pub use metrics::{LatencyHistogram, ModelStats};
 pub use server::{ModelServer, Pending, ServeConfig};
+pub use wire::{FleetClient, WireServer};

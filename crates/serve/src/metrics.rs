@@ -71,6 +71,10 @@ pub struct ModelMetrics {
     pub batches: AtomicU64,
     /// Images across all dispatched batches (`/ batches` = mean batch).
     pub batched_images: AtomicU64,
+    /// Live gauge: requests admitted but not yet answered. The fleet
+    /// router reads this (via [`ModelStats::queue_depth`]) to place batches
+    /// on the least-loaded replica.
+    pub in_flight: AtomicU64,
     /// Queue-to-reply latency of completed requests.
     pub latency: LatencyHistogram,
 }
@@ -91,9 +95,11 @@ impl ModelMetrics {
             } else {
                 batched_images as f64 / batches as f64
             },
+            queue_depth: self.in_flight.load(Ordering::Relaxed),
             p50: self.latency.percentile(50.0),
             p95: self.latency.percentile(95.0),
             p99: self.latency.percentile(99.0),
+            p999: self.latency.percentile(99.9),
         }
     }
 }
@@ -113,12 +119,18 @@ pub struct ModelStats {
     pub batches: u64,
     /// Mean images per dispatched batch.
     pub mean_batch: f64,
+    /// Requests admitted but not yet answered at snapshot time (live
+    /// gauge, not a counter).
+    pub queue_depth: u64,
     /// Median queue-to-reply latency (bucket upper bound).
     pub p50: Duration,
     /// 95th-percentile latency (bucket upper bound).
     pub p95: Duration,
     /// 99th-percentile latency (bucket upper bound).
     pub p99: Duration,
+    /// 99.9th-percentile latency (bucket upper bound) — the tail the
+    /// fleet-size sweep in `BENCH_serving.json` tracks.
+    pub p999: Duration,
 }
 
 #[cfg(test)]
@@ -164,5 +176,22 @@ mod tests {
         let s = m.snapshot("x");
         assert_eq!(s.mean_batch, 2.5);
         assert_eq!(s.model, "x");
+    }
+
+    #[test]
+    fn queue_depth_is_a_gauge_and_p999_resolves() {
+        let m = ModelMetrics::default();
+        m.in_flight.fetch_add(3, Ordering::Relaxed);
+        m.in_flight.fetch_sub(1, Ordering::Relaxed);
+        assert_eq!(m.snapshot("x").queue_depth, 2);
+        // 999 fast observations and one slow one: p99.9 reaches the tail
+        // bucket while p99 stays in the fast one.
+        for _ in 0..999 {
+            m.latency.record(Duration::from_micros(3));
+        }
+        m.latency.record(Duration::from_micros(1000));
+        let s = m.snapshot("x");
+        assert_eq!(s.p99, Duration::from_micros(4));
+        assert_eq!(s.p999, Duration::from_micros(1024));
     }
 }

@@ -172,6 +172,26 @@ impl Pending {
         }
     }
 
+    /// Blocks until the response arrives or `timeout` elapses — the guard
+    /// against a replica dying mid-batch with the caller parked forever.
+    /// Consumes the handle either way; a reply that arrives after the
+    /// timeout lands in a closed channel and is discarded.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Timeout`] when the deadline passes first, plus
+    /// everything [`Pending::wait`] can return.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Tensor, ServeError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(reply) => {
+                debug_assert_eq!(reply.id, self.id, "reply routed to the wrong caller");
+                reply.result
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::Timeout { waited: timeout }),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Dropped),
+        }
+    }
+
     /// Non-blocking poll: `None` while the request is still in flight.
     pub fn try_wait(&mut self) -> Option<Result<Tensor, ServeError>> {
         match self.rx.try_recv() {
@@ -305,17 +325,45 @@ impl ModelServer {
     /// [`ServeError::UnknownModel`], [`ServeError::Overloaded`],
     /// [`ServeError::ShuttingDown`].
     pub fn infer(&self, model: &str, image: Tensor) -> Result<Pending, ServeError> {
-        let entry = self
+        self.infer_reclaim(model, image).map_err(|(e, _)| e)
+    }
+
+    /// [`ModelServer::infer`] that hands the image back on admission
+    /// failure — what a fleet router needs to re-place a request on
+    /// another replica without cloning every payload up front.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`ModelServer::infer`], paired with the
+    /// unconsumed image.
+    pub fn infer_reclaim(
+        &self,
+        model: &str,
+        image: Tensor,
+    ) -> Result<Pending, (ServeError, Tensor)> {
+        let entry = match self
             .registry
             .lock()
             .expect("registry poisoned")
             .get(model)
             .cloned()
-            .ok_or_else(|| ServeError::UnknownModel {
-                model: model.to_string(),
-            })?;
+        {
+            Some(entry) => entry,
+            None => {
+                return Err((
+                    ServeError::UnknownModel {
+                        model: model.to_string(),
+                    },
+                    image,
+                ))
+            }
+        };
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (reply_tx, reply_rx) = mpsc::channel();
+        // Raise the gauge before enqueueing: the batcher's decrement in
+        // `respond` must never observe a count this admission hasn't
+        // contributed yet.
+        entry.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
         let request = Request {
             id,
             entry: Arc::clone(&entry),
@@ -324,17 +372,42 @@ impl ModelServer {
             reply: reply_tx,
         };
         let queue = self.queue.lock().expect("queue poisoned");
-        let tx = queue.as_ref().ok_or(ServeError::ShuttingDown)?;
+        let tx = match queue.as_ref() {
+            Some(tx) => tx,
+            None => {
+                entry.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+                return Err((ServeError::ShuttingDown, request.image));
+            }
+        };
         match tx.try_send(request) {
             Ok(()) => Ok(Pending { id, rx: reply_rx }),
-            Err(TrySendError::Full(_)) => {
+            Err(TrySendError::Full(request)) => {
+                entry.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
                 entry.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-                Err(ServeError::Overloaded {
-                    queue_depth: self.config.queue_depth,
-                })
+                Err((
+                    ServeError::Overloaded {
+                        queue_depth: self.config.queue_depth,
+                    },
+                    request.image,
+                ))
             }
-            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+            Err(TrySendError::Disconnected(request)) => {
+                entry.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+                Err((ServeError::ShuttingDown, request.image))
+            }
         }
+    }
+
+    /// Total requests admitted but not yet answered, across every
+    /// registered model — the live load signal a fleet router combines
+    /// with per-device latency predictions.
+    pub fn queue_len(&self) -> u64 {
+        self.registry
+            .lock()
+            .expect("registry poisoned")
+            .values()
+            .map(|e| e.metrics.in_flight.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// [`ModelServer::infer`] + [`Pending::wait`] in one call.
@@ -477,6 +550,7 @@ fn execute_batch(engine: &BatchEngine, batch: Vec<Request>) {
 /// Routes one result back to its caller and settles the name's counters.
 /// A caller that dropped its [`Pending`] just discards the send.
 fn respond(entry: &ModelEntry, meta: RequestMeta, result: Result<Tensor, ServeError>) {
+    entry.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
     match &result {
         Ok(_) => {
             entry.metrics.latency.record(meta.admitted.elapsed());
@@ -568,6 +642,46 @@ mod tests {
             Err(ServeError::Inference(QuantError::NoLoweredGraph))
         ));
         assert!(server.models().is_empty());
+    }
+
+    #[test]
+    fn wait_timeout_fails_typed_while_the_batch_is_held_open() {
+        // A long coalescing window with max_batch > 1 parks the request in
+        // the batcher: the caller's timeout must fire first, typed.
+        let server = ModelServer::start(
+            ServeConfig::default()
+                .with_max_batch(32)
+                .with_max_wait(Duration::from_secs(30))
+                .with_threads(1),
+        );
+        server.load("mlp", mlp_model(8)).expect("load");
+        let mut rng = TensorRng::seed_from(9);
+        let image = Tensor::rand_uniform(&[6], 0.0, 1.0, &mut rng);
+        let pending = server.infer("mlp", image).expect("admit");
+        assert_eq!(server.queue_len(), 1, "admitted request raises the gauge");
+        assert_eq!(server.stats("mlp").expect("stats").queue_depth, 1);
+        let err = pending
+            .wait_timeout(Duration::from_millis(20))
+            .expect_err("deadline fires first");
+        assert!(matches!(err, ServeError::Timeout { .. }));
+        // Shutdown drains the held batch; the late reply is discarded and
+        // the gauge settles back to zero.
+        server.shutdown();
+        assert_eq!(server.queue_len(), 0);
+    }
+
+    #[test]
+    fn infer_reclaim_returns_the_image_on_admission_failure() {
+        let server = ModelServer::with_defaults();
+        let image = Tensor::zeros(&[6]);
+        let (err, image) = server.infer_reclaim("ghost", image).unwrap_err();
+        assert!(matches!(err, ServeError::UnknownModel { .. }));
+        assert_eq!(image.dims(), &[6]);
+        server.load("mlp", mlp_model(10)).expect("load");
+        server.shutdown();
+        let (err, image) = server.infer_reclaim("mlp", image).unwrap_err();
+        assert_eq!(err, ServeError::ShuttingDown);
+        assert_eq!(image.dims(), &[6]);
     }
 
     #[test]

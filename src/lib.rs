@@ -13,7 +13,7 @@
 //! | [`quant`] | `mixmatch-quant` | **the core**: SP2 scheme, MSQ row-wise mixing, ADMM+STE training, bit-exact integer kernels, [`QuantPipeline`](quant::QuantPipeline) |
 //! | [`data`] | `mixmatch-data` | synthetic stand-ins for CIFAR/ImageNet/COCO/PTB/TIMIT/IMDB |
 //! | [`fpga`] | `mixmatch-fpga` | device DB, resource cost model, heterogeneous-GEMM cycle simulator, DSE |
-//! | [`serve`] | `mixmatch-serve` | async [`ModelServer`](serve::ModelServer): dynamic request batching, model registry, admission control, latency metrics |
+//! | [`serve`] | `mixmatch-serve` | async [`ModelServer`](serve::ModelServer): dynamic request batching, model registry, admission control, latency metrics; [`FleetServer`](serve::FleetServer): multi-replica routing over heterogeneous devices with a TCP wire protocol |
 //!
 //! # Quickstart
 //!
@@ -71,6 +71,9 @@ pub mod prelude {
     pub use mixmatch_quant::qat::QatConfig;
     pub use mixmatch_quant::rowwise::PartitionRatio;
     pub use mixmatch_quant::schemes::Scheme;
-    pub use mixmatch_serve::{ModelServer, ModelStats, Pending, ServeConfig, ServeError};
+    pub use mixmatch_serve::{
+        FleetClient, FleetConfig, FleetServer, FleetStats, HealthPolicy, HealthState, ModelServer,
+        ModelStats, Pending, ReplicaSpec, ServeConfig, ServeError, WireServer,
+    };
     pub use mixmatch_tensor::{Tensor, TensorRng};
 }

@@ -1,0 +1,310 @@
+//! Robustness fuzzing for the fleet wire protocol: arbitrary corruption of
+//! frames and payloads — truncation at every boundary, lying length
+//! prefixes (every 4-byte window forced to `u32::MAX`), unknown verbs,
+//! random bit flips, and mid-frame disconnects over real sockets — must
+//! fail with typed `ServeError::Wire`, never panic, never hang, and never
+//! allocate from an untrusted length. The `WireServer` feeds
+//! network-supplied bytes straight into this codec, so this is its trust
+//! boundary — the same contract `tests/artifact_fuzz.rs` enforces on the
+//! `MMCM` importer one layer down.
+
+use mixmatch::prelude::*;
+use mixmatch::serve::wire::{
+    self, decode_error, decode_fleet_stats, decode_infer_request, decode_load_request,
+    decode_tensor, encode_error, encode_infer_request, read_frame, verb, write_frame,
+    MAX_FRAME_BYTES,
+};
+use proptest::prelude::*;
+use std::io::{Cursor, Write as IoWrite};
+use std::net::{TcpListener, TcpStream};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// A well-formed `INFER` frame, the richest payload shape (string + tensor).
+fn infer_frame() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let mut rng = TensorRng::seed_from(1);
+        let image = Tensor::rand_uniform(&[3, 4, 4], -1.0, 1.0, &mut rng);
+        let payload = encode_infer_request("resnet", &image).expect("encode infer");
+        let mut frame = Vec::new();
+        write_frame(&mut frame, verb::INFER, &payload).expect("frame infer");
+        frame
+    })
+}
+
+/// The codec's whole error contract: success, or `Wire`.
+fn assert_typed<T>(result: Result<T, ServeError>, what: &str) {
+    if let Err(e) = result {
+        assert!(
+            matches!(e, ServeError::Wire { .. }),
+            "{what}: non-wire error {e}"
+        );
+    }
+}
+
+fn decode_all(frame: &[u8], what: &str) {
+    match read_frame(&mut Cursor::new(frame)) {
+        Err(e) => assert!(
+            matches!(e, ServeError::Wire { .. }),
+            "{what}: non-wire frame error {e}"
+        ),
+        Ok((_, payload)) => {
+            // Whatever the verb byte became, every decoder must stay typed
+            // on this payload.
+            assert_typed(decode_infer_request(&payload), what);
+            assert_typed(decode_load_request(&payload), what);
+            assert_typed(decode_tensor(&payload), what);
+            assert_typed(decode_fleet_stats(&payload), what);
+            let _ = decode_error(&payload); // total: always returns typed
+        }
+    }
+}
+
+#[test]
+fn every_truncation_fails_typed() {
+    let frame = infer_frame();
+    for len in 0..frame.len() {
+        match read_frame(&mut Cursor::new(&frame[..len])) {
+            Err(ServeError::Wire { .. }) => {}
+            Err(other) => panic!("truncated at {len}: non-wire error {other}"),
+            Ok(_) => panic!("truncated frame at {len} read successfully"),
+        }
+    }
+    assert!(read_frame(&mut Cursor::new(frame)).is_ok());
+}
+
+#[test]
+fn u32_max_in_every_window_never_panics_or_overallocates() {
+    // The frame length, tensor dims and string lengths are all little-
+    // endian windows; forcing each to u32::MAX sweeps every "absurd
+    // length" corruption. A codec that trusted any of them would abort on
+    // a 4 GiB reservation here.
+    let frame = infer_frame();
+    let mut bytes = frame.to_vec();
+    for offset in 0..bytes.len().saturating_sub(4) {
+        let saved: [u8; 4] = bytes[offset..offset + 4].try_into().unwrap();
+        bytes[offset..offset + 4].copy_from_slice(&[0xFF; 4]);
+        decode_all(&bytes, &format!("u32::MAX @ {offset}"));
+        bytes[offset..offset + 4].copy_from_slice(&saved);
+    }
+}
+
+#[test]
+fn unknown_verbs_and_error_codes_stay_typed() {
+    let payload = b"arbitrary".to_vec();
+    for v in 0u8..=255 {
+        let mut frame = Vec::new();
+        write_frame(&mut frame, v, &payload).expect("write");
+        let (verb_back, body) = read_frame(&mut Cursor::new(&frame)).expect("read");
+        assert_eq!(verb_back, v, "verb byte is opaque to the framing layer");
+        assert_eq!(body, payload);
+    }
+    // Every first byte as an error code decodes to *some* typed error.
+    for c in 0u8..=255 {
+        let _ = decode_error(&[c, 0x61, 0x00, 0x62]);
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocation() {
+    for len in [
+        MAX_FRAME_BYTES as u32 + 1,
+        u32::MAX / 2,
+        u32::MAX - 1,
+        u32::MAX,
+    ] {
+        let mut frame = vec![wire::MAGIC[0], wire::MAGIC[1], verb::LOAD];
+        frame.extend_from_slice(&len.to_le_bytes());
+        // No payload follows; a reader that allocated first would reserve
+        // gigabytes before noticing.
+        match read_frame(&mut Cursor::new(&frame)) {
+            Err(ServeError::Wire { reason }) => {
+                assert!(reason.contains("cap"), "wrong rejection: {reason}")
+            }
+            other => panic!("lying prefix {len}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn mid_frame_disconnect_over_a_real_socket_fails_typed_and_never_hangs() {
+    // A peer that sends half a frame and vanishes: read_frame on a real
+    // TcpStream must fail typed (not block forever, not panic).
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let frame = infer_frame();
+    for cut in [3usize, 7, 11, frame.len() - 1] {
+        let writer = std::thread::spawn({
+            let prefix = frame[..cut].to_vec();
+            move || {
+                let mut s = TcpStream::connect(addr).expect("connect");
+                s.write_all(&prefix).expect("send prefix");
+                // Dropping the stream closes it mid-frame.
+            }
+        });
+        let (mut conn, _) = listener.accept().expect("accept");
+        conn.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        match read_frame(&mut conn) {
+            Err(ServeError::Wire { .. }) => {}
+            other => panic!("disconnect after {cut} bytes: {other:?}"),
+        }
+        writer.join().expect("writer");
+    }
+}
+
+#[test]
+fn raw_garbage_against_a_live_server_yields_error_frames_not_hangs() {
+    // Drive a real WireServer with hostile bytes: it must answer a typed
+    // error frame (or close), keep serving other clients, and never wedge.
+    let fleet = std::sync::Arc::new(FleetServer::start(
+        FleetConfig::default().with_replica_config(ServeConfig::default().with_threads(1)),
+        vec![ReplicaSpec::new(
+            "r0",
+            mixmatch::fpga::device::FpgaDevice::XC7Z020,
+        )],
+    ));
+    let wire_srv = WireServer::bind("127.0.0.1:0", std::sync::Arc::clone(&fleet)).expect("bind");
+    let addr = wire_srv.local_addr();
+
+    // Bad magic: the server answers one typed error frame and closes.
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    s.write_all(b"GARBAGE GARBAGE GARBAGE").expect("send");
+    match read_frame(&mut s) {
+        Ok((v, body)) => {
+            assert_eq!(v, verb::ERR);
+            assert!(matches!(decode_error(&body), ServeError::Wire { .. }));
+        }
+        Err(ServeError::Wire { .. }) => {} // server closed first: also fine
+        Err(other) => panic!("garbage answered with {other}"),
+    }
+
+    // Unknown verb in a well-formed frame: typed error, connection stays up.
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut frame = Vec::new();
+    write_frame(&mut frame, 0x7F, b"payload").expect("frame");
+    s.write_all(&frame).expect("send");
+    let (v, body) = read_frame(&mut s).expect("error frame");
+    assert_eq!(v, verb::ERR);
+    match decode_error(&body) {
+        ServeError::Wire { reason } => assert!(reason.contains("verb"), "{reason}"),
+        other => panic!("unknown verb decoded as {other}"),
+    }
+    // Same connection still serves real requests afterwards.
+    let mut stats_frame = Vec::new();
+    write_frame(&mut stats_frame, verb::STATS, &[]).expect("frame");
+    s.write_all(&stats_frame).expect("send stats");
+    let (v, body) = read_frame(&mut s).expect("stats reply");
+    assert_eq!(v, verb::OK);
+    assert_eq!(decode_fleet_stats(&body).expect("stats").replicas.len(), 1);
+
+    // A mid-frame disconnect leaves the server serving everyone else.
+    let mut half = TcpStream::connect(addr).expect("connect");
+    half.write_all(&infer_frame()[..9]).expect("half frame");
+    drop(half);
+    let stats = FleetClient::connect(addr)
+        .expect("connect after abuse")
+        .stats()
+        .expect("server survived");
+    assert_eq!(stats.replicas.len(), 1);
+
+    wire_srv.stop();
+    fleet.shutdown();
+}
+
+#[test]
+fn error_codec_is_total_over_all_serve_errors() {
+    let errors = [
+        ServeError::Overloaded { queue_depth: 0 },
+        ServeError::Overloaded {
+            queue_depth: usize::MAX,
+        },
+        ServeError::UnknownModel {
+            model: String::new(),
+        },
+        ServeError::ShuttingDown,
+        ServeError::Dropped,
+        ServeError::Timeout {
+            waited: Duration::ZERO,
+        },
+        ServeError::Timeout {
+            waited: Duration::from_secs(u32::MAX as u64),
+        },
+        ServeError::Wire {
+            reason: "x".repeat(u16::MAX as usize),
+        },
+        ServeError::NoReplica {
+            model: "αβγ-ünïcode".into(),
+        },
+        ServeError::RemoteInference {
+            detail: "detail".into(),
+        },
+    ];
+    for e in errors {
+        let decoded = decode_error(&encode_error(&e));
+        assert!(
+            !matches!(
+                (&e, &decoded),
+                (ServeError::Overloaded { .. }, ServeError::Wire { .. })
+            ),
+            "lossless variants must not degrade: {e} -> {decoded}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random single-bit flips anywhere in a valid frame: typed error or a
+    /// structurally valid decode, never a panic or a giant allocation.
+    #[test]
+    fn random_bit_flips_never_panic(pos in 0usize..1_000_000, bit in 0usize..8) {
+        let frame = infer_frame();
+        let mut bytes = frame.to_vec();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        decode_all(&bytes, &format!("bit {bit} at {pos}"));
+    }
+
+    /// Random multi-byte stomps across header and payload alike.
+    #[test]
+    fn random_byte_stomps_never_panic(
+        pos in 0usize..1_000_000,
+        len in 1usize..16,
+        value in 0usize..256,
+    ) {
+        let frame = infer_frame();
+        let mut bytes = frame.to_vec();
+        let pos = pos % bytes.len();
+        let end = (pos + len).min(bytes.len());
+        for b in &mut bytes[pos..end] {
+            *b = value as u8;
+        }
+        decode_all(&bytes, &format!("stomp {pos}..{end}"));
+    }
+
+    /// Completely random payloads against every decoder: the codecs are
+    /// total functions over arbitrary bytes.
+    #[test]
+    fn random_payloads_never_panic(seed in 0u64..1_000_000, len in 0usize..256) {
+        // Simple LCG byte stream: deterministic per seed, no strategy
+        // machinery needed for "arbitrary bytes".
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let payload: Vec<u8> = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect();
+        assert_typed(decode_infer_request(&payload), "random infer");
+        assert_typed(decode_load_request(&payload), "random load");
+        assert_typed(decode_tensor(&payload), "random tensor");
+        assert_typed(decode_fleet_stats(&payload), "random stats");
+        let _ = decode_error(&payload);
+    }
+}
