@@ -9,6 +9,7 @@
 //! prints the paper's published numbers alongside the measured ones so the
 //! *shape* comparison is immediate.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;

@@ -34,6 +34,7 @@
 
 // Index-heavy numerical kernels read more clearly with explicit loops.
 #![allow(clippy::needless_range_loop)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gradcheck;

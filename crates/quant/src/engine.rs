@@ -345,6 +345,15 @@ impl BatchEngine {
         plan: &ExecutionPlan,
         images: &[Tensor],
     ) -> Result<BatchRun, QuantError> {
+        // Debug builds re-prove the plan's model-independent invariants
+        // (SSA, buffer liveness, weight-free shape flow, reachability) once
+        // per batch. Structural-only on purpose: plan-vs-model pairing is
+        // validated below with typed errors, which callers rely on.
+        #[cfg(debug_assertions)]
+        {
+            let report = crate::verify::verify_plan(plan);
+            debug_assert!(report.is_clean(), "{report}");
+        }
         for image in images {
             if image.dims() != plan.input_dims() {
                 return Err(QuantError::ShapeMismatch {

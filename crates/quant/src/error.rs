@@ -8,6 +8,7 @@
 //! panicking constructors remain as thin wrappers over the `try_` variants.
 
 use crate::export::UnpackError;
+use crate::verify::VerifyReport;
 use std::error::Error;
 use std::fmt;
 
@@ -52,6 +53,13 @@ pub enum QuantError {
     },
     /// A packed weight stream failed to decode.
     Unpack(UnpackError),
+    /// An execution plan failed static verification (see
+    /// [`crate::verify`]): the bytes parsed, but the plan violates an IR
+    /// invariant the runtime depends on.
+    Verify {
+        /// The full diagnostic report from the verifier run.
+        report: VerifyReport,
+    },
 }
 
 impl fmt::Display for QuantError {
@@ -75,6 +83,7 @@ impl fmt::Display for QuantError {
                 write!(f, "compiled-model artifact corrupt: {context}")
             }
             QuantError::Unpack(e) => write!(f, "packed stream corrupt: {e}"),
+            QuantError::Verify { report } => write!(f, "{report}"),
         }
     }
 }

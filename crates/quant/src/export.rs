@@ -245,6 +245,10 @@ pub fn export_compiled(compiled: &CompiledModel) -> Result<Vec<u8>, QuantError> 
 /// geometry, inconsistent plans. The parser never panics and never
 /// allocates from an untrusted count, so arbitrary bytes are safe to feed
 /// here (the serving stack loads artifacts from callers).
+///
+/// [`QuantError::Verify`] when the bytes parse but the decoded plan fails
+/// the static verifier ([`crate::verify`]) against the decoded layer
+/// table — the report pinpoints every violated rule.
 pub fn import_compiled(bytes: &[u8]) -> Result<CompiledModel, QuantError> {
     let mut r = Reader { bytes, pos: 0 };
     if r.take(4)? != ARTIFACT_MAGIC {
@@ -283,6 +287,14 @@ pub fn import_compiled(bytes: &[u8]) -> Result<CompiledModel, QuantError> {
         });
     }
     let model = QuantizedModel::from_parts(label, policy, act, layers);
+    // Defense in depth behind the byte-level checks above: the plan parsed,
+    // but an adversarial (or optimizer-mangled) artifact can still encode a
+    // structurally valid stream whose IR violates the invariants the engine
+    // executes under. Prove it well-formed before handing back a runnable.
+    let report = crate::verify::verify(&plan, &model.layer_descs());
+    if !report.is_clean() {
+        return Err(QuantError::Verify { report });
+    }
     Ok(CompiledModel::from_parts(model, Some(plan)))
 }
 

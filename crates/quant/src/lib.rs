@@ -30,6 +30,10 @@
 //!   the FPGA crate implements.
 //! * [`error`] — the unified [`error::QuantError`] the pipeline path
 //!   returns instead of panicking.
+//! * [`verify`] — the static plan verifier: a pass pipeline proving SSA
+//!   discipline, buffer safety, shape/geometry flow and reachability over
+//!   an [`ExecutionPlan`] without executing it, run at every trust
+//!   boundary (artifact import, model serving, `mmcheck`).
 //!
 //! # Example: quantize a weight matrix the MSQ way
 //!
@@ -49,6 +53,7 @@
 
 // Index-heavy numerical kernels read more clearly with explicit loops.
 #![allow(clippy::needless_range_loop)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod admm;
@@ -67,6 +72,7 @@ pub mod pipeline;
 pub mod qat;
 pub mod rowwise;
 pub mod schemes;
+pub mod verify;
 
 pub use admm::{AdmmConfig, AdmmQuantizer};
 pub use error::QuantError;
@@ -77,3 +83,4 @@ pub use pipeline::{
 };
 pub use rowwise::{PartitionRatio, RowAssignment};
 pub use schemes::{Codebook, Scheme};
+pub use verify::{Diagnostic, Rule, Verifier, VerifyReport};

@@ -59,6 +59,14 @@ pub enum ServeError {
         /// The model the fleet could not place.
         model: String,
     },
+    /// The model's execution plan failed static verification at load time
+    /// (see `mixmatch_quant::verify`): the artifact parsed, but its IR
+    /// violates an invariant the engine depends on. The server refuses to
+    /// register such a model.
+    Verification {
+        /// The verifier report's display form (one line per diagnostic).
+        report: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -83,6 +91,9 @@ impl fmt::Display for ServeError {
             ServeError::NoReplica { model } => {
                 write!(f, "no healthy replica can place {model:?}")
             }
+            ServeError::Verification { report } => {
+                write!(f, "model refused at load: {report}")
+            }
         }
     }
 }
@@ -98,7 +109,15 @@ impl Error for ServeError {
 
 impl From<QuantError> for ServeError {
     fn from(e: QuantError) -> Self {
-        ServeError::Inference(e)
+        match e {
+            // A verifier rejection is a load-time refusal, not a request
+            // failure — keep it distinguishable for wire clients and
+            // deployment tooling.
+            QuantError::Verify { report } => ServeError::Verification {
+                report: report.to_string(),
+            },
+            other => ServeError::Inference(other),
+        }
     }
 }
 

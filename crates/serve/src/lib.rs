@@ -66,6 +66,7 @@
 //! assert_eq!(logits.dims(), &[4]);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batcher;

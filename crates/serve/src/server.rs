@@ -262,8 +262,18 @@ impl ModelServer {
     ///
     /// [`ServeError::Inference`] ([`QuantError::NoLoweredGraph`]) when the
     /// artifact carries no execution plan — the batcher only runs plans.
+    ///
+    /// [`ServeError::Verification`] when the plan fails the static
+    /// verifier against the model's layer table — the server never
+    /// registers a model the engine could fault on mid-batch.
     pub fn load(&self, name: &str, compiled: CompiledModel) -> Result<(), ServeError> {
-        compiled.require_plan()?;
+        let plan = compiled.require_plan()?;
+        let report = mixmatch_quant::verify::verify(plan, &compiled.layer_descs());
+        if !report.is_clean() {
+            return Err(ServeError::Verification {
+                report: report.to_string(),
+            });
+        }
         let compiled = Arc::new(compiled);
         let mut registry = self.registry.lock().expect("registry poisoned");
         match registry.get(name) {
@@ -290,7 +300,9 @@ impl ModelServer {
     /// # Errors
     ///
     /// [`ServeError::Inference`] ([`QuantError::Artifact`]) on a malformed
-    /// artifact, plus everything [`ModelServer::load`] rejects.
+    /// artifact, [`ServeError::Verification`] when the bytes parse but the
+    /// decoded plan fails static verification, plus everything
+    /// [`ModelServer::load`] rejects.
     pub fn load_artifact(&self, name: &str, bytes: &[u8]) -> Result<(), ServeError> {
         self.load(name, import_compiled(bytes)?)
     }

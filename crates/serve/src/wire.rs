@@ -78,6 +78,29 @@ mod code {
     pub const TIMEOUT: u8 = 6;
     pub const WIRE: u8 = 7;
     pub const NO_REPLICA: u8 = 8;
+    pub const VERIFICATION: u8 = 9;
+}
+
+/// The wire error code for every [`ServeError`] variant. The match is
+/// deliberately wildcard-free: adding a `ServeError` variant without
+/// deciding its wire mirroring is a compile error here, not a silent
+/// protocol hole. [`encode_error`]/[`decode_error`] stay in lock-step with
+/// this mapping (`wire_error_codes_cover_every_variant` round-trips it).
+pub fn wire_code(error: &ServeError) -> u8 {
+    match error {
+        ServeError::Overloaded { .. } => code::OVERLOADED,
+        ServeError::UnknownModel { .. } => code::UNKNOWN_MODEL,
+        ServeError::ShuttingDown => code::SHUTTING_DOWN,
+        // Local and remote inference failures share one wire code: the
+        // structured QuantError never crosses the wire, only its rendering.
+        ServeError::Inference(_) => code::INFERENCE,
+        ServeError::RemoteInference { .. } => code::INFERENCE,
+        ServeError::Dropped => code::DROPPED,
+        ServeError::Timeout { .. } => code::TIMEOUT,
+        ServeError::Wire { .. } => code::WIRE,
+        ServeError::NoReplica { .. } => code::NO_REPLICA,
+        ServeError::Verification { .. } => code::VERIFICATION,
+    }
 }
 
 fn wire_err(reason: impl Into<String>) -> ServeError {
@@ -379,41 +402,39 @@ pub fn decode_load_request(payload: &[u8]) -> Result<(String, Vec<u8>), ServeErr
     Ok((model, artifact))
 }
 
-/// Encodes a [`ServeError`] as a typed error frame payload.
+/// Encodes a [`ServeError`] as a typed error frame payload. The leading
+/// code byte always comes from [`wire_code`]; the match here (also
+/// wildcard-free) only decides the variant's payload fields.
 pub fn encode_error(error: &ServeError) -> Vec<u8> {
-    let mut out = Vec::new();
+    let mut out = vec![wire_code(error)];
     match error {
         ServeError::Overloaded { queue_depth } => {
-            out.push(code::OVERLOADED);
             put_u64(&mut out, *queue_depth as u64);
         }
         ServeError::UnknownModel { model } => {
-            out.push(code::UNKNOWN_MODEL);
             let _ = put_string(&mut out, model);
         }
-        ServeError::ShuttingDown => out.push(code::SHUTTING_DOWN),
+        ServeError::ShuttingDown => {}
         // The structured QuantError stays server-side; its rendering
         // crosses the wire and decodes as RemoteInference.
         ServeError::Inference(e) => {
-            out.push(code::INFERENCE);
             let _ = put_string(&mut out, &e.to_string());
         }
         ServeError::RemoteInference { detail } => {
-            out.push(code::INFERENCE);
             let _ = put_string(&mut out, detail);
         }
-        ServeError::Dropped => out.push(code::DROPPED),
+        ServeError::Dropped => {}
         ServeError::Timeout { waited } => {
-            out.push(code::TIMEOUT);
             put_u64(&mut out, waited.as_micros().min(u64::MAX as u128) as u64);
         }
         ServeError::Wire { reason } => {
-            out.push(code::WIRE);
             let _ = put_string(&mut out, reason);
         }
         ServeError::NoReplica { model } => {
-            out.push(code::NO_REPLICA);
             let _ = put_string(&mut out, model);
+        }
+        ServeError::Verification { report } => {
+            let _ = put_string(&mut out, report);
         }
     }
     out
@@ -445,6 +466,9 @@ pub fn decode_error(payload: &[u8]) -> ServeError {
             },
             code::NO_REPLICA => ServeError::NoReplica {
                 model: fields.string("model name")?,
+            },
+            code::VERIFICATION => ServeError::Verification {
+                report: fields.string("verification report")?,
             },
             other => return Err(wire_err(format!("unknown error code {other}"))),
         };
@@ -898,6 +922,9 @@ mod tests {
             ServeError::RemoteInference {
                 detail: "shape mismatch".into(),
             },
+            ServeError::Verification {
+                report: "[geom-conv] step 0: bad geometry".into(),
+            },
         ] {
             let decoded = decode_error(&encode_error(&error));
             assert_eq!(decoded, error, "round trip of {error:?}");
@@ -905,6 +932,71 @@ mod tests {
         // Garbage error frames still decode to something typed.
         assert!(matches!(decode_error(&[99, 1, 2]), ServeError::Wire { .. }));
         assert!(matches!(decode_error(&[]), ServeError::Wire { .. }));
+    }
+
+    /// One exemplar per [`ServeError`] variant; together with the
+    /// wildcard-free matches in [`wire_code`]/[`encode_error`] this keeps
+    /// the protocol total: a new variant fails compilation there and this
+    /// test pins each variant's code byte and its encode/decode agreement.
+    #[test]
+    fn wire_error_codes_cover_every_variant() {
+        use mixmatch_quant::QuantError;
+        let exemplars: Vec<(ServeError, u8)> = vec![
+            (ServeError::Overloaded { queue_depth: 1 }, code::OVERLOADED),
+            (
+                ServeError::UnknownModel { model: "m".into() },
+                code::UNKNOWN_MODEL,
+            ),
+            (ServeError::ShuttingDown, code::SHUTTING_DOWN),
+            (
+                ServeError::Inference(QuantError::NoLoweredGraph),
+                code::INFERENCE,
+            ),
+            (ServeError::Dropped, code::DROPPED),
+            (
+                ServeError::Timeout {
+                    waited: Duration::from_micros(5),
+                },
+                code::TIMEOUT,
+            ),
+            (ServeError::Wire { reason: "r".into() }, code::WIRE),
+            (
+                ServeError::RemoteInference { detail: "d".into() },
+                code::INFERENCE,
+            ),
+            (
+                ServeError::NoReplica { model: "m".into() },
+                code::NO_REPLICA,
+            ),
+            (
+                ServeError::Verification { report: "v".into() },
+                code::VERIFICATION,
+            ),
+        ];
+        for (error, expected) in &exemplars {
+            assert_eq!(wire_code(error), *expected, "code of {error:?}");
+            let frame = encode_error(error);
+            assert_eq!(frame[0], *expected, "frame byte of {error:?}");
+            // Decoding always lands on the variant the code byte names
+            // (Inference deliberately folds into RemoteInference).
+            let decoded = decode_error(&frame);
+            assert_eq!(wire_code(&decoded), *expected, "decode of {error:?}");
+        }
+        // Every declared code is exercised by some variant above.
+        let covered: std::collections::HashSet<u8> = exemplars.iter().map(|(_, c)| *c).collect();
+        for declared in [
+            code::OVERLOADED,
+            code::UNKNOWN_MODEL,
+            code::SHUTTING_DOWN,
+            code::INFERENCE,
+            code::DROPPED,
+            code::TIMEOUT,
+            code::WIRE,
+            code::NO_REPLICA,
+            code::VERIFICATION,
+        ] {
+            assert!(covered.contains(&declared), "code {declared} unexercised");
+        }
     }
 
     #[test]

@@ -23,6 +23,10 @@
 
 // Index-heavy numerical kernels read more clearly with explicit loops.
 #![allow(clippy::needless_range_loop)]
+// `deny`, not `forbid`: the one sanctioned exception is the scoped-task
+// lifetime transmute in `pool::WorkerPool::run` (see its SAFETY comment),
+// which carries a local `#[allow(unsafe_code)]`. Everything else is safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arena;

@@ -156,6 +156,9 @@ impl WorkerPool {
     ///
     /// Re-raises the first panic raised by any task, after all tasks have
     /// completed or unwound.
+    // The crate denies `unsafe_code`; this is its one sanctioned
+    // exception (see the SAFETY comment on the transmute below).
+    #[allow(unsafe_code)]
     pub fn run<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
         if tasks.is_empty() {
             return;

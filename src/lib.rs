@@ -44,6 +44,7 @@
 //! assert!(report.hardware.expect("fpga summary").gops > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use mixmatch_data as data;

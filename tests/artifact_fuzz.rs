@@ -9,12 +9,20 @@
 //! Corruptions that happen to land in weight payload bytes may legally
 //! still import (the stream stays structurally valid); the invariant is
 //! "typed error or valid model", never a crash.
+//!
+//! Behind the byte-level parser sits the static verifier: corruption that
+//! yields a parseable stream with a malformed *plan* fails typed as
+//! `QuantError::Verify` with rule-level diagnostics, and anything that
+//! imports successfully is verifier-clean — corruption can never defer its
+//! failure to runtime.
 
 use mixmatch::nn::layers::{Linear, Relu};
 use mixmatch::nn::models::{ResNet, ResNetConfig};
 use mixmatch::nn::module::Sequential;
 use mixmatch::prelude::*;
 use mixmatch::quant::export::{export_compiled, import_compiled};
+use mixmatch::quant::graph::StepOp;
+use mixmatch::quant::verify;
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -50,13 +58,31 @@ fn resnet_artifact() -> &'static [u8] {
     })
 }
 
-/// The importer's whole error contract: success, or `Artifact`.
+/// The importer's whole error contract: a verifier-clean model, a typed
+/// `Artifact` (byte-level) rejection, or a typed `Verify` rejection whose
+/// report names at least one rule — never anything else, never a panic,
+/// and never a model whose plan would fail at runtime.
 fn assert_typed(result: Result<CompiledModel, QuantError>, what: &str) {
-    if let Err(e) = result {
-        assert!(
-            matches!(e, QuantError::Artifact { .. }),
-            "{what}: non-artifact error {e:?}"
-        );
+    match result {
+        Ok(compiled) => {
+            // Survived byte-level parsing: the plan must prove out against
+            // the decoded layer table, or the importer had no business
+            // returning it.
+            let plan = compiled.plan().expect("imported artifacts carry a plan");
+            let report = verify::verify(plan, &compiled.layer_descs());
+            assert!(
+                report.is_clean(),
+                "{what}: imported unverifiable plan: {report}"
+            );
+        }
+        Err(QuantError::Artifact { .. }) => {}
+        Err(QuantError::Verify { report }) => {
+            assert!(
+                !report.is_clean(),
+                "{what}: Verify rejection with an empty report"
+            );
+        }
+        Err(other) => panic!("{what}: unexpected error {other:?}"),
     }
 }
 
@@ -123,6 +149,57 @@ fn valid_artifacts_still_import_after_the_sweeps() {
     // Guard against the fixtures silently becoming invalid.
     assert!(import_compiled(mlp_artifact()).is_ok());
     assert!(import_compiled(resnet_artifact()).is_ok());
+}
+
+/// An artifact that is *byte-level* valid but whose plan lies about a GEMM
+/// output: `from_parts` takes Conv/Gemm outputs at face value, so the
+/// byte parser alone would accept it and the failure would surface
+/// mid-batch. The verifier behind the parser rejects it at import with
+/// rule-level diagnostics instead.
+#[test]
+fn byte_valid_but_unverifiable_artifact_is_rejected_with_diagnostics() {
+    let clean = import_compiled(mlp_artifact()).expect("fixture imports");
+    let plan = clean.plan().expect("plan");
+    // Rewrite every GEMM's claimed output (and the weight-free flow after
+    // it) so the stream re-exports as structurally valid bytes whose
+    // geometry disagrees with the packed layer table.
+    let mut steps = plan.steps().to_vec();
+    let mut dims_end: Vec<Vec<usize>> = vec![plan.input_dims().to_vec(); plan.buffer_count()];
+    let mut sizes = vec![0usize; plan.buffer_count()];
+    sizes[plan.input_buffer()] = plan.input_dims().iter().product();
+    for s in &mut steps {
+        match s.op {
+            StepOp::Gemm { .. } => s.dims = vec![s.dims[0] + 1],
+            _ => s.dims = dims_end[s.srcs[0]].clone(),
+        }
+        sizes[s.dst] = sizes[s.dst].max(s.dims.iter().product());
+        dims_end[s.dst] = s.dims.clone();
+    }
+    let lying = ExecutionPlan::from_parts(
+        plan.input_dims().to_vec(),
+        dims_end[plan.output_buffer()].clone(),
+        steps,
+        sizes,
+        plan.input_buffer(),
+        plan.output_buffer(),
+    )
+    .expect("byte-level/structural checks accept the lie");
+    let tampered = CompiledModel::from_parts(clean.into_model(), Some(lying));
+    let bytes = export_compiled(&tampered).expect("re-export");
+    match import_compiled(&bytes) {
+        Err(QuantError::Verify { report }) => {
+            assert!(!report.is_clean());
+            assert!(
+                report
+                    .diagnostics()
+                    .iter()
+                    .any(|d| d.rule == verify::Rule::GeomGemm),
+                "expected geom-gemm diagnostics, got: {report}"
+            );
+        }
+        Ok(_) => panic!("unverifiable artifact imported"),
+        Err(other) => panic!("expected Verify rejection, got {other:?}"),
+    }
 }
 
 proptest! {
