@@ -13,6 +13,7 @@ use mixmatch_fpga::bridge::FpgaTarget;
 use mixmatch_fpga::device::FpgaDevice;
 use mixmatch_nn::models::{ResNet, ResNetConfig};
 use mixmatch_quant::engine::{BatchEngine, ModelBatch};
+use mixmatch_quant::optimize;
 use mixmatch_quant::pipeline::{CompiledModel, DeployForm, QuantizedModel};
 use mixmatch_tensor::{Tensor, TensorRng};
 use std::fmt::Write as _;
@@ -131,14 +132,124 @@ fn main() {
         );
     }
 
+    // Plan-optimizer series: the same model run through the raw lowering
+    // (`QuantizedModel::compile` never optimizes) and through the
+    // pipeline's optimized plan, plus the per-pass step/arena trajectory.
+    let raw_plan = quantized
+        .model()
+        .compile(&[3, input_hw, input_hw])
+        .expect("raw compile");
+    let (_, pass_stats) = optimize::optimize_with_stats(&raw_plan);
+    let mut pass_rows = String::new();
+    println!(
+        "\nplan optimizer:      raw {:>3} steps, {:>7} arena bytes",
+        raw_plan.steps().len(),
+        4 * optimize::high_water_elems(&raw_plan)
+    );
+    for s in &pass_stats {
+        println!(
+            "  after {:<22} {:>3} steps, {:>7} arena bytes",
+            s.pass,
+            s.plan_steps,
+            4 * s.high_water_elems
+        );
+        let _ = write!(
+            pass_rows,
+            r#"{}      {{"pass": "{}", "plan_steps": {}, "arena_high_water_bytes": {}}}"#,
+            if pass_rows.is_empty() { "" } else { ",\n" },
+            s.pass,
+            s.plan_steps,
+            4 * s.high_water_elems,
+        );
+    }
+
+    // A GEMM-dominated fixture where step overhead is a real fraction of
+    // the forward pass: fusing the MLP's activation into its GEMM drops a
+    // third of the steps, so the win is visible above conv noise.
+    let mut mlp = mixmatch_nn::module::Sequential::new();
+    let mut mlp_rng = TensorRng::seed_from(9);
+    mlp.push(mixmatch_nn::layers::Linear::with_name(
+        "fc1",
+        64,
+        128,
+        true,
+        &mut mlp_rng,
+    ));
+    mlp.push(mixmatch_nn::layers::Relu::new());
+    mlp.push(mixmatch_nn::layers::Linear::with_name(
+        "fc2",
+        128,
+        10,
+        false,
+        &mut mlp_rng,
+    ));
+    let mlp_compiled = mixmatch_quant::pipeline::QuantPipeline::from_policy(
+        mixmatch_quant::msq::MsqPolicy::msq_half(),
+    )
+    .with_input_shape(&[64])
+    .quantize(&mut mlp)
+    .expect("quantize mlp");
+    let mlp_raw = mlp_compiled
+        .model()
+        .compile(&[64])
+        .expect("raw mlp compile");
+    let mlp_opt = mlp_compiled.plan().expect("optimized mlp plan");
+    let mut mlp_rows = String::new();
+    for &batch in &[1usize, 8, 32] {
+        let vecs: Vec<Tensor> = (0..batch)
+            .map(|_| Tensor::rand_uniform(&[64], 0.0, 1.0, &mut mlp_rng))
+            .collect();
+        let time_plan = |plan| {
+            engine
+                .run_plan(mlp_compiled.model(), plan, &vecs)
+                .expect("mlp warmup");
+            let (iters, secs) = time_passes(
+                || {
+                    engine
+                        .run_plan(mlp_compiled.model(), plan, &vecs)
+                        .expect("mlp timed pass");
+                },
+                min_secs,
+            );
+            (batch * iters) as f64 / secs
+        };
+        let off = time_plan(&mlp_raw);
+        let on = time_plan(mlp_opt);
+        println!(
+            "optimizer mlp batch {batch:>2}: {off:9.1} images/sec off | {on:9.1} images/sec on ({:.2}x)",
+            if off > 0.0 { on / off } else { 0.0 }
+        );
+        let _ = write!(
+            mlp_rows,
+            r#"{}      {{"batch": {batch}, "images_per_sec_opt_off": {off:.1}, "images_per_sec_opt_on": {on:.1}, "speedup": {:.3}}}"#,
+            if mlp_rows.is_empty() { "" } else { ",\n" },
+            if off > 0.0 { on / off } else { 0.0 },
+        );
+    }
+
     // End-to-end series: raw images → logits through the compiled plan —
     // one artifact drives the engine and the plan-scheduled cycle sim.
+    // Each batch is timed twice: optimizer off (the raw plan) and on (the
+    // pipeline's plan), so the JSON carries the measured fusion win.
     let mut e2e_rows = String::new();
     let mut e2e_measured = Vec::new();
+    let mut opt_rows = String::new();
     for &batch in &[1usize, 8, 32] {
         let images: Vec<Tensor> = (0..batch)
             .map(|_| Tensor::rand_uniform(&[3, input_hw, input_hw], 0.0, 1.0, &mut rng))
             .collect();
+        engine
+            .run_plan(quantized.model(), &raw_plan, &images)
+            .expect("raw warmup pass");
+        let (raw_iters, raw_secs) = time_passes(
+            || {
+                engine
+                    .run_plan(quantized.model(), &raw_plan, &images)
+                    .expect("raw timed pass");
+            },
+            min_secs,
+        );
+        let raw_ips = (batch * raw_iters) as f64 / raw_secs;
         engine
             .run_plan_batch(&quantized, &images)
             .expect("warmup pass");
@@ -152,6 +263,16 @@ fn main() {
         );
         let ips = (batch * iters) as f64 / secs;
         e2e_measured.push((batch, ips));
+        println!(
+            "optimizer batch {batch:>2}:  {raw_ips:9.1} images/sec off | {ips:9.1} images/sec on ({:.2}x)",
+            if raw_ips > 0.0 { ips / raw_ips } else { 0.0 }
+        );
+        let _ = write!(
+            opt_rows,
+            r#"{}      {{"batch": {batch}, "images_per_sec_opt_off": {raw_ips:.1}, "images_per_sec_opt_on": {ips:.1}, "speedup": {:.3}}}"#,
+            if opt_rows.is_empty() { "" } else { ",\n" },
+            if raw_ips > 0.0 { ips / raw_ips } else { 0.0 },
+        );
         let run = engine
             .run_plan_batch(&quantized, &images)
             .expect("census pass");
@@ -211,6 +332,18 @@ fn main() {
   "end_to_end_images_per_sec": [
 {e2e_rows}
   ],
+  "plan_optimizer": {{
+    "raw": {{"plan_steps": {}, "arena_high_water_bytes": {}}},
+    "passes": [
+{pass_rows}
+    ],
+    "end_to_end": [
+{opt_rows}
+    ],
+    "mlp_end_to_end": [
+{mlp_rows}
+    ]
+  }},
   "speedup_batch32_vs_batch1": {speedup:.2},
   "end_to_end_speedup_batch32_vs_batch1": {e2e_speedup:.2}
 }}
@@ -221,6 +354,8 @@ fn main() {
         std::env::consts::ARCH,
         std::thread::available_parallelism().map_or(1, |v| v.get()),
         plan.steps().len(),
+        raw_plan.steps().len(),
+        4 * optimize::high_water_elems(&raw_plan),
     );
     std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
     println!("wrote BENCH_throughput.json");

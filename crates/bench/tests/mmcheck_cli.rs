@@ -115,9 +115,32 @@ fn fresh_models_lint_clean_and_usage_errors_exit_two() {
     assert_eq!(code, 2, "{stderr}");
     assert!(stderr.contains("usage:"), "{stderr}");
 
+    // Flag-only invocations still have nothing to lint.
+    let (code, _, stderr) = mmcheck(&["--dump"]);
+    assert_eq!(code, 2, "{stderr}");
+
     let (code, _, stderr) = mmcheck(&["--model", "vgg"]);
     assert_eq!(code, 2, "{stderr}");
 
     let (code, _, stderr) = mmcheck(&["--bogus"]);
     assert_eq!(code, 2, "{stderr}");
+}
+
+/// `--no-opt` lints the raw lowering (3 MLP steps, separate activation),
+/// the default lints the optimizer's output (2 steps, fused epilogue),
+/// and `--dump` pretty-prints both with buffer table and high-water mark.
+#[test]
+fn dump_and_no_opt_expose_raw_and_optimized_plans() {
+    let (code, raw, _) = mmcheck(&["--dump", "--no-opt", "--model", "mlp"]);
+    assert_eq!(code, 0, "{raw}");
+    assert!(raw.contains("3 steps"), "{raw}");
+    assert!(raw.contains("act(relu)"), "{raw}");
+    assert!(raw.contains("high water 40 elems"), "{raw}");
+
+    let (code, opt, _) = mmcheck(&["--dump", "--model", "mlp"]);
+    assert_eq!(code, 0, "{opt}");
+    assert!(opt.contains("2 steps"), "{opt}");
+    assert!(opt.contains("fused-gemm(layer 0+relu)"), "{opt}");
+    assert!(opt.contains("high water 32 elems"), "{opt}");
+    assert!(!opt.contains("act(relu)"), "{opt}");
 }

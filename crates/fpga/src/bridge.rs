@@ -156,7 +156,11 @@ impl FpgaTarget {
         let mut gemms = Vec::new();
         for step in plan.steps() {
             match step.op {
-                StepOp::Conv { layer } => {
+                // Fused epilogues ride the conv/gemm datapath: the extra
+                // elementwise post-ops are ALU work the GEMM census never
+                // counted on the unfused plan either, so the schedules
+                // stay comparable.
+                StepOp::Conv { layer } | StepOp::FusedConv { layer, .. } => {
                     let desc = &layers[layer];
                     let in_dims = &dims[step.srcs[0]];
                     let (h_out, w_out) = (step.dims[1], step.dims[2]);
@@ -175,7 +179,7 @@ impl FpgaTarget {
                         alu_ops_per_output: 0,
                     });
                 }
-                StepOp::Gemm { layer } => {
+                StepOp::Gemm { layer } | StepOp::FusedGemm { layer, .. } => {
                     let desc = &layers[layer];
                     let (calls, alu) = match desc.kind {
                         QuantLayerKind::Recurrent => (RECURRENT_STEPS, 10),

@@ -139,6 +139,16 @@ struct ConvScratch {
     transposed: Vec<u32>,
 }
 
+/// How a plan step's input geometry is validated against its layer: a conv
+/// map, a strict `[cols]` vector, or any shape read flat as `cols`
+/// elements (fused GEMM).
+#[derive(Clone, Copy)]
+enum GemmFlavor {
+    Conv,
+    Strict,
+    Flat,
+}
+
 /// The engine's worker pool: the shared process-wide pool by default, or a
 /// privately owned one when the caller pins a thread count.
 enum EnginePool {
@@ -372,12 +382,17 @@ impl BatchEngine {
         let mut dims: Vec<Option<&[usize]>> = vec![None; plan.buffer_sizes().len()];
         dims[plan.input_buffer()] = Some(plan.input_dims());
         for step in plan.steps() {
+            // Fused steps follow their base op's contract, except a fused
+            // GEMM reads its source flat: any shape with `cols` elements.
             let resolved = match step.op {
-                StepOp::Conv { layer } => Some((layer, true)),
-                StepOp::Gemm { layer } => Some((layer, false)),
+                StepOp::Conv { layer } | StepOp::FusedConv { layer, .. } => {
+                    Some((layer, GemmFlavor::Conv))
+                }
+                StepOp::Gemm { layer } => Some((layer, GemmFlavor::Strict)),
+                StepOp::FusedGemm { layer, .. } => Some((layer, GemmFlavor::Flat)),
                 _ => None,
             };
-            if let Some((layer, want_conv)) = resolved {
+            if let Some((layer, flavor)) = resolved {
                 let l = model
                     .layers()
                     .get(layer)
@@ -385,8 +400,8 @@ impl BatchEngine {
                         name: format!("plan layer #{layer}"),
                     })?;
                 let src = dims[step.srcs[0]].unwrap_or(&[]);
-                let flow_ok = match (&l.form, want_conv) {
-                    (DeployForm::Conv(conv), true) => {
+                let flow_ok = match (&l.form, flavor) {
+                    (DeployForm::Conv(conv), GemmFlavor::Conv) => {
                         let geom = conv.geometry();
                         // `checked_output_size` so a plan whose flow shrank
                         // a map below the kernel fails typed, not by panic.
@@ -397,7 +412,13 @@ impl BatchEngine {
                                 .zip(geom.checked_output_size(src[2]))
                                 .is_some_and(|(oh, ow)| step.dims == [geom.out_channels, oh, ow])
                     }
-                    (DeployForm::Matrix(m), false) => src == [m.cols()] && step.dims == [m.rows()],
+                    (DeployForm::Matrix(m), GemmFlavor::Strict) => {
+                        src == [m.cols()] && step.dims == [m.rows()]
+                    }
+                    (DeployForm::Matrix(m), GemmFlavor::Flat) => {
+                        src.iter().try_fold(1usize, |a, &d| a.checked_mul(d)) == Some(m.cols())
+                            && step.dims == [m.rows()]
+                    }
                     _ => false,
                 };
                 if !flow_ok {
@@ -617,6 +638,37 @@ fn run_plan_single(
             StepOp::Requantize => {
                 let (src, dst) = arena.src_dst(step.srcs[0], step.dst, &step.dims);
                 graph::requantize_into(act, src, dst);
+            }
+            StepOp::FusedConv { layer, epilogue } => {
+                let conv = match &layers[layer].form {
+                    DeployForm::Conv(c) => c,
+                    DeployForm::Matrix(_) => unreachable!("validated before fan-out"),
+                };
+                let (src, dst) = arena.src_dst(step.srcs[0], step.dst, &step.dims);
+                ops = ops.merge(conv_image_planned(
+                    gemm_plans[layer].as_ref().expect("compiled before fan-out"),
+                    conv.geometry(),
+                    conv.act_quantizer(),
+                    src,
+                    dst,
+                    scratch,
+                ));
+                graph::apply_epilogue(&epilogue, act, dst.as_mut_slice());
+            }
+            StepOp::FusedGemm { layer, epilogue } => {
+                // The source is read flat — it may hold an un-flattened
+                // map whose `Flatten` copy the optimizer removed.
+                let gemm = gemm_plans[layer].as_ref().expect("compiled before fan-out");
+                let (src, dst) = arena.src_dst(step.srcs[0], step.dst, &step.dims);
+                act.quantize_into(src.as_slice(), &mut scratch.quantized);
+                ops = ops.merge(gemm.matmul_into(
+                    &scratch.quantized,
+                    1,
+                    act,
+                    dst.as_mut_slice(),
+                    &mut scratch.transposed,
+                ));
+                graph::apply_epilogue(&epilogue, act, dst.as_mut_slice());
             }
         }
     }

@@ -14,7 +14,7 @@
 use crate::codes::{Sp2Exponents, WeightCode};
 use crate::deploy::QuantizedConv;
 use crate::error::QuantError;
-use crate::graph::{ExecutionPlan, PlanStep, StepOp};
+use crate::graph::{Epilogue, ExecutionPlan, PlanStep, PostOp, StepOp, MAX_FUSED_POST_OPS};
 use crate::integer::PackedMatrix;
 use crate::msq::{AlphaGranularity, MsqPolicy, RowQuantInfo, SchemeChoice};
 use crate::pipeline::{CompiledModel, DeployForm, QuantizedLayer, QuantizedModel};
@@ -393,6 +393,16 @@ fn write_plan(w: &mut Writer, plan: &ExecutionPlan) {
             }
             StepOp::Flatten => w.u8(5),
             StepOp::Requantize => w.u8(6),
+            StepOp::FusedConv { layer, epilogue } => {
+                w.u8(7);
+                w.u32(layer as u32);
+                write_epilogue(w, &epilogue);
+            }
+            StepOp::FusedGemm { layer, epilogue } => {
+                w.u8(8);
+                w.u32(layer as u32);
+                write_epilogue(w, &epilogue);
+            }
         }
         w.dims(&step.srcs);
         w.u32(step.dst as u32);
@@ -446,6 +456,14 @@ fn read_plan(r: &mut Reader) -> Result<ExecutionPlan, QuantError> {
             }),
             5 => StepOp::Flatten,
             6 => StepOp::Requantize,
+            7 => StepOp::FusedConv {
+                layer: r.u32()? as usize,
+                epilogue: read_epilogue(r)?,
+            },
+            8 => StepOp::FusedGemm {
+                layer: r.u32()? as usize,
+                epilogue: read_epilogue(r)?,
+            },
             t => {
                 return Err(QuantError::Artifact {
                     context: format!("bad step tag {t}"),
@@ -475,6 +493,55 @@ fn read_plan(r: &mut Reader) -> Result<ExecutionPlan, QuantError> {
         output_buffer,
     )
     .map_err(|context| QuantError::Artifact { context })
+}
+
+fn write_epilogue(w: &mut Writer, epilogue: &Epilogue) {
+    w.u8(epilogue.len() as u8);
+    for op in epilogue.iter() {
+        match op {
+            PostOp::Activation(kind) => {
+                w.u8(0);
+                w.u8(match kind {
+                    ActKind::Relu => 0,
+                    ActKind::Relu6 => 1,
+                    ActKind::LeakyRelu => 2,
+                });
+            }
+            PostOp::Requantize => w.u8(1),
+        }
+    }
+}
+
+fn read_epilogue(r: &mut Reader) -> Result<Epilogue, QuantError> {
+    let count = r.u8()? as usize;
+    if count > MAX_FUSED_POST_OPS {
+        return Err(QuantError::Artifact {
+            context: format!("fused epilogue claims {count} post-ops (max {MAX_FUSED_POST_OPS})"),
+        });
+    }
+    let mut epilogue = Epilogue::new();
+    for _ in 0..count {
+        let op = match r.u8()? {
+            0 => PostOp::Activation(match r.u8()? {
+                0 => ActKind::Relu,
+                1 => ActKind::Relu6,
+                2 => ActKind::LeakyRelu,
+                t => {
+                    return Err(QuantError::Artifact {
+                        context: format!("bad epilogue activation tag {t}"),
+                    })
+                }
+            }),
+            1 => PostOp::Requantize,
+            t => {
+                return Err(QuantError::Artifact {
+                    context: format!("bad epilogue post-op tag {t}"),
+                })
+            }
+        };
+        epilogue.push(op);
+    }
+    Ok(epilogue)
 }
 
 fn write_layer(w: &mut Writer, layer: &QuantizedLayer, packed: &PackedMatrix) {

@@ -58,6 +58,85 @@ pub enum StepOp {
     Flatten,
     /// Activation-quantizer round trip with the model-wide quantizer.
     Requantize,
+    /// Integer convolution through layer `layer` with an elementwise
+    /// epilogue applied in place on the output — one pass over the data
+    /// instead of one per fused step (the optimizer emits these; lowering
+    /// never does).
+    FusedConv {
+        /// Index into `QuantizedModel::layers()`.
+        layer: usize,
+        /// Post-ops applied in place, in order.
+        epilogue: Epilogue,
+    },
+    /// Integer matrix–vector product through layer `layer` with an
+    /// elementwise epilogue. Unlike `Gemm`, the source buffer may hold any
+    /// shape with `cols` elements — the step reads it flat, which is what
+    /// lets the optimizer fold a `Flatten` copy into the GEMM read.
+    FusedGemm {
+        /// Index into `QuantizedModel::layers()`.
+        layer: usize,
+        /// Post-ops applied in place, in order.
+        epilogue: Epilogue,
+    },
+}
+
+/// One elementwise operation fused into a `FusedConv`/`FusedGemm` epilogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostOp {
+    /// Elementwise activation.
+    Activation(ActKind),
+    /// Activation-quantizer round trip with the model-wide quantizer.
+    Requantize,
+}
+
+/// Longest post-op chain a fused step carries (`Activation` then
+/// `Requantize` is the deepest chain lowering produces).
+pub const MAX_FUSED_POST_OPS: usize = 2;
+
+/// An ordered, bounded list of [`PostOp`]s applied in place on a fused
+/// step's output. Fixed-capacity so [`StepOp`] stays `Copy`; occupied
+/// slots always precede empty ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Epilogue {
+    ops: [Option<PostOp>; MAX_FUSED_POST_OPS],
+}
+
+impl Epilogue {
+    /// The empty epilogue (a fused step that is just a relaxed-shape GEMM).
+    pub fn new() -> Self {
+        Epilogue::default()
+    }
+
+    /// Number of post-ops.
+    pub fn len(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// `true` when no post-op is attached.
+    pub fn is_empty(&self) -> bool {
+        self.ops[0].is_none()
+    }
+
+    /// `true` when another post-op can still be attached.
+    pub fn has_room(&self) -> bool {
+        self.ops[MAX_FUSED_POST_OPS - 1].is_none()
+    }
+
+    /// Appends `op`; returns `false` (unchanged) when full.
+    pub fn push(&mut self, op: PostOp) -> bool {
+        for slot in &mut self.ops {
+            if slot.is_none() {
+                *slot = Some(op);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The post-ops in application order.
+    pub fn iter(&self) -> impl Iterator<Item = PostOp> + '_ {
+        self.ops.iter().filter_map(|o| *o)
+    }
 }
 
 /// One step of an [`ExecutionPlan`]: an op reading `srcs` buffers and
@@ -307,10 +386,13 @@ impl ExecutionPlan {
                         return Err(format!("step {i} pool shape mismatch"));
                     }
                 }
-                // Conv/Gemm outputs are taken at face value here; the
-                // engine re-checks them against the paired model's layer
-                // geometry.
-                StepOp::Conv { .. } | StepOp::Gemm { .. } => {}
+                // Conv/Gemm outputs (fused or not) are taken at face value
+                // here; the engine and the verifier's shape pass re-check
+                // them against the paired model's layer geometry.
+                StepOp::Conv { .. }
+                | StepOp::Gemm { .. }
+                | StepOp::FusedConv { .. }
+                | StepOp::FusedGemm { .. } => {}
             }
             high_water[step.dst] = high_water[step.dst].max(count(&step.dims)?);
             dims[step.dst] = Some(&step.dims);
@@ -381,7 +463,10 @@ impl ExecutionPlan {
     /// GEMM schedule the cycle simulator walks.
     pub fn gemm_layers(&self) -> impl Iterator<Item = usize> + '_ {
         self.steps.iter().filter_map(|s| match s.op {
-            StepOp::Conv { layer } | StepOp::Gemm { layer } => Some(layer),
+            StepOp::Conv { layer }
+            | StepOp::Gemm { layer }
+            | StepOp::FusedConv { layer, .. }
+            | StepOp::FusedGemm { layer, .. } => Some(layer),
             _ => None,
         })
     }
@@ -515,6 +600,28 @@ pub fn requantize_into(act: &ActQuantizer, src: &Tensor, dst: &mut Tensor) {
     let step = act.step();
     for (o, &x) in dst.as_mut_slice().iter_mut().zip(src.as_slice()) {
         *o = act.quantize_one(x) as f32 * step;
+    }
+}
+
+/// Applies a fused epilogue in place over `data` — per element, exactly the
+/// arithmetic of the standalone [`activation_into`] / [`requantize_into`]
+/// kernels, so a fused plan's logits stay bit-identical to its unfused
+/// twin's.
+pub fn apply_epilogue(epilogue: &Epilogue, act: &ActQuantizer, data: &mut [f32]) {
+    for op in epilogue.iter() {
+        match op {
+            PostOp::Activation(kind) => {
+                for x in data.iter_mut() {
+                    *x = kind.apply(*x);
+                }
+            }
+            PostOp::Requantize => {
+                let step = act.step();
+                for x in data.iter_mut() {
+                    *x = act.quantize_one(*x) as f32 * step;
+                }
+            }
+        }
     }
 }
 

@@ -34,6 +34,11 @@
 //!   discipline, buffer safety, shape/geometry flow and reachability over
 //!   an [`ExecutionPlan`] without executing it, run at every trust
 //!   boundary (artifact import, model serving, `mmcheck`).
+//! * [`optimize`] — the plan optimizer: epilogue fusion, `Flatten`/copy
+//!   elimination, dead-value elimination and arena re-packing, each pass
+//!   leaving the plan `verify`-clean and its logits bit-identical
+//!   (on by default in the pipeline; see
+//!   [`pipeline::QuantPipeline::with_plan_optimizer`]).
 //!
 //! # Example: quantize a weight matrix the MSQ way
 //!
@@ -68,6 +73,7 @@ pub mod export;
 pub mod graph;
 pub mod integer;
 pub mod msq;
+pub mod optimize;
 pub mod pipeline;
 pub mod qat;
 pub mod rowwise;
@@ -76,8 +82,9 @@ pub mod verify;
 
 pub use admm::{AdmmConfig, AdmmQuantizer};
 pub use error::QuantError;
-pub use graph::{ExecutionPlan, PlanStep, StepOp};
+pub use graph::{Epilogue, ExecutionPlan, PlanStep, PostOp, StepOp};
 pub use msq::{MsqPolicy, SchemeChoice};
+pub use optimize::{OptPass, PassStats};
 pub use pipeline::{
     CompiledModel, HardwareSummary, HardwareTarget, PipelineReport, QuantPipeline, QuantizedModel,
 };

@@ -161,6 +161,7 @@ pub struct QuantPipeline {
     act: ActQuantizer,
     overrides: Vec<LayerOverride>,
     input_shape: Option<Vec<usize>>,
+    optimize_plan: bool,
 }
 
 impl QuantPipeline {
@@ -177,6 +178,7 @@ impl QuantPipeline {
             act: ActQuantizer::new(4, 1.0),
             overrides: Vec::new(),
             input_shape: None,
+            optimize_plan: true,
         }
     }
 
@@ -191,7 +193,18 @@ impl QuantPipeline {
             act: ActQuantizer::new(4, 1.0),
             overrides: Vec::new(),
             input_shape: None,
+            optimize_plan: true,
         }
+    }
+
+    /// Stage: toggles the plan optimizer ([`crate::optimize`]) applied to
+    /// the compiled execution plan — epilogue fusion, copy elimination,
+    /// dead-value elimination and arena re-packing, all bit-identical. On
+    /// by default; `with_plan_optimizer(false)` ships the raw lowering
+    /// (debugging, step-level diffing via `mmcheck --dump`).
+    pub fn with_plan_optimizer(mut self, enabled: bool) -> Self {
+        self.optimize_plan = enabled;
+        self
     }
 
     /// Stage: pins the input shape the execution plan is compiled for
@@ -424,6 +437,13 @@ impl QuantPipeline {
                 .and_then(|dims| quantized.compile(&dims).ok()),
             (None, Some(_)) => return Err(QuantError::NoLoweredGraph),
             (None, None) => None,
+        };
+        // Optimizer stage: rewrite the raw lowering into its fused,
+        // copy-free, re-packed twin. `QuantizedModel::compile` stays raw —
+        // the knob governs only what the pipeline ships.
+        let plan = match plan {
+            Some(p) if self.optimize_plan => Some(crate::optimize::optimize(&p)),
+            other => other,
         };
         Ok(CompiledModel {
             model: quantized,

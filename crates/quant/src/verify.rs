@@ -22,7 +22,8 @@
 //! * **Shape flow** — every weight-free step's output shape is consistent
 //!   with its operands ([`Rule::ShapeFlow`]), and every `Conv`/`Gemm`
 //!   step's geometry is internally consistent with the packed weights it
-//!   names ([`Rule::GeomConv`], [`Rule::GeomGemm`]).
+//!   names ([`Rule::GeomConv`], [`Rule::GeomGemm`]), including the fused
+//!   step kinds the optimizer emits ([`Rule::GeomFused`]).
 //! * **Reachability** — no dead steps, no values unreachable from the
 //!   input, and the plan's input edge and logits output are actually
 //!   connected ([`Rule::DeadStep`], [`Rule::UnreachableValue`],
@@ -106,6 +107,12 @@ pub enum Rule {
     /// A `Gemm` step disagrees with the layer it names: missing layer,
     /// conv layer kind, input width ≠ `cols`, output ≠ `[rows]`.
     GeomGemm,
+    /// A `FusedConv`/`FusedGemm` step disagrees with the layer it names.
+    /// Fused conv follows the `GeomConv` contract; fused GEMM relaxes the
+    /// input-shape rule to "any shape holding exactly `cols` elements"
+    /// (the optimizer folds `Flatten` copies into the GEMM read), but the
+    /// element count and `[rows]` output are still checked exactly.
+    GeomFused,
     /// A step's result can never reach the plan output — dead work the
     /// executor would still run.
     DeadStep,
@@ -133,6 +140,7 @@ impl Rule {
             Rule::ShapeFlow => "shape-flow",
             Rule::GeomConv => "geom-conv",
             Rule::GeomGemm => "geom-gemm",
+            Rule::GeomFused => "geom-fused",
             Rule::DeadStep => "dead-step",
             Rule::UnreachableValue => "unreachable-value",
             Rule::IoConnected => "io-connected",
@@ -758,6 +766,16 @@ impl Pass for ShapePass {
                         check_gemm(i, layer, src(0), &step.dims, layers, out);
                     }
                 }
+                StepOp::FusedConv { layer, .. } => {
+                    if let Some(layers) = layers {
+                        check_fused_conv(i, layer, src(0), &step.dims, layers, out);
+                    }
+                }
+                StepOp::FusedGemm { layer, .. } => {
+                    if let Some(layers) = layers {
+                        check_fused_gemm(i, layer, src(0), &step.dims, layers, out);
+                    }
+                }
             }
             dims[step.dst] = Some(&step.dims);
         }
@@ -786,8 +804,33 @@ fn check_conv(
     layers: &[QuantLayerDesc],
     out: &mut Vec<Diagnostic>,
 ) {
+    check_conv_rule(Rule::GeomConv, step, layer, src, dims, layers, out);
+}
+
+/// Fused conv geometry: identical to the plain-conv contract (the epilogue
+/// is elementwise and cannot change the map), reported under `geom-fused`.
+fn check_fused_conv(
+    step: usize,
+    layer: usize,
+    src: &[usize],
+    dims: &[usize],
+    layers: &[QuantLayerDesc],
+    out: &mut Vec<Diagnostic>,
+) {
+    check_conv_rule(Rule::GeomFused, step, layer, src, dims, layers, out);
+}
+
+fn check_conv_rule(
+    rule: Rule,
+    step: usize,
+    layer: usize,
+    src: &[usize],
+    dims: &[usize],
+    layers: &[QuantLayerDesc],
+    out: &mut Vec<Diagnostic>,
+) {
     let mut fail = |message: String| {
-        out.push(Diagnostic::new(Rule::GeomConv, message).at_step(step));
+        out.push(Diagnostic::new(rule, message).at_step(step));
     };
     let Some(desc) = layers.get(layer) else {
         fail(format!(
@@ -868,6 +911,49 @@ fn check_gemm(
     if src != [desc.cols] {
         fail(format!(
             "layer {:?} wants [{}] input, step feeds {src:?}",
+            desc.name, desc.cols
+        ));
+    }
+    if dims != [desc.rows] {
+        fail(format!(
+            "layer {:?} produces [{}], step claims {dims:?}",
+            desc.name, desc.rows
+        ));
+    }
+}
+
+/// Fused GEMM vs the packed layer it names: the source may hold *any*
+/// shape with exactly `cols` elements (the step reads it flat — that is
+/// what lets the optimizer fold a `Flatten` into the GEMM), the output
+/// must still be `[rows]`.
+fn check_fused_gemm(
+    step: usize,
+    layer: usize,
+    src: &[usize],
+    dims: &[usize],
+    layers: &[QuantLayerDesc],
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut fail = |message: String| {
+        out.push(Diagnostic::new(Rule::GeomFused, message).at_step(step));
+    };
+    let Some(desc) = layers.get(layer) else {
+        fail(format!(
+            "references layer #{layer}, model has {}",
+            layers.len()
+        ));
+        return;
+    };
+    if desc.geometry().is_some() {
+        fail(format!(
+            "layer {:?} is a convolution, step runs it as a fused GEMM",
+            desc.name
+        ));
+        return;
+    }
+    if PlanParts::count(src) != Some(desc.cols) {
+        fail(format!(
+            "layer {:?} wants {} input elements, step feeds {src:?}",
             desc.name, desc.cols
         ));
     }
@@ -1075,6 +1161,7 @@ mod tests {
             Rule::ShapeFlow,
             Rule::GeomConv,
             Rule::GeomGemm,
+            Rule::GeomFused,
             Rule::DeadStep,
             Rule::UnreachableValue,
             Rule::IoConnected,

@@ -22,7 +22,7 @@ use mixmatch::nn::module::Sequential;
 use mixmatch::prelude::*;
 use mixmatch::quant::engine::BatchEngine;
 use mixmatch::quant::export::{export_compiled, import_compiled};
-use mixmatch::quant::graph::StepOp;
+use mixmatch::quant::graph::{Epilogue, PostOp, StepOp};
 use mixmatch::quant::pipeline::DeployForm;
 use mixmatch::tensor::{Tensor, TensorRng};
 use proptest::prelude::*;
@@ -41,8 +41,46 @@ fn quantized_resnet(input_hw: usize) -> CompiledModel {
 /// arena-based engine is pinned against.
 fn reference_forward(model: &QuantizedModel, plan: &ExecutionPlan, image: &Tensor) -> Tensor {
     let act = *model.act_quantizer();
-    let mut values: Vec<Option<Tensor>> = vec![None; plan.steps().len() + 1];
+    // Value ids may be sparse on optimized plans (fusion collapses steps
+    // without renumbering) — size the table by the largest id in use.
+    let max_value = plan
+        .steps()
+        .iter()
+        .flat_map(|s| s.src_values.iter().chain(std::iter::once(&s.value)))
+        .copied()
+        .max()
+        .unwrap_or(0);
+    let mut values: Vec<Option<Tensor>> = vec![None; max_value + 1];
     values[0] = Some(image.clone());
+    // Naive elementwise twins of the fused-epilogue post-ops, kept
+    // independent of `graph::apply_epilogue` so the parity tests pin the
+    // fused arithmetic against a second implementation.
+    let apply_act = |kind: ActKind, t: &Tensor| {
+        t.map(|x| match kind {
+            ActKind::Relu => x.max(0.0),
+            ActKind::Relu6 => x.clamp(0.0, 6.0),
+            ActKind::LeakyRelu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.1 * x
+                }
+            }
+        })
+    };
+    let apply_requant = |t: &Tensor| {
+        let dq = act.dequantize(&act.quantize(t.as_slice()));
+        Tensor::from_vec(dq, t.dims()).expect("same shape")
+    };
+    let apply_epilogue = |epilogue: &Epilogue, mut t: Tensor| {
+        for op in epilogue.iter() {
+            t = match op {
+                PostOp::Activation(kind) => apply_act(kind, &t),
+                PostOp::Requantize => apply_requant(&t),
+            };
+        }
+        t
+    };
     for step in plan.steps() {
         let input = values[step.src_values[0]].clone().expect("value defined");
         let out = match step.op {
@@ -111,31 +149,43 @@ fn reference_forward(model: &QuantizedModel, plan: &ExecutionPlan, image: &Tenso
                 let rhs = values[step.src_values[1]].clone().expect("value defined");
                 &input + &rhs
             }
-            StepOp::Activation(kind) => input.map(|x| match kind {
-                ActKind::Relu => x.max(0.0),
-                ActKind::Relu6 => x.clamp(0.0, 6.0),
-                ActKind::LeakyRelu => {
-                    if x > 0.0 {
-                        x
-                    } else {
-                        0.1 * x
-                    }
-                }
-            }),
+            StepOp::Activation(kind) => apply_act(kind, &input),
             StepOp::Flatten => input.reshape(&step.dims),
-            StepOp::Requantize => {
-                let dq = act.dequantize(&act.quantize(input.as_slice()));
-                Tensor::from_vec(dq, &step.dims).expect("same shape")
+            StepOp::Requantize => apply_requant(&input),
+            StepOp::FusedConv { layer, epilogue } => {
+                let base = match &model.layers()[layer].form {
+                    DeployForm::Conv(conv) => conv.forward_image(&input),
+                    DeployForm::Matrix(_) => panic!("fused conv step on matrix layer"),
+                };
+                apply_epilogue(&epilogue, base)
+            }
+            StepOp::FusedGemm { layer, epilogue } => {
+                // Fused GEMM reads its source flat (the optimizer may have
+                // folded away a Flatten): quantize the raw slice.
+                let (y, _) = model.layers()[layer]
+                    .matrix()
+                    .matvec(&act.quantize(input.as_slice()), &act);
+                let base = Tensor::from_vec(y, &step.dims).expect("gemm output shape");
+                apply_epilogue(&epilogue, base)
             }
         };
         assert_eq!(out.dims(), &step.dims[..], "compiled shape disagrees");
         values[step.value] = Some(out);
     }
+    // The output is whatever value the plan's output buffer holds at the
+    // end (the last step on optimized plans, but derive it properly).
+    let output_value = plan
+        .steps()
+        .iter()
+        .rev()
+        .find(|s| s.dst == plan.output_buffer())
+        .map(|s| s.value)
+        .unwrap_or(0);
     values
         .into_iter()
-        .last()
+        .nth(output_value)
         .flatten()
-        .expect("plan defines its output last")
+        .expect("plan defines its output")
 }
 
 /// The tentpole acceptance property: end-to-end logits from raw images,

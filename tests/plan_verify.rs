@@ -20,7 +20,7 @@ use mixmatch::nn::models::{
 use mixmatch::nn::module::Sequential;
 use mixmatch::prelude::*;
 use mixmatch::quant::export::{export_compiled, import_compiled};
-use mixmatch::quant::graph::{PlanStep, StepOp};
+use mixmatch::quant::graph::{Epilogue, PlanStep, PostOp, StepOp};
 use mixmatch::quant::verify::{self, PlanParts, Rule, Verifier, VerifyReport};
 use mixmatch::serve::error::ServeError;
 use mixmatch::serve::server::ModelServer;
@@ -354,6 +354,79 @@ fn geom_rejects_gemm_step_disagreeing_with_its_layer() {
         output_buffer: 1,
     };
     assert_fires(&plan.verify(Some(&layers)), Rule::GeomGemm);
+}
+
+#[test]
+fn geom_fused_rejects_fused_gemm_with_wrong_element_count() {
+    let layers = vec![QuantLayerDesc {
+        name: "fc.weight".into(),
+        rows: 10,
+        cols: 4,
+        kind: QuantLayerKind::Dense,
+    }];
+    let mut epilogue = Epilogue::new();
+    assert!(epilogue.push(PostOp::Activation(ActKind::Relu)));
+    // A fused GEMM reads its source flat, but the element count must still
+    // equal the layer's reduction width: [2, 3] has 6 elements, not 4.
+    let plan = RawPlan {
+        input_dims: vec![2, 3],
+        output_dims: vec![10],
+        steps: vec![step(
+            StepOp::FusedGemm { layer: 0, epilogue },
+            &[0],
+            &[0],
+            1,
+            1,
+            &[10],
+        )],
+        buffer_sizes: vec![6, 10],
+        input_buffer: 0,
+        output_buffer: 1,
+    };
+    let report = plan.verify(Some(&layers));
+    assert_fires(&report, Rule::GeomFused);
+    assert_eq!(Rule::GeomFused.id(), "geom-fused");
+    // The same layer fed a flat-compatible shape (any dims with exactly
+    // `cols` elements) is legal — that relaxation is what lets the
+    // optimizer fold a Flatten into the fused step.
+    let ok = RawPlan {
+        input_dims: vec![2, 2],
+        buffer_sizes: vec![4, 10],
+        ..plan
+    };
+    let report = ok.verify(Some(&layers));
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn geom_fused_rejects_fused_conv_disagreeing_with_its_layer() {
+    let geom = ConvGeometry::new(3, 4, 3, 1, 1);
+    let layers = vec![QuantLayerDesc {
+        name: "stem.weight".into(),
+        rows: geom.out_channels,
+        cols: geom.gemm_k(),
+        kind: QuantLayerKind::Conv(geom),
+    }];
+    let mut epilogue = Epilogue::new();
+    assert!(epilogue.push(PostOp::Requantize));
+    // Same geometry lie as the unfused conv case: the epilogue is
+    // elementwise, so the fused step owes the layer's exact output shape.
+    let plan = RawPlan {
+        input_dims: vec![3, 8, 8],
+        output_dims: vec![4, 4, 4],
+        steps: vec![step(
+            StepOp::FusedConv { layer: 0, epilogue },
+            &[0],
+            &[0],
+            1,
+            1,
+            &[4, 4, 4],
+        )],
+        buffer_sizes: vec![192, 64],
+        input_buffer: 0,
+        output_buffer: 1,
+    };
+    assert_fires(&plan.verify(Some(&layers)), Rule::GeomFused);
 }
 
 #[test]
