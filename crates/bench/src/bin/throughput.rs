@@ -13,8 +13,12 @@ use mixmatch_fpga::bridge::FpgaTarget;
 use mixmatch_fpga::device::FpgaDevice;
 use mixmatch_nn::models::{ResNet, ResNetConfig};
 use mixmatch_quant::engine::{BatchEngine, ModelBatch};
+use mixmatch_quant::integer::{ActQuantizer, QuantizedMatrix};
+use mixmatch_quant::msq::MsqPolicy;
 use mixmatch_quant::optimize;
 use mixmatch_quant::pipeline::{CompiledModel, DeployForm, QuantizedModel};
+use mixmatch_tensor::im2col::{im2col_patches_into, ConvGeometry};
+use mixmatch_tensor::simd::{detected_tier, SimdTier};
 use mixmatch_tensor::{Tensor, TensorRng};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -89,6 +93,99 @@ fn main() {
     );
     let single_path_ips = iters as f64 / secs;
     println!("single-image path (no engine):   {single_path_ips:9.1} images/sec");
+
+    // Kernel series: the raw im2col → quantize → GEMM chain on one thread,
+    // the scalar tier against the runtime-detected vector tier of the
+    // *same* lane-planned `GemmPlan` — isolating the packed-weight
+    // micro-kernels from engine dispatch and the rest of the model.
+    let kgeom = ConvGeometry::new(32, 64, 3, 1, 1);
+    let kernel_act = ActQuantizer::new(4, 1.0);
+    let kw = Tensor::randn(&[kgeom.out_channels, kgeom.gemm_k()], &mut rng);
+    let kq = QuantizedMatrix::from_float(&kw, &MsqPolicy::msq_optimal());
+    let kernel_base = kq.try_plan().expect("kernel fixture plan");
+    kernel_base
+        .check_act(&kernel_act)
+        .expect("4-bit numerators stay inside the accumulator bound");
+    let kk = kgeom.gemm_k();
+    let patches = kgeom.output_size(input_hw) * kgeom.output_size(input_hw);
+    // Same L1-sized patch tiling the engine uses for its conv chain.
+    let tile = {
+        let raw = (64 * 1024 / (8 * kk)).clamp(4, 4096);
+        (raw - raw % 4).min(patches.max(4))
+    };
+    let kernel_images: Vec<Tensor> = (0..32)
+        .map(|_| Tensor::rand_uniform(&[kgeom.in_channels, input_hw, input_hw], 0.0, 1.0, &mut rng))
+        .collect();
+    let tier_name = |t: SimdTier| match t {
+        SimdTier::Scalar => "scalar",
+        SimdTier::Avx2 => "avx2",
+    };
+    let mut kernel_rows = String::new();
+    let mut kernel_at_32 = [0f64; 2];
+    println!(
+        "\nkernel chain (conv {}x{}x{} s{} p{}, K={kk}, {patches} patches, 1 thread):",
+        kgeom.out_channels, kgeom.in_channels, kgeom.kernel, kgeom.stride, kgeom.padding
+    );
+    for (ti, tier) in [SimdTier::Scalar, detected_tier()].into_iter().enumerate() {
+        let plan = kernel_base.clone().with_tier(tier);
+        let mut cols = vec![0.0f32; tile * kk];
+        let mut quantized: Vec<u32> = Vec::new();
+        let mut out = vec![0.0f32; kgeom.out_channels * patches];
+        let mut batch_rows = String::new();
+        for (bi, &batch) in [1usize, 8, 32].iter().enumerate() {
+            let (iters, secs) = time_passes(
+                || {
+                    for img in &kernel_images[..batch] {
+                        let mut p0 = 0;
+                        while p0 < patches {
+                            let count = tile.min(patches - p0);
+                            im2col_patches_into(img, &kgeom, 0, p0, count, &mut cols);
+                            kernel_act.quantize_into(&cols[..count * kk], &mut quantized);
+                            plan.matmul_patches_into(
+                                &quantized,
+                                count,
+                                &kernel_act,
+                                &mut out,
+                                patches,
+                                p0,
+                                None,
+                            );
+                            p0 += count;
+                        }
+                    }
+                },
+                min_secs,
+            );
+            let ips = (batch * iters) as f64 / secs;
+            if bi == 2 {
+                kernel_at_32[ti] = ips;
+            }
+            println!(
+                "  {:<6} batch {batch:>2}: {ips:9.1} images/sec",
+                tier_name(tier)
+            );
+            let _ = write!(
+                batch_rows,
+                r#"{}        {{"batch": {batch}, "images_per_sec": {ips:.1}}}"#,
+                if batch_rows.is_empty() { "" } else { ",\n" },
+            );
+        }
+        let _ = write!(
+            kernel_rows,
+            "{}      {{\"tier\": \"{}\", \"batches\": [\n{batch_rows}\n      ]}}",
+            if kernel_rows.is_empty() { "" } else { ",\n" },
+            tier_name(tier),
+        );
+    }
+    let kernel_speedup = if kernel_at_32[0] > 0.0 {
+        kernel_at_32[1] / kernel_at_32[0]
+    } else {
+        0.0
+    };
+    println!(
+        "  simd vs scalar @ batch 32: {kernel_speedup:.2}x ({})",
+        tier_name(detected_tier())
+    );
 
     // Per-layer series: every layer fed its own synthetic batch (the
     // pre-plan serving mode, kept for trend continuity).
@@ -326,6 +423,16 @@ fn main() {
   "plan_steps": {},
   "smoke": {smoke},
   "single_path_images_per_sec": {single_path_ips:.1},
+  "kernel": {{
+    "geometry": {{"in_channels": {}, "out_channels": {}, "kernel": {}, "input_hw": {input_hw}, "gemm_k": {kk}, "patches": {patches}, "tile_patches": {tile}}},
+    "act_bits": {},
+    "detected_tier": "{}",
+    "threads": 1,
+    "series": [
+{kernel_rows}
+    ],
+    "simd_vs_scalar_batch32": {kernel_speedup:.2}
+  }},
   "batches": [
 {rows}
   ],
@@ -354,6 +461,11 @@ fn main() {
         std::env::consts::ARCH,
         std::thread::available_parallelism().map_or(1, |v| v.get()),
         plan.steps().len(),
+        kgeom.in_channels,
+        kgeom.out_channels,
+        kgeom.kernel,
+        kernel_act.bits,
+        tier_name(detected_tier()),
         raw_plan.steps().len(),
         4 * optimize::high_water_elems(&raw_plan),
     );

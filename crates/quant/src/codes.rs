@@ -165,10 +165,14 @@ impl WeightCode {
 
     /// Integer denominator: the scaled integer accumulated by
     /// [`mac`](Self::mac) equals `activation × value × denominator`.
-    pub fn denominator(&self) -> u32 {
+    ///
+    /// `u128` because adversarially wide P2 codebooks reach `2^126` (bits
+    /// = 8 → 126 shift positions); the old `u32` shift silently wrapped
+    /// there in release builds, corrupting every scale derived from it.
+    pub fn denominator(&self) -> u128 {
         match *self {
-            WeightCode::Fixed { denom, .. } => denom,
-            _ => 1 << self.denom_log2().expect("shift-based code"),
+            WeightCode::Fixed { denom, .. } => denom as u128,
+            _ => 1u128 << self.denom_log2().expect("shift-based code"),
         }
     }
 

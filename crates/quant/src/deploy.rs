@@ -150,6 +150,31 @@ impl QuantizedConv {
         &self.act
     }
 
+    /// The layer's weights in the packed 4-bit deployment format — the
+    /// byte stream the SIMD kernels decode in-register.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the layer was not quantized at 4 bits.
+    pub fn packed(&self) -> crate::integer::PackedMatrix {
+        self.matrix.pack()
+    }
+
+    /// Compiles this layer's batched [`GemmPlan`] and statically proves its
+    /// accumulator bound against the layer's own activation quantizer — the
+    /// one-call path from a deployed conv to an executable, overflow-checked
+    /// kernel plan.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::Overflow`] when a numerator is unrepresentable or the
+    /// activation ceiling could wrap the accumulator.
+    pub fn try_plan(&self) -> Result<crate::integer::GemmPlan, QuantError> {
+        let plan = self.matrix.try_plan()?;
+        plan.check_act(&self.act)?;
+        Ok(plan)
+    }
+
     /// The dequantized GEMM weight (for parity checks against the float
     /// path).
     pub fn dequantized_weight(&self) -> Tensor {

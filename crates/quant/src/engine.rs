@@ -49,12 +49,12 @@
 use crate::codes::OpCounts;
 use crate::deploy::QuantizedConv;
 use crate::error::QuantError;
-use crate::graph::{self, ExecutionPlan, StepOp};
+use crate::graph::{self, Epilogue, ExecutionPlan, StepOp};
 use crate::integer::{ActQuantizer, GemmPlan, QuantizedMatrix};
 use crate::pipeline::{CompiledModel, DeployForm, QuantizedLayer, QuantizedModel};
 use mixmatch_nn::quantize::QuantLayerKind;
 use mixmatch_tensor::arena::BufferArena;
-use mixmatch_tensor::im2col::{im2col_into, ConvGeometry};
+use mixmatch_tensor::im2col::{im2col_patches_into, ConvGeometry};
 use mixmatch_tensor::pool::WorkerPool;
 use mixmatch_tensor::{Tensor, TensorRng};
 
@@ -129,9 +129,12 @@ pub struct ModelRun {
     pub ops: OpCounts,
 }
 
-/// Per-worker scratch: im2col patches, quantized activations and the
-/// transposed-activation buffer, reused across a worker's share of the
-/// batch.
+/// Per-worker scratch, reused across a worker's share of the batch: one
+/// patch-major im2col tile and its quantized copy, both sized to the
+/// cache-tiled chain's L1/L2 budget (see [`conv_tile_patches`]) instead of
+/// the whole `[K, patches]` image matrix. `transposed` backs the legacy
+/// `matmul_into` transpose path, which the tiled conv chain no longer
+/// touches (it stays empty in steady state).
 #[derive(Default)]
 struct ConvScratch {
     cols: Vec<f32>,
@@ -218,9 +221,10 @@ impl BatchEngine {
             let (oh, ow) = conv.check_image(image)?;
             outputs.push(Tensor::zeros(&[geom.out_channels, oh, ow]));
         }
-        let plan = conv.matrix().plan();
+        let plan = conv.matrix().try_plan()?;
+        plan.check_act(&act)?;
         let ops = self.dispatch(images, &mut outputs, |image, out, scratch| {
-            conv_image_planned(&plan, &geom, &act, image, out, scratch)
+            conv_image_planned(&plan, &geom, &act, image, out, scratch, None)
         });
         Ok(BatchRun { outputs, ops })
     }
@@ -250,7 +254,8 @@ impl BatchEngine {
         let act = *act;
         let rows = matrix.rows();
         let mut outputs: Vec<Tensor> = inputs.iter().map(|_| Tensor::zeros(&[rows])).collect();
-        let plan = matrix.plan();
+        let plan = matrix.try_plan()?;
+        plan.check_act(&act)?;
         let ops = self.dispatch(inputs, &mut outputs, |input, out, scratch| {
             act.quantize_into(input.as_slice(), &mut scratch.quantized);
             plan.matmul_into(
@@ -430,7 +435,16 @@ impl BatchEngine {
                     });
                 }
                 if gemm_plans[layer].is_none() {
-                    gemm_plans[layer] = Some(l.matrix().plan());
+                    // Typed overflow errors surface here, before fan-out:
+                    // the plan must be representable, and the layer's
+                    // activation ceiling must provably fit the accumulator.
+                    let gemm = l.matrix().try_plan()?;
+                    let layer_act = match &l.form {
+                        DeployForm::Conv(conv) => conv.act_quantizer(),
+                        DeployForm::Matrix(_) => model.act_quantizer(),
+                    };
+                    gemm.check_act(layer_act)?;
+                    gemm_plans[layer] = Some(gemm);
                 }
             }
             dims[step.dst] = Some(&step.dims);
@@ -527,10 +541,26 @@ impl BatchEngine {
     }
 }
 
-/// One image through the planned conv datapath: im2col into reusable
-/// scratch, quantize, planned integer GEMM (dense) or per-group row GEMM
-/// (depthwise). Mirrors `QuantizedConv::try_forward_image` exactly, minus
-/// the per-call allocations and enum dispatch.
+/// Patch-tile size for the cache-tiled conv chain: the f32 im2col tile plus
+/// its quantized `u32` copy (8 bytes per element) should sit well inside
+/// L1/L2, so the im2col→quantize→GEMM chain for one tile never round-trips
+/// through main memory. Rounded to the kernels' column-block width.
+fn conv_tile_patches(k: usize) -> usize {
+    const TILE_BYTES: usize = 64 * 1024;
+    let raw = (TILE_BYTES / (8 * k.max(1))).clamp(4, 4096);
+    raw - raw % 4
+}
+
+/// One image through the planned conv datapath, tiled over the patch space:
+/// per tile, a patch-major im2col slab is produced, quantized, and reduced
+/// by the packed integer GEMM while still cache-resident — the whole-image
+/// `[K, patches]` matrix (and the transpose pass it used to require) is
+/// never materialized. Dense convs run all rows per tile; depthwise convs
+/// run their group's single row. When `epilogue` is given its post-ops are
+/// applied inside the GEMM write-back. Bit-identical to
+/// `QuantizedConv::try_forward_image` plus a separate epilogue pass:
+/// integer accumulation per output element is exact and complete per tile,
+/// and the epilogue is elementwise.
 fn conv_image_planned(
     plan: &GemmPlan,
     geom: &ConvGeometry,
@@ -538,36 +568,45 @@ fn conv_image_planned(
     image: &Tensor,
     out: &mut Tensor,
     scratch: &mut ConvScratch,
+    epilogue: Option<&Epilogue>,
 ) -> OpCounts {
     let (oh, ow) = (out.dims()[1], out.dims()[2]);
     let patches = oh * ow;
-    let cols_len = geom.gemm_k() * patches;
-    scratch.cols.resize(cols_len, 0.0);
-    if geom.groups == 1 {
-        im2col_into(image, geom, 0, &mut scratch.cols);
-        act.quantize_into(&scratch.cols, &mut scratch.quantized);
-        plan.matmul_into(
-            &scratch.quantized,
-            patches,
-            act,
-            out.as_mut_slice(),
-            &mut scratch.transposed,
-        )
-    } else {
-        let mut ops = OpCounts::default();
-        for g in 0..geom.groups {
-            im2col_into(image, geom, g, &mut scratch.cols);
-            act.quantize_into(&scratch.cols, &mut scratch.quantized);
-            ops = ops.merge(plan.row_matmul_into(
-                g,
-                &scratch.quantized,
-                patches,
-                act,
-                &mut out.as_mut_slice()[g * patches..(g + 1) * patches],
-            ));
+    let kk = geom.gemm_k();
+    let tile = conv_tile_patches(kk);
+    scratch.cols.resize(tile.min(patches.max(1)) * kk, 0.0);
+    let mut ops = OpCounts::default();
+    for g in 0..geom.groups {
+        let mut p0 = 0;
+        while p0 < patches {
+            let count = tile.min(patches - p0);
+            let tile_cols = &mut scratch.cols[..count * kk];
+            im2col_patches_into(image, geom, g, p0, count, tile_cols);
+            act.quantize_into(tile_cols, &mut scratch.quantized);
+            ops = ops.merge(if geom.groups == 1 {
+                plan.matmul_patches_into(
+                    &scratch.quantized,
+                    count,
+                    act,
+                    out.as_mut_slice(),
+                    patches,
+                    p0,
+                    epilogue,
+                )
+            } else {
+                plan.row_matmul_patches_into(
+                    g,
+                    &scratch.quantized,
+                    count,
+                    act,
+                    &mut out.as_mut_slice()[g * patches + p0..g * patches + p0 + count],
+                    epilogue,
+                )
+            });
+            p0 += count;
         }
-        ops
     }
+    ops
 }
 
 /// One image through every plan step: load the input buffer, execute steps
@@ -605,6 +644,7 @@ fn run_plan_single(
                     src,
                     dst,
                     scratch,
+                    None,
                 ));
             }
             StepOp::Gemm { layer } => {
@@ -645,6 +685,9 @@ fn run_plan_single(
                     DeployForm::Matrix(_) => unreachable!("validated before fan-out"),
                 };
                 let (src, dst) = arena.src_dst(step.srcs[0], step.dst, &step.dims);
+                // The epilogue rides inside the GEMM write-back: each
+                // output element is scaled and post-processed once, while
+                // still register-resident.
                 ops = ops.merge(conv_image_planned(
                     gemm_plans[layer].as_ref().expect("compiled before fan-out"),
                     conv.geometry(),
@@ -652,23 +695,25 @@ fn run_plan_single(
                     src,
                     dst,
                     scratch,
+                    Some(&epilogue),
                 ));
-                graph::apply_epilogue(&epilogue, act, dst.as_mut_slice());
             }
             StepOp::FusedGemm { layer, epilogue } => {
                 // The source is read flat — it may hold an un-flattened
-                // map whose `Flatten` copy the optimizer removed.
+                // map whose `Flatten` copy the optimizer removed. The
+                // epilogue is fused into the write-back.
                 let gemm = gemm_plans[layer].as_ref().expect("compiled before fan-out");
                 let (src, dst) = arena.src_dst(step.srcs[0], step.dst, &step.dims);
                 act.quantize_into(src.as_slice(), &mut scratch.quantized);
-                ops = ops.merge(gemm.matmul_into(
+                ops = ops.merge(gemm.matmul_patches_into(
                     &scratch.quantized,
                     1,
                     act,
                     dst.as_mut_slice(),
-                    &mut scratch.transposed,
+                    1,
+                    0,
+                    Some(&epilogue),
                 ));
-                graph::apply_epilogue(&epilogue, act, dst.as_mut_slice());
             }
         }
     }

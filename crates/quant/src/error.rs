@@ -53,6 +53,14 @@ pub enum QuantError {
     },
     /// A packed weight stream failed to decode.
     Unpack(UnpackError),
+    /// Executing a compiled GEMM plan could overflow its integer
+    /// accumulator: the static worst-case bound `Σ|numerator| × max_level`
+    /// derived at plan build exceeds what the accumulator holds. Raised at
+    /// plan compile / activation binding instead of silently wrapping at
+    /// run time on adversarial artifacts.
+    /// Boxed so the 128-bit bound arithmetic doesn't widen every
+    /// `Result` on the serving path.
+    Overflow(Box<OverflowBound>),
     /// An execution plan failed static verification (see
     /// [`crate::verify`]): the bytes parsed, but the plan violates an IR
     /// invariant the runtime depends on.
@@ -60,6 +68,25 @@ pub enum QuantError {
         /// The full diagnostic report from the verifier run.
         report: VerifyReport,
     },
+}
+
+/// The failing static accumulator bound carried by
+/// [`QuantError::Overflow`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverflowBound {
+    /// Matrix row whose bound fails.
+    pub row: usize,
+    /// The row's worst-case accumulator magnitude.
+    pub bound: u128,
+    /// The largest magnitude the accumulator can hold.
+    pub limit: u128,
+}
+
+impl QuantError {
+    /// Builds the boxed [`QuantError::Overflow`] variant.
+    pub fn overflow(row: usize, bound: u128, limit: u128) -> Self {
+        QuantError::Overflow(Box::new(OverflowBound { row, bound, limit }))
+    }
 }
 
 impl fmt::Display for QuantError {
@@ -83,6 +110,11 @@ impl fmt::Display for QuantError {
                 write!(f, "compiled-model artifact corrupt: {context}")
             }
             QuantError::Unpack(e) => write!(f, "packed stream corrupt: {e}"),
+            QuantError::Overflow(o) => write!(
+                f,
+                "integer accumulator overflow: row {} worst-case |acc| {} exceeds {}",
+                o.row, o.bound, o.limit
+            ),
             QuantError::Verify { report } => write!(f, "{report}"),
         }
     }

@@ -69,35 +69,52 @@ impl Error for UnpackError {}
 /// Panics when the code was not built at 4-bit precision (magnitudes or
 /// exponents out of nibble range).
 pub fn encode_nibble(code: &WeightCode) -> u8 {
+    try_encode_nibble(code).expect("code not encodable in 4 bits")
+}
+
+/// Non-panicking [`encode_nibble`]: `None` when the code was not built at
+/// 4-bit precision (magnitude or exponent outside nibble range). The plan
+/// compiler uses this as its packability probe — rows whose codes all
+/// encode run the in-register packed kernels, anything else falls back to
+/// the dense layout.
+pub fn try_encode_nibble(code: &WeightCode) -> Option<u8> {
     match *code {
         WeightCode::Fixed {
             sign, magnitude, ..
         } => {
-            assert!(magnitude < 8, "fixed magnitude {magnitude} exceeds 3 bits");
+            if magnitude >= 8 {
+                return None;
+            }
             let s = u8::from(sign < 0) << 3;
-            s | magnitude as u8
+            Some(s | magnitude as u8)
         }
         WeightCode::Pow2 { sign, exponent, .. } => {
             if sign == 0 {
-                return 0;
+                return Some(0);
             }
             // Value 2^-e with e in 0..=6 → code 7-e in 1..=7.
-            assert!(exponent <= 6, "p2 exponent {exponent} exceeds 4-bit range");
+            if exponent > 6 {
+                return None;
+            }
             let s = u8::from(sign < 0) << 3;
-            s | (7 - exponent as u8)
+            Some(s | (7 - exponent as u8))
         }
         WeightCode::Sp2 { sign, e1, e2, .. } => {
             if sign == 0 {
-                return 0;
+                return Some(0);
             }
             let s = u8::from(sign < 0) << 3;
             // e1 ∈ {None, 1, 2, 3} → 2 bits; e2 ∈ {None, 1} → 1 bit.
-            let c1 = e1.map_or(0u8, |e| {
-                assert!((1..=3).contains(&e), "sp2 e1 {e} out of range");
-                e as u8
-            });
+            let c1 = match e1 {
+                None => 0u8,
+                Some(e) if (1..=3).contains(&e) => e as u8,
+                Some(_) => return None,
+            };
+            if matches!(e2, Some(e) if e != 1) {
+                return None;
+            }
             let c2 = u8::from(e2.is_some());
-            s | (c1 << 1) | c2
+            Some(s | (c1 << 1) | c2)
         }
     }
 }

@@ -608,21 +608,25 @@ pub fn requantize_into(act: &ActQuantizer, src: &Tensor, dst: &mut Tensor) {
 /// kernels, so a fused plan's logits stay bit-identical to its unfused
 /// twin's.
 pub fn apply_epilogue(epilogue: &Epilogue, act: &ActQuantizer, data: &mut [f32]) {
-    for op in epilogue.iter() {
-        match op {
-            PostOp::Activation(kind) => {
-                for x in data.iter_mut() {
-                    *x = kind.apply(*x);
-                }
-            }
-            PostOp::Requantize => {
-                let step = act.step();
-                for x in data.iter_mut() {
-                    *x = act.quantize_one(*x) as f32 * step;
-                }
-            }
-        }
+    for x in data.iter_mut() {
+        *x = apply_epilogue_one(epilogue, act, *x);
     }
+}
+
+/// Single-element form of [`apply_epilogue`]: folds the post-op chain over
+/// one value. Every post-op is elementwise, so applying the chain per
+/// element inside a GEMM kernel's write-back produces bit-identical results
+/// to the whole-buffer pass — this is what lets the integer kernels fuse
+/// the epilogue into the output store instead of re-walking the buffer.
+#[inline]
+pub fn apply_epilogue_one(epilogue: &Epilogue, act: &ActQuantizer, mut x: f32) -> f32 {
+    for op in epilogue.iter() {
+        x = match op {
+            PostOp::Activation(kind) => kind.apply(x),
+            PostOp::Requantize => act.quantize_one(x) as f32 * act.step(),
+        };
+    }
+    x
 }
 
 /// Rank-changing copy (`Flatten`): same elements, the compiled output dims.

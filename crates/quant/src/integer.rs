@@ -8,9 +8,12 @@
 //! rests on. A float reference path exists purely to validate exactness.
 
 use crate::codes::{OpCounts, WeightCode};
+use crate::error::QuantError;
+use crate::graph::{apply_epilogue_one, Epilogue};
 use crate::msq::SchemeBooks;
 use crate::rowwise::RowAssignment;
 use crate::schemes::Scheme;
+use mixmatch_tensor::simd::{self, NibbleLut, PackedKernel, SimdTier, MAX_COL_BLOCK};
 use mixmatch_tensor::Tensor;
 
 /// Uniform unsigned quantizer for activations (the paper's n-bit fixed-point
@@ -83,7 +86,7 @@ struct QuantRow {
     scheme: Scheme,
     alpha: f32,
     /// Integer denominator shared by every code in the row.
-    denominator: u32,
+    denominator: u128,
     codes: Vec<WeightCode>,
 }
 
@@ -335,33 +338,39 @@ impl QuantizedMatrix {
     /// [`WeightCode`] collapses to its exact integer numerator, so the
     /// engine's inner loop is a plain integer dot product instead of an enum
     /// dispatch per element. See [`GemmPlan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when a code's numerator is not representable (see
+    /// [`QuantizedMatrix::try_plan`] for the fallible form).
     pub fn plan(&self) -> GemmPlan {
+        self.try_plan().expect("plan compilation failed")
+    }
+
+    /// Fallible [`QuantizedMatrix::plan`]: compiles every row, keeping
+    /// genuinely 4-bit rows in their *packed* nibble form (the SIMD
+    /// decode-in-register layout) and anything wider as dense `i64`
+    /// numerators, and records each row's worst-case accumulator magnitude
+    /// for [`GemmPlan::check_act`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::Overflow`] when a code's numerator itself
+    /// exceeds the `i64` accumulator — possible only for adversarially wide
+    /// P2 codebooks (`2^{bits−1} − 2 ≥ 63` shift positions), which the
+    /// previous implementation silently wrapped on.
+    pub fn try_plan(&self) -> Result<GemmPlan, QuantError> {
         let rows = self
             .rows
             .iter()
-            .map(|row| {
-                let mut nums = Vec::with_capacity(row.codes.len());
-                let mut add_mask = Vec::with_capacity(row.codes.len());
-                let mut base_ops = OpCounts::default();
-                for code in &row.codes {
-                    let (num, ops, addable) = plan_code(code);
-                    nums.push(num);
-                    add_mask.push(addable as u8);
-                    base_ops = base_ops.merge(ops);
-                }
-                PlannedRow {
-                    nums,
-                    add_mask,
-                    alpha: row.alpha,
-                    denominator: row.denominator,
-                    base_ops,
-                }
-            })
-            .collect();
-        GemmPlan {
+            .enumerate()
+            .map(|(r, row)| plan_row(r, row))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(GemmPlan {
             rows,
             cols: self.cols,
-        }
+            tier: simd::active_tier(),
+        })
     }
 
     /// Ops for one full matrix–vector pass, split per scheme — the data behind
@@ -390,69 +399,176 @@ impl QuantizedMatrix {
 /// [`WeightCode::mac`]'s accumulator update exactly, and the op counts
 /// reproduce its accounting: the only activation-*dependent* count is the
 /// SP2 two-term add, which `mac` charges iff the activation is non-zero.
-fn plan_code(code: &WeightCode) -> (i64, OpCounts, bool) {
+///
+/// `None` when the numerator cannot be represented in the `i64` accumulator
+/// (a P2 shift of 63+ positions) — the caller turns this into a typed
+/// [`QuantError::Overflow`] instead of the silent wrap the old plan
+/// compiler performed.
+fn try_plan_code(code: &WeightCode) -> Option<(i64, OpCounts, bool)> {
     match *code {
         WeightCode::Fixed {
             sign, magnitude, ..
-        } => (
+        } => Some((
             sign as i64 * magnitude as i64,
             OpCounts {
                 mults: 1,
                 ..OpCounts::default()
             },
             false,
-        ),
+        )),
         WeightCode::Pow2 {
             sign,
             exponent,
             max_exponent,
         } => {
             if sign == 0 {
-                return (0, OpCounts::default(), false);
+                return Some((0, OpCounts::default(), false));
             }
-            (
-                sign as i64 * (1i64 << (max_exponent - exponent)),
+            let shift = max_exponent - exponent;
+            if shift > 62 {
+                return None;
+            }
+            Some((
+                sign as i64 * (1i64 << shift),
                 OpCounts {
                     shifts: 1,
                     ..OpCounts::default()
                 },
                 false,
-            )
+            ))
         }
         WeightCode::Sp2 { sign, e1, e2, exps } => {
             if sign == 0 {
-                return (0, OpCounts::default(), false);
+                return Some((0, OpCounts::default(), false));
             }
             let d = exps.denom_log2();
             let mut num = 0i64;
             let mut shifts = 0usize;
             for e in [e1, e2].into_iter().flatten() {
-                num += 1i64 << (d - e);
+                if d - e > 62 {
+                    return None;
+                }
+                num = num.checked_add(1i64 << (d - e))?;
                 shifts += 1;
             }
-            (
+            Some((
                 sign as i64 * num,
                 OpCounts {
                     shifts,
                     ..OpCounts::default()
                 },
                 e1.is_some() && e2.is_some(),
-            )
+            ))
         }
     }
 }
 
-/// One row of a [`GemmPlan`]: exact integer numerators plus the row scale
-/// inputs and the activation-independent op tally for one pass.
+/// Compiles one quantized row: numerators, op tally, worst-case accumulator
+/// bound, and — when every code survives a nibble encode/decode round trip
+/// — the packed byte + LUT layout the SIMD kernels decode in-register.
+fn plan_row(r: usize, row: &QuantRow) -> Result<PlannedRow, QuantError> {
+    let mut nums = Vec::with_capacity(row.codes.len());
+    let mut add_mask = Vec::with_capacity(row.codes.len());
+    let mut base_ops = OpCounts::default();
+    let mut sum_abs: u128 = 0;
+    for code in &row.codes {
+        let (num, ops, addable) = try_plan_code(code)
+            .ok_or_else(|| QuantError::overflow(r, pow2_bound(code), i64::MAX as u128))?;
+        nums.push(num);
+        add_mask.push(addable as u8);
+        base_ops = base_ops.merge(ops);
+        sum_abs += num.unsigned_abs() as u128;
+    }
+    let data = match packed_row_data(row, &nums, &add_mask) {
+        Some(packed) => packed,
+        None => RowData::Dense { nums, add_mask },
+    };
+    Ok(PlannedRow {
+        data,
+        alpha: row.alpha,
+        denominator: row.denominator,
+        base_ops,
+        sum_abs,
+    })
+}
+
+/// Worst-case magnitude of an unrepresentable P2/SP2 numerator, for the
+/// overflow diagnostic.
+fn pow2_bound(code: &WeightCode) -> u128 {
+    match *code {
+        WeightCode::Pow2 {
+            exponent,
+            max_exponent,
+            ..
+        } => 1u128 << (max_exponent - exponent).min(127),
+        WeightCode::Sp2 { e1, exps, .. } => {
+            let e = e1.unwrap_or(1);
+            1u128 << (exps.denom_log2().saturating_sub(e)).min(127)
+        }
+        WeightCode::Fixed { magnitude, .. } => magnitude as u128,
+    }
+}
+
+/// Attempts the packed layout for one row: every code must encode to a
+/// nibble *and* decode back to the same planned numerator and add flag
+/// (true 4-bit rows only — e.g. a P2 row built at 6 bits encodes but
+/// decodes to different shifts, so it stays dense). The returned LUT maps
+/// each of the 16 nibbles to its numerator, so the hot loop reads the
+/// packed bytes directly and never materializes the unpacked row.
+fn packed_row_data(row: &QuantRow, nums: &[i64], add_mask: &[u8]) -> Option<RowData> {
+    let mut lut_nums = [0i8; 16];
+    let mut lut_add = [false; 16];
+    for nib in 0u8..16 {
+        // Invalid nibbles (negative zero) never appear in bytes produced
+        // below, so their LUT slots are dead; leave them at 0.
+        if let Ok(code) = crate::export::decode_nibble(nib, row.scheme) {
+            let (num, _, addable) = try_plan_code(&code)?;
+            lut_nums[nib as usize] = i8::try_from(num).ok()?;
+            lut_add[nib as usize] = addable;
+        }
+    }
+    let lut = NibbleLut::new(lut_nums, lut_add);
+    for ((code, &num), &mask) in row.codes.iter().zip(nums).zip(add_mask) {
+        let nib = crate::export::try_encode_nibble(code)?;
+        if lut.num(nib) != num || lut.addable(nib) != (mask != 0) {
+            return None;
+        }
+    }
+    Some(RowData::Packed {
+        bytes: crate::export::pack_nibbles(&row.codes),
+        lut,
+    })
+}
+
+/// One row of a [`GemmPlan`]: the reduction layout plus the row scale
+/// inputs, the activation-independent op tally for one pass, and the
+/// worst-case accumulator magnitude per unit activation.
 #[derive(Debug, Clone)]
 struct PlannedRow {
-    nums: Vec<i64>,
-    /// 1 where the code is a two-term SP2 — an add is charged iff the
-    /// activation is non-zero, matching [`WeightCode::mac`].
-    add_mask: Vec<u8>,
+    data: RowData,
     alpha: f32,
-    denominator: u32,
+    denominator: u128,
     base_ops: OpCounts,
+    /// `Σ_k |numerator_k|`: multiplied by the activation ceiling this bounds
+    /// the accumulator statically ([`GemmPlan::check_act`]) and selects the
+    /// widest vector kernel that provably cannot wrap.
+    sum_abs: u128,
+}
+
+/// Physical layout of one planned row's weights.
+#[derive(Debug, Clone)]
+enum RowData {
+    /// Genuine 4-bit row: packed nibble bytes (two codes per byte, low
+    /// nibble first) plus the 16-entry decode table — the form the SIMD
+    /// kernels shuffle-decode in-register.
+    Packed { bytes: Vec<u8>, lut: NibbleLut },
+    /// General row: pre-expanded `i64` numerators.
+    Dense {
+        nums: Vec<i64>,
+        /// 1 where the code is a two-term SP2 — an add is charged iff the
+        /// activation is non-zero, matching [`WeightCode::mac`].
+        add_mask: Vec<u8>,
+    },
 }
 
 impl PlannedRow {
@@ -461,19 +577,78 @@ impl PlannedRow {
     fn scale(&self, act: &ActQuantizer) -> f32 {
         self.alpha * act.step() / self.denominator as f32
     }
+
+    /// The kernel this row runs under `tier` for activations from `act` —
+    /// vector tiers only when the row is packed and the static bound proves
+    /// 32-bit lane accumulation cannot wrap.
+    fn kernel(&self, tier: SimdTier, act: &ActQuantizer) -> PackedKernel {
+        match self.data {
+            RowData::Packed { .. } => simd::select_kernel(tier, act.levels(), self.sum_abs),
+            RowData::Dense { .. } => PackedKernel::Scalar,
+        }
+    }
+
+    /// `N` contiguous-column reductions against this row, each `len` long.
+    fn dot_cols<const N: usize>(
+        &self,
+        kernel: PackedKernel,
+        len: usize,
+        cols: [&[u32]; N],
+    ) -> ([i64; N], [usize; N]) {
+        match &self.data {
+            RowData::Packed { bytes, lut } => simd::packed_dot_cols(kernel, lut, bytes, len, cols),
+            RowData::Dense { nums, add_mask } => {
+                let mut accs = [0i64; N];
+                let mut adds = [0usize; N];
+                for j in 0..N {
+                    let mut acc = 0i64;
+                    let mut cnt = 0usize;
+                    for ((&a, &num), &mask) in cols[j].iter().zip(nums).zip(add_mask) {
+                        let a = a as i64;
+                        acc += a * num;
+                        cnt += (mask & (a != 0) as u8) as usize;
+                    }
+                    accs[j] = acc;
+                    adds[j] = cnt;
+                }
+                (accs, adds)
+            }
+        }
+    }
+
+    /// `(numerator, addable)` for code `k` — the strided-access path the
+    /// legacy `[cols, n]` entry points use.
+    fn num_at(&self, k: usize) -> (i64, bool) {
+        match &self.data {
+            RowData::Packed { bytes, lut } => {
+                let byte = bytes[k / 2];
+                let nib = if k.is_multiple_of(2) {
+                    byte & 0xf
+                } else {
+                    byte >> 4
+                };
+                (lut.num(nib), lut.addable(nib))
+            }
+            RowData::Dense { nums, add_mask } => (nums[k], add_mask[k] != 0),
+        }
+    }
 }
 
 /// A [`QuantizedMatrix`] compiled for batched execution.
 ///
-/// Integer accumulation is exact (no rounding, same order), and the final
-/// per-output scaling is the same `f32` expression as
-/// [`QuantizedMatrix::matvec`], so plan execution is **bit-identical** to
-/// the interpreted kernels while replacing the per-element `WeightCode`
-/// match with a flat `i64` multiply.
+/// Integer accumulation is exact (no rounding, no intermediate wrap — see
+/// [`GemmPlan::check_act`]), and the final per-output scaling is the same
+/// `f32` expression as [`QuantizedMatrix::matvec`], so plan execution is
+/// **bit-identical** to the interpreted kernels while replacing the
+/// per-element `WeightCode` match with packed-nibble SIMD (4-bit rows) or a
+/// flat `i64` multiply (everything else). The instruction tier is resolved
+/// once per process ([`simd::active_tier`]); [`GemmPlan::with_tier`] forces
+/// a specific tier for differential testing and benchmarking.
 #[derive(Debug, Clone)]
 pub struct GemmPlan {
     rows: Vec<PlannedRow>,
     cols: usize,
+    tier: SimdTier,
 }
 
 impl GemmPlan {
@@ -485,6 +660,47 @@ impl GemmPlan {
     /// Column count (reduction length).
     pub fn cols(&self) -> usize {
         self.cols
+    }
+
+    /// The instruction tier this plan dispatches to.
+    pub fn tier(&self) -> SimdTier {
+        self.tier
+    }
+
+    /// Returns the plan pinned to `tier` — the seam differential tests and
+    /// the kernel bench use to compare scalar and vector execution of the
+    /// *same* plan.
+    pub fn with_tier(mut self, tier: SimdTier) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// Number of rows compiled to the packed (SIMD-decodable) layout.
+    pub fn packed_rows(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r.data, RowData::Packed { .. }))
+            .count()
+    }
+
+    /// Statically proves that no accumulator can wrap for activations from
+    /// `act`: per row, `Σ|numerator| × max_level` must fit the `i64`
+    /// accumulator. Engine entry points call this once per (plan, batch)
+    /// before fan-out, turning what used to be silent wraparound on
+    /// adversarial artifacts into a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::Overflow`] naming the first offending row.
+    pub fn check_act(&self, act: &ActQuantizer) -> Result<(), QuantError> {
+        let limit = i64::MAX as u128;
+        for (r, row) in self.rows.iter().enumerate() {
+            let bound = row.sum_abs * act.levels() as u128;
+            if bound > limit {
+                return Err(QuantError::overflow(r, bound, limit));
+            }
+        }
+        Ok(())
     }
 
     /// Batched integer GEMM into a caller buffer: `activations` is the
@@ -525,16 +741,49 @@ impl GemmPlan {
             }
             scratch
         };
+        self.matmul_patches_into(columns, n, act, out, n, 0, None)
+    }
+
+    /// Integer GEMM over a **patch-major tile**: `patches` holds `n`
+    /// contiguous `cols`-long activation columns (`[n, cols]`), and outputs
+    /// land at column offset `j0` of a `[rows, out_stride]` buffer — so the
+    /// cache-tiled engine runs the GEMM per im2col tile while the tile is
+    /// still resident in L1/L2, accumulating the full output image across
+    /// calls. When `epilogue` is given, its post-op chain is applied to
+    /// each element in the write-back (bit-identical to a separate pass —
+    /// every post-op is elementwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `patches` is shorter than `n × cols` or the output
+    /// window `[rows, j0 + n]` exceeds the `out` buffer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn matmul_patches_into(
+        &self,
+        patches: &[u32],
+        n: usize,
+        act: &ActQuantizer,
+        out: &mut [f32],
+        out_stride: usize,
+        j0: usize,
+        epilogue: Option<&Epilogue>,
+    ) -> OpCounts {
+        assert!(
+            patches.len() >= self.cols * n,
+            "patch tile must hold n × cols activations"
+        );
+        assert!(j0 + n <= out_stride, "tile exceeds output row stride");
+        assert!(
+            self.rows() == 0 || (self.rows() - 1) * out_stride + j0 + n <= out.len(),
+            "output buffer too short for [rows, stride]"
+        );
         let mut ops = OpCounts::default();
         for (r, row) in self.rows.iter().enumerate() {
-            let scale = row.scale(act);
-            for j in 0..n {
-                let col = &columns[j * self.cols..(j + 1) * self.cols];
-                let (acc, adds) = row_dot(row, col);
-                ops = ops.merge(row.base_ops);
-                ops.adds += adds;
-                out[r * n + j] = acc as f32 * scale;
-            }
+            let dst = &mut out[r * out_stride + j0..r * out_stride + j0 + n];
+            let adds = row_patches(row, self.tier, patches, self.cols, n, act, dst, epilogue);
+            ops.mults += row.base_ops.mults * n;
+            ops.shifts += row.base_ops.shifts * n;
+            ops.adds += row.base_ops.adds * n + adds;
         }
         ops
     }
@@ -566,10 +815,11 @@ impl GemmPlan {
         for (j, slot) in out.iter_mut().enumerate() {
             let mut acc = 0i64;
             let mut adds = 0usize;
-            for (k, (&num, &mask)) in row.nums.iter().zip(&row.add_mask).enumerate() {
+            for k in 0..self.cols {
+                let (num, addable) = row.num_at(k);
                 let a = activations[k * n + j] as i64;
                 acc += a * num;
-                adds += (mask & (a != 0) as u8) as usize;
+                adds += (addable && a != 0) as usize;
             }
             ops = ops.merge(row.base_ops);
             ops.adds += adds;
@@ -577,19 +827,96 @@ impl GemmPlan {
         }
         ops
     }
+
+    /// Patch-major depthwise primitive: one row against a tile of `n`
+    /// contiguous `cols`-long patches, with the optional fused epilogue in
+    /// the write-back — the tiled twin of
+    /// [`GemmPlan::row_matmul_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of range, `patches` is shorter than
+    /// `n × cols`, or `out` is shorter than `n`.
+    pub fn row_matmul_patches_into(
+        &self,
+        r: usize,
+        patches: &[u32],
+        n: usize,
+        act: &ActQuantizer,
+        out: &mut [f32],
+        epilogue: Option<&Epilogue>,
+    ) -> OpCounts {
+        assert!(r < self.rows(), "row index out of range");
+        assert!(
+            patches.len() >= self.cols * n,
+            "patch tile must hold n × cols activations"
+        );
+        assert!(out.len() >= n, "output must hold n patches");
+        let row = &self.rows[r];
+        let mut ops = OpCounts::default();
+        let adds = row_patches(
+            row,
+            self.tier,
+            patches,
+            self.cols,
+            n,
+            act,
+            &mut out[..n],
+            epilogue,
+        );
+        ops.mults += row.base_ops.mults * n;
+        ops.shifts += row.base_ops.shifts * n;
+        ops.adds += row.base_ops.adds * n + adds;
+        ops
+    }
 }
 
-/// Contiguous integer reduction for one (row, patch) pair, returning the
-/// exact accumulator and the activation-dependent add count.
-fn row_dot(row: &PlannedRow, col: &[u32]) -> (i64, usize) {
-    let mut acc = 0i64;
-    let mut adds = 0usize;
-    for ((&a, &num), &mask) in col.iter().zip(&row.nums).zip(&row.add_mask) {
-        let a = a as i64;
-        acc += a * num;
-        adds += (mask & (a != 0) as u8) as usize;
+/// Shared inner loop of the patch-major entry points: reduces one planned
+/// row against `n` contiguous patches, blocking columns so one in-register
+/// weight decode feeds up to [`MAX_COL_BLOCK`] reductions, and applies the
+/// optional epilogue per element at write-back. Returns the
+/// activation-dependent add count.
+#[allow(clippy::too_many_arguments)]
+fn row_patches(
+    row: &PlannedRow,
+    tier: SimdTier,
+    patches: &[u32],
+    cols: usize,
+    n: usize,
+    act: &ActQuantizer,
+    dst: &mut [f32],
+    epilogue: Option<&Epilogue>,
+) -> usize {
+    // The block loop strides by 4 and builds a 4-column array; keep the
+    // two in lockstep with the simd module's block width.
+    const { assert!(MAX_COL_BLOCK == 4) };
+    let kernel = row.kernel(tier, act);
+    let scale = row.scale(act);
+    let mut adds_total = 0usize;
+    let mut j = 0usize;
+    let col = |j: usize| &patches[j * cols..(j + 1) * cols];
+    let write = |slot: &mut f32, acc: i64| {
+        let y = acc as f32 * scale;
+        *slot = match epilogue {
+            Some(e) => apply_epilogue_one(e, act, y),
+            None => y,
+        };
+    };
+    while j + MAX_COL_BLOCK <= n {
+        let (accs, adds) = row.dot_cols(kernel, cols, [col(j), col(j + 1), col(j + 2), col(j + 3)]);
+        for t in 0..MAX_COL_BLOCK {
+            write(&mut dst[j + t], accs[t]);
+            adds_total += adds[t];
+        }
+        j += MAX_COL_BLOCK;
     }
-    (acc, adds)
+    while j < n {
+        let (accs, adds) = row.dot_cols(kernel, cols, [col(j)]);
+        write(&mut dst[j], accs[0]);
+        adds_total += adds[0];
+        j += 1;
+    }
+    adds_total
 }
 
 /// A [`QuantizedMatrix`] in serialized form: packed nibbles plus per-row
@@ -650,6 +977,31 @@ impl PackedMatrix {
     /// Packed nibble stream (`⌈cols/2⌉` bytes per row).
     pub fn data(&self) -> &[u8] {
         &self.data
+    }
+
+    /// The packed byte slice of row `r` — the exact bytes the SIMD kernels
+    /// decode in-register.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of range.
+    pub fn row_bytes(&self, r: usize) -> &[u8] {
+        assert!(r < self.rows, "row index out of range");
+        let bpr = self.cols.div_ceil(2);
+        &self.data[r * bpr..(r + 1) * bpr]
+    }
+
+    /// Compiles an executable [`GemmPlan`] straight from the packed bytes.
+    /// Every decoded 4-bit row round-trips, so the resulting plan keeps all
+    /// rows in the packed SIMD layout — identical (tier included) to
+    /// `self.unpack()?.try_plan()?`, which is how deserialized artifacts
+    /// reach the vector kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::Unpack`] on a corrupt nibble stream.
+    pub fn try_plan(&self) -> Result<GemmPlan, QuantError> {
+        self.unpack()?.try_plan()
     }
 
     /// Packed weight bytes (excluding metadata).
@@ -921,6 +1273,194 @@ mod tests {
         let float_bytes = 64 * 512 * 4;
         let rate = float_bytes as f32 / packed.byte_size() as f32;
         assert!(rate > 7.5, "compression rate {rate}");
+    }
+
+    #[test]
+    fn four_bit_rows_compile_to_the_packed_layout() {
+        let mut rng = TensorRng::seed_from(30);
+        let w = Tensor::randn(&[6, 20], &mut rng);
+        for policy in [
+            MsqPolicy::single(Scheme::Fixed, 4),
+            MsqPolicy::single(Scheme::Pow2, 4),
+            MsqPolicy::single(Scheme::Sp2, 4),
+            MsqPolicy::msq_half(),
+        ] {
+            let qm = QuantizedMatrix::from_float(&w, &policy);
+            let plan = qm.try_plan().expect("4-bit plan");
+            assert_eq!(plan.packed_rows(), 6, "every 4-bit row should pack");
+        }
+        // Wider codebooks must fall back to the dense layout (their nibble
+        // round trip fails), not silently mis-decode.
+        let qm6 = QuantizedMatrix::from_float(&w, &MsqPolicy::single(Scheme::Fixed, 6));
+        assert_eq!(qm6.try_plan().expect("6-bit plan").packed_rows(), 0);
+    }
+
+    #[test]
+    fn wide_pow2_codebooks_fail_plan_with_typed_overflow() {
+        // P2 at 8 bits has 2^7 − 2 = 126 shift positions: the numerator
+        // itself cannot live in an i64 accumulator. The old compiler
+        // silently wrapped here; now it is a typed error.
+        let mut rng = TensorRng::seed_from(31);
+        let w = Tensor::randn(&[3, 8], &mut rng);
+        let qm = QuantizedMatrix::from_float(&w, &MsqPolicy::single(Scheme::Pow2, 8));
+        match qm.try_plan() {
+            Err(crate::error::QuantError::Overflow(o)) => {
+                assert!(o.bound > o.limit);
+            }
+            other => panic!("expected Overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_act_rejects_plans_whose_accumulator_could_wrap() {
+        // P2 at 7 bits compiles (shifts ≤ 62) but Σ|num| × levels overflows
+        // i64 for any activation width — check_act must say so.
+        let mut rng = TensorRng::seed_from(32);
+        let w = Tensor::randn(&[2, 16], &mut rng);
+        let qm = QuantizedMatrix::from_float(&w, &MsqPolicy::single(Scheme::Pow2, 7));
+        let plan = qm.try_plan().expect("7-bit plan compiles");
+        let act = ActQuantizer::new(4, 1.0);
+        assert!(matches!(
+            plan.check_act(&act),
+            Err(crate::error::QuantError::Overflow(_))
+        ));
+        // An ordinary 4-bit plan passes for the full activation range.
+        let qm4 = QuantizedMatrix::from_float(&w, &MsqPolicy::msq_half());
+        let plan4 = qm4.try_plan().unwrap();
+        plan4.check_act(&ActQuantizer::new(16, 1.0)).unwrap();
+    }
+
+    #[test]
+    fn patch_tiles_reproduce_full_matmul_at_any_offset() {
+        let mut rng = TensorRng::seed_from(33);
+        let w = Tensor::randn(&[7, 19], &mut rng);
+        let qm = QuantizedMatrix::from_float(&w, &MsqPolicy::msq_optimal());
+        let act = ActQuantizer::new(4, 1.0);
+        let n = 11;
+        let x: Vec<f32> = (0..19 * n)
+            .map(|i| {
+                if i % 5 == 0 {
+                    0.0
+                } else {
+                    rng.uniform_in(0.0, 1.0)
+                }
+            })
+            .collect();
+        let xq = act.quantize(&x);
+        let plan = qm.plan();
+        let mut full = vec![0.0f32; 7 * n];
+        let mut scratch = Vec::new();
+        let ops_full = plan.matmul_into(&xq, n, &act, &mut full, &mut scratch);
+        // Re-run in uneven patch tiles against the transposed activations
+        // and stitch the output back together at matching offsets.
+        let mut patch_major = vec![0u32; 19 * n];
+        for k in 0..19 {
+            for j in 0..n {
+                patch_major[j * 19 + k] = xq[k * n + j];
+            }
+        }
+        let mut tiled = vec![0.0f32; 7 * n];
+        let mut ops_tiled = OpCounts::default();
+        let mut j0 = 0;
+        for tile in [1usize, 4, 3, 11] {
+            let count = tile.min(n - j0);
+            if count == 0 {
+                break;
+            }
+            let tile_acts = &patch_major[j0 * 19..(j0 + count) * 19];
+            ops_tiled = ops_tiled
+                .merge(plan.matmul_patches_into(tile_acts, count, &act, &mut tiled, n, j0, None));
+            j0 += count;
+        }
+        assert_eq!(tiled, full, "tiled outputs must be bit-identical");
+        assert_eq!(ops_tiled, ops_full, "tiled op accounting must match");
+        // Depthwise: per-row tile calls match row_matmul_into.
+        for r in 0..7 {
+            let mut row_ref = vec![0.0f32; n];
+            let ops_ref = plan.row_matmul_into(r, &xq, n, &act, &mut row_ref);
+            let mut row_tiled = vec![0.0f32; n];
+            let ops_t =
+                plan.row_matmul_patches_into(r, &patch_major, n, &act, &mut row_tiled, None);
+            assert_eq!(row_tiled, row_ref, "row {r}");
+            assert_eq!(ops_t, ops_ref, "row {r} ops");
+        }
+    }
+
+    #[test]
+    fn forced_scalar_tier_matches_default_tier_bit_exactly() {
+        let mut rng = TensorRng::seed_from(34);
+        let w = Tensor::randn(&[9, 33], &mut rng);
+        let qm = QuantizedMatrix::from_float(&w, &MsqPolicy::msq_half());
+        let act = ActQuantizer::new(8, 1.2);
+        let n = 6;
+        let x: Vec<f32> = (0..33 * n).map(|_| rng.uniform_in(0.0, 1.2)).collect();
+        let xq = act.quantize(&x);
+        let plan = qm.plan();
+        let scalar_plan = plan
+            .clone()
+            .with_tier(mixmatch_tensor::simd::SimdTier::Scalar);
+        let (mut a, mut b) = (vec![0.0f32; 9 * n], vec![0.0f32; 9 * n]);
+        let mut scratch = Vec::new();
+        let ops_a = plan.matmul_into(&xq, n, &act, &mut a, &mut scratch);
+        let ops_b = scalar_plan.matmul_into(&xq, n, &act, &mut b, &mut scratch);
+        assert_eq!(a, b, "tiers must agree bit-exactly");
+        assert_eq!(ops_a, ops_b, "op accounting must be tier-independent");
+    }
+
+    #[test]
+    fn packed_matrix_plans_equivalently_to_unpacked() {
+        let mut rng = TensorRng::seed_from(35);
+        let w = Tensor::randn(&[5, 21], &mut rng);
+        let qm = QuantizedMatrix::from_float(&w, &MsqPolicy::msq_optimal());
+        let packed = qm.pack();
+        assert_eq!(packed.row_bytes(0).len(), 21usize.div_ceil(2));
+        let plan = packed.try_plan().expect("plan from packed bytes");
+        assert_eq!(plan.packed_rows(), 5);
+        let act = ActQuantizer::new(4, 1.0);
+        let x: Vec<u32> = (0..21).map(|i| (i % 16) as u32).collect();
+        let (y_ref, _) = qm.matvec(&x, &act);
+        let mut y = vec![0.0f32; 5];
+        let mut scratch = Vec::new();
+        plan.matmul_into(&x, 1, &act, &mut y, &mut scratch);
+        assert_eq!(y, y_ref, "packed-bytes plan must match the interpreter");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn accumulator_bound_is_tight_at_the_i64_edge(shift in 50u32..63, cols in 1usize..8) {
+            // Build a synthetic row at the representability edge and verify
+            // check_act accepts exactly when Σ|num| × levels ≤ i64::MAX.
+            let exps = (0..cols).map(|_| shift).collect::<Vec<_>>();
+            let codes: Vec<WeightCode> = exps
+                .iter()
+                .map(|&s| WeightCode::pow2(1, 62 - s, 62))
+                .collect();
+            let mut sum_abs: u128 = 0;
+            for code in &codes {
+                let (num, _, _) = try_plan_code(code).expect("shift ≤ 62 is representable");
+                sum_abs += num.unsigned_abs() as u128;
+            }
+            for bits in [2u32, 8, 16] {
+                let act = ActQuantizer::new(bits, 1.0);
+                let fits = sum_abs * act.levels() as u128 <= i64::MAX as u128;
+                // Mirror of check_act's rule on a hand-built row.
+                prop_assert_eq!(fits, sum_abs.checked_mul(act.levels() as u128)
+                    .map(|b| b <= i64::MAX as u128).unwrap_or(false));
+                if fits {
+                    // When the bound holds the scalar reduction at the max
+                    // activation level must not wrap: compute it exactly.
+                    let max_a = act.levels() as i64;
+                    let mut acc: i64 = 0;
+                    for code in &codes {
+                        let (num, _, _) = try_plan_code(code).unwrap();
+                        acc = acc.checked_add(max_a.checked_mul(num).expect("no wrap"))
+                            .expect("no wrap");
+                    }
+                    prop_assert!(acc as u128 <= sum_abs * act.levels() as u128);
+                }
+            }
+        }
     }
 
     proptest! {

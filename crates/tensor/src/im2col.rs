@@ -157,6 +157,72 @@ pub fn im2col_into(input: &Tensor, geom: &ConvGeometry, group: usize, dst: &mut 
     }
 }
 
+/// Patch-major tile variant of [`im2col_into`]: unrolls patches
+/// `p0..p0 + count` of the feature map into `dst` as a `[count, K]` matrix —
+/// one contiguous K-long reduction per patch, with the same k-index order
+/// (`c·k² + ky·k + kx`) as the row-major form.
+///
+/// This is the cache-tiling building block: the batched engine produces a
+/// small patch tile, quantizes it, and runs the integer GEMM over it while
+/// everything still sits in L1/L2, instead of materializing the whole
+/// `[K, out_h·out_w]` matrix per image. Laying each patch out contiguously
+/// also lets the GEMM reduce over `K` without a transposed scratch copy.
+///
+/// # Panics
+///
+/// Panics when `input` is not rank-3, channels disagree with `geom`, the
+/// patch range exceeds `out_h·out_w`, or `dst` is shorter than `count·K`.
+pub fn im2col_patches_into(
+    input: &Tensor,
+    geom: &ConvGeometry,
+    group: usize,
+    p0: usize,
+    count: usize,
+    dst: &mut [f32],
+) {
+    assert_eq!(input.shape().rank(), 3, "im2col expects [c, h, w] input");
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    assert_eq!(c, geom.in_channels, "channel count mismatch");
+    assert!(group < geom.groups, "group index out of range");
+    let cg = geom.in_channels / geom.groups;
+    let out_h = geom.output_size(h);
+    let out_w = geom.output_size(w);
+    let k = geom.kernel;
+    let kk = cg * k * k;
+    assert!(
+        p0 + count <= out_h * out_w,
+        "patch range {}..{} exceeds {} patches",
+        p0,
+        p0 + count,
+        out_h * out_w
+    );
+    assert!(dst.len() >= count * kk, "im2col tile destination too short");
+    let tile = &mut dst[..count * kk];
+    tile.fill(0.0);
+    let src = input.as_slice();
+    for p in 0..count {
+        let (oy, ox) = ((p0 + p) / out_w, (p0 + p) % out_w);
+        let patch = &mut tile[p * kk..(p + 1) * kk];
+        for cc in 0..cg {
+            let src_c = (group * cg + cc) * h * w;
+            for ky in 0..k {
+                let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                let src_row = src_c + iy as usize * w;
+                for kx in 0..k {
+                    let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                    if ix < 0 || ix >= w as isize {
+                        continue;
+                    }
+                    patch[cc * k * k + ky * k + kx] = src[src_row + ix as usize];
+                }
+            }
+        }
+    }
+}
+
 /// Adjoint of [`im2col`]: scatters a patch-matrix gradient back onto the input
 /// feature map (accumulating where patches overlap). Needed by the conv
 /// backward pass.
@@ -273,6 +339,55 @@ mod tests {
         let g = ConvGeometry::depthwise(3, 1, 1, 0);
         let c1 = im2col(&x, &g, 1);
         assert_eq!(c1.as_slice(), &[10.0, 11.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn patch_tiles_agree_with_row_major_im2col() {
+        let mut rng = TensorRng::seed_from(7);
+        for &(ch, h, k, stride, pad, groups) in &[
+            (2usize, 6usize, 3usize, 1usize, 1usize, 1usize),
+            (3, 5, 2, 2, 0, 1),
+            (4, 4, 3, 1, 1, 4),
+            (1, 7, 3, 2, 1, 1),
+        ] {
+            let g = ConvGeometry {
+                in_channels: ch,
+                out_channels: ch,
+                kernel: k,
+                stride,
+                padding: pad,
+                groups,
+            };
+            let x = Tensor::randn(&[ch, h, h], &mut rng);
+            let patches = g.output_size(h) * g.output_size(h);
+            let kk = g.gemm_k();
+            for group in 0..groups {
+                let cols = im2col(&x, &g, group);
+                // Walk the patch space in uneven tiles, including a 1-patch
+                // tile, and compare each element against the row-major form.
+                let mut tile = vec![f32::NAN; 3 * kk];
+                let mut p0 = 0;
+                for &count in [1usize, 3, 2, patches].iter() {
+                    let count = count.min(patches - p0);
+                    if count == 0 {
+                        break;
+                    }
+                    tile.resize(count * kk, f32::NAN);
+                    im2col_patches_into(&x, &g, group, p0, count, &mut tile);
+                    for p in 0..count {
+                        for ki in 0..kk {
+                            assert_eq!(
+                                tile[p * kk + ki],
+                                cols.at(&[ki, p0 + p]),
+                                "group {group} patch {} k {ki}",
+                                p0 + p
+                            );
+                        }
+                    }
+                    p0 += count;
+                }
+            }
+        }
     }
 
     proptest! {

@@ -23,9 +23,10 @@
 
 // Index-heavy numerical kernels read more clearly with explicit loops.
 #![allow(clippy::needless_range_loop)]
-// `deny`, not `forbid`: the one sanctioned exception is the scoped-task
-// lifetime transmute in `pool::WorkerPool::run` (see its SAFETY comment),
-// which carries a local `#[allow(unsafe_code)]`. Everything else is safe.
+// `deny`, not `forbid`: the sanctioned exceptions are the scoped-task
+// lifetime transmute in `pool::WorkerPool::run` (see its SAFETY comment)
+// and the AVX2 intrinsic island in `simd::avx2`, each carrying a local
+// `#[allow(unsafe_code)]`. Everything else is safe.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -36,6 +37,7 @@ pub mod im2col;
 pub mod pool;
 pub mod rng;
 pub mod shape;
+pub mod simd;
 pub mod stats;
 pub mod tensor;
 

@@ -1,0 +1,334 @@
+//! Differential suite for the integer GEMM kernels: SIMD == scalar ==
+//! interpreted reference, **bit-identically**, over adversarial shapes —
+//! reduction lengths that are not lane-width multiples, 0/1-row matrices,
+//! single-scheme and mixed rows, activation widths straddling both vector
+//! kernels' limits, and NaN/Inf activations ahead of quantization.
+//!
+//! CI runs this suite twice: once with default dispatch (AVX2 where the
+//! host has it) and once with `MIXMATCH_FORCE_SCALAR=1`, so the forced
+//! scalar path is pinned against the same references. Independently of the
+//! environment, the `with_tier` seam compares both tiers of the *same*
+//! plan in-process.
+
+use mixmatch::prelude::*;
+use mixmatch::quant::codes::OpCounts;
+use mixmatch::quant::deploy::QuantizedConv;
+use mixmatch::quant::engine::BatchEngine;
+use mixmatch::quant::integer::{ActQuantizer, QuantizedMatrix};
+use mixmatch::quant::msq::MsqPolicy;
+use mixmatch::quant::rowwise::RowAssignment;
+use mixmatch::quant::schemes::Scheme;
+use mixmatch::tensor::im2col::ConvGeometry;
+use mixmatch::tensor::simd::{detected_tier, SimdTier};
+use mixmatch::tensor::Tensor;
+use proptest::prelude::*;
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+}
+
+/// Activations with the full adversarial mix: zeros (SP2 add accounting),
+/// NaN (must quantize to level 0), ±Inf (saturate to ceiling / floor), and
+/// ordinary in-range values.
+fn adversarial_activations(rng: &mut TensorRng, len: usize, clip: f32) -> Vec<f32> {
+    (0..len)
+        .map(|i| match i % 7 {
+            0 => 0.0,
+            1 => f32::NAN,
+            2 => f32::INFINITY,
+            3 => f32::NEG_INFINITY,
+            _ => rng.uniform_in(-0.2, clip * 1.1),
+        })
+        .collect()
+}
+
+/// One matrix through three executions of the same shapes: the interpreted
+/// reference, the scalar-pinned plan, and the host-dispatched plan. All
+/// three must agree bit-for-bit on outputs *and* op accounting.
+fn assert_three_way_parity(qm: &QuantizedMatrix, act: &ActQuantizer, n: usize, seed: u64) {
+    let mut rng = TensorRng::seed_from(seed);
+    let x = adversarial_activations(&mut rng, qm.cols() * n, act.clip);
+    let xq = act.quantize(&x);
+    let (y_ref, ops_ref) = qm.matmul(&xq, n, act);
+    let plan = qm.try_plan().expect("plan");
+    plan.check_act(act)
+        .expect("bound holds for 4-bit numerators");
+    for tier in [SimdTier::Scalar, detected_tier()] {
+        let tiered = plan.clone().with_tier(tier);
+        let mut out = vec![f32::NAN; qm.rows() * n];
+        let mut scratch = Vec::new();
+        let ops = tiered.matmul_into(&xq, n, act, &mut out, &mut scratch);
+        assert_eq!(
+            out,
+            y_ref.as_slice(),
+            "{tier:?} diverged from the interpreter (rows {}, cols {}, n {n}, act bits {})",
+            qm.rows(),
+            qm.cols(),
+            act.bits
+        );
+        assert_eq!(ops, ops_ref, "{tier:?} op accounting diverged");
+    }
+}
+
+#[test]
+fn kernel_parity_across_schemes_shapes_and_activation_widths() {
+    let mut rng = TensorRng::seed_from(100);
+    // cols hit scalar-only (< 16), one-full-block, non-multiples of 16/32,
+    // and a large reduction; n crosses the 4-column block boundary.
+    for &(rows, cols, n) in &[
+        (1usize, 7usize, 1usize),
+        (3, 16, 4),
+        (5, 17, 3),
+        (4, 33, 5),
+        (2, 64, 2),
+        (6, 100, 9),
+        (3, 577, 2),
+    ] {
+        let w = Tensor::randn(&[rows, cols], &mut rng);
+        for policy in [
+            MsqPolicy::single(Scheme::Fixed, 4),
+            MsqPolicy::single(Scheme::Pow2, 4),
+            MsqPolicy::single(Scheme::Sp2, 4),
+            MsqPolicy::msq_half(),
+            MsqPolicy::msq_optimal(),
+        ] {
+            let qm = QuantizedMatrix::from_float(&w, &policy);
+            // Activation widths: 4 (classic), 8, 15 (the 16-lane madd
+            // kernel's ceiling), 16 (forces the 8-lane i32 kernel).
+            for bits in [4u32, 8, 15, 16] {
+                let act = ActQuantizer::new(bits, 1.25);
+                assert_three_way_parity(&qm, &act, n, 1000 + rows as u64 * 31 + bits as u64);
+            }
+        }
+    }
+}
+
+#[test]
+fn kernel_parity_holds_for_zero_row_and_empty_matrices() {
+    let mut rng = TensorRng::seed_from(101);
+    let act = ActQuantizer::new(8, 1.0);
+    // rows = 0: nothing to compute, nothing to crash on.
+    let empty = QuantizedMatrix::from_float(&Tensor::zeros(&[0, 12]), &MsqPolicy::msq_half());
+    assert_three_way_parity(&empty, &act, 3, 7);
+    // rows = 1 with an explicit all-SP2 assignment.
+    let w = Tensor::randn(&[1, 40], &mut rng);
+    let one = QuantizedMatrix::from_float_with_assignment(
+        &w,
+        &RowAssignment::from_schemes(vec![Scheme::Sp2]),
+        4,
+    );
+    assert_three_way_parity(&one, &act, 2, 8);
+}
+
+#[test]
+fn kernel_parity_on_handpicked_mixed_row_assignments() {
+    // Alternating schemes row-by-row: packed SP2/P2/fixed rows coexist in
+    // one plan, each dispatching its own kernel.
+    let mut rng = TensorRng::seed_from(102);
+    let w = Tensor::randn(&[6, 50], &mut rng);
+    let qm = QuantizedMatrix::from_float_with_assignment(
+        &w,
+        &RowAssignment::from_schemes(vec![
+            Scheme::Sp2,
+            Scheme::Fixed,
+            Scheme::Pow2,
+            Scheme::Sp2,
+            Scheme::Fixed,
+            Scheme::Pow2,
+        ]),
+        4,
+    );
+    for bits in [4u32, 15, 16] {
+        let act = ActQuantizer::new(bits, 0.9);
+        assert_three_way_parity(&qm, &act, 6, 200 + bits as u64);
+    }
+}
+
+#[test]
+fn engine_conv_parity_with_nan_inf_images_at_1_2_host_threads() {
+    let mut rng = TensorRng::seed_from(103);
+    for geom in [
+        ConvGeometry::new(3, 8, 3, 1, 1),
+        ConvGeometry::new(2, 5, 3, 2, 0),
+        ConvGeometry::depthwise(4, 3, 1, 1),
+    ] {
+        let w = Tensor::randn(&[geom.out_channels, geom.gemm_k()], &mut rng);
+        let act = ActQuantizer::new(4, 1.2);
+        let conv = if geom.groups == 1 {
+            QuantizedConv::new(geom, &w, &MsqPolicy::msq_optimal(), act)
+        } else {
+            QuantizedConv::depthwise(geom, &w, &MsqPolicy::single(Scheme::Sp2, 4), act)
+        };
+        let images: Vec<Tensor> = (0..6)
+            .map(|_| {
+                let vals = adversarial_activations(&mut rng, geom.in_channels * 49, 1.2);
+                Tensor::from_vec(vals, &[geom.in_channels, 7, 7]).unwrap()
+            })
+            .collect();
+        for threads in [1, 2, host_threads()] {
+            let engine = BatchEngine::with_threads(threads);
+            let run = engine.forward_conv_batch(&conv, &images).expect("batch");
+            for (img, out) in images.iter().zip(&run.outputs) {
+                assert_eq!(
+                    out.as_slice(),
+                    conv.forward_image(img).as_slice(),
+                    "threads {threads}, groups {}",
+                    geom.groups
+                );
+            }
+        }
+    }
+}
+
+/// Satellite regression for the scratch-reuse staleness class: one worker
+/// runs batch 32 → 1 → 8 (and mixed image sizes) on the same engine, so
+/// every per-worker buffer is reused by a smaller workload right after a
+/// larger one. Each output must equal a fresh-scratch single-image run.
+#[test]
+fn shrinking_batches_on_one_worker_leave_no_stale_scratch() {
+    let mut rng = TensorRng::seed_from(104);
+    let mut model = mixmatch::nn::models::ResNet::new(
+        mixmatch::nn::models::ResNetConfig::mini(10).with_act_bits(4),
+        &mut rng,
+    );
+    let compiled =
+        QuantPipeline::for_device(FpgaTarget::new(FpgaDevice::XC7Z045).with_input_size(8))
+            .quantize(&mut model)
+            .expect("quantize resnet-mini");
+    let pool: Vec<Tensor> = (0..32)
+        .map(|_| Tensor::rand_uniform(compiled.plan().unwrap().input_dims(), 0.0, 1.2, &mut rng))
+        .collect();
+    let engine = BatchEngine::with_threads(1);
+    // Fresh-scratch references, one image at a time on throwaway engines.
+    let reference: Vec<Tensor> = pool
+        .iter()
+        .map(|img| {
+            let fresh = BatchEngine::with_threads(1);
+            fresh
+                .run_plan_batch(&compiled, std::slice::from_ref(img))
+                .expect("fresh run")
+                .outputs
+                .remove(0)
+        })
+        .collect();
+    for batch in [&pool[..32], &pool[..1], &pool[..8]] {
+        let run = engine.run_plan_batch(&compiled, batch).expect("batch");
+        for (i, out) in run.outputs.iter().enumerate() {
+            assert_eq!(
+                out.as_slice(),
+                reference[i].as_slice(),
+                "image {i} of a {}-image batch diverged after buffer reuse",
+                batch.len()
+            );
+        }
+    }
+    // Mixed spatial sizes through the per-layer conv path: a 9×9 image's
+    // scratch is reused by a 5×5 one, then 7×7, on the same worker.
+    let geom = ConvGeometry::new(3, 6, 3, 1, 1);
+    let w = Tensor::randn(&[6, geom.gemm_k()], &mut rng);
+    let conv = QuantizedConv::new(geom, &w, &MsqPolicy::msq_half(), ActQuantizer::new(4, 1.2));
+    for hw in [9usize, 5, 7] {
+        let img = Tensor::rand_uniform(&[3, hw, hw], 0.0, 1.2, &mut rng);
+        let run = engine
+            .forward_conv_batch(&conv, std::slice::from_ref(&img))
+            .expect("conv batch");
+        assert_eq!(
+            run.outputs[0].as_slice(),
+            conv.forward_image(&img).as_slice(),
+            "stale scratch after size change to {hw}×{hw}"
+        );
+    }
+}
+
+/// The packed deployment artifact plans to the same kernels: a matrix that
+/// round-trips through `pack()` must produce bit-identical outputs from
+/// its packed-bytes plan under both tiers.
+#[test]
+fn packed_artifact_plans_match_interpreter_under_both_tiers() {
+    let mut rng = TensorRng::seed_from(105);
+    let w = Tensor::randn(&[8, 45], &mut rng);
+    let qm = QuantizedMatrix::from_float(&w, &MsqPolicy::msq_half());
+    let packed = qm.pack();
+    let act = ActQuantizer::new(8, 1.0);
+    let x = adversarial_activations(&mut rng, 45 * 3, 1.0);
+    let xq = act.quantize(&x);
+    let (y_ref, ops_ref) = qm.matmul(&xq, 3, &act);
+    let plan = packed.try_plan().expect("plan from packed bytes");
+    assert_eq!(plan.packed_rows(), 8, "all 4-bit rows must stay packed");
+    for tier in [SimdTier::Scalar, detected_tier()] {
+        let tiered = plan.clone().with_tier(tier);
+        let mut out = vec![0.0f32; 8 * 3];
+        let mut scratch = Vec::new();
+        let ops = tiered.matmul_into(&xq, 3, &act, &mut out, &mut scratch);
+        assert_eq!(out, y_ref.as_slice(), "{tier:?}");
+        assert_eq!(ops, ops_ref, "{tier:?} ops");
+    }
+}
+
+/// Overflow satellite, end to end: a P2 codebook wide enough to wrap the
+/// accumulator must fail with the typed error through the public engine
+/// entry point — never wrap silently, never panic.
+#[test]
+fn engine_surfaces_typed_overflow_for_wide_pow2_codebooks() {
+    use mixmatch::quant::error::QuantError;
+    let mut rng = TensorRng::seed_from(106);
+    let w = Tensor::randn(&[4, 16], &mut rng);
+    let qm = QuantizedMatrix::from_float(&w, &MsqPolicy::single(Scheme::Pow2, 7));
+    let act = ActQuantizer::new(4, 1.0);
+    let engine = BatchEngine::with_threads(1);
+    let inputs = vec![Tensor::rand_uniform(&[16], 0.0, 1.0, &mut rng)];
+    match engine.forward_matrix_batch(&qm, &act, &inputs) {
+        Err(QuantError::Overflow(o)) => assert!(o.bound > o.limit),
+        other => panic!("expected typed Overflow, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn kernel_parity_on_random_shapes(
+        rows in 1usize..7,
+        cols in 1usize..90,
+        n in 1usize..7,
+        bits_idx in 0usize..4,
+        ratio in 0.0f32..1.0,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = TensorRng::seed_from(seed);
+        let w = Tensor::randn(&[rows, cols], &mut rng);
+        let policy = MsqPolicy::mixed(
+            mixmatch::quant::rowwise::PartitionRatio::new(ratio), 4);
+        let qm = QuantizedMatrix::from_float(&w, &policy);
+        let act = ActQuantizer::new([4u32, 8, 15, 16][bits_idx], 1.1);
+        let x = adversarial_activations(&mut rng, cols * n, act.clip);
+        let xq = act.quantize(&x);
+        let (y_ref, ops_ref) = qm.matmul(&xq, n, &act);
+        let plan = qm.try_plan().expect("plan");
+        for tier in [SimdTier::Scalar, detected_tier()] {
+            let tiered = plan.clone().with_tier(tier);
+            let mut out = vec![f32::NAN; rows * n];
+            let mut scratch = Vec::new();
+            let ops = tiered.matmul_into(&xq, n, &act, &mut out, &mut scratch);
+            prop_assert_eq!(&out[..], y_ref.as_slice(), "{:?}", tier);
+            prop_assert_eq!(ops, ops_ref);
+        }
+        // Depthwise primitive over the same matrix.
+        let mut expect_ops = OpCounts::default();
+        let mut expect = Vec::new();
+        for r in 0..rows {
+            let (y, o) = qm.matmul_row(r, &xq, n, &act);
+            expect.extend(y);
+            expect_ops = expect_ops.merge(o);
+        }
+        let mut got = vec![f32::NAN; rows * n];
+        let mut got_ops = OpCounts::default();
+        for r in 0..rows {
+            got_ops = got_ops.merge(
+                plan.row_matmul_into(r, &xq, n, &act, &mut got[r * n..(r + 1) * n]));
+        }
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(got_ops, expect_ops);
+    }
+}
