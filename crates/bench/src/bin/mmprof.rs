@@ -1,0 +1,218 @@
+//! `mmprof` — the plan profiler: runs a profiled batch through
+//! `BatchEngine::run_plan_profiled` and reports where the time went, step
+//! by step, next to the cycle simulator's prediction when the model is
+//! anchored to a hardware target.
+//!
+//! ```text
+//! mmprof --smoke                    # CI-sized resnet run
+//! mmprof --model resnet --batch 32  # fresh lowering, bigger batch
+//! mmprof model.mmcm                 # profile a shipped artifact
+//! mmprof --trace out.json ...       # chrome://tracing output path
+//! ```
+//!
+//! The run enables the tracing recorder, so alongside the flat per-step
+//! profile it writes a chrome://tracing file (default `BENCH_trace.json`)
+//! covering the engine's chunk fan-out and the pool's task spans — open it
+//! at `chrome://tracing` or `ui.perfetto.dev`. Stdout carries the
+//! [`PlanProfile`] table (measured µs/image, bytes moved, kernel tier,
+//! packed/dense row split, predicted µs and skew) plus the kernel-tier
+//! row counters from the global metrics registry. Exit status: 0 on
+//! success, 2 on usage or I/O errors.
+//!
+//! [`PlanProfile`]: mixmatch_quant::profile::PlanProfile
+
+use mixmatch_fpga::bridge::FpgaTarget;
+use mixmatch_fpga::device::FpgaDevice;
+use mixmatch_nn::layers::{Linear, Relu};
+use mixmatch_nn::models::{
+    MobileNetConfig, MobileNetV2, ResNet, ResNetConfig, YoloConfig, YoloDetector,
+};
+use mixmatch_nn::module::Sequential;
+use mixmatch_quant::engine::BatchEngine;
+use mixmatch_quant::export::import_compiled;
+use mixmatch_quant::msq::MsqPolicy;
+use mixmatch_quant::pipeline::{CompiledModel, QuantPipeline};
+use mixmatch_tensor::{Tensor, TensorRng};
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: mmprof [--smoke] [--batch N] [--trace FILE] [--model resnet|mlp|yolo|mobilenet] [ARTIFACT.mmcm]";
+
+/// Lowers and quantizes one of the known mini models (the same catalog
+/// `mmcheck --model` accepts).
+fn fresh_model(name: &str, input_hw: usize) -> Result<CompiledModel, String> {
+    let mut rng = TensorRng::seed_from(17);
+    let compiled = match name {
+        "resnet" => QuantPipeline::for_device(
+            FpgaTarget::new(FpgaDevice::XC7Z045).with_input_size(input_hw),
+        )
+        .quantize(&mut ResNet::new(
+            ResNetConfig::mini(10).with_act_bits(4),
+            &mut rng,
+        )),
+        "yolo" => QuantPipeline::for_device(FpgaTarget::new(FpgaDevice::XC7Z020))
+            .with_input_shape(&[3, 32, 32])
+            .quantize(&mut YoloDetector::new(YoloConfig::mini(3), &mut rng)),
+        "mobilenet" => QuantPipeline::for_device(FpgaTarget::new(FpgaDevice::XC7Z020))
+            .with_input_shape(&[3, 16, 16])
+            .quantize(&mut MobileNetV2::new(MobileNetConfig::mini(10), &mut rng)),
+        "mlp" => {
+            let mut model = Sequential::new();
+            model.push(Linear::with_name("fc1", 12, 20, true, &mut rng));
+            model.push(Relu::new());
+            model.push(Linear::with_name("fc2", 20, 4, false, &mut rng));
+            QuantPipeline::from_policy(MsqPolicy::msq_half()).quantize(&mut model)
+        }
+        other => {
+            return Err(format!(
+                "unknown --model {other:?} (want resnet|mlp|yolo|mobilenet)"
+            ))
+        }
+    };
+    compiled.map_err(|e| format!("model {name:?} failed to quantize: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut batch = if smoke { 8usize } else { 32 };
+    let mut trace_path = "BENCH_trace.json".to_string();
+    let mut model_name: Option<String> = None;
+    let mut artifact_path: Option<String> = None;
+    let mut it = args.iter().filter(|a| *a != "--smoke");
+    while let Some(arg) = it.next() {
+        let fail = |msg: String| {
+            eprintln!("mmprof: {msg}");
+            eprintln!("{USAGE}");
+        };
+        match arg.as_str() {
+            "--batch" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => batch = n,
+                _ => {
+                    fail("--batch needs a positive integer".to_string());
+                    return ExitCode::from(2);
+                }
+            },
+            "--trace" => match it.next() {
+                Some(path) => trace_path = path.clone(),
+                None => {
+                    fail("--trace needs a file path".to_string());
+                    return ExitCode::from(2);
+                }
+            },
+            "--model" => match it.next() {
+                Some(name) => model_name = Some(name.clone()),
+                None => {
+                    fail("--model needs a name".to_string());
+                    return ExitCode::from(2);
+                }
+            },
+            flag if flag.starts_with('-') => {
+                fail(format!("unknown flag {flag:?}"));
+                return ExitCode::from(2);
+            }
+            path => artifact_path = Some(path.to_string()),
+        }
+    }
+
+    let (label, compiled) = match (&artifact_path, &model_name) {
+        (Some(path), _) => {
+            let bytes = match std::fs::read(path) {
+                Ok(bytes) => bytes,
+                Err(e) => {
+                    eprintln!("mmprof: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match import_compiled(&bytes) {
+                Ok(compiled) => (path.clone(), compiled),
+                Err(e) => {
+                    eprintln!("mmprof: {path}: artifact rejected: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        (None, name) => {
+            let name = name.as_deref().unwrap_or("resnet");
+            let input_hw = if smoke { 8 } else { 16 };
+            match fresh_model(name, input_hw) {
+                Ok(compiled) => (format!("model:{name}"), compiled),
+                Err(e) => {
+                    eprintln!("mmprof: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let plan = match compiled.plan() {
+        Some(plan) => plan,
+        None => {
+            eprintln!("mmprof: {label} carries no execution plan");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Trace the profiled pass only: warmup noise stays out of the file.
+    let mut rng = TensorRng::seed_from(41);
+    let images: Vec<Tensor> = (0..batch)
+        .map(|_| Tensor::rand_uniform(plan.input_dims(), 0.0, 1.0, &mut rng))
+        .collect();
+    let engine = BatchEngine::new();
+    if let Err(e) = engine.run_plan(compiled.model(), plan, &images) {
+        eprintln!("mmprof: warmup failed: {e}");
+        return ExitCode::from(2);
+    }
+    mixmatch_obs::trace::enable(true);
+    let (_, profile) = match engine.run_plan_profiled(compiled.model(), plan, &images) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("mmprof: profiled run failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    mixmatch_obs::trace::enable(false);
+
+    println!(
+        "=== mmprof: {label} ({} layers, {} worker threads) ===\n",
+        compiled.layers().len(),
+        engine.threads()
+    );
+    print!("{profile}");
+
+    // Kernel dispatch visibility: the packed/dense row counters the engine
+    // bumped while compiling this plan's GEMMs.
+    let snapshot = mixmatch_obs::Registry::global().snapshot();
+    let mut tiers: Vec<String> = Vec::new();
+    for sample in &snapshot.samples {
+        if sample.name == "mixmatch_kernel_rows_total" {
+            if let mixmatch_obs::SampleValue::Counter(count) = sample.value {
+                let tier = sample
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "tier")
+                    .map(|(_, v)| v.as_str())
+                    .unwrap_or("?");
+                tiers.push(format!("{tier}={count}"));
+            }
+        }
+    }
+    if !tiers.is_empty() {
+        println!("\nkernel rows compiled: {}", tiers.join(" "));
+    }
+
+    let events = mixmatch_obs::trace::drain();
+    let trace = mixmatch_obs::chrome_trace(&events);
+    if let Err(e) = std::fs::write(&trace_path, &trace) {
+        eprintln!("mmprof: {trace_path}: {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "wrote {trace_path} ({} trace events; open at chrome://tracing)",
+        events.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -124,9 +124,32 @@ fn main() {
             stats.p99.as_secs_f64() * 1e3,
             stats.p999.as_secs_f64() * 1e3,
         );
+        // Where the latency went: queue wait until batch execution starts,
+        // the batcher's coalesce window, and the engine itself.
+        let mut stage_rows = String::new();
+        let mut stage_line = String::new();
+        for stage in &stats.stages {
+            let _ = write!(
+                stage_line,
+                " {} p95 {:.2} ms",
+                stage.stage,
+                stage.p95.as_secs_f64() * 1e3
+            );
+            let _ = write!(
+                stage_rows,
+                r#"{}"{}": {{"count": {}, "p50_ms": {:.3}, "p95_ms": {:.3}, "p99_ms": {:.3}}}"#,
+                if stage_rows.is_empty() { "" } else { ", " },
+                stage.stage,
+                stage.count,
+                stage.p50.as_secs_f64() * 1e3,
+                stage.p95.as_secs_f64() * 1e3,
+                stage.p99.as_secs_f64() * 1e3,
+            );
+        }
+        println!("    stage breakdown:{stage_line}");
         let _ = write!(
             rows,
-            r#"{}    {{"offered_images_per_sec": {offered:.1}, "capacity_fraction": {fraction}, "requests": {n_requests}, "achieved_images_per_sec": {achieved:.1}, "completed": {}, "rejected": {rejected}, "mean_batch": {:.2}, "p50_ms": {:.3}, "p95_ms": {:.3}, "p99_ms": {:.3}, "p999_ms": {:.3}}}"#,
+            r#"{}    {{"offered_images_per_sec": {offered:.1}, "capacity_fraction": {fraction}, "requests": {n_requests}, "achieved_images_per_sec": {achieved:.1}, "completed": {}, "rejected": {rejected}, "mean_batch": {:.2}, "p50_ms": {:.3}, "p95_ms": {:.3}, "p99_ms": {:.3}, "p999_ms": {:.3}, "stages": {{{stage_rows}}}}}"#,
             if rows.is_empty() { "" } else { ",\n" },
             stats.completed,
             stats.mean_batch,

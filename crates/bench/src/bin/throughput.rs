@@ -393,6 +393,39 @@ fn main() {
         );
     }
 
+    // Profiled series: the same optimized plan at batch 32 through
+    // `run_plan_profiled` — per-step wall time, bytes moved and kernel
+    // tier, next to the cycle simulator's per-step prediction. This is the
+    // measured-vs-predicted table the auto-tuner will search against.
+    let profile_images: Vec<Tensor> = (0..32)
+        .map(|_| Tensor::rand_uniform(&[3, input_hw, input_hw], 0.0, 1.0, &mut rng))
+        .collect();
+    let (_, profile) = engine
+        .run_plan_profiled(quantized.model(), plan, &profile_images)
+        .expect("profiled pass");
+    println!("\n{profile}");
+    let mut profile_rows = String::new();
+    for step in &profile.steps {
+        let _ = write!(
+            profile_rows,
+            r#"{}      {{"index": {}, "label": "{}", "us_per_image": {:.3}, "bytes_moved": {}, "tier": {}, "packed_rows": {}, "dense_rows": {}, "predicted_us_per_image": {}}}"#,
+            if profile_rows.is_empty() { "" } else { ",\n" },
+            step.index,
+            step.label,
+            step.measured_us_per_image(profile.images),
+            step.bytes_moved,
+            step.tier
+                .as_deref()
+                .map_or("null".to_string(), |t| format!("\"{t}\"")),
+            step.packed_rows,
+            step.dense_rows,
+            step.predicted.map_or("null".to_string(), |p| format!(
+                "{:.3}",
+                p.as_secs_f64() * 1e6
+            )),
+        );
+    }
+
     let speedup_of = |series: &[(usize, f64)]| {
         let at = |b: usize| {
             series
@@ -439,6 +472,14 @@ fn main() {
   "end_to_end_images_per_sec": [
 {e2e_rows}
   ],
+  "plan_profile": {{
+    "batch": 32,
+    "total_ms": {:.3},
+    "arena_high_water_bytes": {},
+    "steps": [
+{profile_rows}
+    ]
+  }},
   "plan_optimizer": {{
     "raw": {{"plan_steps": {}, "arena_high_water_bytes": {}}},
     "passes": [
@@ -466,6 +507,8 @@ fn main() {
         kgeom.kernel,
         kernel_act.bits,
         tier_name(detected_tier()),
+        profile.total.as_secs_f64() * 1e3,
+        profile.arena_high_water_bytes,
         raw_plan.steps().len(),
         4 * optimize::high_water_elems(&raw_plan),
     );

@@ -298,6 +298,40 @@ impl HardwareTarget for FpgaTarget {
     fn input_edge(&self) -> Option<usize> {
         Some(self.input_hw)
     }
+
+    /// Per-step predicted cost from the cycle simulator: each GEMM step is
+    /// lowered exactly as in [`FpgaTarget::network_for_plan`] (same shapes,
+    /// same order) and simulated alone; weight-free steps predict 0. This
+    /// is what `run_plan_profiled` puts in the `pred us` column, so the
+    /// measured-vs-simulated skew the auto-tuner needs is per step, not
+    /// per network.
+    fn predict_plan_step_us(
+        &self,
+        layers: &[QuantLayerDesc],
+        plan: &ExecutionPlan,
+    ) -> Option<Vec<f64>> {
+        if layers.is_empty() {
+            return None;
+        }
+        let net = self.network_for_plan("profiled model", layers, plan);
+        let mut ops = net.gemms.iter();
+        let us: Vec<f64> = plan
+            .steps()
+            .iter()
+            .map(|step| match step.op {
+                StepOp::Conv { .. }
+                | StepOp::FusedConv { .. }
+                | StepOp::Gemm { .. }
+                | StepOp::FusedGemm { .. } => {
+                    let op = ops.next().expect("one GemmOp per GEMM step");
+                    let perf = crate::sim::simulate_layer(op, &self.design, &self.sim);
+                    perf.total_cycles as f64 / self.design.freq_mhz as f64
+                }
+                _ => 0.0,
+            })
+            .collect();
+        Some(us)
+    }
 }
 
 /// A bare device is a target too: exploration runs with defaults, so
@@ -333,6 +367,14 @@ impl HardwareTarget for FpgaDevice {
 
     fn input_edge(&self) -> Option<usize> {
         FpgaTarget::new(*self).input_edge()
+    }
+
+    fn predict_plan_step_us(
+        &self,
+        layers: &[QuantLayerDesc],
+        plan: &ExecutionPlan,
+    ) -> Option<Vec<f64>> {
+        FpgaTarget::new(*self).predict_plan_step_us(layers, plan)
     }
 
     fn into_prepared(self) -> Box<dyn HardwareTarget> {

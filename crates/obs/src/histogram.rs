@@ -1,0 +1,148 @@
+//! Lock-free latency histogram with power-of-two microsecond buckets.
+//!
+//! Generalized out of `serve::metrics` so the engine, the pool, and the
+//! serving layer all share one latency type. Recording is a single relaxed
+//! atomic increment; snapshots are eventually consistent, which is fine for
+//! monitoring.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of buckets. Bucket `i` counts latencies in `[2^(i-1), 2^i)`
+/// microseconds (bucket 0 is everything under 1 µs), so the top bucket
+/// covers ~67 seconds and beyond.
+pub const BUCKETS: usize = 27;
+
+/// A fixed-bucket latency histogram safe for concurrent recording.
+///
+/// Buckets grow by powers of two in microseconds, giving roughly
+/// constant relative error across six orders of magnitude while keeping
+/// the whole structure a flat array of atomics.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+    sum_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.record_micros(us);
+    }
+
+    /// Records one observation given directly in microseconds.
+    pub fn record_micros(&self, us: u64) {
+        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded observations.
+    pub fn sum(&self) -> Duration {
+        Duration::from_micros(self.sum_us.load(Ordering::Relaxed))
+    }
+
+    /// Sum of all recorded observations, in microseconds.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the raw bucket counters.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (slot, count) in out.iter_mut().zip(&self.counts) {
+            *slot = count.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Upper bound of bucket `i` in microseconds (`2^i`).
+    pub fn bucket_upper_bound_us(i: usize) -> u64 {
+        1u64 << i.min(BUCKETS - 1)
+    }
+
+    /// Returns the latency at quantile `q` (0–100) as the upper bound of
+    /// the bucket containing that rank, or [`Duration::ZERO`] if nothing
+    /// was recorded.
+    pub fn percentile(&self, q: f64) -> Duration {
+        percentile_of(&self.bucket_counts(), q)
+    }
+}
+
+/// Shared percentile-over-buckets walk used by the live histogram and
+/// by [`crate::metrics::HistogramSnapshot`].
+pub(crate) fn percentile_of(counts: &[u64; BUCKETS], q: f64) -> Duration {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return Duration::ZERO;
+    }
+    let rank = ((total as f64) * (q / 100.0)).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, count) in counts.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return Duration::from_micros(LatencyHistogram::bucket_upper_bound_us(i));
+        }
+    }
+    Duration::from_micros(LatencyHistogram::bucket_upper_bound_us(BUCKETS - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_resolve_to_bucket_upper_bounds() {
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(Duration::from_micros(100)); // bucket [64, 128)
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(3)); // bucket [2048, 4096) µs
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile(50.0), Duration::from_micros(128));
+        assert_eq!(h.percentile(95.0), Duration::from_micros(4096));
+    }
+
+    #[test]
+    fn extreme_latencies_clamp_to_the_edge_buckets() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.percentile(50.0), Duration::from_micros(1));
+
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_secs(1_000_000));
+        assert_eq!(
+            h.percentile(50.0),
+            Duration::from_micros(1u64 << (BUCKETS - 1))
+        );
+    }
+
+    #[test]
+    fn empty_histogram_has_zero_percentiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(99.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn sum_accumulates_microseconds() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(10));
+        h.record(Duration::from_micros(30));
+        assert_eq!(h.sum(), Duration::from_micros(40));
+        assert_eq!(h.sum_micros(), 40);
+    }
+}

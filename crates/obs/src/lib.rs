@@ -1,0 +1,27 @@
+//! Observability layer for the Mix-and-Match reproduction: tracing spans,
+//! a unified metrics registry, and Prometheus text exposition — with zero
+//! external dependencies.
+//!
+//! Three pieces, used together or separately:
+//!
+//! - [`trace`] — thread-safe span/event recorder with per-thread buffers,
+//!   a bounded global ring, and a chrome://tracing JSON exporter.
+//! - [`Registry`] — named counters/gauges/histograms keyed by
+//!   `(name, labels)`, snapshottable and renderable as Prometheus text.
+//! - [`LatencyHistogram`] — the shared power-of-two-µs latency histogram
+//!   (generalized out of `serve::metrics`).
+//!
+//! Everything is safe to call from hot paths: instruments are plain
+//! relaxed atomics once resolved, and tracing is a single atomic check
+//! when disabled.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod metrics;
+pub mod trace;
+
+pub use histogram::{LatencyHistogram, BUCKETS};
+pub use metrics::{Counter, Gauge, HistogramSnapshot, Registry, Sample, SampleValue, Snapshot};
+pub use trace::{chrome_trace, span, EventKind, SpanGuard, TraceEvent};

@@ -1,0 +1,499 @@
+//! Unified metrics registry: named counters, gauges, and histograms with
+//! point-in-time snapshots and Prometheus text exposition.
+//!
+//! Instruments are keyed by `(name, sorted label pairs)` and handed out as
+//! `Arc`s, so hot paths resolve them once and then touch only atomics:
+//!
+//! ```
+//! use mixmatch_obs::Registry;
+//! let reg = Registry::new();
+//! let hits = reg.counter("cache_hits_total", &[("tier", "l1")]);
+//! hits.inc();
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("cache_hits_total", &[("tier", "l1")]), Some(1));
+//! assert!(reg.render_prometheus().contains("cache_hits_total{tier=\"l1\"} 1"));
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
+
+use crate::histogram::{LatencyHistogram, BUCKETS};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl Key {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Key {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<LatencyHistogram>),
+}
+
+/// The value of one metric series at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram bucket counts plus sum (boxed: the bucket array dwarfs
+    /// the scalar variants).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Raw (non-cumulative) per-bucket counts.
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations in microseconds.
+    pub sum_us: u64,
+}
+
+impl HistogramSnapshot {
+    fn from(h: &LatencyHistogram) -> Self {
+        let buckets = h.bucket_counts();
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            sum_us: h.sum_micros(),
+            buckets,
+        }
+    }
+
+    /// Quantile `q` (0–100) as a bucket upper bound, like
+    /// [`LatencyHistogram::percentile`]; [`Duration::ZERO`] when empty.
+    pub fn percentile(&self, q: f64) -> Duration {
+        crate::histogram::percentile_of(&self.buckets, q)
+    }
+}
+
+/// One metric series in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The value at snapshot time.
+    pub value: SampleValue,
+}
+
+/// A point-in-time copy of every registered metric.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// All series, ordered by `(name, labels)`.
+    pub samples: Vec<Sample>,
+}
+
+impl Snapshot {
+    fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Sample> {
+        let key = Key::new(name, labels);
+        self.samples
+            .iter()
+            .find(|s| s.name == key.name && s.labels == key.labels)
+    }
+
+    /// Looks up a counter series' value.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.find(name, labels)?.value {
+            SampleValue::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a gauge series' value.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        match self.find(name, labels)?.value {
+            SampleValue::Gauge(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a histogram series.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        match &self.find(name, labels)?.value {
+            SampleValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Difference `self - earlier` per series. Counters and histogram
+    /// buckets subtract saturating (a restarted counter clamps to 0);
+    /// gauges keep their current value. Series absent from `earlier`
+    /// pass through unchanged.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let samples = self
+            .samples
+            .iter()
+            .map(|s| {
+                let labels: Vec<(&str, &str)> = s
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                let value = match (&s.value, earlier.find(&s.name, &labels).map(|e| &e.value)) {
+                    (SampleValue::Counter(now), Some(SampleValue::Counter(then))) => {
+                        SampleValue::Counter(now.saturating_sub(*then))
+                    }
+                    (SampleValue::Histogram(now), Some(SampleValue::Histogram(then))) => {
+                        let mut buckets = [0u64; BUCKETS];
+                        for (i, slot) in buckets.iter_mut().enumerate() {
+                            *slot = now.buckets[i].saturating_sub(then.buckets[i]);
+                        }
+                        SampleValue::Histogram(Box::new(HistogramSnapshot {
+                            count: buckets.iter().sum(),
+                            sum_us: now.sum_us.saturating_sub(then.sum_us),
+                            buckets,
+                        }))
+                    }
+                    (value, _) => value.clone(),
+                };
+                Sample {
+                    name: s.name.clone(),
+                    labels: s.labels.clone(),
+                    value,
+                }
+            })
+            .collect();
+        Snapshot { samples }
+    }
+}
+
+/// A registry of named metric instruments.
+///
+/// `Registry::global()` is the process-wide registry every subsystem
+/// reports into and the `METRICS` wire verb renders; `Registry::new()`
+/// builds an isolated one for tests.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<Key, Instrument>>,
+}
+
+impl Registry {
+    /// Creates an empty, isolated registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn get_or_insert(&self, key: Key, make: impl FnOnce() -> Instrument) -> Instrument {
+        if let Some(found) = self.metrics.read().expect("registry poisoned").get(&key) {
+            return found.clone();
+        }
+        let mut metrics = self.metrics.write().expect("registry poisoned");
+        metrics.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Gets or creates the counter named `name` with the given labels.
+    ///
+    /// If the series exists under a different instrument kind, a detached
+    /// counter is returned so the caller never panics; the registered
+    /// series keeps its original kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = Key::new(name, labels);
+        match self.get_or_insert(key, || Instrument::Counter(Arc::new(Counter::new()))) {
+            Instrument::Counter(c) => c,
+            _ => Arc::new(Counter::new()),
+        }
+    }
+
+    /// Gets or creates the gauge named `name` with the given labels.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = Key::new(name, labels);
+        match self.get_or_insert(key, || Instrument::Gauge(Arc::new(Gauge::new()))) {
+            Instrument::Gauge(g) => g,
+            _ => Arc::new(Gauge::new()),
+        }
+    }
+
+    /// Gets or creates the histogram named `name` with the given labels.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<LatencyHistogram> {
+        let key = Key::new(name, labels);
+        match self.get_or_insert(key, || {
+            Instrument::Histogram(Arc::new(LatencyHistogram::new()))
+        }) {
+            Instrument::Histogram(h) => h,
+            _ => Arc::new(LatencyHistogram::new()),
+        }
+    }
+
+    /// Captures a point-in-time [`Snapshot`] of every registered series.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.read().expect("registry poisoned");
+        let samples = metrics
+            .iter()
+            .map(|(key, instrument)| Sample {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: match instrument {
+                    Instrument::Counter(c) => SampleValue::Counter(c.get()),
+                    Instrument::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => {
+                        SampleValue::Histogram(Box::new(HistogramSnapshot::from(h)))
+                    }
+                },
+            })
+            .collect();
+        Snapshot { samples }
+    }
+
+    /// Renders every registered series in the Prometheus text exposition
+    /// format. Histogram buckets are cumulative with `le` bounds in
+    /// seconds; `_sum` is in seconds as well.
+    pub fn render_prometheus(&self) -> String {
+        let snapshot = self.snapshot();
+        let mut out = String::new();
+        let mut last_name: Option<(&str, &str)> = None;
+        for sample in &snapshot.samples {
+            let kind = match sample.value {
+                SampleValue::Counter(_) => "counter",
+                SampleValue::Gauge(_) => "gauge",
+                SampleValue::Histogram(_) => "histogram",
+            };
+            if last_name != Some((sample.name.as_str(), kind)) {
+                out.push_str(&format!("# TYPE {} {}\n", sample.name, kind));
+                last_name = Some((sample.name.as_str(), kind));
+            }
+            match &sample.value {
+                SampleValue::Counter(v) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        sample.name,
+                        render_labels(&sample.labels, None),
+                        v
+                    ));
+                }
+                SampleValue::Gauge(v) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        sample.name,
+                        render_labels(&sample.labels, None),
+                        v
+                    ));
+                }
+                SampleValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (i, count) in h.buckets.iter().enumerate() {
+                        cumulative += count;
+                        let le_seconds = LatencyHistogram::bucket_upper_bound_us(i) as f64 / 1e6;
+                        let le = format!("{le_seconds}");
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            sample.name,
+                            render_labels(&sample.labels, Some(&le)),
+                            cumulative
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        sample.name,
+                        render_labels(&sample.labels, Some("+Inf")),
+                        h.count
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        sample.name,
+                        render_labels(&sample.labels, None),
+                        h.sum_us as f64 / 1e6
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        sample.name,
+                        render_labels(&sample.labels, None),
+                        h.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("{}=\"{}\"", k, escape_label(v)));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&format!("le=\"{le}\""));
+    }
+    out.push('}');
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once_and_accumulate() {
+        let reg = Registry::new();
+        let a = reg.counter("hits_total", &[("tier", "l1")]);
+        let b = reg.counter("hits_total", &[("tier", "l1")]);
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        let g = reg.gauge("depth", &[]);
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("hits_total", &[("tier", "l1")]), Some(4));
+        assert_eq!(snap.gauge("depth", &[]), Some(3));
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let reg = Registry::new();
+        reg.counter("m", &[("a", "1"), ("b", "2")]).inc();
+        reg.counter("m", &[("b", "2"), ("a", "1")]).inc();
+        assert_eq!(
+            reg.snapshot().counter("m", &[("b", "2"), ("a", "1")]),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn kind_mismatch_returns_detached_instrument() {
+        let reg = Registry::new();
+        reg.counter("mixed", &[]).inc();
+        let gauge = reg.gauge("mixed", &[]);
+        gauge.set(99);
+        // Registered series stays a counter with its original value.
+        assert_eq!(reg.snapshot().counter("mixed", &[]), Some(1));
+        assert_eq!(reg.snapshot().gauge("mixed", &[]), None);
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_counters_and_histograms() {
+        let reg = Registry::new();
+        let c = reg.counter("work_total", &[]);
+        let h = reg.histogram("lat", &[]);
+        c.add(5);
+        h.record(Duration::from_micros(100));
+        let before = reg.snapshot();
+        c.add(7);
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_millis(2));
+        let after = reg.snapshot();
+        let delta = after.delta(&before);
+        assert_eq!(delta.counter("work_total", &[]), Some(7));
+        let hd = delta.histogram("lat", &[]).unwrap();
+        assert_eq!(hd.count, 2);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let reg = Registry::new();
+        reg.counter("reqs_total", &[("model", "mlp")]).add(2);
+        reg.gauge("queue_depth", &[]).set(4);
+        reg.histogram("lat_seconds", &[("stage", "execute")])
+            .record(Duration::from_micros(100));
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE reqs_total counter\n"));
+        assert!(text.contains("reqs_total{model=\"mlp\"} 2\n"));
+        assert!(text.contains("# TYPE queue_depth gauge\n"));
+        assert!(text.contains("queue_depth 4\n"));
+        assert!(text.contains("# TYPE lat_seconds histogram\n"));
+        assert!(text.contains("lat_seconds_bucket{stage=\"execute\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("lat_seconds_count{stage=\"execute\"} 1\n"));
+        // One observation of 100 µs lands in the [64, 128) µs bucket, so
+        // every cumulative bucket at or above 128 µs reports 1.
+        assert!(text.contains("lat_seconds_bucket{stage=\"execute\",le=\"0.000128\"} 1\n"));
+    }
+}

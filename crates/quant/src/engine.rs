@@ -52,10 +52,12 @@ use crate::error::QuantError;
 use crate::graph::{self, Epilogue, ExecutionPlan, StepOp};
 use crate::integer::{ActQuantizer, GemmPlan, QuantizedMatrix};
 use crate::pipeline::{CompiledModel, DeployForm, QuantizedLayer, QuantizedModel};
+use crate::profile::{PlanProfile, StepProfile};
 use mixmatch_nn::quantize::QuantLayerKind;
 use mixmatch_tensor::arena::BufferArena;
 use mixmatch_tensor::im2col::{im2col_patches_into, ConvGeometry};
 use mixmatch_tensor::pool::WorkerPool;
+use mixmatch_tensor::simd::SimdTier;
 use mixmatch_tensor::{Tensor, TensorRng};
 
 /// Result of one batched pass: per-input outputs plus the aggregate
@@ -223,6 +225,7 @@ impl BatchEngine {
         }
         let plan = conv.matrix().try_plan()?;
         plan.check_act(&act)?;
+        note_kernel_rows(&plan);
         let ops = self.dispatch(images, &mut outputs, |image, out, scratch| {
             conv_image_planned(&plan, &geom, &act, image, out, scratch, None)
         });
@@ -256,6 +259,7 @@ impl BatchEngine {
         let mut outputs: Vec<Tensor> = inputs.iter().map(|_| Tensor::zeros(&[rows])).collect();
         let plan = matrix.try_plan()?;
         plan.check_act(&act)?;
+        note_kernel_rows(&plan);
         let ops = self.dispatch(inputs, &mut outputs, |input, out, scratch| {
             act.quantize_into(input.as_slice(), &mut scratch.quantized);
             plan.matmul_into(
@@ -360,111 +364,73 @@ impl BatchEngine {
         plan: &ExecutionPlan,
         images: &[Tensor],
     ) -> Result<BatchRun, QuantError> {
-        // Debug builds re-prove the plan's model-independent invariants
-        // (SSA, buffer liveness, weight-free shape flow, reachability) once
-        // per batch. Structural-only on purpose: plan-vs-model pairing is
-        // validated below with typed errors, which callers rely on.
-        #[cfg(debug_assertions)]
-        {
-            let report = crate::verify::verify_plan(plan);
-            debug_assert!(report.is_clean(), "{report}");
-        }
-        for image in images {
-            if image.dims() != plan.input_dims() {
-                return Err(QuantError::ShapeMismatch {
-                    context: "plan input shape mismatch".into(),
-                    expected: plan.input_dims().to_vec(),
-                    got: image.dims().to_vec(),
-                });
-            }
-        }
-        // Resolve and validate every GEMM step once (including its shape
-        // flow against this model's geometry — a plan paired with the
-        // wrong model must fail typed here, not panic in a worker),
-        // compiling each referenced layer's row plan a single time for the
-        // whole batch.
-        let mut gemm_plans: Vec<Option<GemmPlan>> = vec![None; model.layers().len()];
-        let mut dims: Vec<Option<&[usize]>> = vec![None; plan.buffer_sizes().len()];
-        dims[plan.input_buffer()] = Some(plan.input_dims());
-        for step in plan.steps() {
-            // Fused steps follow their base op's contract, except a fused
-            // GEMM reads its source flat: any shape with `cols` elements.
-            let resolved = match step.op {
-                StepOp::Conv { layer } | StepOp::FusedConv { layer, .. } => {
-                    Some((layer, GemmFlavor::Conv))
-                }
-                StepOp::Gemm { layer } => Some((layer, GemmFlavor::Strict)),
-                StepOp::FusedGemm { layer, .. } => Some((layer, GemmFlavor::Flat)),
-                _ => None,
-            };
-            if let Some((layer, flavor)) = resolved {
-                let l = model
-                    .layers()
-                    .get(layer)
-                    .ok_or_else(|| QuantError::MissingParam {
-                        name: format!("plan layer #{layer}"),
-                    })?;
-                let src = dims[step.srcs[0]].unwrap_or(&[]);
-                let flow_ok = match (&l.form, flavor) {
-                    (DeployForm::Conv(conv), GemmFlavor::Conv) => {
-                        let geom = conv.geometry();
-                        // `checked_output_size` so a plan whose flow shrank
-                        // a map below the kernel fails typed, not by panic.
-                        src.len() == 3
-                            && src[0] == geom.in_channels
-                            && geom
-                                .checked_output_size(src[1])
-                                .zip(geom.checked_output_size(src[2]))
-                                .is_some_and(|(oh, ow)| step.dims == [geom.out_channels, oh, ow])
-                    }
-                    (DeployForm::Matrix(m), GemmFlavor::Strict) => {
-                        src == [m.cols()] && step.dims == [m.rows()]
-                    }
-                    (DeployForm::Matrix(m), GemmFlavor::Flat) => {
-                        src.iter().try_fold(1usize, |a, &d| a.checked_mul(d)) == Some(m.cols())
-                            && step.dims == [m.rows()]
-                    }
-                    _ => false,
-                };
-                if !flow_ok {
-                    return Err(QuantError::Geometry {
-                        context: format!(
-                            "plan step disagrees with layer {} (form or shapes)",
-                            l.desc.name
-                        ),
-                    });
-                }
-                if gemm_plans[layer].is_none() {
-                    // Typed overflow errors surface here, before fan-out:
-                    // the plan must be representable, and the layer's
-                    // activation ceiling must provably fit the accumulator.
-                    let gemm = l.matrix().try_plan()?;
-                    let layer_act = match &l.form {
-                        DeployForm::Conv(conv) => conv.act_quantizer(),
-                        DeployForm::Matrix(_) => model.act_quantizer(),
-                    };
-                    gemm.check_act(layer_act)?;
-                    gemm_plans[layer] = Some(gemm);
-                }
-            }
-            dims[step.dst] = Some(&step.dims);
-        }
+        let gemm_plans = validate_and_compile(model, plan, images)?;
+        Ok(self.execute_plan(model, plan, &gemm_plans, images, None))
+    }
+
+    /// [`BatchEngine::run_plan`] with per-step clocks: the same validated
+    /// fan-out and bit-identical outputs, plus a [`PlanProfile`] that
+    /// attributes the batch's time to individual plan steps (and diffs it
+    /// against the anchored hardware target's predicted per-step cost when
+    /// the model carries one). The only runtime difference is one
+    /// monotonic-clock read pair around each step.
+    ///
+    /// # Errors
+    ///
+    /// Exactly what [`BatchEngine::run_plan`] returns.
+    pub fn run_plan_profiled(
+        &self,
+        model: &QuantizedModel,
+        plan: &ExecutionPlan,
+        images: &[Tensor],
+    ) -> Result<(BatchRun, PlanProfile), QuantError> {
+        let gemm_plans = validate_and_compile(model, plan, images)?;
+        let mut step_nanos = vec![0u64; plan.steps().len()];
+        let start = std::time::Instant::now();
+        let run = self.execute_plan(model, plan, &gemm_plans, images, Some(&mut step_nanos));
+        let total = start.elapsed();
+        let profile = build_profile(model, plan, &gemm_plans, images.len(), &step_nanos, total);
+        Ok((run, profile))
+    }
+
+    /// The shared plan fan-out: contiguous image chunks over the pool, one
+    /// arena + scratch set per chunk. With `step_nanos`, each chunk clocks
+    /// every plan step and the per-chunk clocks are summed (CPU time
+    /// across workers) after the barrier.
+    fn execute_plan(
+        &self,
+        model: &QuantizedModel,
+        plan: &ExecutionPlan,
+        gemm_plans: &[Option<GemmPlan>],
+        images: &[Tensor],
+        step_nanos: Option<&mut [u64]>,
+    ) -> BatchRun {
         let act = *model.act_quantizer();
         let mut outputs: Vec<Tensor> = images
             .iter()
             .map(|_| Tensor::zeros(plan.output_dims()))
             .collect();
         if images.is_empty() {
-            return Ok(BatchRun {
+            return BatchRun {
                 outputs,
                 ops: OpCounts::default(),
-            });
+            };
         }
+        let profiling = step_nanos.is_some();
+        let nsteps = plan.steps().len();
         let chunk = images.len().div_ceil(self.pool().threads()).max(1);
         let chunks = images.len().div_ceil(chunk);
         let mut chunk_ops = vec![OpCounts::default(); chunks];
+        let mut chunk_clocks: Vec<Vec<u64>> = (0..chunks)
+            .map(|_| {
+                if profiling {
+                    vec![0u64; nsteps]
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
         {
-            let gemm_plans = &gemm_plans;
             // Workers capture only the layer forms — the model's hardware
             // target box is never touched on this path.
             let layers = model.layers();
@@ -472,8 +438,10 @@ impl BatchEngine {
                 .chunks(chunk)
                 .zip(outputs.chunks_mut(chunk))
                 .zip(chunk_ops.iter_mut())
-                .map(|((ins, outs), ops_slot)| {
+                .zip(chunk_clocks.iter_mut())
+                .map(|(((ins, outs), ops_slot), clock_slot)| {
                     Box::new(move || {
+                        let _span = mixmatch_obs::trace::span("engine", "plan_chunk");
                         let mut arena = BufferArena::with_sizes(plan.buffer_sizes());
                         let mut scratch = ConvScratch::default();
                         let mut ops = OpCounts::default();
@@ -487,6 +455,11 @@ impl BatchEngine {
                                 out,
                                 &mut arena,
                                 &mut scratch,
+                                if profiling {
+                                    Some(clock_slot.as_mut_slice())
+                                } else {
+                                    None
+                                },
                             ));
                         }
                         *ops_slot = ops;
@@ -495,12 +468,19 @@ impl BatchEngine {
                 .collect();
             self.pool().run(tasks);
         }
-        Ok(BatchRun {
+        if let Some(step_nanos) = step_nanos {
+            for clocks in &chunk_clocks {
+                for (slot, v) in step_nanos.iter_mut().zip(clocks) {
+                    *slot += v;
+                }
+            }
+        }
+        BatchRun {
             outputs,
             ops: chunk_ops
                 .into_iter()
                 .fold(OpCounts::default(), OpCounts::merge),
-        })
+        }
     }
 
     /// Fans `(input, output)` pairs out over the pool in contiguous chunks
@@ -538,6 +518,215 @@ impl BatchEngine {
         chunk_ops
             .into_iter()
             .fold(OpCounts::default(), OpCounts::merge)
+    }
+}
+
+/// Validates a plan against a model and batch before any fan-out, and
+/// compiles each referenced layer's GEMM row plan exactly once.
+///
+/// Debug builds first re-prove the plan's model-independent invariants
+/// (SSA, buffer liveness, weight-free shape flow, reachability).
+/// Structural-only on purpose: plan-vs-model pairing is validated here
+/// with typed errors, which callers rely on. Every image must match the
+/// plan's input shape, and every GEMM step's shape flow must agree with
+/// this model's geometry — a plan paired with the wrong model fails typed
+/// here, never by panic in a worker.
+fn validate_and_compile(
+    model: &QuantizedModel,
+    plan: &ExecutionPlan,
+    images: &[Tensor],
+) -> Result<Vec<Option<GemmPlan>>, QuantError> {
+    #[cfg(debug_assertions)]
+    {
+        let report = crate::verify::verify_plan(plan);
+        debug_assert!(report.is_clean(), "{report}");
+    }
+    for image in images {
+        if image.dims() != plan.input_dims() {
+            return Err(QuantError::ShapeMismatch {
+                context: "plan input shape mismatch".into(),
+                expected: plan.input_dims().to_vec(),
+                got: image.dims().to_vec(),
+            });
+        }
+    }
+    let mut gemm_plans: Vec<Option<GemmPlan>> = vec![None; model.layers().len()];
+    let mut dims: Vec<Option<&[usize]>> = vec![None; plan.buffer_sizes().len()];
+    dims[plan.input_buffer()] = Some(plan.input_dims());
+    for step in plan.steps() {
+        // Fused steps follow their base op's contract, except a fused
+        // GEMM reads its source flat: any shape with `cols` elements.
+        let resolved = match step.op {
+            StepOp::Conv { layer } | StepOp::FusedConv { layer, .. } => {
+                Some((layer, GemmFlavor::Conv))
+            }
+            StepOp::Gemm { layer } => Some((layer, GemmFlavor::Strict)),
+            StepOp::FusedGemm { layer, .. } => Some((layer, GemmFlavor::Flat)),
+            _ => None,
+        };
+        if let Some((layer, flavor)) = resolved {
+            let l = model
+                .layers()
+                .get(layer)
+                .ok_or_else(|| QuantError::MissingParam {
+                    name: format!("plan layer #{layer}"),
+                })?;
+            let src = dims[step.srcs[0]].unwrap_or(&[]);
+            let flow_ok = match (&l.form, flavor) {
+                (DeployForm::Conv(conv), GemmFlavor::Conv) => {
+                    let geom = conv.geometry();
+                    // `checked_output_size` so a plan whose flow shrank
+                    // a map below the kernel fails typed, not by panic.
+                    src.len() == 3
+                        && src[0] == geom.in_channels
+                        && geom
+                            .checked_output_size(src[1])
+                            .zip(geom.checked_output_size(src[2]))
+                            .is_some_and(|(oh, ow)| step.dims == [geom.out_channels, oh, ow])
+                }
+                (DeployForm::Matrix(m), GemmFlavor::Strict) => {
+                    src == [m.cols()] && step.dims == [m.rows()]
+                }
+                (DeployForm::Matrix(m), GemmFlavor::Flat) => {
+                    src.iter().try_fold(1usize, |a, &d| a.checked_mul(d)) == Some(m.cols())
+                        && step.dims == [m.rows()]
+                }
+                _ => false,
+            };
+            if !flow_ok {
+                return Err(QuantError::Geometry {
+                    context: format!(
+                        "plan step disagrees with layer {} (form or shapes)",
+                        l.desc.name
+                    ),
+                });
+            }
+            if gemm_plans[layer].is_none() {
+                // Typed overflow errors surface here, before fan-out:
+                // the plan must be representable, and the layer's
+                // activation ceiling must provably fit the accumulator.
+                let gemm = l.matrix().try_plan()?;
+                let layer_act = match &l.form {
+                    DeployForm::Conv(conv) => conv.act_quantizer(),
+                    DeployForm::Matrix(_) => model.act_quantizer(),
+                };
+                gemm.check_act(layer_act)?;
+                note_kernel_rows(&gemm);
+                gemm_plans[layer] = Some(gemm);
+            }
+        }
+        dims[step.dst] = Some(&step.dims);
+    }
+    Ok(gemm_plans)
+}
+
+/// Reports a freshly compiled GEMM plan's row layout to the global
+/// metrics registry as `mixmatch_kernel_rows_total{tier=...}`: packed
+/// rows under the selected SIMD tier, dense-fallback rows under `dense`.
+/// This makes a silent drop to scalar dispatch (a `MIXMATCH_FORCE_SCALAR`
+/// leak, a CPU without AVX2) observable on the metrics page.
+fn note_kernel_rows(plan: &GemmPlan) {
+    let reg = mixmatch_obs::Registry::global();
+    let tier = match plan.tier() {
+        SimdTier::Avx2 => "avx2",
+        SimdTier::Scalar => "scalar",
+    };
+    let packed = plan.packed_rows() as u64;
+    let dense = plan.rows() as u64 - packed;
+    if packed > 0 {
+        reg.counter("mixmatch_kernel_rows_total", &[("tier", tier)])
+            .add(packed);
+    }
+    if dense > 0 {
+        reg.counter("mixmatch_kernel_rows_total", &[("tier", "dense")])
+            .add(dense);
+    }
+}
+
+/// Assembles the [`PlanProfile`] for one profiled batch: step labels from
+/// the op kind + layer name, bytes moved from the dims flow (src reads +
+/// dst writes × 4 bytes × images), kernel tier/row split from the
+/// compiled GEMM plans, and the cycle simulator's predicted per-image
+/// cost per step when the model is anchored to a target that models one.
+fn build_profile(
+    model: &QuantizedModel,
+    plan: &ExecutionPlan,
+    gemm_plans: &[Option<GemmPlan>],
+    images: usize,
+    step_nanos: &[u64],
+    total: std::time::Duration,
+) -> PlanProfile {
+    let layers = model.layers();
+    let predicted = model.predict_plan_step_us(plan);
+    let mut elems: Vec<usize> = vec![0; plan.buffer_sizes().len()];
+    elems[plan.input_buffer()] = plan.input_dims().iter().product();
+    let steps = plan
+        .steps()
+        .iter()
+        .enumerate()
+        .map(|(i, step)| {
+            let src_elems: usize = step.srcs.iter().map(|&s| elems[s]).sum();
+            let dst_elems: usize = step.dims.iter().product();
+            elems[step.dst] = dst_elems;
+            let gemm = match step.op {
+                StepOp::Conv { layer }
+                | StepOp::FusedConv { layer, .. }
+                | StepOp::Gemm { layer }
+                | StepOp::FusedGemm { layer, .. } => {
+                    Some((layer, gemm_plans[layer].as_ref().expect("compiled")))
+                }
+                _ => None,
+            };
+            let label = match step.op {
+                StepOp::Conv { layer } => format!("conv {}", layers[layer].desc.name),
+                StepOp::FusedConv { layer, .. } => {
+                    format!("fused-conv {}", layers[layer].desc.name)
+                }
+                StepOp::Gemm { layer } => format!("gemm {}", layers[layer].desc.name),
+                StepOp::FusedGemm { layer, .. } => {
+                    format!("fused-gemm {}", layers[layer].desc.name)
+                }
+                StepOp::Pool(_) => "pool".to_string(),
+                StepOp::Activation(_) => "activation".to_string(),
+                StepOp::ResidualAdd => "residual-add".to_string(),
+                StepOp::Flatten => "flatten".to_string(),
+                StepOp::Requantize => "requantize".to_string(),
+            };
+            let (tier, packed_rows, dense_rows) = match gemm {
+                Some((_, g)) => {
+                    let tier = match g.tier() {
+                        SimdTier::Avx2 => "avx2",
+                        SimdTier::Scalar => "scalar",
+                    };
+                    (
+                        Some(tier.to_string()),
+                        g.packed_rows(),
+                        g.rows() - g.packed_rows(),
+                    )
+                }
+                None => (None, 0, 0),
+            };
+            StepProfile {
+                index: i,
+                label,
+                wall: std::time::Duration::from_nanos(step_nanos[i]),
+                bytes_moved: ((src_elems + dst_elems) * 4) as u64 * images as u64,
+                tier,
+                packed_rows,
+                dense_rows,
+                predicted: predicted
+                    .as_ref()
+                    .and_then(|p| p.get(i))
+                    .filter(|us| **us > 0.0)
+                    .map(|us| std::time::Duration::from_secs_f64(us / 1e6)),
+            }
+        })
+        .collect();
+    PlanProfile {
+        steps,
+        images,
+        total,
+        arena_high_water_bytes: plan.buffer_sizes().iter().sum::<usize>() as u64 * 4,
     }
 }
 
@@ -612,7 +801,9 @@ fn conv_image_planned(
 /// One image through every plan step: load the input buffer, execute steps
 /// over the arena's split borrows, copy the output buffer out. All layer
 /// indices and shapes were validated before the fan-out, so this path is
-/// infallible.
+/// infallible. With `clock`, each step's elapsed nanoseconds accumulate
+/// into the matching slot — the only difference on the profiled path, so
+/// outputs stay bit-identical.
 #[allow(clippy::too_many_arguments)]
 fn run_plan_single(
     layers: &[QuantizedLayer],
@@ -623,13 +814,15 @@ fn run_plan_single(
     out: &mut Tensor,
     arena: &mut BufferArena,
     scratch: &mut ConvScratch,
+    mut clock: Option<&mut [u64]>,
 ) -> OpCounts {
     arena
         .buffer_mut(plan.input_buffer(), image.dims())
         .as_mut_slice()
         .copy_from_slice(image.as_slice());
     let mut ops = OpCounts::default();
-    for step in plan.steps() {
+    for (si, step) in plan.steps().iter().enumerate() {
+        let t0 = clock.is_some().then(std::time::Instant::now);
         match step.op {
             StepOp::Conv { layer } => {
                 let conv = match &layers[layer].form {
@@ -715,6 +908,9 @@ fn run_plan_single(
                     Some(&epilogue),
                 ));
             }
+        }
+        if let (Some(clock), Some(t0)) = (clock.as_deref_mut(), t0) {
+            clock[si] += t0.elapsed().as_nanos() as u64;
         }
     }
     out.as_mut_slice()

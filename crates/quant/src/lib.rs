@@ -75,6 +75,7 @@ pub mod integer;
 pub mod msq;
 pub mod optimize;
 pub mod pipeline;
+pub mod profile;
 pub mod qat;
 pub mod rowwise;
 pub mod schemes;

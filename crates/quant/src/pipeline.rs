@@ -106,6 +106,21 @@ pub trait HardwareTarget: Send + Sync {
         self.summarize_batch(layers, batch)
     }
 
+    /// Predicted per-image cost of each plan step, in microseconds —
+    /// the cycle simulator's per-layer attribution mapped back onto plan
+    /// step order, so a measured [`PlanProfile`](crate::profile::PlanProfile)
+    /// can be diffed against the model the auto-tuner will search with.
+    /// Weight-free steps (pool, activation, copies) report `0.0`. The
+    /// default declines.
+    fn predict_plan_step_us(
+        &self,
+        layers: &[QuantLayerDesc],
+        plan: &ExecutionPlan,
+    ) -> Option<Vec<f64>> {
+        let _ = (layers, plan);
+        None
+    }
+
     /// The square input feature-map edge this target assumes for
     /// convolutional workloads, when it models one — the pipeline uses it
     /// to pick the plan-compilation input shape. The default declines.
@@ -636,6 +651,16 @@ impl QuantizedModel {
         self.target
             .as_ref()
             .and_then(|t| t.summarize_plan(&descs, plan, batch))
+    }
+
+    /// Predicted per-image microseconds for each of `plan`'s steps from
+    /// the anchored target ([`HardwareTarget::predict_plan_step_us`]), or
+    /// `None` without a target (or one with no per-step model).
+    pub fn predict_plan_step_us(&self, plan: &ExecutionPlan) -> Option<Vec<f64>> {
+        let descs = self.layer_descs();
+        self.target
+            .as_ref()
+            .and_then(|t| t.predict_plan_step_us(&descs, plan))
     }
 
     /// The lowered dataflow graph captured at packaging time, when the

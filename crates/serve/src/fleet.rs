@@ -161,6 +161,9 @@ impl Replica {
 struct FleetRequest {
     model: String,
     image: Tensor,
+    /// When the fleet admitted the request; admission → replica handoff is
+    /// the `route` lifecycle stage.
+    admitted: Instant,
     reply: mpsc::Sender<RoutedReply>,
 }
 
@@ -374,6 +377,7 @@ impl FleetServer {
         let request = FleetRequest {
             model: model.to_string(),
             image,
+            admitted: Instant::now(),
             reply: reply_tx,
         };
         let queue = self.queue.lock().expect("fleet queue poisoned");
@@ -557,10 +561,19 @@ fn forward(replica: &Arc<Replica>, request: FleetRequest) -> Result<(), FleetReq
     let FleetRequest {
         model,
         image,
+        admitted,
         reply,
     } = request;
     match replica.server.infer_reclaim(&model, image) {
         Ok(pending) => {
+            // The request is now on a replica: fleet admission → handoff is
+            // the `route` stage on the shared Prometheus page.
+            mixmatch_obs::Registry::global()
+                .histogram(
+                    crate::metrics::STAGE_METRIC,
+                    &[("model", &model), ("stage", "route")],
+                )
+                .record(admitted.elapsed());
             let _ = reply.send(RoutedReply::Routed {
                 replica: Arc::clone(replica),
                 pending,
@@ -574,6 +587,7 @@ fn forward(replica: &Arc<Replica>, request: FleetRequest) -> Result<(), FleetReq
             Err(FleetRequest {
                 model,
                 image,
+                admitted,
                 reply,
             })
         }

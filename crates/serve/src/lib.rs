@@ -83,6 +83,6 @@ pub use fleet::{
     FleetConfig, FleetPending, FleetServer, FleetStats, ModelCost, ReplicaSpec, ReplicaStats,
 };
 pub use health::{Health, HealthPolicy, HealthSnapshot, HealthState};
-pub use metrics::{LatencyHistogram, ModelStats};
+pub use metrics::{LatencyHistogram, ModelStats, StageStats};
 pub use server::{ModelServer, Pending, ServeConfig};
 pub use wire::{FleetClient, WireServer};

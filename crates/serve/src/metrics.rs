@@ -1,65 +1,37 @@
-//! Lock-free per-model serving counters and a fixed-bucket latency
-//! histogram.
+//! Lock-free per-model serving counters built on the shared
+//! [`mixmatch_obs`] latency histogram.
 //!
 //! The hot path touches only relaxed atomics: one [`Instant`] stamp at
 //! admission, one `elapsed()` at completion, one bucket increment — no
-//! locks, no allocation, no wall-clock reads beyond the two stamps. The
-//! histogram's buckets are powers of two microseconds, so percentile
-//! queries resolve to a bucket upper bound (≤ 2× relative error) without
-//! retaining any per-request state.
+//! locks, no allocation, no wall-clock reads beyond the stamps. The
+//! histogram type itself lives in `mixmatch_obs` (it is shared with the
+//! engine and the worker pool) and is re-exported here so existing
+//! callers keep compiling.
+//!
+//! Besides the end-to-end latency, each model tracks per-stage
+//! histograms for the request lifecycle — `queue` (admission → batch
+//! execution start), `coalesce` (time the batcher waited to fill the
+//! batch), and `execute` (engine wall time) — which are also registered
+//! in [`Registry::global`] under `mixmatch_request_stage_seconds` so the
+//! `METRICS` wire verb exposes them as Prometheus text.
 //!
 //! [`Instant`]: std::time::Instant
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Number of power-of-two microsecond buckets: bucket `i` counts latencies
-/// in `[2^(i-1), 2^i)` µs (bucket 0 is "< 1 µs"), so the top bucket absorbs
-/// everything from ~67 s up.
-const BUCKETS: usize = 27;
+use mixmatch_obs::Registry;
 
-/// Fixed-bucket latency histogram over relaxed atomics.
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    counts: [AtomicU64; BUCKETS],
-}
+pub use mixmatch_obs::LatencyHistogram;
 
-impl LatencyHistogram {
-    /// Records one latency observation.
-    pub fn record(&self, latency: Duration) {
-        let us = latency.as_micros().min(u64::MAX as u128) as u64;
-        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
-        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total observations recorded.
-    pub fn count(&self) -> u64 {
-        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
-    }
-
-    /// The `q`-th percentile (`0 < q ≤ 100`) as the matching bucket's upper
-    /// bound, or [`Duration::ZERO`] when nothing was recorded.
-    pub fn percentile(&self, q: f64) -> Duration {
-        let total = self.count();
-        if total == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((total as f64) * (q / 100.0)).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, c) in self.counts.iter().enumerate() {
-            seen += c.load(Ordering::Relaxed);
-            if seen >= rank {
-                return Duration::from_micros(1u64 << i);
-            }
-        }
-        Duration::from_micros(1u64 << (BUCKETS - 1))
-    }
-}
+/// Metric name under which per-stage request latencies are registered.
+pub const STAGE_METRIC: &str = "mixmatch_request_stage_seconds";
 
 /// Live counters for one registered model. Swapping the model artifact
 /// keeps its counters (they describe the serving *name*, not one weight
 /// set).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ModelMetrics {
     /// Requests answered successfully.
     pub completed: AtomicU64,
@@ -75,15 +47,64 @@ pub struct ModelMetrics {
     /// router reads this (via [`ModelStats::queue_depth`]) to place batches
     /// on the least-loaded replica.
     pub in_flight: AtomicU64,
-    /// Queue-to-reply latency of completed requests.
-    pub latency: LatencyHistogram,
+    /// Queue-to-reply latency of completed requests (stage `total`).
+    pub latency: Arc<LatencyHistogram>,
+    /// Admission → batch-execution-start wait per request.
+    pub queue_wait: Arc<LatencyHistogram>,
+    /// Batcher coalesce window attributed to each request's batch.
+    pub coalesce: Arc<LatencyHistogram>,
+    /// Engine wall time of each request's batch.
+    pub execute: Arc<LatencyHistogram>,
+}
+
+impl Default for ModelMetrics {
+    /// Detached metrics, not visible in [`Registry::global`]. Servers use
+    /// [`ModelMetrics::for_model`] instead so stages show up on the
+    /// Prometheus page.
+    fn default() -> Self {
+        ModelMetrics {
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_images: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            latency: Arc::new(LatencyHistogram::new()),
+            queue_wait: Arc::new(LatencyHistogram::new()),
+            coalesce: Arc::new(LatencyHistogram::new()),
+            execute: Arc::new(LatencyHistogram::new()),
+        }
+    }
 }
 
 impl ModelMetrics {
+    /// Metrics whose stage histograms are shared with the global
+    /// [`Registry`] under `mixmatch_request_stage_seconds{model,stage}`,
+    /// so recordings show up on the `METRICS` wire page.
+    pub fn for_model(model: &str) -> Self {
+        let reg = Registry::global();
+        let stage =
+            |stage: &str| reg.histogram(STAGE_METRIC, &[("model", model), ("stage", stage)]);
+        ModelMetrics {
+            latency: stage("total"),
+            queue_wait: stage("queue"),
+            coalesce: stage("coalesce"),
+            execute: stage("execute"),
+            ..ModelMetrics::default()
+        }
+    }
+
     /// Immutable snapshot for reporting.
     pub fn snapshot(&self, model: &str) -> ModelStats {
         let batches = self.batches.load(Ordering::Relaxed);
         let batched_images = self.batched_images.load(Ordering::Relaxed);
+        let stage = |name: &str, h: &LatencyHistogram| StageStats {
+            stage: name.to_string(),
+            count: h.count(),
+            p50: h.percentile(50.0),
+            p95: h.percentile(95.0),
+            p99: h.percentile(99.0),
+        };
         ModelStats {
             model: model.to_string(),
             completed: self.completed.load(Ordering::Relaxed),
@@ -100,8 +121,29 @@ impl ModelMetrics {
             p95: self.latency.percentile(95.0),
             p99: self.latency.percentile(99.0),
             p999: self.latency.percentile(99.9),
+            stages: vec![
+                stage("queue", &self.queue_wait),
+                stage("coalesce", &self.coalesce),
+                stage("execute", &self.execute),
+            ],
         }
     }
+}
+
+/// Percentile summary of one request-lifecycle stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStats {
+    /// Stage name: `queue`, `coalesce`, or `execute` (the fleet router
+    /// additionally records `route` directly into the global registry).
+    pub stage: String,
+    /// Observations recorded for this stage.
+    pub count: u64,
+    /// Median stage latency (bucket upper bound).
+    pub p50: Duration,
+    /// 95th-percentile stage latency (bucket upper bound).
+    pub p95: Duration,
+    /// 99th-percentile stage latency (bucket upper bound).
+    pub p99: Duration,
 }
 
 /// Point-in-time serving statistics for one model name.
@@ -131,41 +173,20 @@ pub struct ModelStats {
     /// 99.9th-percentile latency (bucket upper bound) — the tail the
     /// fleet-size sweep in `BENCH_serving.json` tracks.
     pub p999: Duration,
+    /// Per-stage lifecycle breakdown (`queue`, `coalesce`, `execute`).
+    pub stages: Vec<StageStats>,
+}
+
+impl ModelStats {
+    /// Looks up one lifecycle stage by name.
+    pub fn stage(&self, name: &str) -> Option<&StageStats> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn percentiles_resolve_to_bucket_upper_bounds() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.percentile(50.0), Duration::ZERO);
-        // 99 observations at ~3 µs, one at ~1 ms.
-        for _ in 0..99 {
-            h.record(Duration::from_micros(3));
-        }
-        h.record(Duration::from_micros(1000));
-        assert_eq!(h.count(), 100);
-        // 3 µs lands in [2, 4) → upper bound 4 µs.
-        assert_eq!(h.percentile(50.0), Duration::from_micros(4));
-        assert_eq!(h.percentile(99.0), Duration::from_micros(4));
-        // 1000 µs lands in [512, 1024) → upper bound 1024 µs.
-        assert_eq!(h.percentile(100.0), Duration::from_micros(1024));
-    }
-
-    #[test]
-    fn extreme_latencies_clamp_to_the_edge_buckets() {
-        let h = LatencyHistogram::default();
-        h.record(Duration::ZERO);
-        h.record(Duration::from_secs(3600));
-        assert_eq!(h.count(), 2);
-        assert_eq!(h.percentile(1.0), Duration::from_micros(1));
-        assert_eq!(
-            h.percentile(100.0),
-            Duration::from_micros(1 << (BUCKETS - 1))
-        );
-    }
 
     #[test]
     fn snapshot_computes_mean_batch() {
@@ -193,5 +214,34 @@ mod tests {
         let s = m.snapshot("x");
         assert_eq!(s.p99, Duration::from_micros(4));
         assert_eq!(s.p999, Duration::from_micros(1024));
+    }
+
+    #[test]
+    fn stage_histograms_surface_in_snapshot() {
+        let m = ModelMetrics::default();
+        m.queue_wait.record(Duration::from_micros(3));
+        m.coalesce.record(Duration::from_micros(100));
+        m.execute.record(Duration::from_millis(2));
+        let s = m.snapshot("x");
+        assert_eq!(s.stages.len(), 3);
+        assert_eq!(s.stage("queue").unwrap().count, 1);
+        assert_eq!(s.stage("queue").unwrap().p50, Duration::from_micros(4));
+        assert_eq!(s.stage("coalesce").unwrap().p50, Duration::from_micros(128));
+        assert_eq!(s.stage("execute").unwrap().p50, Duration::from_micros(2048));
+        assert!(s.stage("route").is_none());
+    }
+
+    #[test]
+    fn for_model_registers_stage_histograms_globally() {
+        let m = ModelMetrics::for_model("metrics-unit-test-model");
+        m.latency.record(Duration::from_micros(5));
+        let snap = mixmatch_obs::Registry::global().snapshot();
+        let series = snap
+            .histogram(
+                STAGE_METRIC,
+                &[("model", "metrics-unit-test-model"), ("stage", "total")],
+            )
+            .expect("registered in the global registry");
+        assert!(series.count >= 1);
     }
 }

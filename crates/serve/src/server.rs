@@ -285,7 +285,7 @@ impl ModelServer {
                     name.to_string(),
                     Arc::new(ModelEntry {
                         compiled: RwLock::new(compiled),
-                        metrics: ModelMetrics::default(),
+                        metrics: ModelMetrics::for_model(name),
                     }),
                 );
             }
@@ -477,8 +477,12 @@ fn batcher_loop(
     max_wait: Duration,
 ) {
     while let Ok(first) = rx.recv() {
+        let opened = Instant::now();
         let batch = coalesce(rx, first, max_batch, max_wait);
-        execute_batch(engine, batch);
+        // The coalesce window is a property of the whole batch: every
+        // member waited (part of) it, so it is attributed to each request.
+        let batch_wait = opened.elapsed();
+        execute_batch(engine, batch, batch_wait);
     }
 }
 
@@ -487,7 +491,7 @@ fn batcher_loop(
 /// one malformed request answers alone instead of poisoning its neighbors,
 /// then run each group through the engine and route every output back by
 /// id.
-fn execute_batch(engine: &BatchEngine, batch: Vec<Request>) {
+fn execute_batch(engine: &BatchEngine, batch: Vec<Request>, batch_wait: Duration) {
     // Group while preserving order; a serving batch holds few distinct
     // models, so a linear scan beats hashing the Arcs.
     let mut groups: Vec<(Arc<ModelEntry>, Vec<Request>)> = Vec::new();
@@ -544,7 +548,24 @@ fn execute_batch(engine: &BatchEngine, batch: Vec<Request>) {
             .metrics
             .batched_images
             .fetch_add(images.len() as u64, Ordering::Relaxed);
-        match engine.run_plan_batch(&compiled, &images) {
+        // Lifecycle stages: how long each member sat admitted before its
+        // batch started, the coalesce window, and the engine wall time.
+        let exec_start = Instant::now();
+        for meta in &metas {
+            entry
+                .metrics
+                .queue_wait
+                .record(exec_start.saturating_duration_since(meta.admitted));
+            entry.metrics.coalesce.record(batch_wait);
+        }
+        let span = mixmatch_obs::trace::span("serve", "execute_batch");
+        let outcome = engine.run_plan_batch(&compiled, &images);
+        drop(span);
+        let exec_elapsed = exec_start.elapsed();
+        for _ in &metas {
+            entry.metrics.execute.record(exec_elapsed);
+        }
+        match outcome {
             Ok(run) => {
                 for (meta, output) in metas.into_iter().zip(run.outputs) {
                     respond(&entry, meta, Ok(output));
@@ -605,15 +626,23 @@ mod tests {
     #[test]
     fn infer_round_trips_through_the_batcher() {
         let server = ModelServer::start(ServeConfig::default().with_threads(1));
-        server.load("mlp", mlp_model(1)).expect("load");
+        // Stage histograms live in the process-global registry keyed by model
+        // name, so this test needs a name no other test in the binary loads.
+        server.load("mlp-roundtrip", mlp_model(1)).expect("load");
         let mut rng = TensorRng::seed_from(2);
         let image = Tensor::rand_uniform(&[6], 0.0, 1.0, &mut rng);
-        let out = server.infer_blocking("mlp", image).expect("infer");
+        let out = server
+            .infer_blocking("mlp-roundtrip", image)
+            .expect("infer");
         assert_eq!(out.dims(), &[3]);
-        let stats = server.stats("mlp").expect("stats");
+        let stats = server.stats("mlp-roundtrip").expect("stats");
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.batches, 1);
         assert!(stats.p50 > Duration::ZERO);
+        // Lifecycle stages were stamped exactly once for the one request.
+        for stage in ["queue", "coalesce", "execute"] {
+            assert_eq!(stats.stage(stage).expect("stage present").count, 1);
+        }
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!
 //! Requests: [`verb::INFER`] (model string + tensor), [`verb::LOAD`]
 //! (model string + artifact bytes), [`verb::STATS`] (empty),
-//! [`verb::SHUTDOWN`] (empty). Responses: [`verb::OK`] with a
+//! [`verb::SHUTDOWN`] (empty), [`verb::METRICS`] (empty; answers with the
+//! process-wide registry rendered as Prometheus text). Responses:
+//! [`verb::OK`] with a
 //! verb-specific payload, or [`verb::ERR`] carrying a typed error frame
 //! that decodes back into a [`ServeError`] variant.
 //!
@@ -30,7 +32,7 @@
 use crate::error::ServeError;
 use crate::fleet::{FleetServer, FleetStats, ModelCost, ReplicaStats};
 use crate::health::{HealthSnapshot, HealthState};
-use crate::metrics::ModelStats;
+use crate::metrics::{ModelStats, StageStats};
 use mixmatch_tensor::Tensor;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -62,6 +64,8 @@ pub mod verb {
     pub const STATS: u8 = 0x03;
     /// Request: stop the wire front end.
     pub const SHUTDOWN: u8 = 0x04;
+    /// Request: the process-wide metrics registry as Prometheus text.
+    pub const METRICS: u8 = 0x05;
     /// Response: success; payload depends on the request verb.
     pub const OK: u8 = 0x80;
     /// Response: a typed error frame (see `encode_error`).
@@ -489,11 +493,21 @@ fn encode_model_stats(out: &mut Vec<u8>, stats: &ModelStats) -> Result<(), Serve
     for p in [stats.p50, stats.p95, stats.p99, stats.p999] {
         put_u64(out, p.as_micros().min(u64::MAX as u128) as u64);
     }
+    let stages =
+        u16::try_from(stats.stages.len()).map_err(|_| wire_err("stage count exceeds u16"))?;
+    put_u16(out, stages);
+    for stage in &stats.stages {
+        put_string(out, &stage.stage)?;
+        put_u64(out, stage.count);
+        for p in [stage.p50, stage.p95, stage.p99] {
+            put_u64(out, p.as_micros().min(u64::MAX as u128) as u64);
+        }
+    }
     Ok(())
 }
 
 fn decode_model_stats(fields: &mut Fields<'_>) -> Result<ModelStats, ServeError> {
-    Ok(ModelStats {
+    let mut stats = ModelStats {
         model: fields.string("model name")?,
         completed: fields.u64("completed")?,
         rejected: fields.u64("rejected")?,
@@ -505,7 +519,20 @@ fn decode_model_stats(fields: &mut Fields<'_>) -> Result<ModelStats, ServeError>
         p95: Duration::from_micros(fields.u64("p95")?),
         p99: Duration::from_micros(fields.u64("p99")?),
         p999: Duration::from_micros(fields.u64("p999")?),
-    })
+        stages: Vec::new(),
+    };
+    let stage_count = fields.u16("stage count")? as usize;
+    stats.stages.reserve(stage_count.min(16));
+    for _ in 0..stage_count {
+        stats.stages.push(StageStats {
+            stage: fields.string("stage name")?,
+            count: fields.u64("stage count value")?,
+            p50: Duration::from_micros(fields.u64("stage p50")?),
+            p95: Duration::from_micros(fields.u64("stage p95")?),
+            p99: Duration::from_micros(fields.u64("stage p99")?),
+        });
+    }
+    Ok(stats)
 }
 
 /// Encodes a fleet snapshot (the `STATS` response payload).
@@ -678,6 +705,21 @@ impl FleetClient {
     /// [`ServeError::Wire`] when the transport failed.
     pub fn stats(&mut self) -> Result<FleetStats, ServeError> {
         decode_fleet_stats(&self.call(verb::STATS, &[])?)
+    }
+
+    /// Fetches the remote process's metrics registry rendered as
+    /// Prometheus text — per-stage request histograms
+    /// (`mixmatch_request_stage_seconds`), kernel tier counters, pool
+    /// activity, and anything else the process registered.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`] the remote answered with, or
+    /// [`ServeError::Wire`] when the transport failed or the page was not
+    /// UTF-8.
+    pub fn metrics(&mut self) -> Result<String, ServeError> {
+        let body = self.call(verb::METRICS, &[])?;
+        String::from_utf8(body).map_err(|_| wire_err("metrics page is not UTF-8"))
     }
 
     /// Asks the remote wire front end to stop accepting connections (the
@@ -860,6 +902,10 @@ fn dispatch(
             Ok(Vec::new())
         }
         verb::STATS => encode_fleet_stats(&fleet.stats()),
+        // Like STATS, the payload is ignored: the verb is the request.
+        verb::METRICS => Ok(mixmatch_obs::Registry::global()
+            .render_prometheus()
+            .into_bytes()),
         verb::SHUTDOWN => {
             stop.store(true, Ordering::Release);
             Ok(Vec::new())
@@ -1027,6 +1073,22 @@ mod tests {
                     p95: Duration::from_micros(512),
                     p99: Duration::from_micros(1024),
                     p999: Duration::from_micros(4096),
+                    stages: vec![
+                        StageStats {
+                            stage: "queue".into(),
+                            count: 10,
+                            p50: Duration::from_micros(2),
+                            p95: Duration::from_micros(8),
+                            p99: Duration::from_micros(16),
+                        },
+                        StageStats {
+                            stage: "execute".into(),
+                            count: 10,
+                            p50: Duration::from_micros(64),
+                            p95: Duration::from_micros(256),
+                            p99: Duration::from_micros(512),
+                        },
+                    ],
                 }],
             }],
         };

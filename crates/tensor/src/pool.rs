@@ -107,6 +107,9 @@ pub struct WorkerPool {
     shared: Arc<Shared>,
     threads: usize,
     handles: Vec<JoinHandle<()>>,
+    /// `mixmatch_pool_tasks_total` — resolved once at pool construction so
+    /// the per-`run` cost is a single atomic add, never a registry lookup.
+    tasks_total: Arc<mixmatch_obs::Counter>,
 }
 
 impl WorkerPool {
@@ -130,6 +133,7 @@ impl WorkerPool {
             shared,
             threads,
             handles,
+            tasks_total: mixmatch_obs::Registry::global().counter("mixmatch_pool_tasks_total", &[]),
         }
     }
 
@@ -163,6 +167,8 @@ impl WorkerPool {
         if tasks.is_empty() {
             return;
         }
+        self.tasks_total.add(tasks.len() as u64);
+        let _run_span = mixmatch_obs::trace::span("pool", "run");
         let latch = Arc::new(Latch::new(tasks.len()));
         {
             let mut st = self.shared.state.lock().expect("pool poisoned");
@@ -180,7 +186,11 @@ impl WorkerPool {
                 };
                 let latch = Arc::clone(&latch);
                 st.jobs.push_back(Box::new(move || {
+                    // No-op guard unless tracing is enabled; worker threads
+                    // get their own tids in the trace.
+                    let span = mixmatch_obs::trace::span("pool", "task");
                     let result = panic::catch_unwind(AssertUnwindSafe(task));
+                    drop(span);
                     latch.complete(result.err());
                 }));
             }

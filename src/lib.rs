@@ -14,6 +14,7 @@
 //! | [`data`] | `mixmatch-data` | synthetic stand-ins for CIFAR/ImageNet/COCO/PTB/TIMIT/IMDB |
 //! | [`fpga`] | `mixmatch-fpga` | device DB, resource cost model, heterogeneous-GEMM cycle simulator, DSE |
 //! | [`serve`] | `mixmatch-serve` | async [`ModelServer`](serve::ModelServer): dynamic request batching, model registry, admission control, latency metrics; [`FleetServer`](serve::FleetServer): multi-replica routing over heterogeneous devices with a TCP wire protocol |
+//! | [`obs`] | `mixmatch-obs` | observability: tracing spans with a chrome://tracing exporter, unified metrics [`Registry`](obs::Registry), Prometheus text exposition |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@
 pub use mixmatch_data as data;
 pub use mixmatch_fpga as fpga;
 pub use mixmatch_nn as nn;
+pub use mixmatch_obs as obs;
 pub use mixmatch_quant as quant;
 pub use mixmatch_serve as serve;
 pub use mixmatch_tensor as tensor;
@@ -61,6 +63,7 @@ pub mod prelude {
     pub use mixmatch_fpga::device::FpgaDevice;
     pub use mixmatch_nn::module::{Layer, Param};
     pub use mixmatch_nn::quantize::{QuantLayerDesc, QuantLayerKind, QuantizableModel};
+    pub use mixmatch_obs::{LatencyHistogram, Registry, Snapshot};
     pub use mixmatch_quant::admm::{AdmmConfig, AdmmQuantizer};
     pub use mixmatch_quant::error::QuantError;
     pub use mixmatch_quant::graph::ExecutionPlan;
